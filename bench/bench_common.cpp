@@ -1,0 +1,181 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/perf_model.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace mf::bench {
+
+std::vector<MoleculeCase> paper_molecules(bool full) {
+  std::vector<MoleculeCase> cases;
+  if (full) {
+    cases.push_back({"C96H24", graphene_flake(4), true});
+    cases.push_back({"C150H30", graphene_flake(5), true});
+    cases.push_back({"C100H202", linear_alkane(100), false});
+    cases.push_back({"C144H290", linear_alkane(144), false});
+  } else {
+    cases.push_back({"C24H12", graphene_flake(2), true});
+    cases.push_back({"C54H18", graphene_flake(3), true});
+    cases.push_back({"C20H42", linear_alkane(20), false});
+    cases.push_back({"C30H62", linear_alkane(30), false});
+  }
+  return cases;
+}
+
+std::vector<std::size_t> core_counts(bool full) {
+  if (full) return {12, 48, 108, 192, 432, 768, 1728, 3888};
+  return {12, 48, 108, 192, 768, 3888};
+}
+
+namespace {
+
+std::string cache_dir() {
+  const char* env = std::getenv("MINIFOCK_CACHE_DIR");
+  std::string dir = env != nullptr ? env : "bench_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+ScreeningData cached_screening(const std::string& key, const Basis& basis,
+                               double tau) {
+  const std::string path = cache_dir() + "/" + key + ".screen";
+  if (auto loaded = ScreeningData::load(path, basis.num_shells(), tau)) {
+    return std::move(*loaded);
+  }
+  WallTimer timer;
+  ScreeningOptions opts;
+  opts.tau = tau;
+  ScreeningData data(basis, opts);
+  if (!data.save(path)) {
+    MF_LOG_WARN("could not write screening cache " << path);
+  }
+  std::fprintf(stderr, "[prep] screening %s: %.1fs (cached to %s)\n",
+               key.c_str(), timer.seconds(), path.c_str());
+  return data;
+}
+
+}  // namespace
+
+PreparedCase prepare_case(const MoleculeCase& mol, const PrepareOptions& options) {
+  PreparedCase out;
+  out.name = mol.name;
+  out.atom_order_basis = Basis(mol.molecule, BasisLibrary::builtin(options.basis_name));
+  ReorderOptions ropts;
+  ropts.scheme = options.scheme;
+  out.basis = apply_reordering(out.atom_order_basis, ropts);
+
+  char tau_buf[32];
+  std::snprintf(tau_buf, sizeof(tau_buf), "%.0e", options.tau);
+  const std::string key_base =
+      mol.name + "_" + options.basis_name + "_" + tau_buf;
+
+  out.screening = std::make_unique<ScreeningData>(cached_screening(
+      key_base + "_r" + std::to_string(static_cast<int>(options.scheme)),
+      out.basis, options.tau));
+  if (options.need_nwchem) {
+    out.atom_order_screening = std::make_unique<ScreeningData>(
+        cached_screening(key_base + "_atom", out.atom_order_basis, options.tau));
+    const std::string nw_path = cache_dir() + "/" + key_base + ".nwtasks";
+    if (auto cached = NwchemTaskTable::load(nw_path, out.atom_order_basis,
+                                            *out.atom_order_screening)) {
+      out.nwchem_table = std::make_unique<NwchemTaskTable>(std::move(*cached));
+    } else {
+      WallTimer timer;
+      out.nwchem_table = std::make_unique<NwchemTaskTable>(
+          out.atom_order_basis, *out.atom_order_screening);
+      out.nwchem_table->save(nw_path);
+      if (timer.seconds() > 1.0) {
+        std::fprintf(stderr, "[prep] nwchem task table %s: %.1fs (%zu tasks)\n",
+                     mol.name.c_str(), timer.seconds(),
+                     out.nwchem_table->num_tasks());
+      }
+    }
+  }
+  if (options.need_costs) {
+    const std::string cost_path =
+        cache_dir() + "/" + key_base + "_r" +
+        std::to_string(static_cast<int>(options.scheme)) + ".costs";
+    if (auto cached =
+            TaskCostModel::load(cost_path, out.basis.num_shells())) {
+      out.costs = std::make_unique<TaskCostModel>(std::move(*cached));
+    } else {
+      WallTimer timer;
+      out.costs = std::make_unique<TaskCostModel>(out.basis, *out.screening);
+      out.costs->save(cost_path);
+      if (timer.seconds() > 1.0) {
+        std::fprintf(stderr, "[prep] task cost table %s: %.1fs\n",
+                     mol.name.c_str(), timer.seconds());
+      }
+    }
+  }
+  if (options.calibrate) {
+    // Calibration is wall-clock based; cache the first measurement so every
+    // bench binary sees one consistent t_int for a given molecule.
+    const std::string tint_path = cache_dir() + "/" + key_base + ".tint";
+    bool loaded = false;
+    if (std::FILE* f = std::fopen(tint_path.c_str(), "r")) {
+      loaded = std::fscanf(f, "%lf", &out.t_int) == 1 && out.t_int > 0.0;
+      std::fclose(f);
+    }
+    if (!loaded) {
+      out.t_int = calibrate_t_int(out.basis, *out.screening, 1024);
+      if (std::FILE* f = std::fopen(tint_path.c_str(), "w")) {
+        std::fprintf(f, "%.9e\n", out.t_int);
+        std::fclose(f);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SweepRow> run_scaling_sweep(const PreparedCase& prepared,
+                                        const std::vector<std::size_t>& cores) {
+  std::vector<SweepRow> rows;
+  const MachineParams machine = paper_machine(prepared.t_int);
+  for (std::size_t c : cores) {
+    SweepRow row;
+    row.cores = c;
+    GtFockSimOptions gopts;
+    gopts.total_cores = c;
+    gopts.machine = machine;
+    row.gtfock = simulate_gtfock(prepared.basis, *prepared.screening,
+                                 *prepared.costs, gopts);
+    if (prepared.nwchem_table != nullptr) {
+      NwchemSimOptions nopts;
+      nopts.total_cores = c;
+      nopts.machine = machine;
+      row.nwchem = simulate_nwchem(*prepared.nwchem_table, nopts);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+MachineParams paper_machine(double t_int) {
+  MachineParams machine;  // Table I defaults: 12 cores/node, 5 GB/s
+  if (t_int > 0.0) machine.t_int = t_int;
+  return machine;
+}
+
+CliArgs parse_bench_args(int argc, const char* const* argv,
+                         std::vector<std::string> extra_flags) {
+  std::vector<std::string> flags = {"full", "tau", "cores", "basis"};
+  for (auto& f : extra_flags) flags.push_back(std::move(f));
+  return CliArgs(argc, argv, flags);
+}
+
+void print_header(const std::string& table, const std::string& description,
+                  bool full) {
+  std::printf("==== %s — %s ====\n", table.c_str(), description.c_str());
+  std::printf(
+      "mode: %s | machine model: 12 cores/node, 5 GB/s interconnect "
+      "(Lonestar, Table I)\n",
+      full ? "FULL (paper-sized molecules)" : "scaled (use --full for paper sizes)");
+}
+
+}  // namespace mf::bench

@@ -1,0 +1,90 @@
+#pragma once
+// Shared machinery for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper. By
+// default the molecules are scaled-down members of the same two families
+// (so the whole suite runs in minutes on a laptop core); pass --full or
+// set MINIFOCK_FULL=1 for the paper-sized systems of Table II. Schwarz
+// screening for large systems is cached on disk (MINIFOCK_CACHE_DIR,
+// default ./bench_cache) and shared across binaries.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/nwchem_sim.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/gtfock_sim.h"
+#include "core/shell_reorder.h"
+#include "core/task_cost.h"
+#include "dsim/network.h"
+#include "eri/screening.h"
+#include "util/cli.h"
+
+namespace mf::bench {
+
+struct MoleculeCase {
+  std::string name;
+  Molecule molecule;
+  bool is_graphene = false;
+};
+
+/// The paper's molecule set (Table II) or the scaled default set: two
+/// graphene flakes (2D) and two linear alkanes (1D).
+std::vector<MoleculeCase> paper_molecules(bool full);
+
+/// Core counts for the scaling sweeps; the paper uses 12..3888 (Lonestar's
+/// queue limit was 4104 cores).
+std::vector<std::size_t> core_counts(bool full);
+
+/// A molecule prepared for the simulators: cc-pVDZ basis, spatial
+/// reordering, Schwarz screening (cached), task-cost table, calibrated
+/// t_int.
+struct PreparedCase {
+  std::string name;
+  Basis basis;                     // reordered (paper ordering)
+  Basis atom_order_basis;          // original order (for the NWChem baseline)
+  std::unique_ptr<ScreeningData> screening;
+  std::unique_ptr<ScreeningData> atom_order_screening;
+  std::unique_ptr<TaskCostModel> costs;
+  std::unique_ptr<NwchemTaskTable> nwchem_table;
+  double t_int = 0.0;
+};
+
+struct PrepareOptions {
+  double tau = 1e-10;
+  std::string basis_name = "cc-pvdz";
+  ReorderScheme scheme = ReorderScheme::kCells;
+  bool need_nwchem = true;
+  bool need_costs = true;
+  bool calibrate = true;
+};
+
+PreparedCase prepare_case(const MoleculeCase& mol, const PrepareOptions& options);
+
+/// Machine of Table I with t_int taken from a prepared case.
+MachineParams paper_machine(double t_int);
+
+/// One row of the scaling sweep: both algorithms simulated at one core
+/// count on the paper's machine model.
+struct SweepRow {
+  std::size_t cores = 0;
+  GtFockSimResult gtfock;
+  NwchemSimResult nwchem;
+};
+
+/// Runs both simulators across the core counts (Tables III/IV/VI/VII/VIII
+/// and Figure 2 all read from these rows).
+std::vector<SweepRow> run_scaling_sweep(const PreparedCase& prepared,
+                                        const std::vector<std::size_t>& cores);
+
+/// Standard bench CLI: --full, --tau=..., --cores=..., plus extras.
+CliArgs parse_bench_args(int argc, const char* const* argv,
+                         std::vector<std::string> extra_flags = {});
+
+/// Prints the standard bench header (what is being reproduced, which mode).
+void print_header(const std::string& table, const std::string& description,
+                  bool full);
+
+}  // namespace mf::bench

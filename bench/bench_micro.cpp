@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks of the compute kernels underneath the
+// Fock build: Boys function, primitive/contracted ERI shell quartets by
+// angular momentum class, one-electron blocks, dense GEMM, a purification
+// step, and the Schwarz pair-value kernel. These are the quantities the
+// simulator's t_int calibration rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "eri/boys.h"
+#include "eri/eri_engine.h"
+#include "eri/one_electron.h"
+#include "linalg/matrix.h"
+#include "linalg/purification.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mf;
+
+void BM_Boys(benchmark::State& state) {
+  const int nmax = static_cast<int>(state.range(0));
+  double out[32];
+  double x = 0.1;
+  for (auto _ : state) {
+    boys(nmax, x, out);
+    benchmark::DoNotOptimize(out[0]);
+    x += 0.37;
+    if (x > 80.0) x = 0.1;
+  }
+}
+BENCHMARK(BM_Boys)->Arg(0)->Arg(4)->Arg(8)->Arg(16);
+
+Shell bench_shell(int l, double exp1, const Vec3& at) {
+  Shell s;
+  s.l = l;
+  s.center = at;
+  s.exponents = {exp1, exp1 * 0.35};
+  s.coefficients = {0.6, 0.5};
+  normalize_shell(s);
+  return s;
+}
+
+void BM_EriQuartet(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  EriEngine engine;
+  const Shell a = bench_shell(l, 1.3, {0, 0, 0});
+  const Shell b = bench_shell(l, 0.9, {0.5, 0.4, 0});
+  const Shell c = bench_shell(l, 1.1, {0, 0.8, 0.3});
+  const Shell d = bench_shell(l, 0.7, {0.6, 0, 0.9});
+  std::uint64_t ints = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(a, b, c, d).data());
+  }
+  ints = engine.integrals_computed();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ints));
+}
+BENCHMARK(BM_EriQuartet)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+void BM_EriContractedSsss(benchmark::State& state) {
+  // cc-pVDZ-like deep contraction: the common worst case for s shells.
+  EriEngine engine;
+  Shell s;
+  s.l = 0;
+  s.center = {0, 0, 0};
+  s.exponents = {6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.4852};
+  s.coefficients = {0.000692, 0.005329, 0.027077, 0.101718,
+                    0.27474,  0.448564, 0.285074, 0.015204};
+  normalize_shell(s);
+  Shell t = s;
+  t.center = {1.5, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(s, t, s, t).data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriContractedSsss);
+
+void BM_SchwarzPairValue(benchmark::State& state) {
+  EriEngine engine;
+  const Shell a = bench_shell(2, 1.2, {0, 0, 0});
+  const Shell b = bench_shell(1, 0.8, {0.9, 0.2, 0.4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.schwarz_pair_value(a, b));
+  }
+}
+BENCHMARK(BM_SchwarzPairValue);
+
+void BM_OverlapBlock(benchmark::State& state) {
+  const Shell a = bench_shell(2, 1.2, {0, 0, 0});
+  const Shell b = bench_shell(2, 0.8, {0.9, 0.2, 0.4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlap_block(a, b).data());
+  }
+}
+BENCHMARK(BM_OverlapBlock);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a.data()[i] = rng.uniform();
+    b.data()[i] = rng.uniform();
+  }
+  for (auto _ : state) {
+    gemm(a, false, b, false, 1.0, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void BM_McWeenyStep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) d.data()[i] = rng.uniform(-0.1, 0.1);
+  symmetrize(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcweeny_step(d).data());
+  }
+}
+BENCHMARK(BM_McWeenyStep)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Reproduces the Section III-G analysis: the measured model parameters
+// (A, B, q), the overhead ratio L(p) and parallel efficiency across core
+// counts, the isoefficiency growth n = O(sqrt(p)), and the equation-(12)
+// conclusion that integral computation would need to be ~50x faster before
+// communication dominates (evaluated with the measured s from the
+// simulator, as the paper does with s = 3.8 for C96H24 on 3888 cores).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  using namespace mf::bench;
+  const CliArgs args = parse_bench_args(argc, argv);
+  const bool full = full_scale_requested(args);
+
+  print_header("Section III-G", "performance model and isoefficiency", full);
+
+  const auto molecules = paper_molecules(full);
+  const auto cores = core_counts(full);
+
+  for (const auto& mol : molecules) {
+    PrepareOptions opts;
+    opts.tau = args.get_double("tau", 1e-10);
+    opts.need_nwchem = false;
+    const PreparedCase prepared = prepare_case(mol, opts);
+
+    // Measure s (avg victims per thief) at the largest core count.
+    GtFockSimOptions gopts;
+    gopts.total_cores = cores.back();
+    gopts.machine = paper_machine(prepared.t_int);
+    const GtFockSimResult sim = simulate_gtfock(
+        prepared.basis, *prepared.screening, *prepared.costs, gopts);
+    const double s = sim.avg_steal_victims();
+
+    const PerfModelParams m = derive_model_params(
+        prepared.basis, *prepared.screening, prepared.t_int, s);
+
+    std::printf("\n-- %s --\n", mol.name.c_str());
+    std::printf(
+        "  n_shells=%zu  A=%.2f  B=%.1f  q=%.1f  s=%.2f  t_int=%.3g us\n",
+        m.nshells, m.a, m.b, m.q, m.s, m.t_int * 1e6);
+    std::printf("  %-10s %12s %12s %14s\n", "nodes p", "T_comp(p)", "L(p)",
+                "efficiency");
+    for (std::size_t c : cores) {
+      const double p = std::max(1.0, static_cast<double>(c) / 12.0);
+      std::printf("  %-10.0f %11.2fs %12.4f %13.1f%%\n", p, model_tcomp(m, p),
+                  model_overhead_ratio(m, p), 100.0 * model_efficiency(m, p));
+    }
+    std::printf("  L at max parallelism p=n^2 (eq 12): %.4f\n",
+                model_overhead_ratio_at_max(m));
+    std::printf(
+        "  integral speedup needed before communication dominates: %.0fx\n",
+        required_tint_speedup_for_crossover(m));
+    std::printf(
+        "  isoefficiency: holding L fixed from p=%zu, p=%zu needs n_shells "
+        "~= %.0f (sqrt(p) growth)\n",
+        cores.front(), cores.back(),
+        isoefficiency_nshells(m, static_cast<double>(cores.front()),
+                              static_cast<double>(cores.back())));
+  }
+  std::printf(
+      "\nexpected shape (paper): for C96H24, s=3.8 gives ~50x required "
+      "integral speedup; L(p) small and growing slowly (isoefficiency "
+      "n = O(sqrt p)).\n");
+  return 0;
+}

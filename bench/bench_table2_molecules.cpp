@@ -1,0 +1,39 @@
+// Reproduces Table II: the test molecules with their atom/shell/function
+// counts and the number of unique shell quartets surviving Cauchy-Schwarz
+// screening at tau = 1e-10 (cc-pVDZ).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  using namespace mf::bench;
+  const CliArgs args = parse_bench_args(argc, argv);
+  const bool full = full_scale_requested(args);
+  const double tau = args.get_double("tau", 1e-10);
+
+  print_header("Table II", "test molecules (cc-pVDZ, tau=1e-10)", full);
+  std::printf("%-10s %8s %8s %10s %22s\n", "Molecule", "Atoms", "Shells",
+              "Functions", "Unique Shell Quartets");
+
+  for (const MoleculeCase& mol : paper_molecules(full)) {
+    PrepareOptions opts;
+    opts.tau = tau;
+    opts.need_nwchem = false;
+    opts.need_costs = false;
+    opts.calibrate = false;
+    const PreparedCase prepared = prepare_case(mol, opts);
+    std::printf("%-10s %8zu %8zu %10zu %22llu\n", prepared.name.c_str(),
+                prepared.basis.molecule().size(), prepared.basis.num_shells(),
+                prepared.basis.num_functions(),
+                static_cast<unsigned long long>(
+                    prepared.screening->count_unique_screened_quartets()));
+  }
+  std::printf(
+      "\npaper (full scale): C100H202 has 302 atoms / 1206 shells / 2410\n"
+      "functions (stated in Section III-D); the other rows follow from the\n"
+      "cc-pVDZ shell rule (C: 6 shells/14 functions, H: 3/5):\n"
+      "C96H24 120/648/1464, C150H30 180/990/2250, C144H290 434/1734/3466.\n");
+  return 0;
+}

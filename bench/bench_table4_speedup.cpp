@@ -1,0 +1,55 @@
+// Reproduces Table IV: speedup of Fock construction relative to the fastest
+// 12-core time (which, as in the paper, belongs to NWChem), for both codes.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  using namespace mf::bench;
+  const CliArgs args = parse_bench_args(argc, argv);
+  const bool full = full_scale_requested(args);
+
+  print_header("Table IV", "speedup vs fastest 12-core Fock build", full);
+
+  const auto molecules = paper_molecules(full);
+  const auto cores = core_counts(full);
+
+  std::printf("%-8s", "Cores");
+  for (const auto& mol : molecules) std::printf(" | %9s  %9s", mol.name.c_str(), "");
+  std::printf("\n%-8s", "");
+  for (std::size_t i = 0; i < molecules.size(); ++i) {
+    std::printf(" | %9s  %9s", "GTFock", "NWChem");
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<SweepRow>> sweeps;
+  std::vector<double> t12;
+  for (const auto& mol : molecules) {
+    PrepareOptions opts;
+    opts.tau = args.get_double("tau", 1e-10);
+    const PreparedCase prepared = prepare_case(mol, opts);
+    sweeps.push_back(run_scaling_sweep(prepared, cores));
+    // Reference: the fastest 12-core time across both codes (in the paper
+    // that is NWChem's single-node time).
+    const SweepRow& first = sweeps.back().front();
+    t12.push_back(std::min(first.gtfock.fock_time(), first.nwchem.fock_time()));
+  }
+
+  // Speedup(p) = 12 * T_ref(12) / T(p): equals p under perfect scaling.
+  for (std::size_t r = 0; r < cores.size(); ++r) {
+    std::printf("%-8zu", cores[r]);
+    for (std::size_t m = 0; m < sweeps.size(); ++m) {
+      std::printf(" | %9.1f  %9.1f",
+                  12.0 * t12[m] / sweeps[m][r].gtfock.fock_time(),
+                  12.0 * t12[m] / sweeps[m][r].nwchem.fock_time());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape (paper): GTFock reaches higher speedup than NWChem "
+      "at 3888 cores on every molecule.\n");
+  return 0;
+}

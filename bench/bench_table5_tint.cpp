@@ -1,0 +1,56 @@
+// Reproduces Table V: average time per ERI (t_int) measured on two small
+// representative molecules (graphene-like C24H12 and alkane C10H22) with
+// cc-pVDZ. The paper contrasts the ERD package (used by GTFock) against
+// NWChem's integral code, whose stronger primitive pre-screening makes it
+// faster, especially on the spatially extended alkane. Our knob for that
+// effect is the engine's primitive-pair threshold.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  using namespace mf::bench;
+  const CliArgs args = parse_bench_args(argc, argv);
+  const bool full = full_scale_requested(args);
+
+  print_header("Table V", "average time per ERI (t_int), cc-pVDZ", full);
+  std::printf("%-8s %-18s %14s %20s\n", "Mol.", "Atoms/Shells/Funcs",
+              "t_int (weak)", "t_int (strong prescreen)");
+
+  struct Case {
+    const char* name;
+    Molecule mol;
+  };
+  const Case cases[] = {
+      {"C24H12", graphene_flake(2)},
+      {"C10H22", linear_alkane(10)},
+  };
+
+  for (const Case& c : cases) {
+    const Basis basis(c.mol, BasisLibrary::builtin("cc-pvdz"));
+    ScreeningOptions sopts;
+    sopts.tau = args.get_double("tau", 1e-10);
+    const ScreeningData screening(basis, sopts);
+
+    // "ERD-like": mild primitive screening; "NWChem-like": aggressive
+    // primitive pre-screening drops more negligible primitive pairs.
+    EriEngineOptions weak;
+    weak.primitive_threshold = 1e-16;
+    EriEngineOptions strong;
+    strong.primitive_threshold = 1e-11;
+
+    const double t_weak = calibrate_t_int(basis, screening, 512, 7, weak);
+    const double t_strong = calibrate_t_int(basis, screening, 512, 7, strong);
+
+    std::printf("%-8s %4zu/%zu/%-8zu %11.3f us %17.3f us\n", c.name,
+                basis.molecule().size(), basis.num_shells(),
+                basis.num_functions(), t_weak * 1e6, t_strong * 1e6);
+  }
+  std::printf(
+      "\npaper: ERD 4.76/4.92 us vs NWChem 3.71/2.81 us on C24H12/C10H22 — "
+      "stronger primitive pre-screening helps most on the 1D alkane.\n");
+  return 0;
+}

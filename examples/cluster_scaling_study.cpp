@@ -1,0 +1,73 @@
+// Cluster-scale scaling study on the simulated machine.
+//
+//   $ ./examples/cluster_scaling_study [family] [size] [max_cores]
+//     family: "alkane" (default) or "graphene"
+//     size:   carbons for alkane, ring count k for graphene (default 16 / 3)
+//
+// Runs the GTFock and NWChem-style simulators across core counts on the
+// Table I machine model (12-core nodes, 5 GB/s) with t_int calibrated from
+// the real integral engine, and prints time / speedup / efficiency — the
+// workflow behind Tables III and IV for any molecule you pick.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "baseline/nwchem_sim.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/gtfock_sim.h"
+#include "core/perf_model.h"
+#include "core/shell_reorder.h"
+#include "core/task_cost.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  const bool graphene = argc > 1 && std::strcmp(argv[1], "graphene") == 0;
+  const std::size_t size =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : (graphene ? 3 : 16);
+  const std::size_t max_cores =
+      argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 3888;
+
+  const Molecule mol = graphene ? graphene_flake(size) : linear_alkane(size);
+  const Basis atom_basis(mol, BasisLibrary::builtin("cc-pvdz"));
+  const Basis basis = apply_reordering(atom_basis, {});
+  std::printf("molecule %s: %zu shells, %zu basis functions (cc-pVDZ)\n",
+              mol.formula().c_str(), basis.num_shells(), basis.num_functions());
+
+  ScreeningOptions sopts;
+  sopts.tau = 1e-10;
+  const ScreeningData screening(basis, sopts);
+  const ScreeningData atom_screening_data(atom_basis, sopts);
+  const TaskCostModel costs(basis, screening);
+  const NwchemTaskTable nwchem_table(atom_basis, atom_screening_data);
+
+  MachineParams machine;
+  machine.t_int = calibrate_t_int(basis, screening, 256);
+  std::printf("calibrated t_int = %.3g us; %llu unique quartets survive "
+              "screening\n\n",
+              machine.t_int * 1e6,
+              static_cast<unsigned long long>(costs.total_quartets()));
+
+  std::printf("%-8s | %10s %9s %7s | %10s %9s %7s\n", "cores", "GTFock(s)",
+              "speedup", "eff", "NWChem(s)", "speedup", "eff");
+  double gt12 = 0.0, nw12 = 0.0;
+  for (std::size_t cores = 12; cores <= max_cores; cores *= 2) {
+    GtFockSimOptions gopts;
+    gopts.total_cores = cores;
+    gopts.machine = machine;
+    const double tg = simulate_gtfock(basis, screening, costs, gopts).fock_time();
+    NwchemSimOptions nopts;
+    nopts.total_cores = cores;
+    nopts.machine = machine;
+    const double tn = simulate_nwchem(nwchem_table, nopts).fock_time();
+    if (cores == 12) {
+      gt12 = tg;
+      nw12 = tn;
+    }
+    const double sg = 12.0 * gt12 / tg, sn = 12.0 * nw12 / tn;
+    std::printf("%-8zu | %10.3f %9.1f %6.1f%% | %10.3f %9.1f %6.1f%%\n", cores,
+                tg, sg, 100.0 * sg / cores, tn, sn, 100.0 * sn / cores);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Quickstart: restricted Hartree-Fock on a single water molecule.
+//
+//   $ ./examples/quickstart [basis]
+//
+// Demonstrates the minimal public API path: build a molecule, apply a
+// basis set, run the SCF driver, read energies off the result.
+
+#include <cstdio>
+#include <string>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "scf/hf.h"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  const std::string basis_name = argc > 1 ? argv[1] : "cc-pvdz";
+
+  const Molecule mol = water();
+  const Basis basis(mol, BasisLibrary::builtin(basis_name));
+  std::printf("molecule: %s | basis: %s | %zu shells, %zu functions\n",
+              mol.formula().c_str(), basis_name.c_str(), basis.num_shells(),
+              basis.num_functions());
+
+  ScfOptions options;
+  options.tau = 1e-10;
+  const ScfResult result = run_hf(basis, options);
+
+  std::printf("converged: %s in %d iterations\n",
+              result.converged ? "yes" : "NO", result.iterations);
+  std::printf("electronic energy : %16.8f hartree\n", result.electronic_energy);
+  std::printf("nuclear repulsion : %16.8f hartree\n", result.nuclear_repulsion);
+  std::printf("total energy      : %16.8f hartree\n", result.energy);
+  if (!result.orbital_energies.empty()) {
+    std::printf("HOMO energy       : %16.8f hartree\n",
+                result.orbital_energies[static_cast<std::size_t>(
+                                            mol.num_electrons() / 2) -
+                                        1]);
+  }
+  return result.converged ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs the complete reproduction at paper scale (Table II molecules).
+cd "$(dirname "$0")/build" || exit 1
+export MINIFOCK_FULL=1
+out=/root/repo/bench_output_full.txt
+: > "$out"
+for b in bench_table2_molecules bench_table3_fock_time bench_table4_speedup \
+         bench_table5_tint bench_table6_comm_volume bench_table7_comm_calls \
+         bench_table8_load_balance bench_table9_purification \
+         bench_fig1_footprint bench_fig2_overhead bench_model_analysis \
+         bench_ablation_reorder bench_ablation_scheduler bench_ablation_tau; do
+  echo "######## $b (full) ########" >> "$out"
+  timeout 7200 ./bench/$b >> "$out" 2>&1
+  echo >> "$out"
+done
+echo "FULL BENCH RUN COMPLETE" >> "$out"

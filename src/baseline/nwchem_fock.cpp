@@ -1,0 +1,267 @@
+#include "baseline/nwchem_fock.h"
+
+#include <thread>
+#include <unordered_map>
+
+#include "core/fock_update.h"
+#include "core/symmetry.h"
+#include "ga/distribution.h"
+#include "ga/global_array.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mf {
+
+AtomScreening atom_screening(const Basis& basis, const ScreeningData& screening) {
+  const std::size_t natoms = basis.molecule().size();
+  AtomScreening out;
+  out.tau = screening.tau();
+  out.pair_values.resize(natoms, natoms);
+  for (std::size_t a = 0; a < natoms; ++a) {
+    for (std::size_t b = 0; b < natoms; ++b) {
+      double v = 0.0;
+      for (std::size_t sa : basis.atom_shells(a)) {
+        for (std::size_t sb : basis.atom_shells(b)) {
+          v = std::max(v, screening.pair_value(sa, sb));
+        }
+      }
+      out.pair_values(a, b) = v;
+      out.max_pair_value = std::max(out.max_pair_value, v);
+    }
+  }
+  return out;
+}
+
+std::uint64_t nwchem_task_count(std::size_t natoms, const AtomScreening& atoms) {
+  std::uint64_t count = 0;
+  for_each_nwchem_task(natoms, atoms, [&count](const NwchemTask&) { ++count; });
+  return count;
+}
+
+double NwchemResult::avg_total_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += r.total_seconds;
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double NwchemResult::max_total_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s = std::max(s, r.total_seconds);
+  return s;
+}
+
+double NwchemResult::avg_compute_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += r.compute_seconds;
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double NwchemResult::avg_overhead_seconds() const {
+  // Barrier semantics, matching GtFockResult::avg_overhead_seconds.
+  return max_total_seconds() - avg_compute_seconds();
+}
+
+double NwchemResult::load_balance() const {
+  const double avg = avg_total_seconds();
+  return avg > 0.0 ? max_total_seconds() / avg : 1.0;
+}
+
+CommSummary NwchemResult::comm_summary() const {
+  std::vector<CommStats> per_rank;
+  per_rank.reserve(ranks.size());
+  for (const auto& r : ranks) per_rank.push_back(r.comm);
+  return summarize(per_rank);
+}
+
+namespace {
+
+// Task-local block store: atom-pair blocks of D fetched on demand and W
+// blocks accumulated locally, flushed when the task completes.
+class AtomBlockCtx {
+ public:
+  AtomBlockCtx(const Basis& basis, GlobalArray& d_ga, GlobalArray& w_ga,
+               std::size_t rank, const std::vector<std::uint32_t>& func_atom,
+               const std::vector<std::size_t>& atom_offset,
+               const std::vector<std::size_t>& atom_nf)
+      : basis_(basis),
+        d_ga_(d_ga),
+        w_ga_(w_ga),
+        rank_(rank),
+        func_atom_(func_atom),
+        atom_offset_(atom_offset),
+        atom_nf_(atom_nf) {}
+
+  double at(std::size_t i, std::size_t j) {
+    const std::uint32_t ai = func_atom_[i], aj = func_atom_[j];
+    const std::vector<double>& block = fetch(ai, aj);
+    return block[(i - atom_offset_[ai]) * atom_nf_[aj] +
+                 (j - atom_offset_[aj])];
+  }
+
+  void add(std::size_t i, std::size_t j, double v) {
+    const std::uint32_t ai = func_atom_[i], aj = func_atom_[j];
+    const std::uint64_t key = pack(ai, aj);
+    auto [it, inserted] = w_.try_emplace(key);
+    if (inserted) it->second.assign(atom_nf_[ai] * atom_nf_[aj], 0.0);
+    it->second[(i - atom_offset_[ai]) * atom_nf_[aj] + (j - atom_offset_[aj])] +=
+        v;
+  }
+
+  /// Accumulate all local W blocks into the distributed array and clear the
+  /// task-local caches.
+  void flush() {
+    for (const auto& [key, block] : w_) {
+      const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+      const std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
+      w_ga_.acc(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
+                atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+    }
+    w_.clear();
+    d_.clear();
+  }
+
+ private:
+  static std::uint64_t pack(std::uint32_t a, std::uint32_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  const std::vector<double>& fetch(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t key = pack(a, b);
+    auto it = d_.find(key);
+    if (it != d_.end()) return it->second;
+    std::vector<double> block(atom_nf_[a] * atom_nf_[b]);
+    d_ga_.get(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
+              atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+    return d_.emplace(key, std::move(block)).first->second;
+  }
+
+  const Basis& basis_;
+  GlobalArray& d_ga_;
+  GlobalArray& w_ga_;
+  std::size_t rank_;
+  const std::vector<std::uint32_t>& func_atom_;
+  const std::vector<std::size_t>& atom_offset_;
+  const std::vector<std::size_t>& atom_nf_;
+  std::unordered_map<std::uint64_t, std::vector<double>> d_;
+  std::unordered_map<std::uint64_t, std::vector<double>> w_;
+};
+
+}  // namespace
+
+NwchemFockBuilder::NwchemFockBuilder(const Basis& basis,
+                                     const ScreeningData& screening,
+                                     NwchemOptions options)
+    : basis_(basis),
+      screening_(screening),
+      options_(options),
+      atoms_(atom_screening(basis, screening)) {
+  MF_THROW_IF(options_.nprocs == 0, "Nwchem: need at least one process");
+}
+
+NwchemResult NwchemFockBuilder::build(const Matrix& density,
+                                      const Matrix& h_core) {
+  const std::size_t p = options_.nprocs;
+  const std::size_t natoms = basis_.molecule().size();
+  const Distribution2D dist = nwchem_distribution(basis_, p);
+
+  GlobalArray d_ga(dist);
+  GlobalArray w_ga(dist);
+  d_ga.from_matrix(density);
+  d_ga.reset_stats();
+
+  // Atom-block geometry in function space.
+  std::vector<std::size_t> atom_offset(natoms), atom_nf(natoms);
+  std::vector<std::uint32_t> func_atom(basis_.num_functions());
+  for (std::size_t a = 0; a < natoms; ++a) {
+    const auto& shells = basis_.atom_shells(a);
+    MF_CHECK(!shells.empty());
+    atom_offset[a] = basis_.shell_offset(shells.front());
+    std::size_t nf = 0;
+    for (std::size_t s : shells) nf += basis_.shell_size(s);
+    atom_nf[a] = nf;
+    for (std::size_t k = 0; k < nf; ++k) {
+      func_atom[atom_offset[a] + k] = static_cast<std::uint32_t>(a);
+    }
+  }
+
+  GlobalCounter counter(/*owner_rank=*/0, p);
+  NwchemResult result;
+  result.ranks.resize(p);
+  result.total_tasks = nwchem_task_count(natoms, atoms_);
+
+  auto rank_main = [&](std::size_t rank) {
+    NwchemRankStats& stats = result.ranks[rank];
+    WallTimer total_timer;
+    EriEngine engine(options_.eri);
+    AtomBlockCtx ctx(basis_, d_ga, w_ga, rank, func_atom, atom_offset, atom_nf);
+
+    // Executes one atom quartet: all unique, unscreened shell quartets with
+    // bra shells on atoms (I, J) and ket shells on atoms (K, L).
+    auto do_atom_quartet = [&](std::size_t ai, std::size_t aj, std::size_t ak,
+                               std::size_t al) {
+      ++stats.atom_quartets;
+      for (std::size_t m : basis_.atom_shells(ai)) {
+        for (std::size_t n : basis_.atom_shells(aj)) {
+          if (ai == aj && n > m) continue;
+          const double pv_mn = screening_.pair_value(m, n);
+          for (std::size_t pp : basis_.atom_shells(ak)) {
+            for (std::size_t qq : basis_.atom_shells(al)) {
+              if (ak == al && qq > pp) continue;
+              if (ak == ai && al == aj &&
+                  std::make_pair(pp, qq) > std::make_pair(m, n)) {
+                continue;
+              }
+              if (pv_mn * screening_.pair_value(pp, qq) < screening_.tau()) {
+                continue;
+              }
+              const std::vector<double>& eri =
+                  engine.compute(basis_.shell(m), basis_.shell(n),
+                                 basis_.shell(pp), basis_.shell(qq));
+              apply_quartet_update(basis_, m, n, pp, qq, eri,
+                                   quartet_degeneracy(m, n, pp, qq), ctx);
+            }
+          }
+        }
+      }
+    };
+
+    // Algorithm 2: every rank walks the full enumeration, executing the
+    // tasks whose ids it claims from the centralized counter.
+    long task = counter.fetch_add(rank, 1);
+    ++stats.get_task_calls;
+    for_each_nwchem_task(natoms, atoms_, [&](const NwchemTask& t) {
+      if (static_cast<long>(t.id) != task) return;
+      WallTimer timer;
+      for (std::uint32_t l = t.l_lo; l <= t.l_hi; ++l) {
+        if (!atoms_.keep(t.atom_i, t.atom_j, t.atom_k, l)) continue;
+        do_atom_quartet(t.atom_i, t.atom_j, t.atom_k, l);
+      }
+      stats.compute_seconds += timer.seconds();
+      ctx.flush();  // F updates are communication, not T_comp
+      ++stats.tasks_executed;
+      task = counter.fetch_add(rank, 1);
+      ++stats.get_task_calls;
+    });
+
+    stats.quartets_computed = engine.shell_quartets_computed();
+    stats.integrals_computed = engine.integrals_computed();
+    stats.total_seconds = total_timer.seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::size_t r = 0; r < p; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+
+  for (std::size_t r = 0; r < p; ++r) {
+    result.ranks[r].comm += d_ga.stats()[r];
+    result.ranks[r].comm += w_ga.stats()[r];
+    result.ranks[r].comm += counter.stats()[r];
+    result.scheduler_accesses += counter.stats()[r].rmw_calls;
+  }
+
+  result.fock = finalize_fock(h_core, w_ga.to_matrix());
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,71 @@
+#pragma once
+// NWChem-style distributed Fock construction (Algorithm 2, Section II-F):
+// the baseline the paper compares against.
+//
+//  * D and F distributed block-row by atoms over the ranks;
+//  * tasks of 5 atom quartets claimed from a centralized dynamic scheduler
+//    (a global counter, one atomic read-modify-write per GetTask);
+//  * per executed atom quartet, the needed D atom blocks are fetched and
+//    the touched F atom blocks accumulated — no prefetching, no locality
+//    in task placement.
+//
+// Instrumented identically to the GTFock builder so Tables III-VIII compare
+// like with like.
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/nwchem_tasks.h"
+#include "chem/basis_set.h"
+#include "eri/eri_engine.h"
+#include "eri/screening.h"
+#include "ga/comm_stats.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+struct NwchemOptions {
+  std::size_t nprocs = 4;
+  EriEngineOptions eri;
+};
+
+struct NwchemRankStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t get_task_calls = 0;  // accesses to the central task counter
+  std::uint64_t atom_quartets = 0;
+  std::uint64_t quartets_computed = 0;
+  std::uint64_t integrals_computed = 0;
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;
+  CommStats comm;
+};
+
+struct NwchemResult {
+  Matrix fock;
+  std::vector<NwchemRankStats> ranks;
+  std::uint64_t total_tasks = 0;
+  std::uint64_t scheduler_accesses = 0;  // total atomic ops on the counter
+
+  double load_balance() const;
+  double avg_total_seconds() const;
+  double max_total_seconds() const;
+  double avg_compute_seconds() const;
+  double avg_overhead_seconds() const;
+  CommSummary comm_summary() const;
+};
+
+class NwchemFockBuilder {
+ public:
+  NwchemFockBuilder(const Basis& basis, const ScreeningData& screening,
+                    NwchemOptions options = {});
+
+  NwchemResult build(const Matrix& density, const Matrix& h_core);
+
+ private:
+  const Basis& basis_;
+  const ScreeningData& screening_;
+  NwchemOptions options_;
+  AtomScreening atoms_;
+};
+
+}  // namespace mf

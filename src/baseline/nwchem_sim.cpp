@@ -1,0 +1,219 @@
+#include "baseline/nwchem_sim.h"
+
+#include <cstdio>
+#include <set>
+
+#include "dsim/event_queue.h"
+#include "util/check.h"
+
+namespace mf {
+
+NwchemTaskTable::NwchemTaskTable(const Basis& basis,
+                                 const ScreeningData& screening)
+    : atoms_(atom_screening(basis, screening)) {
+  const std::size_t natoms = basis.molecule().size();
+  const double tau = screening.tau();
+
+  // Function counts per atom block (for transfer sizes).
+  std::vector<std::uint32_t> atom_nf(natoms, 0);
+  for (std::size_t a = 0; a < natoms; ++a) {
+    for (std::size_t s : basis.atom_shells(a)) {
+      atom_nf[a] += static_cast<std::uint32_t>(basis.shell_size(s));
+    }
+  }
+
+  for_each_nwchem_task(natoms, atoms_, [&](const NwchemTask& t) {
+    TaskCost cost;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> touched;
+    for (std::uint32_t l = t.l_lo; l <= t.l_hi; ++l) {
+      if (!atoms_.keep(t.atom_i, t.atom_j, t.atom_k, l)) continue;
+      // Unique shell quartets of the atom quartet (I,J | K,L).
+      std::uint32_t executed = 0;
+      for (std::size_t m : basis.atom_shells(t.atom_i)) {
+        for (std::size_t n : basis.atom_shells(t.atom_j)) {
+          if (t.atom_i == t.atom_j && n > m) continue;
+          const double pv_mn = screening.pair_value(m, n);
+          if (pv_mn * atoms_.pair_values(t.atom_k, l) < tau) continue;
+          for (std::size_t pp : basis.atom_shells(t.atom_k)) {
+            for (std::size_t qq : basis.atom_shells(l)) {
+              if (t.atom_k == l && qq > pp) continue;
+              if (t.atom_k == t.atom_i && l == t.atom_j &&
+                  std::make_pair(pp, qq) > std::make_pair(m, n)) {
+                continue;
+              }
+              if (pv_mn * screening.pair_value(pp, qq) < tau) continue;
+              cost.integrals +=
+                  static_cast<double>(basis.shell_size(m)) *
+                  static_cast<double>(basis.shell_size(n)) *
+                  static_cast<double>(basis.shell_size(pp)) *
+                  static_cast<double>(basis.shell_size(qq));
+              ++executed;
+            }
+          }
+        }
+      }
+      if (executed == 0) continue;
+      cost.quartets = static_cast<std::uint16_t>(cost.quartets + executed);
+      // Six distinct atom-block regions of D are read and of F updated.
+      const std::uint32_t ai = t.atom_i, aj = t.atom_j, ak = t.atom_k;
+      touched.insert({std::min(ai, aj), std::max(ai, aj)});
+      touched.insert({std::min(ak, l), std::max(ak, l)});
+      touched.insert({std::min(ai, ak), std::max(ai, ak)});
+      touched.insert({std::min(aj, l), std::max(aj, l)});
+      touched.insert({std::min(ai, l), std::max(ai, l)});
+      touched.insert({std::min(aj, ak), std::max(aj, ak)});
+    }
+    // One Get (D) and one Acc (F) per touched atom-pair block.
+    for (const auto& [a, b] : touched) {
+      const std::uint64_t block_bytes =
+          static_cast<std::uint64_t>(atom_nf[a]) * atom_nf[b] * sizeof(double);
+      cost.bytes = static_cast<std::uint32_t>(cost.bytes + 2 * block_bytes);
+      cost.calls = static_cast<std::uint16_t>(cost.calls + 2);
+    }
+    total_integrals_ += cost.integrals;
+    total_quartets_ += cost.quartets;
+    tasks_.push_back(cost);
+  });
+}
+
+namespace {
+constexpr std::uint64_t kNwTableMagic = 0x4d464e5754424c31ULL;
+}
+
+bool NwchemTaskTable::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::uint64_t count = tasks_.size();
+  bool ok = std::fwrite(&kNwTableMagic, 8, 1, f) == 1 &&
+            std::fwrite(&count, 8, 1, f) == 1 &&
+            std::fwrite(tasks_.data(), sizeof(TaskCost), tasks_.size(), f) ==
+                tasks_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<NwchemTaskTable> NwchemTaskTable::load(
+    const std::string& path, const Basis& basis,
+    const ScreeningData& screening) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::uint64_t magic = 0, count = 0;
+  bool ok = std::fread(&magic, 8, 1, f) == 1 && std::fread(&count, 8, 1, f) == 1;
+  if (!ok || magic != kNwTableMagic) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  NwchemTaskTable t;
+  t.atoms_ = atom_screening(basis, screening);
+  // Cheap structural check: the cached stream must have the same length as
+  // the current enumeration would produce.
+  if (count != nwchem_task_count(basis.molecule().size(), t.atoms_)) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  t.tasks_.resize(count);
+  ok = std::fread(t.tasks_.data(), sizeof(TaskCost), count, f) == count;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  for (const TaskCost& c : t.tasks_) {
+    t.total_integrals_ += c.integrals;
+    t.total_quartets_ += c.quartets;
+  }
+  return t;
+}
+
+double NwchemSimResult::fock_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t = std::max(t, r.fock_time);
+  return t;
+}
+
+double NwchemSimResult::avg_fock_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.fock_time;
+  return ranks.empty() ? 0.0 : t / static_cast<double>(ranks.size());
+}
+
+double NwchemSimResult::avg_comp_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.comp_time;
+  return ranks.empty() ? 0.0 : t / static_cast<double>(ranks.size());
+}
+
+double NwchemSimResult::avg_overhead() const {
+  // Barrier semantics, as for GTFock: overhead includes end-of-phase idle.
+  return fock_time() - avg_comp_time();
+}
+
+double NwchemSimResult::load_balance() const {
+  const double avg = avg_fock_time();
+  return avg > 0.0 ? fock_time() / avg : 1.0;
+}
+
+double NwchemSimResult::avg_comm_megabytes() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.comm_bytes);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size()) / 1.0e6;
+}
+
+double NwchemSimResult::avg_comm_calls() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.comm_calls);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+NwchemSimResult simulate_nwchem(const NwchemTaskTable& table,
+                                const NwchemSimOptions& options) {
+  const std::size_t p = options.total_cores;
+  MF_THROW_IF(p == 0, "nwchem sim: need at least one process");
+  const NetworkModel& net = options.machine.network;
+  const double t_int = options.machine.t_int;
+
+  NwchemSimResult result;
+  result.ranks.resize(p);
+
+  // Centralized counter at rank 0, serially reusable.
+  SimResource counter;
+  std::size_t next_task = 0;
+
+  EventQueue events;
+  for (std::size_t r = 0; r < p; ++r) {
+    events.schedule(0.0, static_cast<std::uint32_t>(r));
+  }
+
+  // Each event: the rank requests the next task id. Events are processed
+  // in time order, so counter serialization and the shared cursor are
+  // consistent.
+  while (!events.empty()) {
+    const SimEvent ev = events.pop();
+    const std::size_t r = ev.rank;
+    NwchemSimRankReport& rep = result.ranks[r];
+
+    // GetTask: latency to reach rank 0 (local for rank 0), serialized
+    // service, latency back.
+    const SimTime request_latency = (r == 0) ? 0.1e-6 : net.rmw_latency;
+    SimTime now = counter.acquire(ev.time + request_latency, net.rmw_service) +
+                  request_latency;
+    ++rep.get_task_calls;
+    ++rep.comm_calls;
+    ++result.scheduler_accesses;
+
+    if (next_task >= table.num_tasks()) {
+      rep.fock_time = now;
+      continue;
+    }
+    const NwchemTaskTable::TaskCost& cost = table.task(next_task++);
+    ++rep.tasks_executed;
+
+    const double compute = cost.integrals * t_int;
+    rep.comp_time += compute;
+    const double comm = static_cast<double>(cost.calls) * net.latency +
+                        static_cast<double>(cost.bytes) / net.bandwidth;
+    rep.comm_calls += cost.calls;
+    rep.comm_bytes += cost.bytes;
+    events.schedule(now + compute + comm, ev.rank);
+  }
+
+  return result;
+}
+
+}  // namespace mf

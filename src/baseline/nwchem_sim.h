@@ -1,0 +1,90 @@
+#pragma once
+// Discrete-event simulation of NWChem's Fock build (Algorithm 2) at
+// cluster scale: one process per core, centralized dynamic scheduler, no
+// prefetching — every executed atom quartet fetches its D blocks and
+// accumulates its F blocks through one-sided calls.
+//
+// The centralized counter is modeled as a serially-reusable resource at
+// rank 0: every GetTask pays network latency plus a serialized service
+// time, which is exactly the scalability bottleneck Sections II-F and IV-C
+// discuss.
+//
+// Because the task stream is identical for every process count, the
+// per-task costs (integrals, transfer calls/bytes) are tabulated once per
+// molecule (NwchemTaskTable) and shared across the sweep.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/nwchem_tasks.h"
+#include "chem/basis_set.h"
+#include "dsim/network.h"
+#include "eri/screening.h"
+
+namespace mf {
+
+/// Precomputed per-task costs in Algorithm 2's enumeration order.
+class NwchemTaskTable {
+ public:
+  NwchemTaskTable(const Basis& basis, const ScreeningData& screening);
+
+  struct TaskCost {
+    double integrals = 0.0;       // ERIs computed by this task
+    std::uint32_t bytes = 0;      // D gets + F accs, bytes
+    std::uint16_t calls = 0;      // number of one-sided transfers
+    std::uint16_t quartets = 0;   // executed shell quartets
+  };
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const TaskCost& task(std::size_t id) const { return tasks_[id]; }
+  double total_integrals() const { return total_integrals_; }
+  std::uint64_t total_quartets() const { return total_quartets_; }
+  const AtomScreening& atoms() const { return atoms_; }
+
+  /// Binary cache of the task stream (shared across bench binaries).
+  bool save(const std::string& path) const;
+  static std::optional<NwchemTaskTable> load(const std::string& path,
+                                             const Basis& basis,
+                                             const ScreeningData& screening);
+
+ private:
+  NwchemTaskTable() = default;
+  AtomScreening atoms_;
+  std::vector<TaskCost> tasks_;
+  double total_integrals_ = 0.0;
+  std::uint64_t total_quartets_ = 0;
+};
+
+struct NwchemSimOptions {
+  std::size_t total_cores = 12;  // == number of MPI processes
+  MachineParams machine;
+};
+
+struct NwchemSimRankReport {
+  SimTime fock_time = 0.0;
+  SimTime comp_time = 0.0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t get_task_calls = 0;
+  std::uint64_t comm_calls = 0;  // includes GetTask rmw calls
+  std::uint64_t comm_bytes = 0;
+};
+
+struct NwchemSimResult {
+  std::vector<NwchemSimRankReport> ranks;
+  std::uint64_t scheduler_accesses = 0;
+
+  double fock_time() const;
+  double avg_fock_time() const;
+  double avg_comp_time() const;
+  double avg_overhead() const;
+  double load_balance() const;
+  double avg_comm_megabytes() const;
+  double avg_comm_calls() const;
+};
+
+NwchemSimResult simulate_nwchem(const NwchemTaskTable& table,
+                                const NwchemSimOptions& options);
+
+}  // namespace mf

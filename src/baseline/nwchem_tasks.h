@@ -1,0 +1,72 @@
+#pragma once
+// Task enumeration of NWChem's Fock build (Algorithm 2, Section II-F).
+//
+// Work is chunked over *atom* quartets: for every unique atom triplet
+// (I, J, K) with (I, J) significant, the fourth index L runs to l_hi in
+// chunks of 5 — each chunk is one task claimed from a centralized counter.
+// l_hi folds in the canonical-pair constraint ((K,L) <= (I,J)).
+//
+// The enumeration is shared verbatim by the threaded baseline builder and
+// the discrete-event model so both execute the identical task stream.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "eri/screening.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+/// Atom-level screening data derived from shell-level pair values.
+struct AtomScreening {
+  Matrix pair_values;  // natoms x natoms, max over shell pairs
+  double max_pair_value = 0.0;
+  double tau = 0.0;
+
+  bool significant(std::size_t i, std::size_t j) const {
+    return pair_values(i, j) >= tau / max_pair_value;
+  }
+  bool keep(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return pair_values(i, j) * pair_values(k, l) >= tau;
+  }
+};
+
+AtomScreening atom_screening(const Basis& basis, const ScreeningData& screening);
+
+struct NwchemTask {
+  std::uint64_t id = 0;
+  std::uint32_t atom_i = 0, atom_j = 0, atom_k = 0;
+  std::uint32_t l_lo = 0, l_hi = 0;  // inclusive range of atom L
+};
+
+/// Invokes fn(task) for every task in Algorithm 2's enumeration order.
+/// fn may return void or bool; returning false stops the enumeration.
+template <typename Fn>
+void for_each_nwchem_task(std::size_t natoms, const AtomScreening& atoms,
+                          Fn&& fn) {
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < natoms; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (!atoms.significant(i, j)) continue;
+      for (std::size_t k = 0; k <= i; ++k) {
+        const std::size_t l_hi = (k == i) ? j : k;
+        for (std::size_t l_lo = 0; l_lo <= l_hi; l_lo += 5) {
+          NwchemTask task;
+          task.id = id++;
+          task.atom_i = static_cast<std::uint32_t>(i);
+          task.atom_j = static_cast<std::uint32_t>(j);
+          task.atom_k = static_cast<std::uint32_t>(k);
+          task.l_lo = static_cast<std::uint32_t>(l_lo);
+          task.l_hi = static_cast<std::uint32_t>(std::min(l_lo + 4, l_hi));
+          fn(task);
+        }
+      }
+    }
+  }
+}
+
+/// Total number of tasks in the enumeration (the id space of the
+/// centralized counter).
+std::uint64_t nwchem_task_count(std::size_t natoms, const AtomScreening& atoms);
+
+}  // namespace mf

@@ -1,0 +1,12 @@
+#pragma once
+// Embedded basis set data (Gaussian94 format) so the library is usable
+// offline. Covers the elements the paper's test molecules and the examples
+// need: H, He, C, N, O.
+
+namespace mf::basis_data {
+
+extern const char* const kSto3G;
+extern const char* const k631G;
+extern const char* const kCcPvdz;
+
+}  // namespace mf::basis_data

@@ -1,0 +1,108 @@
+#include "chem/basis_parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/element.h"
+#include "chem/shell.h"
+
+namespace mf {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::invalid_argument("g94 basis parse error at line " +
+                              std::to_string(line_no) + ": " + msg);
+}
+
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '!') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Fortran-style exponents use D; normalize to E before strtod.
+double parse_number(std::string token, int line_no) {
+  for (char& c : token) {
+    if (c == 'D' || c == 'd') c = 'E';
+  }
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    fail(line_no, "bad number '" + token + "'");
+  }
+  if (pos != token.size()) fail(line_no, "trailing junk in number '" + token + "'");
+  return v;
+}
+
+}  // namespace
+
+std::map<int, std::vector<ShellTemplate>> parse_g94_basis(const std::string& text) {
+  std::map<int, std::vector<ShellTemplate>> result;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  int current_z = -1;
+
+  auto next_line = [&](std::string& out) -> bool {
+    while (std::getline(in, out)) {
+      ++line_no;
+      if (!is_blank_or_comment(out)) return true;
+    }
+    return false;
+  };
+
+  while (next_line(line)) {
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "****") {
+      current_z = -1;
+      continue;
+    }
+    if (current_z < 0) {
+      // Element header: "C 0".
+      current_z = atomic_number(first);
+      result[current_z];  // ensure entry exists
+      continue;
+    }
+    // Shell header: "S 3 1.00" or "SP 3 1.00".
+    std::string type = first;
+    int nprim = 0;
+    if (!(ls >> nprim) || nprim <= 0) fail(line_no, "bad primitive count");
+    const bool is_sp = (type == "SP" || type == "sp" || type == "Sp");
+    ShellTemplate shell_a, shell_b;
+    if (is_sp) {
+      shell_a.l = 0;
+      shell_b.l = 1;
+    } else {
+      if (type.size() != 1) fail(line_no, "unknown shell type '" + type + "'");
+      shell_a.l = am_from_letter(type[0]);
+    }
+    for (int p = 0; p < nprim; ++p) {
+      if (!next_line(line)) fail(line_no, "unexpected end of primitives");
+      std::istringstream ps(line);
+      std::string e_tok, c_tok, c2_tok;
+      if (!(ps >> e_tok >> c_tok)) fail(line_no, "bad primitive line");
+      const double e = parse_number(e_tok, line_no);
+      const double c = parse_number(c_tok, line_no);
+      shell_a.exponents.push_back(e);
+      shell_a.coefficients.push_back(c);
+      if (is_sp) {
+        if (!(ps >> c2_tok)) fail(line_no, "SP shell missing p coefficient");
+        shell_b.exponents.push_back(e);
+        shell_b.coefficients.push_back(parse_number(c2_tok, line_no));
+      }
+    }
+    result[current_z].push_back(std::move(shell_a));
+    if (is_sp) result[current_z].push_back(std::move(shell_b));
+  }
+  return result;
+}
+
+}  // namespace mf

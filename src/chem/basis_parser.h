@@ -1,0 +1,20 @@
+#pragma once
+// Gaussian94-format basis set parser.
+//
+// Understands the common subset: element blocks separated by "****", shell
+// lines "<letter> <nprim> <scale>", and SP combined shells (split into
+// separate S and P shells, as all integral codes do internally).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chem/basis_set.h"
+
+namespace mf {
+
+/// Parses g94 text into per-element shell templates. Throws
+/// std::invalid_argument with a line number on malformed input.
+std::map<int, std::vector<ShellTemplate>> parse_g94_basis(const std::string& text);
+
+}  // namespace mf

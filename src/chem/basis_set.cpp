@@ -1,0 +1,96 @@
+#include "chem/basis_set.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "chem/basis_data.h"
+#include "chem/basis_parser.h"
+#include "util/check.h"
+
+namespace mf {
+
+BasisLibrary BasisLibrary::builtin(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "sto-3g") return parse_g94(basis_data::kSto3G, "sto-3g");
+  if (lower == "6-31g") return parse_g94(basis_data::k631G, "6-31g");
+  if (lower == "cc-pvdz") return parse_g94(basis_data::kCcPvdz, "cc-pvdz");
+  throw std::invalid_argument("unknown builtin basis set: " + name);
+}
+
+BasisLibrary BasisLibrary::parse_g94(const std::string& text, std::string name) {
+  BasisLibrary lib;
+  lib.name_ = std::move(name);
+  lib.templates_ = parse_g94_basis(text);
+  return lib;
+}
+
+const std::vector<ShellTemplate>& BasisLibrary::element(int z) const {
+  auto it = templates_.find(z);
+  MF_THROW_IF(it == templates_.end(),
+              "basis set '" << name_ << "' has no element Z=" << z);
+  return it->second;
+}
+
+void BasisLibrary::add_element(int z, std::vector<ShellTemplate> shells) {
+  templates_[z] = std::move(shells);
+}
+
+Basis::Basis(const Molecule& molecule, const BasisLibrary& library)
+    : molecule_(molecule) {
+  for (std::size_t a = 0; a < molecule.size(); ++a) {
+    const Atom& atom = molecule.atom(a);
+    for (const ShellTemplate& t : library.element(atom.z)) {
+      Shell s;
+      s.l = t.l;
+      s.atom = a;
+      s.center = atom.position;
+      s.exponents = t.exponents;
+      s.coefficients = t.coefficients;
+      normalize_shell(s);
+      shells_.push_back(std::move(s));
+    }
+  }
+  finalize();
+}
+
+void Basis::finalize() {
+  offsets_.resize(shells_.size());
+  nbf_ = 0;
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    offsets_[s] = nbf_;
+    nbf_ += shells_[s].sph_size();
+  }
+  atom_shells_.assign(molecule_.size(), {});
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    atom_shells_[shells_[s].atom].push_back(s);
+  }
+}
+
+Basis Basis::reordered(const std::vector<std::size_t>& perm) const {
+  MF_THROW_IF(perm.size() != shells_.size(),
+              "reorder: permutation size mismatch");
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    MF_THROW_IF(p >= perm.size() || seen[p], "reorder: not a permutation");
+    seen[p] = true;
+  }
+  Basis out;
+  out.molecule_ = molecule_;
+  out.shells_.reserve(shells_.size());
+  for (std::size_t s = 0; s < perm.size(); ++s) {
+    out.shells_.push_back(shells_[perm[s]]);
+  }
+  out.finalize();
+  return out;
+}
+
+double Basis::avg_functions_per_shell() const {
+  if (shells_.empty()) return 0.0;
+  return static_cast<double>(nbf_) / static_cast<double>(shells_.size());
+}
+
+}  // namespace mf

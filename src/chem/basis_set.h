@@ -1,0 +1,94 @@
+#pragma once
+// Basis set machinery.
+//
+// A BasisLibrary maps atomic numbers to shell templates (parsed from
+// Gaussian94-format data, embedded or user-supplied). Applying a library to
+// a molecule yields a Basis: the ordered list of shells with spherical
+// basis-function offsets, atom->shell maps, and support for shell
+// permutations (the paper's spatial reordering, Section III-D).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "chem/shell.h"
+
+namespace mf {
+
+/// Shell template: one angular-momentum block of a basis set definition,
+/// before it is placed on an atom and normalized.
+struct ShellTemplate {
+  int l = 0;
+  std::vector<double> exponents;
+  std::vector<double> coefficients;  // raw contraction coefficients
+};
+
+class BasisLibrary {
+ public:
+  /// Load one of the embedded basis sets: "sto-3g", "6-31g", "cc-pvdz"
+  /// (case-insensitive). Throws for unknown names.
+  static BasisLibrary builtin(const std::string& name);
+
+  /// Parse a Gaussian94-format basis definition.
+  static BasisLibrary parse_g94(const std::string& text, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  bool has_element(int z) const { return templates_.count(z) > 0; }
+  const std::vector<ShellTemplate>& element(int z) const;
+
+  void add_element(int z, std::vector<ShellTemplate> shells);
+
+ private:
+  std::string name_;
+  std::map<int, std::vector<ShellTemplate>> templates_;
+};
+
+/// A basis set applied to a molecule: the central object the Fock builders
+/// operate on. Shell order defines the basis-function order (functions in a
+/// shell are consecutive; consecutive shells have contiguous functions, as
+/// Section III-D requires).
+class Basis {
+ public:
+  Basis() = default;
+  Basis(const Molecule& molecule, const BasisLibrary& library);
+
+  const Molecule& molecule() const { return molecule_; }
+  const std::vector<Shell>& shells() const { return shells_; }
+  std::size_t num_shells() const { return shells_.size(); }
+  const Shell& shell(std::size_t s) const { return shells_[s]; }
+
+  /// Total number of (spherical) basis functions.
+  std::size_t num_functions() const { return nbf_; }
+
+  /// First basis-function index of shell s.
+  std::size_t shell_offset(std::size_t s) const { return offsets_[s]; }
+  /// Number of functions in shell s.
+  std::size_t shell_size(std::size_t s) const { return shells_[s].sph_size(); }
+
+  /// Shells belonging to atom a, as indices into shells().
+  const std::vector<std::size_t>& atom_shells(std::size_t a) const {
+    return atom_shells_[a];
+  }
+
+  /// Returns a new Basis whose shell s is this basis's shell perm[s].
+  /// Used by the spatial reordering; perm must be a permutation of
+  /// [0, num_shells).
+  Basis reordered(const std::vector<std::size_t>& perm) const;
+
+  /// Average number of functions per shell (the model's parameter A).
+  double avg_functions_per_shell() const;
+
+ private:
+  void finalize();
+
+  Molecule molecule_;
+  std::vector<Shell> shells_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::vector<std::size_t>> atom_shells_;
+  std::size_t nbf_ = 0;
+};
+
+}  // namespace mf

@@ -1,0 +1,39 @@
+#include "chem/element.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace mf {
+
+namespace {
+constexpr std::array<const char*, 37> kSymbols = {
+    "",   "H",  "He", "Li", "Be", "B",  "C",  "N",  "O",  "F",
+    "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar", "K",
+    "Ca", "Sc", "Ti", "V",  "Cr", "Mn", "Fe", "Co", "Ni", "Cu",
+    "Zn", "Ga", "Ge", "As", "Se", "Br", "Kr"};
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  std::string s = symbol;
+  if (!s.empty()) {
+    s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+    std::transform(s.begin() + 1, s.end(), s.begin() + 1, [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+  }
+  for (std::size_t z = 1; z < kSymbols.size(); ++z) {
+    if (s == kSymbols[z]) return static_cast<int>(z);
+  }
+  throw std::invalid_argument("unknown element symbol: " + symbol);
+}
+
+std::string element_symbol(int z) {
+  if (z < 1 || z >= static_cast<int>(kSymbols.size())) {
+    throw std::invalid_argument("atomic number out of range: " + std::to_string(z));
+  }
+  return kSymbols[static_cast<std::size_t>(z)];
+}
+
+}  // namespace mf

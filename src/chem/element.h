@@ -1,0 +1,16 @@
+#pragma once
+// Chemical elements: symbols and atomic numbers for the species the test
+// molecules use (plus the rest of the first rows for user input).
+
+#include <string>
+
+namespace mf {
+
+/// Atomic number for an element symbol ("H", "He", ..., case-insensitive).
+/// Throws std::invalid_argument for unknown symbols.
+int atomic_number(const std::string& symbol);
+
+/// Element symbol for an atomic number (1..36 supported).
+std::string element_symbol(int z);
+
+}  // namespace mf

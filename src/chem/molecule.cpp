@@ -1,0 +1,83 @@
+#include "chem/molecule.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/element.h"
+
+namespace mf {
+
+double Vec3::norm() const { return std::sqrt(norm2()); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  if (n < 1e-300) return {0.0, 0.0, 0.0};
+  return {x / n, y / n, z / n};
+}
+
+int Molecule::num_electrons() const {
+  int n = 0;
+  for (const Atom& a : atoms_) n += a.z;
+  return n;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const double r = (atoms_[i].position - atoms_[j].position).norm();
+      e += static_cast<double>(atoms_[i].z) * atoms_[j].z / r;
+    }
+  }
+  return e;
+}
+
+std::size_t Molecule::count(int z) const {
+  std::size_t n = 0;
+  for (const Atom& a : atoms_)
+    if (a.z == z) ++n;
+  return n;
+}
+
+std::string Molecule::formula() const {
+  std::map<int, std::size_t> counts;
+  for (const Atom& a : atoms_) ++counts[a.z];
+  std::ostringstream os;
+  auto emit = [&](int z) {
+    auto it = counts.find(z);
+    if (it == counts.end()) return;
+    os << element_symbol(z);
+    if (it->second > 1) os << it->second;
+    counts.erase(it);
+  };
+  emit(6);  // C first, then H (Hill order)
+  emit(1);
+  for (const auto& [z, n] : counts) {
+    os << element_symbol(z);
+    if (n > 1) os << n;
+  }
+  return os.str();
+}
+
+Molecule parse_xyz(const std::string& text) {
+  std::istringstream in(text);
+  std::size_t natoms = 0;
+  if (!(in >> natoms)) throw std::invalid_argument("xyz: missing atom count");
+  std::string rest;
+  std::getline(in, rest);   // remainder of count line
+  std::getline(in, rest);   // comment line
+  Molecule mol;
+  for (std::size_t i = 0; i < natoms; ++i) {
+    std::string sym;
+    double x, y, z;
+    if (!(in >> sym >> x >> y >> z)) {
+      throw std::invalid_argument("xyz: truncated atom list");
+    }
+    mol.add_atom_angstrom(atomic_number(sym), x, y, z);
+  }
+  return mol;
+}
+
+}  // namespace mf

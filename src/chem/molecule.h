@@ -1,0 +1,71 @@
+#pragma once
+// Molecular geometry: atoms with nuclear charges and coordinates in atomic
+// units (bohr). All geometry builders and parsers produce this type.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mf {
+
+/// Bohr per angstrom (CODATA).
+constexpr double kBohrPerAngstrom = 1.8897259886;
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  double norm() const;
+  Vec3 normalized() const;
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+};
+
+struct Atom {
+  int z = 0;       // atomic number (nuclear charge)
+  Vec3 position;   // bohr
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+  const Atom& atom(std::size_t i) const { return atoms_[i]; }
+
+  void add_atom(int z, const Vec3& position_bohr) {
+    atoms_.push_back({z, position_bohr});
+  }
+  void add_atom_angstrom(int z, double x, double y, double z_coord) {
+    atoms_.push_back({z, Vec3{x, y, z_coord} * kBohrPerAngstrom});
+  }
+
+  /// Total number of electrons for the neutral molecule.
+  int num_electrons() const;
+
+  /// Nuclear repulsion energy, sum over pairs of Za*Zb/Rab (hartree).
+  double nuclear_repulsion() const;
+
+  /// Chemical formula like "C96H24" (elements in Hill-ish order: C, H, rest).
+  std::string formula() const;
+
+  /// Count of atoms with atomic number z.
+  std::size_t count(int z) const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+/// Parse an XYZ-format string (first line natoms, second comment, then
+/// "Sym x y z" in angstrom). Throws on malformed input.
+Molecule parse_xyz(const std::string& text);
+
+}  // namespace mf

@@ -1,0 +1,216 @@
+#include "chem/molecule_builders.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mf {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kCCGraphene = 1.42;   // angstrom
+constexpr double kCH = 1.09;           // angstrom
+constexpr double kCCAlkane = 1.54;     // angstrom
+constexpr double kTetrahedralCos = -1.0 / 3.0;  // cos(109.47 deg)
+
+// Key for deduplicating lattice vertices: coordinates rounded to 1e-4 A.
+std::pair<long, long> grid_key(double x, double y) {
+  return {static_cast<long>(std::llround(x * 1e4)),
+          static_cast<long>(std::llround(y * 1e4))};
+}
+
+}  // namespace
+
+Molecule graphene_flake(std::size_t k) {
+  MF_THROW_IF(k < 1, "graphene_flake: k must be >= 1");
+  const long radius = static_cast<long>(k) - 1;
+  const double a = kCCGraphene;
+  // Hexagon-center triangular lattice with spacing sqrt(3)*a; vertices of the
+  // hexagon centered at c lie at distance a, angles 30 + 60*m degrees.
+  std::map<std::pair<long, long>, Vec3> carbons;
+  for (long q = -radius; q <= radius; ++q) {
+    for (long r = -radius; r <= radius; ++r) {
+      if (std::labs(q + r) > radius) continue;  // hexagonal patch in axial coords
+      const double cx = std::sqrt(3.0) * a * (static_cast<double>(q) + 0.5 * r);
+      const double cy = 1.5 * a * static_cast<double>(r);
+      for (int m = 0; m < 6; ++m) {
+        const double ang = kPi / 6.0 + m * kPi / 3.0;
+        const double vx = cx + a * std::cos(ang);
+        const double vy = cy + a * std::sin(ang);
+        carbons.emplace(grid_key(vx, vy), Vec3{vx, vy, 0.0});
+      }
+    }
+  }
+
+  std::vector<Vec3> cpos;
+  cpos.reserve(carbons.size());
+  for (const auto& [key, v] : carbons) cpos.push_back(v);
+
+  Molecule mol;
+  for (const Vec3& c : cpos) mol.add_atom_angstrom(6, c.x, c.y, c.z);
+
+  // Boundary carbons (fewer than 3 carbon neighbors) get one hydrogen along
+  // the outward bisector of their two bonds.
+  const double bond_cut = 1.2 * a;
+  for (const Vec3& c : cpos) {
+    std::vector<Vec3> neighbors;
+    for (const Vec3& o : cpos) {
+      const Vec3 d = o - c;
+      const double dist = d.norm();
+      if (dist > 1e-6 && dist < bond_cut) neighbors.push_back(o);
+    }
+    if (neighbors.size() == 2) {
+      const Vec3 mid = (neighbors[0] + neighbors[1]) * 0.5;
+      const Vec3 dir = (c - mid).normalized();
+      const Vec3 h = c + dir * kCH;
+      mol.add_atom_angstrom(1, h.x, h.y, h.z);
+    }
+  }
+  return mol;
+}
+
+Molecule linear_alkane(std::size_t n) {
+  MF_THROW_IF(n < 1, "linear_alkane: need at least one carbon");
+  const double theta = 111.6 * kPi / 180.0;  // C-C-C angle
+  const double dx = kCCAlkane * std::sin(theta / 2.0);
+  const double dz = kCCAlkane * std::cos(theta / 2.0);
+
+  std::vector<Vec3> cpos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpos[i] = {static_cast<double>(i) * dx, 0.0, (i % 2 == 0) ? 0.0 : dz};
+  }
+
+  Molecule mol;
+  for (const Vec3& c : cpos) mol.add_atom_angstrom(6, c.x, c.y, c.z);
+
+  // Hydrogen placement from existing bond directions.
+  const double half_hch = 0.5 * std::acos(kTetrahedralCos);
+  auto add_h = [&mol](const Vec3& c, const Vec3& dir) {
+    const Vec3 h = c + dir * kCH;
+    mol.add_atom_angstrom(1, h.x, h.y, h.z);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& c = cpos[i];
+    std::vector<Vec3> bond_dirs;
+    if (i > 0) bond_dirs.push_back((cpos[i - 1] - c).normalized());
+    if (i + 1 < n) bond_dirs.push_back((cpos[i + 1] - c).normalized());
+
+    if (bond_dirs.size() == 2) {
+      // Interior CH2: two H in the plane perpendicular to the bisector.
+      const Vec3 bis = ((bond_dirs[0] + bond_dirs[1]) * -1.0).normalized();
+      Vec3 perp = bond_dirs[0].cross(bond_dirs[1]).normalized();
+      if (perp.norm2() < 0.5) perp = {0.0, 1.0, 0.0};
+      add_h(c, (bis * std::cos(half_hch) + perp * std::sin(half_hch)).normalized());
+      add_h(c, (bis * std::cos(half_hch) - perp * std::sin(half_hch)).normalized());
+    } else if (bond_dirs.size() == 1) {
+      // Terminal CH3: three tetrahedral H around the single C-C bond.
+      const Vec3 e = bond_dirs[0];
+      Vec3 v = e.cross(Vec3{0.0, 1.0, 0.0});
+      if (v.norm2() < 1e-6) v = e.cross(Vec3{1.0, 0.0, 0.0});
+      v = v.normalized();
+      const Vec3 w = e.cross(v).normalized();
+      const double s = 2.0 * std::sqrt(2.0) / 3.0;
+      for (int j = 0; j < 3; ++j) {
+        const double phi = 2.0 * kPi * j / 3.0;
+        const Vec3 dir = (e * kTetrahedralCos +
+                          (v * std::cos(phi) + w * std::sin(phi)) * s)
+                             .normalized();
+        add_h(c, dir);
+      }
+    } else {
+      // Methane case (n == 1): four tetrahedral H.
+      const double t = 1.0 / std::sqrt(3.0);
+      add_h(c, Vec3{t, t, t});
+      add_h(c, Vec3{t, -t, -t});
+      add_h(c, Vec3{-t, t, -t});
+      add_h(c, Vec3{-t, -t, t});
+    }
+  }
+  return mol;
+}
+
+Molecule water() {
+  Molecule mol;
+  const double r = 0.9572;
+  const double half = 0.5 * 104.52 * kPi / 180.0;
+  mol.add_atom_angstrom(8, 0.0, 0.0, 0.0);
+  mol.add_atom_angstrom(1, r * std::sin(half), 0.0, r * std::cos(half));
+  mol.add_atom_angstrom(1, -r * std::sin(half), 0.0, r * std::cos(half));
+  return mol;
+}
+
+Molecule water_cluster(std::size_t n_waters, std::uint64_t seed) {
+  Rng rng(seed);
+  Molecule mol;
+  const double spacing = 2.9;
+  const std::size_t side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(n_waters))));
+  std::size_t placed = 0;
+  for (std::size_t ix = 0; ix < side && placed < n_waters; ++ix) {
+    for (std::size_t iy = 0; iy < side && placed < n_waters; ++iy) {
+      for (std::size_t iz = 0; iz < side && placed < n_waters; ++iz) {
+        const Vec3 origin{ix * spacing + rng.uniform(-0.15, 0.15),
+                          iy * spacing + rng.uniform(-0.15, 0.15),
+                          iz * spacing + rng.uniform(-0.15, 0.15)};
+        // Random orientation: rotate the reference water's OH directions.
+        const double r = 0.9572;
+        const double half = 0.5 * 104.52 * kPi / 180.0;
+        const double alpha = rng.uniform(0.0, 2.0 * kPi);
+        const double beta = std::acos(rng.uniform(-1.0, 1.0));
+        const Vec3 axis{std::sin(beta) * std::cos(alpha),
+                        std::sin(beta) * std::sin(alpha), std::cos(beta)};
+        Vec3 v = axis.cross(Vec3{0.0, 0.0, 1.0});
+        if (v.norm2() < 1e-6) v = axis.cross(Vec3{0.0, 1.0, 0.0});
+        v = v.normalized();
+        const Vec3 w = axis.cross(v).normalized();
+        const Vec3 h1 = origin + (axis * std::cos(half) + v * std::sin(half)) * r;
+        const Vec3 h2 = origin + (axis * std::cos(half) - v * std::sin(half)) * r;
+        (void)w;
+        mol.add_atom_angstrom(8, origin.x, origin.y, origin.z);
+        mol.add_atom_angstrom(1, h1.x, h1.y, h1.z);
+        mol.add_atom_angstrom(1, h2.x, h2.y, h2.z);
+        ++placed;
+      }
+    }
+  }
+  return mol;
+}
+
+Molecule h2(double bond_bohr) {
+  Molecule mol;
+  mol.add_atom(1, {0.0, 0.0, 0.0});
+  mol.add_atom(1, {0.0, 0.0, bond_bohr});
+  return mol;
+}
+
+Molecule methane() {
+  Molecule mol;
+  const double r = 1.089;
+  const double t = r / std::sqrt(3.0);
+  mol.add_atom_angstrom(6, 0.0, 0.0, 0.0);
+  mol.add_atom_angstrom(1, t, t, t);
+  mol.add_atom_angstrom(1, t, -t, -t);
+  mol.add_atom_angstrom(1, -t, t, -t);
+  mol.add_atom_angstrom(1, -t, -t, t);
+  return mol;
+}
+
+Molecule helium() {
+  Molecule mol;
+  mol.add_atom(2, {0.0, 0.0, 0.0});
+  return mol;
+}
+
+Molecule hydrogen_atom() {
+  Molecule mol;
+  mol.add_atom(1, {0.0, 0.0, 0.0});
+  return mol;
+}
+
+}  // namespace mf

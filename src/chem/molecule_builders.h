@@ -1,0 +1,46 @@
+#pragma once
+// Generators for the paper's test molecules and for example workloads.
+//
+// The paper evaluates on two molecule families (Table II):
+//  * 2D graphene-like flakes: the coronene series C(6k^2)H(6k) — k=2 is
+//    coronene C24H12, k=4 is C96H24, k=5 is C150H30;
+//  * 1D linear alkanes C(n)H(2n+2): C100H202, C144H290.
+// These shapes stress screening differently (dense 2D neighborhoods vs
+// sparse 1D chains), which drives the paper's load-balance/communication
+// discussion.
+
+#include <cstddef>
+
+#include "chem/molecule.h"
+
+namespace mf {
+
+/// Hexagonal graphene flake with k rings of hexagons: 6k^2 carbons and 6k
+/// boundary hydrogens (k=2 -> C24H12 coronene, k=4 -> C96H24, k=5 -> C150H30).
+/// C-C bond 1.42 A, C-H bond 1.09 A, planar (z=0).
+Molecule graphene_flake(std::size_t k);
+
+/// Linear alkane C(n)H(2n+2) in the all-anti (zig-zag) conformation.
+/// C-C 1.54 A, C-H 1.09 A, C-C-C angle 111.6 deg.
+Molecule linear_alkane(std::size_t n_carbons);
+
+/// Cluster of n water molecules on a jittered cubic grid (O-O ~ 2.9 A),
+/// orientations drawn from the seeded RNG. Used by examples.
+Molecule water_cluster(std::size_t n_waters, std::uint64_t seed = 42);
+
+/// Single water molecule (gas-phase geometry: r(OH)=0.9572 A, angle 104.52).
+Molecule water();
+
+/// H2 at the given bond length in bohr (default 1.4, the Szabo geometry).
+Molecule h2(double bond_bohr = 1.4);
+
+/// Methane CH4 (r(CH)=1.089 A, tetrahedral).
+Molecule methane();
+
+/// Helium atom at the origin.
+Molecule helium();
+
+/// Hydrogen atom at the origin.
+Molecule hydrogen_atom();
+
+}  // namespace mf

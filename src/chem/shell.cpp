@@ -1,0 +1,67 @@
+#include "chem/shell.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+char am_letter(int l) {
+  static const char letters[] = "spdfghi";
+  MF_THROW_IF(l < 0 || l > 6, "angular momentum out of range: " << l);
+  return letters[l];
+}
+
+int am_from_letter(char c) {
+  switch (c) {
+    case 's': case 'S': return 0;
+    case 'p': case 'P': return 1;
+    case 'd': case 'D': return 2;
+    case 'f': case 'F': return 3;
+    case 'g': case 'G': return 4;
+    default:
+      throw std::invalid_argument(std::string("unknown shell letter: ") + c);
+  }
+}
+
+double double_factorial_odd(int n) {
+  // (2n-1)!! for n >= 0; n = 0 gives 1.
+  double v = 1.0;
+  for (int k = 2 * n - 1; k > 1; k -= 2) v *= k;
+  return v;
+}
+
+double primitive_norm(double a, int l) {
+  // Norm of x^l exp(-a r^2): (2a/pi)^{3/4} (4a)^{l/2} / sqrt((2l-1)!!).
+  return std::pow(2.0 * a / kPi, 0.75) * std::pow(4.0 * a, 0.5 * l) /
+         std::sqrt(double_factorial_odd(l));
+}
+
+void normalize_shell(Shell& shell) {
+  MF_CHECK(shell.exponents.size() == shell.coefficients.size());
+  const int l = shell.l;
+  for (std::size_t i = 0; i < shell.nprim(); ++i) {
+    shell.coefficients[i] *= primitive_norm(shell.exponents[i], l);
+  }
+  // Contraction self-overlap of the (l,0,0) component:
+  // <x^l e^{-a r^2} | x^l e^{-b r^2}> = (2l-1)!! / (2(a+b))^l * (pi/(a+b))^{3/2}.
+  double s = 0.0;
+  for (std::size_t i = 0; i < shell.nprim(); ++i) {
+    for (std::size_t j = 0; j < shell.nprim(); ++j) {
+      const double p = shell.exponents[i] + shell.exponents[j];
+      s += shell.coefficients[i] * shell.coefficients[j] *
+           double_factorial_odd(l) / std::pow(2.0 * p, l) *
+           std::pow(kPi / p, 1.5);
+    }
+  }
+  MF_CHECK_MSG(s > 0.0, "shell has non-positive self overlap");
+  const double scale = 1.0 / std::sqrt(s);
+  for (double& c : shell.coefficients) c *= scale;
+}
+
+}  // namespace mf

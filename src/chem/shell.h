@@ -1,0 +1,58 @@
+#pragma once
+// Shells of contracted Gaussian basis functions.
+//
+// A shell is a set of basis functions sharing a center and angular momentum
+// (Section II-A of the paper). Coefficients stored here are fully
+// normalized: primitive normalization for the (l,0,0) Cartesian component
+// and overall contraction normalization are folded in, so integral code can
+// use them directly. Per-component Cartesian normalization ratios are
+// applied by the integral engines (see eri/cart_sph.h).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace mf {
+
+/// Number of Cartesian components for angular momentum l: (l+1)(l+2)/2.
+constexpr std::size_t cartesian_count(int l) {
+  return static_cast<std::size_t>((l + 1) * (l + 2) / 2);
+}
+
+/// Number of (real) spherical components: 2l+1.
+constexpr std::size_t spherical_count(int l) {
+  return static_cast<std::size_t>(2 * l + 1);
+}
+
+/// Angular momentum letter: s, p, d, f, g.
+char am_letter(int l);
+/// Inverse of am_letter; throws for unknown letters.
+int am_from_letter(char c);
+
+struct Shell {
+  int l = 0;
+  std::size_t atom = 0;  // index into the molecule's atom list
+  Vec3 center;           // bohr (copied from the atom for locality)
+  std::vector<double> exponents;
+  std::vector<double> coefficients;  // normalized, see header comment
+
+  std::size_t nprim() const { return exponents.size(); }
+  std::size_t cart_size() const { return cartesian_count(l); }
+  std::size_t sph_size() const { return spherical_count(l); }
+};
+
+/// Normalizes a shell in place: multiplies each coefficient by its primitive
+/// (l,0,0) normalization constant, then rescales so the contracted (l,0,0)
+/// function has unit self-overlap.
+void normalize_shell(Shell& shell);
+
+/// Primitive normalization constant for the (l,0,0) Cartesian Gaussian
+/// x^l exp(-a r^2).
+double primitive_norm(double exponent, int l);
+
+/// Double factorial (2n-1)!! with (-1)!! = 1.
+double double_factorial_odd(int n);
+
+}  // namespace mf

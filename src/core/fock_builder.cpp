@@ -1,0 +1,349 @@
+#include "core/fock_builder.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/fock_update.h"
+#include "core/symmetry.h"
+#include "ga/distribution.h"
+#include "ga/global_array.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mf {
+
+namespace {
+
+struct Task {
+  std::uint32_t m = 0, n = 0;
+};
+
+// Per-rank task queue. In real GTFock these live in Global Arrays and every
+// operation is an ARMCI atomic; atomic_ops mirrors that count.
+struct TaskQueue {
+  std::mutex mutex;
+  std::deque<Task> tasks;
+  std::uint64_t atomic_ops = 0;
+
+  bool pop_front(Task& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++atomic_ops;
+    if (tasks.empty()) return false;
+    out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+
+  // Probe + steal from the back in one critical section; returns stolen
+  // tasks (empty if none).
+  std::vector<Task> steal(double fraction) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++atomic_ops;
+    if (tasks.empty()) return {};
+    std::size_t take = static_cast<std::size_t>(
+        static_cast<double>(tasks.size()) * fraction);
+    if (take == 0) take = 1;
+    std::vector<Task> out;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(tasks.back());
+      tasks.pop_back();
+    }
+    return out;
+  }
+};
+
+// Prefetched local buffers for one task block (the victim's or our own):
+// dense D and W over the footprint's compressed function index space.
+struct LocalBuffers {
+  BlockFootprint footprint;
+  std::vector<double> d_local;
+  std::atomic<bool> ready{false};
+};
+
+// Update context over compressed local buffers.
+struct LocalCtx {
+  const double* d;
+  double* w;
+  const std::int32_t* func_local;
+  std::size_t nloc;
+
+  double at(std::size_t i, std::size_t j) const {
+    return d[static_cast<std::size_t>(func_local[i]) * nloc +
+             static_cast<std::size_t>(func_local[j])];
+  }
+  void add(std::size_t i, std::size_t j, double v) {
+    w[static_cast<std::size_t>(func_local[i]) * nloc +
+      static_cast<std::size_t>(func_local[j])] += v;
+  }
+};
+
+}  // namespace
+
+double GtFockResult::avg_total_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += r.total_seconds;
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double GtFockResult::max_total_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s = std::max(s, r.total_seconds);
+  return s;
+}
+
+double GtFockResult::avg_compute_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += r.compute_seconds;
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double GtFockResult::avg_overhead_seconds() const {
+  // Barrier semantics: the Fock phase ends collectively, so overhead
+  // includes idle waiting for the slowest rank.
+  return max_total_seconds() - avg_compute_seconds();
+}
+
+double GtFockResult::load_balance() const {
+  const double avg = avg_total_seconds();
+  return avg > 0.0 ? max_total_seconds() / avg : 1.0;
+}
+
+double GtFockResult::avg_steal_victims() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.steal_victims);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+CommSummary GtFockResult::comm_summary() const {
+  std::vector<CommStats> per_rank;
+  per_rank.reserve(ranks.size());
+  for (const auto& r : ranks) per_rank.push_back(r.comm);
+  return summarize(per_rank);
+}
+
+GtFockBuilder::GtFockBuilder(const Basis& basis, const ScreeningData& screening,
+                             GtFockOptions options)
+    : basis_(basis), screening_(screening), options_(options) {
+  MF_THROW_IF(options_.nprocs == 0 && !options_.grid.has_value(),
+              "GtFock: need at least one process");
+  MF_THROW_IF(options_.steal_fraction <= 0.0 || options_.steal_fraction > 1.0,
+              "GtFock: steal_fraction must be in (0, 1]");
+}
+
+GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
+  const ProcessGrid grid = options_.resolved_grid();
+  const std::size_t p = grid.size();
+  const std::size_t nshells = basis_.num_shells();
+  const Distribution2D dist = gtfock_distribution(basis_, grid);
+
+  GlobalArray d_ga(dist);
+  GlobalArray w_ga(dist);
+  d_ga.from_matrix(density);
+  d_ga.reset_stats();  // scatter is setup, not algorithm communication
+
+  const std::vector<TaskBlock> blocks = static_partition(nshells, grid);
+  std::vector<TaskQueue> queues(p);
+  std::vector<LocalBuffers> buffers(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    std::lock_guard<std::mutex> lock(queues[r].mutex);
+    for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
+      for (std::size_t n = blocks[r].col_begin; n < blocks[r].col_end; ++n) {
+        queues[r].tasks.push_back({static_cast<std::uint32_t>(m),
+                                   static_cast<std::uint32_t>(n)});
+      }
+    }
+  }
+
+  GtFockResult result;
+  result.ranks.resize(p);
+
+  // Fetch a footprint rectangle of D with one Get per run pair, and flush a
+  // W rectangle with one Acc per run pair — these are the one-sided
+  // transfers Tables VI/VII count.
+  auto fetch_d = [&](std::size_t rank, const BlockFootprint& fp,
+                     std::vector<double>& out) {
+    out.assign(fp.num_functions * fp.num_functions, 0.0);
+    std::size_t row_off = 0;
+    for (const auto& rrun : fp.runs) {
+      const std::size_t r0 = basis_.shell_offset(rrun.first);
+      const std::size_t r1 = rrun.second < nshells
+                                 ? basis_.shell_offset(rrun.second)
+                                 : basis_.num_functions();
+      std::size_t col_off = 0;
+      for (const auto& crun : fp.runs) {
+        const std::size_t c0 = basis_.shell_offset(crun.first);
+        const std::size_t c1 = crun.second < nshells
+                                   ? basis_.shell_offset(crun.second)
+                                   : basis_.num_functions();
+        std::vector<double> buf((r1 - r0) * (c1 - c0));
+        d_ga.get(rank, r0, r1, c0, c1, buf.data());
+        for (std::size_t r = 0; r < r1 - r0; ++r) {
+          for (std::size_t c = 0; c < c1 - c0; ++c) {
+            out[(row_off + r) * fp.num_functions + (col_off + c)] =
+                buf[r * (c1 - c0) + c];
+          }
+        }
+        col_off += c1 - c0;
+      }
+      row_off += r1 - r0;
+    }
+  };
+
+  auto flush_w = [&](std::size_t rank, const BlockFootprint& fp,
+                     const std::vector<double>& w) {
+    std::size_t row_off = 0;
+    for (const auto& rrun : fp.runs) {
+      const std::size_t r0 = basis_.shell_offset(rrun.first);
+      const std::size_t r1 = rrun.second < nshells
+                                 ? basis_.shell_offset(rrun.second)
+                                 : basis_.num_functions();
+      std::size_t col_off = 0;
+      for (const auto& crun : fp.runs) {
+        const std::size_t c0 = basis_.shell_offset(crun.first);
+        const std::size_t c1 = crun.second < nshells
+                                   ? basis_.shell_offset(crun.second)
+                                   : basis_.num_functions();
+        std::vector<double> buf((r1 - r0) * (c1 - c0));
+        for (std::size_t r = 0; r < r1 - r0; ++r) {
+          for (std::size_t c = 0; c < c1 - c0; ++c) {
+            buf[r * (c1 - c0) + c] =
+                w[(row_off + r) * fp.num_functions + (col_off + c)];
+          }
+        }
+        w_ga.acc(rank, r0, r1, c0, c1, buf.data());
+        col_off += c1 - c0;
+      }
+      row_off += r1 - r0;
+    }
+  };
+
+  auto rank_main = [&](std::size_t rank) {
+    GtFockRankStats& stats = result.ranks[rank];
+    stats.initial_block = blocks[rank];
+    WallTimer total_timer;
+
+    // Prefetch (Algorithm 4 lines 3-4).
+    WallTimer prefetch_timer;
+    LocalBuffers& mine = buffers[rank];
+    mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
+    fetch_d(rank, mine.footprint, mine.d_local);
+    mine.ready.store(true, std::memory_order_release);
+    std::vector<double> w_local(
+        mine.footprint.num_functions * mine.footprint.num_functions, 0.0);
+    stats.prefetch_seconds = prefetch_timer.seconds();
+
+    EriEngine engine(options_.eri);
+
+    auto dotask = [&](const Task& task, const BlockFootprint& fp,
+                      const double* d_buf, double* w_buf) {
+      // Algorithm 3 with the loop order inverted to iterate only over the
+      // significant sets.
+      const std::size_t m = task.m, n = task.n;
+      if (m != n && !symmetry_check(m, n)) return;  // dead half of the grid
+      LocalCtx ctx{d_buf, w_buf, fp.func_local.data(), fp.num_functions};
+      for (std::uint32_t pp : screening_.significant_set(m)) {
+        if (!symmetry_check(m, pp)) continue;
+        const double pv_mp = screening_.pair_value(m, pp);
+        for (std::uint32_t qq : screening_.significant_set(n)) {
+          if (!unique_quartet(m, pp, n, qq)) continue;
+          if (pv_mp * screening_.pair_value(n, qq) < screening_.tau()) continue;
+          const std::vector<double>& eri =
+              engine.compute(basis_.shell(m), basis_.shell(pp), basis_.shell(n),
+                             basis_.shell(qq));
+          apply_quartet_update(basis_, m, pp, n, qq, eri,
+                               quartet_degeneracy(m, pp, n, qq), ctx);
+        }
+      }
+    };
+
+    // Drain the local queue (Algorithm 4 lines 5-8).
+    Task task;
+    while (queues[rank].pop_front(task)) {
+      WallTimer t;
+      dotask(task, mine.footprint, mine.d_local.data(), w_local.data());
+      stats.compute_seconds += t.seconds();
+      ++stats.tasks_owned;
+    }
+
+    // Work stealing (Section III-F): scan the grid row-wise starting from
+    // our own row; per victim, copy its D buffer once and keep a dedicated
+    // W buffer, flushed when we move on.
+    if (options_.work_stealing && p > 1) {
+      const std::size_t my_row = grid.row_of(rank);
+      bool found_work = true;
+      while (found_work) {
+        found_work = false;
+        for (std::size_t i = 0; i < grid.rows() && !found_work; ++i) {
+          const std::size_t row = (my_row + i) % grid.rows();
+          for (std::size_t j = 0; j < grid.cols() && !found_work; ++j) {
+            const std::size_t victim = grid.rank_of(row, j);
+            if (victim == rank) continue;
+            ++stats.steal_probes;
+            stats.comm.record('r', sizeof(long), true);
+            std::vector<Task> stolen =
+                queues[victim].steal(options_.steal_fraction);
+            if (stolen.empty()) continue;
+            found_work = true;
+            ++stats.steal_victims;
+
+            // Copy the victim's D buffer (it is immutable after prefetch).
+            LocalBuffers& vb = buffers[victim];
+            while (!vb.ready.load(std::memory_order_acquire)) {
+              std::this_thread::yield();
+            }
+            std::vector<double> d_copy = vb.d_local;
+            stats.comm.record('g', d_copy.size() * sizeof(double), true);
+            std::vector<double> w_steal(d_copy.size(), 0.0);
+
+            // Execute the stolen block, then keep stealing from the same
+            // victim while it still has work (amortizes the D copy).
+            for (;;) {
+              for (const Task& t : stolen) {
+                WallTimer timer;
+                dotask(t, vb.footprint, d_copy.data(), w_steal.data());
+                stats.compute_seconds += timer.seconds();
+                ++stats.tasks_stolen;
+              }
+              ++stats.steal_probes;
+              stats.comm.record('r', sizeof(long), true);
+              stolen = queues[victim].steal(options_.steal_fraction);
+              if (stolen.empty()) break;
+            }
+            WallTimer flush_timer;
+            flush_w(rank, vb.footprint, w_steal);
+            stats.flush_seconds += flush_timer.seconds();
+          }
+        }
+      }
+    }
+
+    // Flush our own F buffer (Algorithm 4 line 9).
+    WallTimer flush_timer;
+    flush_w(rank, mine.footprint, w_local);
+    stats.flush_seconds += flush_timer.seconds();
+
+    stats.quartets_computed = engine.shell_quartets_computed();
+    stats.integrals_computed = engine.integrals_computed();
+    stats.total_seconds = total_timer.seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::size_t r = 0; r < p; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+
+  // Collect communication stats: GA transfers plus queue atomics.
+  for (std::size_t r = 0; r < p; ++r) {
+    result.ranks[r].comm += d_ga.stats()[r];
+    result.ranks[r].comm += w_ga.stats()[r];
+    result.ranks[r].queue_atomic_ops = queues[r].atomic_ops;
+  }
+
+  result.fock = finalize_fock(h_core, w_ga.to_matrix());
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,39 @@
+#pragma once
+// Serial Fock matrix construction.
+//
+// Two builders:
+//  * fock_bruteforce — O(nshell^4) with no symmetry and no screening; the
+//    ground truth every parallel builder is validated against.
+//  * fock_serial — the production serial algorithm: screening + unique
+//    quartets via the paper's SymmetryCheck enumeration. Also the T_seq the
+//    performance analysis compares parallel runs to (the paper assumes the
+//    fastest sequential algorithm uses screening and unique ERIs only).
+
+#include <cstdint>
+
+#include "chem/basis_set.h"
+#include "eri/eri_engine.h"
+#include "eri/screening.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+struct SerialFockStats {
+  std::uint64_t quartets_computed = 0;
+  std::uint64_t integrals_computed = 0;
+  double seconds = 0.0;
+};
+
+/// Brute-force reference: full quadruple shell loop, no screening, no
+/// symmetry. Only for small systems (tests, examples).
+Matrix fock_bruteforce(const Basis& basis, const Matrix& density,
+                       const Matrix& h_core,
+                       const EriEngineOptions& eri_options = {});
+
+/// Screened, symmetry-unique serial build (the sequential baseline).
+Matrix fock_serial(const Basis& basis, const ScreeningData& screening,
+                   const Matrix& density, const Matrix& h_core,
+                   SerialFockStats* stats = nullptr,
+                   const EriEngineOptions& eri_options = {});
+
+}  // namespace mf

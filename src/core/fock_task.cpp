@@ -1,0 +1,132 @@
+#include "core/fock_task.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/symmetry.h"
+#include "util/check.h"
+
+namespace mf {
+
+std::vector<TaskBlock> static_partition(std::size_t nshells,
+                                        const ProcessGrid& grid) {
+  const Partition1D rows = Partition1D::even(nshells, grid.rows());
+  const Partition1D cols = Partition1D::even(nshells, grid.cols());
+  std::vector<TaskBlock> blocks(grid.size());
+  for (std::size_t i = 0; i < grid.rows(); ++i) {
+    for (std::size_t j = 0; j < grid.cols(); ++j) {
+      TaskBlock& b = blocks[grid.rank_of(i, j)];
+      b.row_begin = rows.begin(i);
+      b.row_end = rows.end(i);
+      b.col_begin = cols.begin(j);
+      b.col_end = cols.end(j);
+    }
+  }
+  return blocks;
+}
+
+BlockFootprint block_footprint(const Basis& basis, const ScreeningData& screening,
+                               const TaskBlock& block) {
+  const std::size_t nshells = basis.num_shells();
+  std::vector<bool> in_u(nshells, false);
+  auto add = [&in_u](std::size_t s) { in_u[s] = true; };
+  for (std::size_t m = block.row_begin; m < block.row_end; ++m) {
+    add(m);
+    for (std::uint32_t p : screening.significant_set(m)) add(p);
+  }
+  for (std::size_t n = block.col_begin; n < block.col_end; ++n) {
+    add(n);
+    for (std::uint32_t q : screening.significant_set(n)) add(q);
+  }
+
+  BlockFootprint fp;
+  fp.func_local.assign(basis.num_functions(), -1);
+  for (std::size_t s = 0; s < nshells; ++s) {
+    if (!in_u[s]) continue;
+    fp.shells.push_back(static_cast<std::uint32_t>(s));
+    if (!fp.runs.empty() && fp.runs.back().second == s) {
+      fp.runs.back().second = static_cast<std::uint32_t>(s + 1);
+    } else {
+      fp.runs.emplace_back(static_cast<std::uint32_t>(s),
+                           static_cast<std::uint32_t>(s + 1));
+    }
+    const std::size_t off = basis.shell_offset(s);
+    for (std::size_t k = 0; k < basis.shell_size(s); ++k) {
+      fp.func_local[off + k] = static_cast<std::int32_t>(fp.num_functions + k);
+    }
+    fp.num_functions += basis.shell_size(s);
+  }
+  return fp;
+}
+
+std::uint64_t footprint_elements(const Basis& basis,
+                                 const ScreeningData& screening,
+                                 const TaskBlock& block) {
+  // Exact union of the paper's three regions as shell-pair sets.
+  std::unordered_set<std::uint64_t> pairs;
+  auto key = [](std::size_t a, std::size_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::vector<bool> phi_rows(basis.num_shells(), false);
+  std::vector<bool> phi_cols(basis.num_shells(), false);
+  for (std::size_t m = block.row_begin; m < block.row_end; ++m) {
+    for (std::uint32_t p : screening.significant_set(m)) {
+      pairs.insert(key(m, p));  // (M, Phi(M))
+      phi_rows[p] = true;
+    }
+  }
+  for (std::size_t n = block.col_begin; n < block.col_end; ++n) {
+    for (std::uint32_t q : screening.significant_set(n)) {
+      pairs.insert(key(n, q));  // (N, Phi(N))
+      phi_cols[q] = true;
+    }
+  }
+  for (std::size_t p = 0; p < basis.num_shells(); ++p) {
+    if (!phi_rows[p]) continue;
+    for (std::size_t q = 0; q < basis.num_shells(); ++q) {
+      if (phi_cols[q]) pairs.insert(key(p, q));  // (Phi(M), Phi(N))
+    }
+  }
+  std::uint64_t elements = 0;
+  for (std::uint64_t k : pairs) {
+    const std::size_t a = static_cast<std::size_t>(k >> 32);
+    const std::size_t b = static_cast<std::size_t>(k & 0xffffffffu);
+    elements += basis.shell_size(a) * basis.shell_size(b);
+  }
+  return elements;
+}
+
+std::uint64_t task_quartet_count(const ScreeningData& screening, std::size_t m,
+                                 std::size_t n) {
+  std::uint64_t count = 0;
+  for (std::uint32_t p : screening.significant_set(m)) {
+    if (!symmetry_check(m, p)) continue;
+    const double pv_mp = screening.pair_value(m, p);
+    for (std::uint32_t q : screening.significant_set(n)) {
+      if (!unique_quartet(m, p, n, q)) continue;
+      if (pv_mp * screening.pair_value(n, q) < screening.tau()) continue;
+      ++count;
+    }
+  }
+  return count;
+}
+
+double task_integral_count(const Basis& basis, const ScreeningData& screening,
+                           std::size_t m, std::size_t n) {
+  double total = 0.0;
+  const double base = static_cast<double>(basis.shell_size(m)) *
+                      static_cast<double>(basis.shell_size(n));
+  for (std::uint32_t p : screening.significant_set(m)) {
+    if (!symmetry_check(m, p)) continue;
+    const double pv_mp = screening.pair_value(m, p);
+    const double np = static_cast<double>(basis.shell_size(p));
+    for (std::uint32_t q : screening.significant_set(n)) {
+      if (!unique_quartet(m, p, n, q)) continue;
+      if (pv_mp * screening.pair_value(n, q) < screening.tau()) continue;
+      total += base * np * static_cast<double>(basis.shell_size(q));
+    }
+  }
+  return total;
+}
+
+}  // namespace mf

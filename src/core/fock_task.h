@@ -1,0 +1,74 @@
+#pragma once
+// Task model of the new algorithm (Sections III-B, III-C).
+//
+// A task (M,: | N,:) computes the unique unscreened quartets (MP|NQ) for
+// P in Phi(M), Q in Phi(N). Tasks form an n_shells x n_shells grid that is
+// 2D-block partitioned over the process grid. This header provides:
+//  * TaskBlock — the rectangle of tasks owned by one process;
+//  * footprint computation — which D/F shell pairs a block touches (the
+//    prefetch set of Algorithm 4, and the data of Figure 1);
+//  * task enumeration helpers shared by the threaded builder and the
+//    discrete-event simulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "eri/screening.h"
+#include "ga/distribution.h"
+
+namespace mf {
+
+/// Rectangle of tasks: rows [row_begin, row_end) x cols [col_begin, col_end)
+/// in shell space.
+struct TaskBlock {
+  std::size_t row_begin = 0, row_end = 0;
+  std::size_t col_begin = 0, col_end = 0;
+
+  std::size_t num_tasks() const {
+    return (row_end - row_begin) * (col_end - col_begin);
+  }
+  bool empty() const { return num_tasks() == 0; }
+};
+
+/// Task blocks of the initial static partitioning: block (i,j) of the grid
+/// gets shell rows i*nbr..(i+1)*nbr-1 and shell cols j*nbc..(j+1)*nbc-1.
+std::vector<TaskBlock> static_partition(std::size_t nshells,
+                                        const ProcessGrid& grid);
+
+/// Union footprint of a task block: the shells whose D/F blocks the tasks
+/// can touch (task rows, task cols, and their significant sets), with the
+/// compressed function indexing used for the local D/F buffers.
+struct BlockFootprint {
+  std::vector<std::uint32_t> shells;  // sorted union set U
+  /// Maximal runs of contiguous shell indices within U; each run is one
+  /// one-sided transfer during prefetch/flush (reordering shrinks this).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;  // [begin,end)
+  std::size_t num_functions = 0;      // total functions in U
+  /// Global function index -> local dense index, or -1 when outside U.
+  std::vector<std::int32_t> func_local;
+
+  std::size_t num_shells() const { return shells.size(); }
+};
+
+BlockFootprint block_footprint(const Basis& basis, const ScreeningData& screening,
+                               const TaskBlock& block);
+
+/// Exact element count of the paper's per-task D footprint: the union of
+/// regions (M, Phi(M)), (N, Phi(N)) and (Phi(M), Phi(N)) in function
+/// elements. For a single task pass a 1x1 block. Reproduces Figure 1's nnz.
+std::uint64_t footprint_elements(const Basis& basis,
+                                 const ScreeningData& screening,
+                                 const TaskBlock& block);
+
+/// Number of unique, unscreened quartets a single task (M,:|N,:) computes.
+std::uint64_t task_quartet_count(const ScreeningData& screening, std::size_t m,
+                                 std::size_t n);
+
+/// Modeled ERI work of a task: sum over its quartets of the number of
+/// integrals (products of the four shell sizes). This is the cost measure
+/// the simulator charges (times t_int).
+double task_integral_count(const Basis& basis, const ScreeningData& screening,
+                           std::size_t m, std::size_t n);
+
+}  // namespace mf

@@ -1,0 +1,17 @@
+#include "core/fock_update.h"
+
+namespace mf {
+
+Matrix finalize_fock(const Matrix& h_core, const Matrix& w) {
+  MF_CHECK(h_core.rows() == w.rows() && h_core.cols() == w.cols());
+  Matrix f = h_core;
+  const std::size_t nr = w.rows();
+  for (std::size_t i = 0; i < nr; ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      f(i, j) += 0.25 * (w(i, j) + w(j, i));
+    }
+  }
+  return f;
+}
+
+}  // namespace mf

@@ -1,0 +1,79 @@
+#pragma once
+// Fock matrix accumulation from unique shell quartets.
+//
+// Convention: D is the paper's density (D = 2 C_occ C_occ^T, tr(D S) = n
+// electrons) and F = H + G with G_ij = sum_kl D_kl [ (ij|kl) - 1/2 (ik|jl) ].
+//
+// For each canonical quartet (M P | N Q) the integral block, scaled by the
+// orbit degeneracy, feeds six block updates of a work matrix W; at the end
+// G = 1/4 (W + W^T). The -1/4 exchange coefficients and the final
+// symmetrization absorb the double counting that occurs when indices
+// coincide (the standard direct-SCF trick; validated against a brute-force
+// reference in tests).
+//
+// The arithmetic is a template over a context providing density reads and
+// W accumulation, so the same code serves the serial builder (dense
+// matrices), the GTFock builder (prefetched local buffers with compressed
+// indices), and the NWChem baseline (fetched blocks + GA accumulate).
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace mf {
+
+/// Context over full dense matrices (serial builder, tests).
+struct DenseFockContext {
+  const Matrix& density;
+  Matrix& w;
+  double at(std::size_t i, std::size_t j) const { return density(i, j); }
+  void add(std::size_t i, std::size_t j, double v) { w(i, j) += v; }
+};
+
+/// Applies one canonical quartet (M P | N Q). `eri` is the spherical block
+/// with shape [|M|][|P|][|N|][|Q|]; deg is quartet_degeneracy(). Ctx must
+/// provide at(i,j) (density read) and add(i,j,v) (W accumulate) for global
+/// function indices.
+template <typename Ctx>
+void apply_quartet_update(const Basis& basis, std::size_t m, std::size_t p,
+                          std::size_t n, std::size_t q,
+                          const std::vector<double>& eri, int deg, Ctx&& ctx) {
+  const std::size_t om = basis.shell_offset(m), nm = basis.shell_size(m);
+  const std::size_t op = basis.shell_offset(p), np = basis.shell_size(p);
+  const std::size_t on = basis.shell_offset(n), nn = basis.shell_size(n);
+  const std::size_t oq = basis.shell_offset(q), nq = basis.shell_size(q);
+  MF_CHECK(eri.size() == nm * np * nn * nq);
+  const double scale = static_cast<double>(deg);
+
+  std::size_t idx = 0;
+  for (std::size_t a = 0; a < nm; ++a) {
+    const std::size_t i1 = om + a;
+    for (std::size_t b = 0; b < np; ++b) {
+      const std::size_t i2 = op + b;
+      for (std::size_t c = 0; c < nn; ++c) {
+        const std::size_t i3 = on + c;
+        for (std::size_t d = 0; d < nq; ++d, ++idx) {
+          const std::size_t i4 = oq + d;
+          const double v = eri[idx] * scale;
+          if (v == 0.0) continue;
+          // Coulomb-type updates: bra block from ket density and vice versa.
+          ctx.add(i1, i2, ctx.at(i3, i4) * v);
+          ctx.add(i3, i4, ctx.at(i1, i2) * v);
+          // Exchange-type updates.
+          ctx.add(i1, i3, -0.25 * ctx.at(i2, i4) * v);
+          ctx.add(i2, i4, -0.25 * ctx.at(i1, i3) * v);
+          ctx.add(i1, i4, -0.25 * ctx.at(i2, i3) * v);
+          ctx.add(i2, i3, -0.25 * ctx.at(i1, i4) * v);
+        }
+      }
+    }
+  }
+}
+
+/// F = H + 1/4 (W + W^T).
+Matrix finalize_fock(const Matrix& h_core, const Matrix& w);
+
+}  // namespace mf

@@ -1,0 +1,277 @@
+#include "core/gtfock_sim.h"
+
+#include <deque>
+
+#include "core/fock_task.h"
+#include "dsim/event_queue.h"
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+
+struct RankState {
+  enum class Phase { kOwnTasks, kStealScan, kDone };
+
+  Phase phase = Phase::kOwnTasks;
+  std::deque<std::uint64_t> queue;  // packed (m << 32 | n); re-stealable
+  BlockFootprint footprint;
+  std::uint64_t prefetch_bytes = 0;
+  std::uint64_t prefetch_calls = 0;
+  SimResource queue_resource;
+
+  // Which original owners' D buffers this rank has copied (one copy per
+  // distinct victim; the matching F buffer is flushed at completion).
+  std::vector<bool> copied_owner;
+  std::vector<std::size_t> owners_to_flush;
+
+  // Steal scan state.
+  std::size_t scan_index = 0;
+  std::size_t scans_without_work = 0;
+};
+
+std::uint64_t pack(std::size_t m, std::size_t n) {
+  return (static_cast<std::uint64_t>(m) << 32) | n;
+}
+
+}  // namespace
+
+double GtFockSimResult::fock_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t = std::max(t, r.fock_time);
+  return t;
+}
+
+double GtFockSimResult::avg_fock_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.fock_time;
+  return ranks.empty() ? 0.0 : t / static_cast<double>(ranks.size());
+}
+
+double GtFockSimResult::avg_comp_time() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.comp_time;
+  return ranks.empty() ? 0.0 : t / static_cast<double>(ranks.size());
+}
+
+double GtFockSimResult::avg_overhead() const {
+  // The Fock phase ends collectively (the next SCF step needs the full F),
+  // so per-process phase time is the barrier time: overhead includes idle
+  // waiting from load imbalance, as in the paper's T_ov.
+  return fock_time() - avg_comp_time();
+}
+
+double GtFockSimResult::load_balance() const {
+  const double avg = avg_fock_time();
+  return avg > 0.0 ? fock_time() / avg : 1.0;
+}
+
+double GtFockSimResult::avg_steal_victims() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.steal_victims);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double GtFockSimResult::avg_comm_megabytes() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.comm_bytes);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size()) / 1.0e6;
+}
+
+double GtFockSimResult::avg_comm_calls() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.comm_calls);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double GtFockSimResult::avg_queue_atomic_ops() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s += static_cast<double>(r.queue_atomic_ops);
+  return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+GtFockSimResult simulate_gtfock(const Basis& basis,
+                                const ScreeningData& screening,
+                                const TaskCostModel& costs,
+                                const GtFockSimOptions& options) {
+  const std::size_t p = options.num_processes();
+  const ProcessGrid grid =
+      options.grid.has_value() ? *options.grid : ProcessGrid::squarest(p);
+  MF_THROW_IF(grid.size() != p, "gtfock sim: grid does not match node count");
+  const std::size_t nshells = basis.num_shells();
+  const NetworkModel& net = options.machine.network;
+  const double node_speed = static_cast<double>(options.machine.cores_per_node) *
+                            options.machine.intra_node_efficiency;
+  const double per_integral = options.machine.t_int / node_speed;
+
+  const std::vector<TaskBlock> blocks = static_partition(nshells, grid);
+  // Original owner of task (m, n) under the static partition.
+  const Partition1D row_part = Partition1D::even(nshells, grid.rows());
+  const Partition1D col_part = Partition1D::even(nshells, grid.cols());
+  auto owner_of = [&](std::uint64_t task) {
+    const std::size_t m = static_cast<std::size_t>(task >> 32);
+    const std::size_t n = static_cast<std::size_t>(task & 0xffffffffu);
+    return grid.rank_of(row_part.part_of(m), col_part.part_of(n));
+  };
+
+  std::size_t min_steal = options.min_steal_queue;
+  if (min_steal == 0) {
+    const std::size_t per_rank = nshells * nshells / std::max<std::size_t>(p, 1);
+    min_steal = std::min<std::size_t>(8, std::max<std::size_t>(1, per_rank / 8));
+  }
+
+  GtFockSimResult result;
+  result.ranks.resize(p);
+  std::vector<RankState> state(p);
+  EventQueue events;
+
+  // Prefetch phase: footprint transfers charged up front (Algorithm 4
+  // lines 1-4); the rank becomes runnable when its prefetch completes.
+  for (std::size_t r = 0; r < p; ++r) {
+    RankState& st = state[r];
+    st.footprint = block_footprint(basis, screening, blocks[r]);
+    for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
+      for (std::size_t n = blocks[r].col_begin; n < blocks[r].col_end; ++n) {
+        st.queue.push_back(pack(m, n));
+      }
+    }
+    const std::uint64_t nruns = st.footprint.runs.size();
+    st.prefetch_calls = nruns * nruns;
+    st.prefetch_bytes = static_cast<std::uint64_t>(st.footprint.num_functions) *
+                        st.footprint.num_functions * sizeof(double);
+    const SimTime t = static_cast<double>(st.prefetch_calls) * net.latency +
+                      static_cast<double>(st.prefetch_bytes) / net.bandwidth;
+    result.ranks[r].comm_calls += st.prefetch_calls;
+    result.ranks[r].comm_bytes += st.prefetch_bytes;
+    events.schedule(t, static_cast<std::uint32_t>(r));
+  }
+
+  // Flush of a local W buffer: same transfer pattern as the prefetch.
+  auto flush_time = [&](std::size_t rank, const RankState& st) {
+    const std::uint64_t calls = st.prefetch_calls;
+    const std::uint64_t bytes = st.prefetch_bytes;
+    result.ranks[rank].comm_calls += calls;
+    result.ranks[rank].comm_bytes += bytes;
+    return static_cast<double>(calls) * net.latency +
+           static_cast<double>(bytes) / net.bandwidth;
+  };
+
+  // Victim scan order for a rank: row-wise starting from its own grid row.
+  auto victim_at = [&](std::size_t rank, std::size_t index) {
+    const std::size_t my_row = grid.row_of(rank);
+    const std::size_t row = (my_row + index / grid.cols()) % grid.rows();
+    return grid.rank_of(row, index % grid.cols());
+  };
+
+  while (!events.empty()) {
+    const SimEvent ev = events.pop();
+    const std::size_t r = ev.rank;
+    RankState& st = state[r];
+    SimRankReport& rep = result.ranks[r];
+    SimTime now = ev.time;
+
+    switch (st.phase) {
+      case RankState::Phase::kOwnTasks: {
+        // Pop from the own (node-local) queue, serialized against thieves.
+        now = st.queue_resource.acquire(now, net.local_rmw_service);
+        ++rep.queue_atomic_ops;
+        if (st.queue.empty()) {
+          if (options.work_stealing && p > 1) {
+            st.phase = RankState::Phase::kStealScan;
+            st.scan_index = 0;
+            st.scans_without_work = 0;
+            events.schedule(now, ev.rank);
+          } else {
+            now += flush_time(r, st);
+            for (std::size_t o : st.owners_to_flush) now += flush_time(r, state[o]);
+            rep.fock_time = now;
+            st.phase = RankState::Phase::kDone;
+          }
+          break;
+        }
+        const std::uint64_t t = st.queue.front();
+        st.queue.pop_front();
+        const std::size_t m = static_cast<std::size_t>(t >> 32);
+        const std::size_t n = static_cast<std::size_t>(t & 0xffffffffu);
+        const double seconds = costs.task_integrals(m, n) * per_integral;
+        rep.comp_time += seconds;
+        if (owner_of(t) == r) {
+          ++rep.tasks_owned;
+        } else {
+          ++rep.tasks_stolen;
+        }
+        events.schedule(now + seconds, ev.rank);
+        break;
+      }
+
+      case RankState::Phase::kStealScan: {
+        if (st.scan_index >= p) {
+          // One full sweep found nothing anywhere: the phase is over.
+          if (st.scans_without_work >= p - 1) {
+            now += flush_time(r, st);
+            for (std::size_t o : st.owners_to_flush) now += flush_time(r, state[o]);
+            rep.fock_time = now;
+            st.phase = RankState::Phase::kDone;
+            break;
+          }
+          st.scan_index = 0;
+          st.scans_without_work = 0;
+          events.schedule(now, ev.rank);
+          break;
+        }
+        const std::size_t victim = victim_at(r, st.scan_index);
+        ++st.scan_index;
+        if (victim == r) {
+          events.schedule(now, ev.rank);
+          break;
+        }
+        // Remote probe of the victim queue (a remote atomic on its node).
+        ++rep.steal_probes;
+        ++result.ranks[victim].queue_atomic_ops;
+        now = state[victim].queue_resource.acquire(now + net.rmw_latency,
+                                                   net.rmw_service);
+        RankState& vs = state[victim];
+        if (vs.queue.size() < min_steal) {
+          ++st.scans_without_work;
+          events.schedule(now, ev.rank);
+          break;
+        }
+        // Steal a block from the victim's tail into our own queue — stolen
+        // tasks remain re-stealable by third parties, as in Section III-F
+        // ("adds it to its own queue"). For each distinct ORIGINAL owner of
+        // the stolen tasks we copy that owner's D buffer once (the thief
+        // keeps it) and flush the matching F buffer when this rank
+        // completes.
+        std::size_t take = static_cast<std::size_t>(
+            static_cast<double>(vs.queue.size()) * options.steal_fraction);
+        if (take == 0) take = 1;
+        if (st.copied_owner.empty()) st.copied_owner.assign(p, false);
+        for (std::size_t i = 0; i < take; ++i) {
+          const std::uint64_t task = vs.queue.back();
+          vs.queue.pop_back();
+          st.queue.push_back(task);
+          const std::size_t owner = owner_of(task);
+          if (owner != r && !st.copied_owner[owner]) {
+            st.copied_owner[owner] = true;
+            st.owners_to_flush.push_back(owner);
+            ++rep.steal_victims;
+            ++rep.comm_calls;
+            rep.comm_bytes += state[owner].prefetch_bytes;
+            now += net.transfer_seconds(state[owner].prefetch_bytes);
+          }
+        }
+        st.phase = RankState::Phase::kOwnTasks;
+        events.schedule(now, ev.rank);
+        break;
+      }
+
+      case RankState::Phase::kDone:
+        break;
+    }
+  }
+
+  result.total_quartets = costs.total_quartets();
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,127 @@
+#include "core/perf_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mf {
+
+PerfModelParams derive_model_params(const Basis& basis,
+                                    const ScreeningData& screening,
+                                    double t_int, double s_steals,
+                                    double beta_bytes) {
+  PerfModelParams m;
+  m.t_int = t_int;
+  m.beta_bytes = beta_bytes;
+  m.a = basis.avg_functions_per_shell();
+  m.b = screening.avg_significant_set_size();
+  m.q = screening.avg_consecutive_overlap();
+  m.s = s_steals;
+  m.nshells = basis.num_shells();
+  return m;
+}
+
+double model_tcomp(const PerfModelParams& m, double p) {
+  const double n = static_cast<double>(m.nshells);
+  return m.t_int * m.b * m.b * m.a * m.a * n * n / (8.0 * p);
+}
+
+double model_v1_elements(const PerfModelParams& m, double p) {
+  const double n = static_cast<double>(m.nshells);
+  return 4.0 * m.a * m.a * m.b * n * n / p;
+}
+
+double model_v2_elements(const PerfModelParams& m, double p) {
+  const double n = static_cast<double>(m.nshells);
+  const double u = m.q + (n / std::sqrt(p)) * (m.b - m.q);
+  return 2.0 * m.a * m.a * u * u;
+}
+
+double model_volume_elements(const PerfModelParams& m, double p) {
+  return (1.0 + m.s) * (model_v1_elements(m, p) + model_v2_elements(m, p));
+}
+
+double model_tcomm(const PerfModelParams& m, double p) {
+  return model_volume_elements(m, p) / m.beta_elements();
+}
+
+double model_overhead_ratio(const PerfModelParams& m, double p) {
+  return model_tcomm(m, p) / model_tcomp(m, p);
+}
+
+double model_efficiency(const PerfModelParams& m, double p) {
+  return 1.0 / (1.0 + model_overhead_ratio(m, p));
+}
+
+double model_overhead_ratio_at_max(const PerfModelParams& m) {
+  // Closed form, eq (12): L(n^2) = 16(1+s)/(beta t_int) (1 + 2/B).
+  return 16.0 * (1.0 + m.s) / (m.beta_elements() * m.t_int) *
+         (1.0 + 2.0 / m.b);
+}
+
+double required_tint_speedup_for_crossover(const PerfModelParams& m) {
+  const double l = model_overhead_ratio_at_max(m);
+  return l >= 1.0 ? 1.0 : 1.0 / l;
+}
+
+double isoefficiency_nshells(const PerfModelParams& m, double p_ref, double p) {
+  // L depends on p only through sqrt(p)/n: keeping sqrt(p)/n fixed keeps L
+  // fixed, so n grows as sqrt(p).
+  return static_cast<double>(m.nshells) * std::sqrt(p / p_ref);
+}
+
+double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
+                       std::size_t sample_quartets, std::uint64_t seed,
+                       const EriEngineOptions& eri_opts) {
+  // Collect significant pairs, then time random unscreened quartets.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    for (std::uint32_t n : screening.significant_set(m)) {
+      pairs.emplace_back(static_cast<std::uint32_t>(m), n);
+    }
+  }
+  MF_THROW_IF(pairs.empty(), "calibrate_t_int: nothing survives screening");
+
+  EriEngine engine(eri_opts);
+  Rng rng(seed);
+  // Warm-up: populate caches and code paths.
+  for (std::size_t k = 0; k < 16; ++k) {
+    const auto& bra = pairs[rng.uniform_int(pairs.size())];
+    const auto& ket = pairs[rng.uniform_int(pairs.size())];
+    engine.compute(basis.shell(bra.first), basis.shell(bra.second),
+                   basis.shell(ket.first), basis.shell(ket.second));
+  }
+
+  // Draw the quartet sample once, then time it in several batches and take
+  // the fastest batch: wall-clock timing on a shared machine is noisy in
+  // one direction only, so the minimum is the robust estimator.
+  std::vector<std::array<std::uint32_t, 4>> sample;
+  while (sample.size() < sample_quartets) {
+    const auto& bra = pairs[rng.uniform_int(pairs.size())];
+    const auto& ket = pairs[rng.uniform_int(pairs.size())];
+    if (screening.pair_value(bra.first, bra.second) *
+            screening.pair_value(ket.first, ket.second) <
+        screening.tau()) {
+      continue;
+    }
+    sample.push_back({bra.first, bra.second, ket.first, ket.second});
+  }
+
+  double best = 1e300;
+  for (int batch = 0; batch < 5; ++batch) {
+    engine.reset_counters();
+    WallTimer timer;
+    for (const auto& q : sample) {
+      engine.compute(basis.shell(q[0]), basis.shell(q[1]), basis.shell(q[2]),
+                     basis.shell(q[3]));
+    }
+    const double seconds = timer.seconds();
+    MF_CHECK(engine.integrals_computed() > 0);
+    best = std::min(best,
+                    seconds / static_cast<double>(engine.integrals_computed()));
+  }
+  return best;
+}
+
+}  // namespace mf

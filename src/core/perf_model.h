@@ -1,0 +1,76 @@
+#pragma once
+// Analytic performance model of Section III-G.
+//
+// With A = avg functions/shell, B = avg |Phi(M)|, q = avg overlap of
+// consecutive significant sets, s = avg victims per thief, t_int = seconds
+// per ERI and beta = network bandwidth in *elements* per second:
+//
+//   T_comp(p) = t_int B^2 A^2 n^2 / (8p)                      (eq 6)
+//   v1(p)     = 4 A^2 B n^2 / p                               (eq 7)
+//   v2(p)     = 2 A^2 [ q + (n/sqrt(p)) (B - q) ]^2           (eq 8)
+//   V(p)      = (1+s) (v1 + v2)                               (eq 9)
+//   T_comm(p) = V(p) / beta                                   (eq 10)
+//   L(p)      = T_comm/T_comp
+//             = 16(1+s)/(beta t_int B^2) [ ((B-q) + q sqrt(p)/n)^2 + 2B ]
+//                                                             (eq 11)
+//   L(n^2)    = 16(1+s)/(beta t_int) (1 + 2/B)                (eq 12)
+//
+// Constant L (constant efficiency) requires p/n^2 constant: the
+// isoefficiency function n = O(sqrt(p)). Equation (12) answers "how much
+// faster would integrals need to get before communication dominates":
+// the required speedup is 1/L(n^2).
+
+#include <cstddef>
+
+#include "chem/basis_set.h"
+#include "eri/eri_engine.h"
+#include "eri/screening.h"
+#include "util/rng.h"
+
+namespace mf {
+
+struct PerfModelParams {
+  double t_int = 4.76e-6;     // seconds per ERI (Table V)
+  double beta_bytes = 5.0e9;  // network bandwidth, bytes/s (Table I)
+  double a = 0.0;             // A: average functions per shell
+  double b = 0.0;             // B: average significant-set size
+  double q = 0.0;             // average consecutive-Phi overlap
+  double s = 0.0;             // average number of steal victims
+  std::size_t nshells = 0;
+
+  double beta_elements() const { return beta_bytes / 8.0; }
+};
+
+/// Derives A, B, q and n from the screened basis (t_int, beta, s are
+/// machine/runtime inputs).
+PerfModelParams derive_model_params(const Basis& basis,
+                                    const ScreeningData& screening,
+                                    double t_int, double s_steals = 0.0,
+                                    double beta_bytes = 5.0e9);
+
+double model_tcomp(const PerfModelParams& m, double p);
+double model_v1_elements(const PerfModelParams& m, double p);
+double model_v2_elements(const PerfModelParams& m, double p);
+double model_volume_elements(const PerfModelParams& m, double p);
+double model_tcomm(const PerfModelParams& m, double p);
+/// Overhead ratio L(p) = T_comm / T_comp.
+double model_overhead_ratio(const PerfModelParams& m, double p);
+/// Parallel efficiency E(p) = 1 / (1 + L(p)).
+double model_efficiency(const PerfModelParams& m, double p);
+/// L at the maximum available parallelism p = n^2 (eq 12).
+double model_overhead_ratio_at_max(const PerfModelParams& m);
+/// How many times faster t_int must become before communication starts to
+/// dominate at maximum parallelism (the paper's ~50x conclusion).
+double required_tint_speedup_for_crossover(const PerfModelParams& m);
+/// Shell count needed to hold L(p) == L_ref(p_ref) at process count p
+/// (the isoefficiency function, proportional to sqrt(p)).
+double isoefficiency_nshells(const PerfModelParams& m, double p_ref, double p);
+
+/// Measures t_int of the real ERI engine by timing a random sample of
+/// significant shell quartets (Table V's methodology).
+double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
+                       std::size_t sample_quartets = 512,
+                       std::uint64_t seed = 12345,
+                       const EriEngineOptions& eri = {});
+
+}  // namespace mf

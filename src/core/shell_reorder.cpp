@@ -1,0 +1,90 @@
+#include "core/shell_reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mf {
+
+namespace {
+
+struct CellIndex {
+  long ix = 0, iy = 0, iz = 0;
+};
+
+// Interleave the low 21 bits of three cell coordinates (Morton / Z-order).
+std::uint64_t morton3(std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff;
+    v = (v | (v << 32)) & 0x1f00000000ffffULL;
+    v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+    v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+    v = (v | (v << 2)) & 0x1249249249249249ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+}  // namespace
+
+std::vector<std::size_t> reorder_permutation(const Basis& basis,
+                                             const ReorderOptions& options) {
+  const std::size_t n = basis.num_shells();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (options.scheme == ReorderScheme::kNone || n == 0) return perm;
+
+  if (options.scheme == ReorderScheme::kRandom) {
+    Rng rng(options.seed);
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.uniform_int(i + 1)]);
+    }
+    return perm;
+  }
+
+  MF_THROW_IF(options.cell_size <= 0.0, "reorder: cell size must be positive");
+  Vec3 lo = basis.shell(0).center;
+  for (const Shell& s : basis.shells()) {
+    lo.x = std::min(lo.x, s.center.x);
+    lo.y = std::min(lo.y, s.center.y);
+    lo.z = std::min(lo.z, s.center.z);
+  }
+  std::vector<CellIndex> cells(n);
+  long nx = 0, ny = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const Vec3 r = basis.shell(s).center - lo;
+    cells[s].ix = static_cast<long>(std::floor(r.x / options.cell_size));
+    cells[s].iy = static_cast<long>(std::floor(r.y / options.cell_size));
+    cells[s].iz = static_cast<long>(std::floor(r.z / options.cell_size));
+    nx = std::max(nx, cells[s].ix + 1);
+    ny = std::max(ny, cells[s].iy + 1);
+  }
+
+  // Sort key: cell rank, tie-broken by original index (keeps shells of one
+  // atom consecutive within a cell).
+  std::vector<std::uint64_t> key(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (options.scheme == ReorderScheme::kCells) {
+      key[s] = static_cast<std::uint64_t>(
+          (cells[s].iz * ny + cells[s].iy) * nx + cells[s].ix);
+    } else {  // kMorton
+      key[s] = morton3(static_cast<std::uint64_t>(cells[s].ix),
+                       static_cast<std::uint64_t>(cells[s].iy),
+                       static_cast<std::uint64_t>(cells[s].iz));
+    }
+  }
+  std::stable_sort(perm.begin(), perm.end(), [&key](std::size_t a, std::size_t b) {
+    return key[a] < key[b];
+  });
+  return perm;
+}
+
+Basis apply_reordering(const Basis& basis, const ReorderOptions& options) {
+  return basis.reordered(reorder_permutation(basis, options));
+}
+
+}  // namespace mf

@@ -1,0 +1,45 @@
+#pragma once
+// Unique-quartet enumeration (Section III-B, Algorithm 3).
+//
+// ERIs have the 8-fold permutational symmetry of equation (4); the paper's
+// task grid is the full n_shells x n_shells square, so uniqueness is
+// enforced *inside* tasks with a parity predicate rather than by loop
+// bounds. SymmetryCheck(a,b) canonicalizes an unordered index pair: for
+// a != b exactly one of (a,b), (b,a) passes (chosen by the parity of a+b so
+// that passing pairs spread evenly over the task grid), and the diagonal
+// passes. unique_quartet() combines three such checks — bra pair, ket pair,
+// and bra-vs-ket — with a tie-break for equal bra/ket leading shells.
+
+#include <cstddef>
+
+namespace mf {
+
+/// Paper's SymmetryCheck: true when (a,b) is the canonical order of {a,b}.
+inline bool symmetry_check(std::size_t a, std::size_t b) {
+  if (a == b) return true;
+  const bool even = ((a + b) & 1) == 0;
+  return a > b ? even : !even;
+}
+
+/// True when (M,P|N,Q) — bra pair (M,P), ket pair (N,Q) — is the canonical
+/// representative of its 8-fold symmetry class. Every class has exactly one
+/// representative passing this predicate (validated exhaustively in tests).
+inline bool unique_quartet(std::size_t m, std::size_t p, std::size_t n,
+                           std::size_t q) {
+  if (!symmetry_check(m, p)) return false;  // bra order
+  if (!symmetry_check(n, q)) return false;  // ket order
+  // bra-vs-ket order; when the leading shells tie, break on the second.
+  return m != n ? symmetry_check(m, n) : symmetry_check(p, q);
+}
+
+/// Multiplicity of a canonical quartet's symmetry orbit (1, 2, 4 or 8):
+/// the integral value is scaled by this before the 6-way Fock update.
+inline int quartet_degeneracy(std::size_t m, std::size_t p, std::size_t n,
+                              std::size_t q) {
+  const int bra = (m == p) ? 1 : 2;
+  const int ket = (n == q) ? 1 : 2;
+  const int cross = (m == n && p == q) ? 1 : 2;
+  return bra * ket * cross;
+}
+
+}  // namespace mf

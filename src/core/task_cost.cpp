@@ -1,0 +1,145 @@
+#include "core/task_cost.h"
+
+#include <algorithm>
+
+#include "core/symmetry.h"
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+
+// Phi*(X) sorted by descending pair value, with nf and count prefix sums.
+struct PartnerList {
+  std::vector<double> values;
+  std::vector<double> nf_prefix;
+  // cnt_prefix[k] == k by construction, so counts need no extra array.
+};
+
+}  // namespace
+
+TaskCostModel::TaskCostModel(const Basis& basis, const ScreeningData& screening)
+    : nshells_(basis.num_shells()) {
+  const std::size_t n = nshells_;
+  const double tau = screening.tau();
+
+  std::vector<PartnerList> partners(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    std::vector<std::pair<double, double>> list;  // (value, nf)
+    for (std::uint32_t y : screening.significant_set(x)) {
+      if (!symmetry_check(x, y)) continue;
+      list.emplace_back(screening.pair_value(x, y),
+                        static_cast<double>(basis.shell_size(y)));
+    }
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    PartnerList& pl = partners[x];
+    pl.values.reserve(list.size());
+    pl.nf_prefix.assign(list.size() + 1, 0.0);
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      pl.values.push_back(list[k].first);
+      pl.nf_prefix[k + 1] = pl.nf_prefix[k] + list[k].second;
+    }
+  }
+
+  integrals_.assign(n * n, 0.0);
+  quartets_.assign(n * n, 0);
+
+  for (std::size_t m = 0; m < n; ++m) {
+    const double nfm = static_cast<double>(basis.shell_size(m));
+    for (std::size_t nn = 0; nn < n; ++nn) {
+      if (m == nn) continue;  // diagonal handled below
+      if (!symmetry_check(m, nn)) continue;
+      const PartnerList& pm = partners[m];
+      const PartnerList& pn = partners[nn];
+      // Two-pointer merge: as pv(M,P_k) decreases, the ket threshold
+      // tau/pv rises, so the number of qualifying Q's shrinks monotonically.
+      double ints = 0.0;
+      std::uint64_t quarts = 0;
+      std::size_t j = pn.values.size();
+      for (std::size_t k = 0; k < pm.values.size(); ++k) {
+        const double threshold = tau / pm.values[k];
+        while (j > 0 && pn.values[j - 1] < threshold) --j;
+        if (j == 0) break;  // nothing qualifies for this or any later P
+        const double nfp = pm.nf_prefix[k + 1] - pm.nf_prefix[k];
+        ints += nfp * pn.nf_prefix[j];
+        quarts += j;
+      }
+      const double base = nfm * static_cast<double>(basis.shell_size(nn));
+      integrals_[m * n + nn] = base * ints;
+      quartets_[m * n + nn] = static_cast<std::uint32_t>(quarts);
+    }
+
+    // Diagonal task (M == N): tie-break couples P and Q.
+    {
+      double ints = 0.0;
+      std::uint64_t quarts = 0;
+      const auto& phi = screening.significant_set(m);
+      for (std::uint32_t p : phi) {
+        if (!symmetry_check(m, p)) continue;
+        const double pv_mp = screening.pair_value(m, p);
+        const double nfp = static_cast<double>(basis.shell_size(p));
+        for (std::uint32_t q : phi) {
+          if (!symmetry_check(m, q)) continue;
+          if (!symmetry_check(p, q)) continue;
+          if (pv_mp * screening.pair_value(m, q) < tau) continue;
+          ints += nfp * static_cast<double>(basis.shell_size(q));
+          ++quarts;
+        }
+      }
+      integrals_[m * n + m] = nfm * nfm * ints;
+      quartets_[m * n + m] = static_cast<std::uint32_t>(quarts);
+    }
+  }
+
+  for (std::size_t k = 0; k < n * n; ++k) {
+    total_integrals_ += integrals_[k];
+    total_quartets_ += quartets_[k];
+  }
+}
+
+namespace {
+constexpr std::uint64_t kCostCacheMagic = 0x4d46434f53543031ULL;
+}
+
+bool TaskCostModel::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::uint64_t n64 = nshells_;
+  bool ok = std::fwrite(&kCostCacheMagic, 8, 1, f) == 1 &&
+            std::fwrite(&n64, 8, 1, f) == 1 &&
+            std::fwrite(integrals_.data(), sizeof(double), integrals_.size(),
+                        f) == integrals_.size() &&
+            std::fwrite(quartets_.data(), sizeof(std::uint32_t),
+                        quartets_.size(), f) == quartets_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<TaskCostModel> TaskCostModel::load(const std::string& path,
+                                                 std::size_t expected_nshells) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::uint64_t magic = 0, n64 = 0;
+  bool ok = std::fread(&magic, 8, 1, f) == 1 && std::fread(&n64, 8, 1, f) == 1;
+  if (!ok || magic != kCostCacheMagic || n64 != expected_nshells) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  TaskCostModel m;
+  m.nshells_ = expected_nshells;
+  m.integrals_.resize(expected_nshells * expected_nshells);
+  m.quartets_.resize(expected_nshells * expected_nshells);
+  ok = std::fread(m.integrals_.data(), sizeof(double), m.integrals_.size(),
+                  f) == m.integrals_.size() &&
+       std::fread(m.quartets_.data(), sizeof(std::uint32_t),
+                  m.quartets_.size(), f) == m.quartets_.size();
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  for (std::size_t k = 0; k < m.integrals_.size(); ++k) {
+    m.total_integrals_ += m.integrals_[k];
+    m.total_quartets_ += m.quartets_[k];
+  }
+  return m;
+}
+
+}  // namespace mf

@@ -1,0 +1,64 @@
+#pragma once
+// Fast per-task work model for the simulator.
+//
+// The simulator charges t_int * (number of integrals) per task; computing
+// that count naively is O(|Phi(M)|*|Phi(N)|) per task and O(n^2 B^2)
+// overall — far too slow for the paper-sized molecules. The count
+// factorizes: for M != N,
+//   ints(M,N) = nf(M) nf(N) * sum_{P in Phi*(M)} nf(P) * S_N(tau / pv(M,P))
+// where Phi*(X) = {Y in Phi(X) : SymmetryCheck(X,Y)} and
+//   S_N(t) = sum_{Q in Phi*(N), pv(N,Q) >= t} nf(Q).
+// With both partner lists sorted by descending pair value, the sum is a
+// two-pointer merge: O(|Phi(M)| + |Phi(N)|) per task. Diagonal tasks
+// (M == N) couple P and Q through the tie-break and are evaluated directly
+// (only n of them). The full n^2 table is built once per molecule and then
+// shared across every simulated process count.
+//
+// Exactness (equality with core/fock_task.h's task_integral_count) is
+// asserted in tests.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "eri/screening.h"
+
+namespace mf {
+
+class TaskCostModel {
+ public:
+  TaskCostModel(const Basis& basis, const ScreeningData& screening);
+
+  /// Number of integrals task (M,:|N,:) computes (0 for the dead half of
+  /// the task grid).
+  double task_integrals(std::size_t m, std::size_t n) const {
+    return integrals_[m * nshells_ + n];
+  }
+
+  /// Number of unique unscreened quartets in the task.
+  std::uint64_t task_quartets(std::size_t m, std::size_t n) const {
+    return quartets_[m * nshells_ + n];
+  }
+
+  /// Totals over the whole task grid.
+  double total_integrals() const { return total_integrals_; }
+  std::uint64_t total_quartets() const { return total_quartets_; }
+
+  /// Binary cache for the n^2 cost table (the bench harness shares it
+  /// across binaries). load() returns empty on mismatch.
+  bool save(const std::string& path) const;
+  static std::optional<TaskCostModel> load(const std::string& path,
+                                           std::size_t expected_nshells);
+
+ private:
+  TaskCostModel() = default;
+  std::size_t nshells_ = 0;
+  std::vector<double> integrals_;
+  std::vector<std::uint32_t> quartets_;
+  double total_integrals_ = 0.0;
+  std::uint64_t total_quartets_ = 0;
+};
+
+}  // namespace mf

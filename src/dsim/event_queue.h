@@ -1,0 +1,46 @@
+#pragma once
+// Minimal discrete-event scheduling: a time-ordered heap of (time, rank)
+// entries with deterministic FIFO tie-breaking, so simulations are exactly
+// reproducible run to run.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dsim/network.h"
+
+namespace mf {
+
+struct SimEvent {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;   // tie-break: earlier-scheduled first
+  std::uint32_t rank = 0;
+};
+
+class EventQueue {
+ public:
+  void schedule(SimTime time, std::uint32_t rank) {
+    heap_.push(SimEvent{time, next_seq_++, rank});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  SimEvent pop() {
+    SimEvent e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mf

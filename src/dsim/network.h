@@ -1,0 +1,65 @@
+#pragma once
+// Cost models for the simulated distributed machine.
+//
+// The paper's testbed (Table I): Lonestar nodes, 12 cores each, connected
+// by 5 GB/s InfiniBand. The simulator charges an alpha-beta time for every
+// one-sided transfer and serializes atomic read-modify-write operations at
+// their owner through SimResource — that serialization is precisely the
+// centralized-scheduler bottleneck of Section II-F/IV-C.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mf {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+struct NetworkModel {
+  SimTime latency = 2.0e-6;          // per one-sided call
+  double bandwidth = 5.0e9;          // bytes/second (Table I: 5 GB/s)
+  SimTime rmw_latency = 1.0e-6;      // remote atomic (fetch-and-add) latency
+  /// Serialized service time at the owner of a *remote* atomic — the cost
+  /// that makes a centralized counter a bottleneck (ARMCI-era fetch-and-add
+  /// service is a few microseconds under contention).
+  SimTime rmw_service = 2.0e-6;
+  /// Node-local atomic (GTFock's task queues live on their own node).
+  SimTime local_rmw_service = 0.1e-6;
+
+  SimTime transfer_seconds(std::uint64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+/// A serially reusable resource (an atomic counter's owner, a task queue):
+/// requests are served in arrival order, one at a time.
+class SimResource {
+ public:
+  /// Request `service` seconds of exclusive use starting no earlier than
+  /// `now`; returns the completion time.
+  SimTime acquire(SimTime now, SimTime service) {
+    const SimTime start = std::max(now, available_at_);
+    available_at_ = start + service;
+    return available_at_;
+  }
+
+  SimTime available_at() const { return available_at_; }
+  void reset() { available_at_ = 0.0; }
+
+ private:
+  SimTime available_at_ = 0.0;
+};
+
+/// Machine description used by the scaling benches.
+struct MachineParams {
+  NetworkModel network;
+  int cores_per_node = 12;   // Table I
+  /// Average time to compute one ERI on one core (Table V); calibrated from
+  /// the real engine or supplied explicitly.
+  double t_int = 4.76e-6;
+  /// Parallel efficiency of the intra-node OpenMP loop GTFock uses
+  /// (1 process/node, threads over cores).
+  double intra_node_efficiency = 0.95;
+};
+
+}  // namespace mf

@@ -1,0 +1,55 @@
+#include "eri/boys.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSeriesCutoff = 35.0;
+}  // namespace
+
+void boys(int nmax, double x, double* out) {
+  MF_CHECK(nmax >= 0 && x >= 0.0);
+  if (x < 1e-14) {
+    for (int n = 0; n <= nmax; ++n) out[n] = 1.0 / (2.0 * n + 1.0);
+    return;
+  }
+  const double ex = std::exp(-x);
+  if (x < kSeriesCutoff) {
+    // Series for F_nmax: F_n(x) = exp(-x) * sum_k (2x)^k / (2n+1)(2n+3)...(2n+2k+1).
+    double term = 1.0 / (2.0 * nmax + 1.0);
+    double sum = term;
+    const double two_x = 2.0 * x;
+    for (int k = 1; k < 300; ++k) {
+      term *= two_x / (2.0 * nmax + 2.0 * k + 1.0);
+      sum += term;
+      if (term < 1e-17 * sum) break;
+    }
+    out[nmax] = ex * sum;
+    // Downward recursion: F_n = (2x F_{n+1} + exp(-x)) / (2n+1).
+    for (int n = nmax - 1; n >= 0; --n) {
+      out[n] = (two_x * out[n + 1] + ex) / (2.0 * n + 1.0);
+    }
+  } else {
+    // Exact F_0 = sqrt(pi/x)/2 * erf(sqrt(x)) and stable upward recursion
+    // for large x: F_{n+1} = ((2n+1) F_n - exp(-x)) / (2x).
+    out[0] = 0.5 * std::sqrt(kPi / x) * std::erf(std::sqrt(x));
+    const double inv_2x = 0.5 / x;
+    for (int n = 0; n < nmax; ++n) {
+      out[n + 1] = ((2.0 * n + 1.0) * out[n] - ex) * inv_2x;
+    }
+  }
+}
+
+double boys_single(int n, double x) {
+  // Small stack buffer; callers needing many orders use boys() directly.
+  double buf[64];
+  MF_CHECK(n < 64);
+  boys(n, x, buf);
+  return buf[n];
+}
+
+}  // namespace mf

@@ -1,0 +1,20 @@
+#pragma once
+// Boys function F_n(x) = \int_0^1 t^{2n} exp(-x t^2) dt, the scalar kernel
+// at the bottom of every Coulomb integral.
+//
+// Evaluation strategy (standard): near zero use the limit 1/(2n+1); for
+// small/moderate x compute F_nmax by its convergent series and fill lower
+// orders by stable downward recursion; for large x use the asymptotic form
+// with upward recursion (which is stable in that regime).
+
+#include <cstddef>
+
+namespace mf {
+
+/// Fills out[0..nmax] with F_0(x)..F_nmax(x). out must have nmax+1 slots.
+void boys(int nmax, double x, double* out);
+
+/// Convenience scalar version.
+double boys_single(int n, double x);
+
+}  // namespace mf

@@ -1,0 +1,132 @@
+#include "eri/cart_sph.h"
+
+#include <cmath>
+
+#include "chem/shell.h"
+#include "util/check.h"
+
+namespace mf {
+
+double component_norm_ratio(int l, const CartComponent& comp) {
+  return std::sqrt(double_factorial_odd(l) /
+                   (double_factorial_odd(comp.lx) * double_factorial_odd(comp.ly) *
+                    double_factorial_odd(comp.lz)));
+}
+
+const std::vector<double>& spherical_transform(int l) {
+  MF_THROW_IF(l < 0 || l > 2,
+              "spherical transform only implemented through d shells (l=" << l
+                                                                          << ")");
+  static const std::vector<double> s{1.0};
+  static const std::vector<double> p{1.0, 0.0, 0.0,   // x
+                                     0.0, 1.0, 0.0,   // y
+                                     0.0, 0.0, 1.0};  // z
+  // Cartesian order: xx, xy, xz, yy, yz, zz (normalized components).
+  static const double h = std::sqrt(3.0) / 2.0;
+  static const std::vector<double> d{
+      0.0,  1.0, 0.0, 0.0,  0.0, 0.0,  // m=-2: xy
+      0.0,  0.0, 0.0, 0.0,  1.0, 0.0,  // m=-1: yz
+      -0.5, 0.0, 0.0, -0.5, 0.0, 1.0,  // m= 0: (2zz - xx - yy)/2 form
+      0.0,  0.0, 1.0, 0.0,  0.0, 0.0,  // m=+1: xz
+      h,    0.0, 0.0, -h,   0.0, 0.0,  // m=+2: sqrt(3)/2 (xx - yy)
+  };
+  switch (l) {
+    case 0: return s;
+    case 1: return p;
+    default: return d;
+  }
+}
+
+void renormalize_cart_quartet(int la, int lb, int lc, int ld, double* block) {
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  std::size_t idx = 0;
+  for (const auto& a : ca) {
+    const double fa = component_norm_ratio(la, a);
+    for (const auto& b : cb) {
+      const double fab = fa * component_norm_ratio(lb, b);
+      for (const auto& c : cc) {
+        const double fabc = fab * component_norm_ratio(lc, c);
+        for (const auto& d : cd) {
+          block[idx++] *= fabc * component_norm_ratio(ld, d);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Applies T (rows x cols) to the leading index of an [n0 x rest] block.
+std::vector<double> transform_leading(const std::vector<double>& in,
+                                      const std::vector<double>& t,
+                                      std::size_t rows, std::size_t cols,
+                                      std::size_t rest) {
+  std::vector<double> out(rows * rest, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double w = t[r * cols + c];
+      if (w == 0.0) continue;
+      const double* src = in.data() + c * rest;
+      double* dst = out.data() + r * rest;
+      for (std::size_t k = 0; k < rest; ++k) dst[k] += w * src[k];
+    }
+  }
+  return out;
+}
+
+// Cyclic rotation: given block with shape [d0 x d1 x ... x dn-1], move the
+// leading axis to the end. Used to transform each index in turn.
+std::vector<double> rotate_axes(const std::vector<double>& in, std::size_t d0,
+                                std::size_t rest) {
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < d0; ++i) {
+    for (std::size_t k = 0; k < rest; ++k) {
+      out[k * d0 + i] = in[i * rest + k];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> quartet_to_spherical(int la, int lb, int lc, int ld,
+                                         const std::vector<double>& cart) {
+  std::vector<double> cur = cart;
+  const int ls[4] = {la, lb, lc, ld};
+  std::size_t dims[4] = {cartesian_count(la), cartesian_count(lb),
+                         cartesian_count(lc), cartesian_count(ld)};
+  // For each axis: transform the leading index to spherical, then rotate it
+  // to the back; after four rounds the layout is [sa x sb x sc x sd] again.
+  for (int axis = 0; axis < 4; ++axis) {
+    const int l = ls[axis];
+    const std::size_t ncart = dims[0];
+    const std::size_t nsph = spherical_count(l);
+    std::size_t rest = 1;
+    for (int k = 1; k < 4; ++k) rest *= dims[k];
+    cur = transform_leading(cur, spherical_transform(l), nsph, ncart, rest);
+    cur = rotate_axes(cur, nsph, rest);
+    dims[0] = dims[1];
+    dims[1] = dims[2];
+    dims[2] = dims[3];
+    dims[3] = nsph;
+  }
+  return cur;
+}
+
+std::vector<double> pair_to_spherical(int la, int lb,
+                                      const std::vector<double>& cart) {
+  const std::size_t na = cartesian_count(la), nb = cartesian_count(lb);
+  const std::size_t sa = spherical_count(la), sb = spherical_count(lb);
+  std::vector<double> tmp =
+      transform_leading(cart, spherical_transform(la), sa, na, nb);
+  // Transform the second index: operate on the transpose.
+  std::vector<double> tmp_t = rotate_axes(tmp, sa, nb);  // [nb x sa]
+  std::vector<double> out_t =
+      transform_leading(tmp_t, spherical_transform(lb), sb, nb, sa);
+  return rotate_axes(out_t, sb, sa);  // [sa x sb]
+}
+
+}  // namespace mf

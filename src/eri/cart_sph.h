@@ -1,0 +1,37 @@
+#pragma once
+// Cartesian-to-real-spherical transformations.
+//
+// The Cartesian integral engines produce components scaled as if every
+// component had the (l,0,0) normalization; component_norm_ratio fixes each
+// component to unit norm, after which the spherical transform matrices
+// (expressed over *normalized* Cartesians) apply. Supported through d
+// shells, which covers cc-pVDZ; higher angular momenta raise.
+
+#include <vector>
+
+#include "eri/hermite.h"
+
+namespace mf {
+
+/// sqrt((2l-1)!! / ((2lx-1)!!(2ly-1)!!(2lz-1)!!)): multiply an engine output
+/// by this to renormalize a Cartesian component.
+double component_norm_ratio(int l, const CartComponent& comp);
+
+/// Real-spherical transform for angular momentum l acting on normalized
+/// Cartesian components. Row-major, (2l+1) x ncart(l). l <= 2.
+const std::vector<double>& spherical_transform(int l);
+
+/// In-place renormalization of a Cartesian quartet block
+/// [na x nb x nc x nd] (all Cartesian counts) by the component ratios.
+void renormalize_cart_quartet(int la, int lb, int lc, int ld, double* block);
+
+/// Transform a (renormalized) Cartesian quartet block to spherical; returns
+/// a [sa x sb x sc x sd] block.
+std::vector<double> quartet_to_spherical(int la, int lb, int lc, int ld,
+                                         const std::vector<double>& cart);
+
+/// Same for a one-electron pair block [na x nb] -> [sa x sb].
+std::vector<double> pair_to_spherical(int la, int lb,
+                                      const std::vector<double>& cart);
+
+}  // namespace mf

@@ -1,0 +1,176 @@
+#include "eri/eri_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eri/cart_sph.h"
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPiPow52 = 2.0 * 17.4934183276248629;  // 2 * pi^{5/2}
+}  // namespace
+
+EriEngine::EriEngine(EriEngineOptions options) : options_(options) {}
+
+void EriEngine::reset_counters() {
+  quartets_ = 0;
+  integrals_ = 0;
+  prim_quartets_ = 0;
+}
+
+const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
+                                                        const Shell& sb,
+                                                        const Shell& sc,
+                                                        const Shell& sd) {
+  const int la = sa.l, lb = sb.l, lc = sc.l, ld = sd.l;
+  MF_CHECK(la <= kMaxAm && lb <= kMaxAm && lc <= kMaxAm && ld <= kMaxAm);
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  const std::size_t nab = ca.size() * cb.size();
+  const std::size_t ncd = cc.size() * cd.size();
+  cart_.assign(nab * ncd, 0.0);
+
+  const Vec3 ab = sa.center - sb.center;
+  const Vec3 cdv = sc.center - sd.center;
+  const int lbra = la + lb;
+  const int lket = lc + ld;
+  const int ltot = lbra + lket;
+
+  // inner_[(t*(lbra+1)+u)*(lbra+1)+v) * ncd + cd] holds the ket-contracted
+  // Hermite intermediate for one primitive quartet.
+  const std::size_t bra_stride = static_cast<std::size_t>(lbra + 1);
+  inner_.resize(bra_stride * bra_stride * bra_stride * ncd);
+
+  for (std::size_t ip = 0; ip < sa.nprim(); ++ip) {
+    const double a = sa.exponents[ip];
+    for (std::size_t jp = 0; jp < sb.nprim(); ++jp) {
+      const double b = sb.exponents[jp];
+      const double p = a + b;
+      const double cab = sa.coefficients[ip] * sb.coefficients[jp];
+      if (options_.primitive_threshold > 0.0 &&
+          std::abs(cab) * std::exp(-a * b / p * ab.norm2()) <
+              options_.primitive_threshold) {
+        continue;
+      }
+      const Vec3 pctr = (sa.center * a + sb.center * b) * (1.0 / p);
+      const HermiteE ex1(la, lb, a, b, ab.x);
+      const HermiteE ey1(la, lb, a, b, ab.y);
+      const HermiteE ez1(la, lb, a, b, ab.z);
+
+      for (std::size_t kp = 0; kp < sc.nprim(); ++kp) {
+        const double c = sc.exponents[kp];
+        for (std::size_t lp = 0; lp < sd.nprim(); ++lp) {
+          const double d = sd.exponents[lp];
+          const double q = c + d;
+          const double ccd = sc.coefficients[kp] * sd.coefficients[lp];
+          if (options_.primitive_threshold > 0.0 &&
+              std::abs(ccd) * std::exp(-c * d / q * cdv.norm2()) <
+                  options_.primitive_threshold) {
+            continue;
+          }
+          ++prim_quartets_;
+          const Vec3 qctr = (sc.center * c + sd.center * d) * (1.0 / q);
+          const HermiteE ex2(lc, ld, c, d, cdv.x);
+          const HermiteE ey2(lc, ld, c, d, cdv.y);
+          const HermiteE ez2(lc, ld, c, d, cdv.z);
+
+          const double alpha = p * q / (p + q);
+          rints_.compute(ltot, alpha, pctr - qctr);
+          const double pref =
+              kTwoPiPow52 / (p * q * std::sqrt(p + q)) * cab * ccd;
+
+          // Step 1: ket contraction. For every bra Hermite order (t,u,v)
+          // and ket component pair, fold the ket E coefficients into R.
+          for (int t = 0; t <= lbra; ++t) {
+            for (int u = 0; u + t <= lbra; ++u) {
+              for (int v = 0; v + t + u <= lbra; ++v) {
+                double* row =
+                    inner_.data() +
+                    ((t * bra_stride + u) * bra_stride + v) * ncd;
+                std::size_t cd_idx = 0;
+                for (const auto& compc : cc) {
+                  for (const auto& compd : cd) {
+                    double acc = 0.0;
+                    for (int tau = 0; tau <= compc.lx + compd.lx; ++tau) {
+                      const double extau = ex2(tau, compc.lx, compd.lx);
+                      for (int nu = 0; nu <= compc.ly + compd.ly; ++nu) {
+                        const double eynu = ey2(nu, compc.ly, compd.ly);
+                        for (int phi = 0; phi <= compc.lz + compd.lz; ++phi) {
+                          const double sign =
+                              ((tau + nu + phi) & 1) ? -1.0 : 1.0;
+                          acc += sign * extau * eynu *
+                                 ez2(phi, compc.lz, compd.lz) *
+                                 rints_(t + tau, u + nu, v + phi);
+                        }
+                      }
+                    }
+                    row[cd_idx++] = acc;
+                  }
+                }
+              }
+            }
+          }
+
+          // Step 2: bra contraction into the Cartesian output block.
+          std::size_t ab_idx = 0;
+          for (const auto& compa : ca) {
+            for (const auto& compb : cb) {
+              double* out_row = cart_.data() + ab_idx * ncd;
+              for (int t = 0; t <= compa.lx + compb.lx; ++t) {
+                const double ext = ex1(t, compa.lx, compb.lx);
+                for (int u = 0; u <= compa.ly + compb.ly; ++u) {
+                  const double eyu = ey1(u, compa.ly, compb.ly);
+                  const double exy = ext * eyu;
+                  for (int v = 0; v <= compa.lz + compb.lz; ++v) {
+                    const double w =
+                        pref * exy * ez1(v, compa.lz, compb.lz);
+                    const double* in_row =
+                        inner_.data() +
+                        ((t * bra_stride + u) * bra_stride + v) * ncd;
+                    for (std::size_t k = 0; k < ncd; ++k) {
+                      out_row[k] += w * in_row[k];
+                    }
+                  }
+                }
+              }
+              ++ab_idx;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  renormalize_cart_quartet(la, lb, lc, ld, cart_.data());
+  ++quartets_;
+  integrals_ += nab * ncd;
+  return cart_;
+}
+
+const std::vector<double>& EriEngine::compute(const Shell& a, const Shell& b,
+                                              const Shell& c, const Shell& d) {
+  const std::vector<double>& cart = compute_cartesian(a, b, c, d);
+  sph_ = quartet_to_spherical(a.l, b.l, c.l, d.l, cart);
+  return sph_;
+}
+
+double EriEngine::schwarz_pair_value(const Shell& a, const Shell& b) {
+  const std::vector<double>& block = compute(a, b, a, b);
+  const std::size_t na = a.sph_size(), nb = b.sph_size();
+  double mx = 0.0;
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      // Element (ij|ij) of the [na][nb][na][nb] block.
+      const double v = block[((i * nb + j) * na + i) * nb + j];
+      mx = std::max(mx, std::abs(v));
+    }
+  }
+  return std::sqrt(mx);
+}
+
+}  // namespace mf

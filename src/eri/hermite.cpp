@@ -1,0 +1,110 @@
+#include "eri/hermite.h"
+
+#include <cmath>
+
+#include "eri/boys.h"
+#include "util/check.h"
+
+namespace mf {
+
+const std::vector<CartComponent>& cartesian_components(int l) {
+  MF_CHECK(l >= 0 && l <= kMaxAm);
+  static const auto tables = [] {
+    std::array<std::vector<CartComponent>, kMaxAm + 1> t;
+    for (int am = 0; am <= kMaxAm; ++am) {
+      for (int lx = am; lx >= 0; --lx) {
+        for (int ly = am - lx; ly >= 0; --ly) {
+          t[am].push_back({lx, ly, am - lx - ly});
+        }
+      }
+    }
+    return t;
+  }();
+  return tables[l];
+}
+
+HermiteE::HermiteE(int imax, int jmax, double a, double b, double ab) {
+  const double p = a + b;
+  const double mu = a * b / p;
+  const double one_over_2p = 0.5 / p;
+  // P - A = -(b/p) * AB ; P - B = (a/p) * AB, with AB = A - B.
+  const double pa = -(b / p) * ab;
+  const double pb = (a / p) * ab;
+
+  stride_t_ = imax + jmax + 1;
+  stride_j_ = jmax + 1;
+  e_.assign(static_cast<std::size_t>(imax + 1) * stride_j_ * stride_t_, 0.0);
+  auto at = [this](int t, int i, int j) -> double& {
+    return e_[(static_cast<std::size_t>(i) * stride_j_ + j) * stride_t_ + t];
+  };
+
+  at(0, 0, 0) = std::exp(-mu * ab * ab);
+  // Build up i first (vertical), then j, using the standard recurrences:
+  // E_t^{i+1,j} = (1/2p) E_{t-1}^{i,j} + PA * E_t^{i,j} + (t+1) E_{t+1}^{i,j}
+  // E_t^{i,j+1} = (1/2p) E_{t-1}^{i,j} + PB * E_t^{i,j} + (t+1) E_{t+1}^{i,j}
+  for (int i = 0; i < imax; ++i) {
+    for (int t = 0; t <= i + 1; ++t) {
+      double v = pa * at(t, i, 0);
+      if (t > 0) v += one_over_2p * at(t - 1, i, 0);
+      if (t + 1 <= i) v += (t + 1) * at(t + 1, i, 0);
+      at(t, i + 1, 0) = v;
+    }
+  }
+  for (int j = 0; j < jmax; ++j) {
+    for (int i = 0; i <= imax; ++i) {
+      for (int t = 0; t <= i + j + 1; ++t) {
+        double v = pb * at(t, i, j);
+        if (t > 0) v += one_over_2p * at(t - 1, i, j);
+        if (t + 1 <= i + j) v += (t + 1) * at(t + 1, i, j);
+        at(t, i, j + 1) = v;
+      }
+    }
+  }
+}
+
+void HermiteR::compute(int ltot, double alpha, const Vec3& pq) {
+  stride_ = ltot + 1;
+  const std::size_t layer =
+      static_cast<std::size_t>(stride_) * stride_ * stride_;
+  r_.assign(static_cast<std::size_t>(ltot + 1) * layer, 0.0);
+  work_.clear();
+
+  auto at = [this, layer](int n, int t, int u, int v) -> double& {
+    return r_[n * layer +
+              (static_cast<std::size_t>(t) * stride_ + u) * stride_ + v];
+  };
+
+  double fn[4 * kMaxAm + 1];
+  MF_CHECK(ltot <= 4 * kMaxAm);
+  boys(ltot, alpha * pq.norm2(), fn);
+  double pow_term = 1.0;
+  for (int n = 0; n <= ltot; ++n) {
+    at(n, 0, 0, 0) = pow_term * fn[n];
+    pow_term *= -2.0 * alpha;
+  }
+
+  // R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + PQ_x R^{n+1}_{t,u,v}, etc.
+  for (int total = 1; total <= ltot; ++total) {
+    for (int n = 0; n <= ltot - total; ++n) {
+      for (int t = 0; t <= total; ++t) {
+        for (int u = 0; u + t <= total; ++u) {
+          const int v = total - t - u;
+          double val;
+          if (t > 0) {
+            val = pq.x * at(n + 1, t - 1, u, v);
+            if (t > 1) val += (t - 1) * at(n + 1, t - 2, u, v);
+          } else if (u > 0) {
+            val = pq.y * at(n + 1, t, u - 1, v);
+            if (u > 1) val += (u - 1) * at(n + 1, t, u - 2, v);
+          } else {
+            val = pq.z * at(n + 1, t, u, v - 1);
+            if (v > 1) val += (v - 1) * at(n + 1, t, u, v - 2);
+          }
+          at(n, t, u, v) = val;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mf

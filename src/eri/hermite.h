@@ -1,0 +1,64 @@
+#pragma once
+// McMurchie-Davidson Hermite machinery:
+//  * E^{ij}_t expansion coefficients of a 1D Gaussian product in Hermite
+//    Gaussians (with the K_AB prefactor folded into E^{00}_0);
+//  * R^n_{tuv} Hermite Coulomb integrals built on the Boys function;
+//  * Cartesian component enumeration for shells of angular momentum l.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace mf {
+
+/// Highest per-shell angular momentum the Cartesian engines support.
+constexpr int kMaxAm = 4;
+
+/// Cartesian exponent triple (lx, ly, lz).
+struct CartComponent {
+  int lx = 0, ly = 0, lz = 0;
+};
+
+/// Standard component ordering for angular momentum l: lx descending, then
+/// ly descending (s: 1; p: x,y,z; d: xx,xy,xz,yy,yz,zz; ...).
+const std::vector<CartComponent>& cartesian_components(int l);
+
+/// 1D Hermite expansion coefficients for a primitive pair in one dimension.
+/// Computes E_t^{i,j} for 0 <= i <= imax, 0 <= j <= jmax, 0 <= t <= i+j with
+/// E_0^{0,0} = exp(-mu * AB^2) folded in (mu = a*b/(a+b)).
+class HermiteE {
+ public:
+  /// a, b: exponents; ab = A_x - B_x for this dimension.
+  HermiteE(int imax, int jmax, double a, double b, double ab);
+
+  double operator()(int t, int i, int j) const {
+    return e_[(static_cast<std::size_t>(i) * stride_j_ + j) * stride_t_ + t];
+  }
+
+ private:
+  int stride_j_ = 0, stride_t_ = 0;
+  std::vector<double> e_;
+};
+
+/// Hermite Coulomb integrals R_{t,u,v} = R^0_{t,u,v}(alpha, PQ) for all
+/// t+u+v <= ltot. Results are read with operator()(t,u,v).
+class HermiteR {
+ public:
+  HermiteR() = default;
+
+  /// alpha: reduced exponent; pq: P - Q vector; ltot: max total Hermite order.
+  void compute(int ltot, double alpha, const Vec3& pq);
+
+  double operator()(int t, int u, int v) const {
+    return r_[(static_cast<std::size_t>(t) * stride_ + u) * stride_ + v];
+  }
+
+ private:
+  int stride_ = 0;
+  std::vector<double> r_;       // final n=0 layer
+  std::vector<double> work_;    // scratch for the n-layers
+};
+
+}  // namespace mf

@@ -1,0 +1,200 @@
+#include "eri/one_electron.h"
+
+#include <cmath>
+
+#include "eri/cart_sph.h"
+#include "eri/hermite.h"
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Renormalize a Cartesian pair block by per-component ratios.
+void renormalize_cart_pair(int la, int lb, std::vector<double>& block) {
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  std::size_t idx = 0;
+  for (const auto& a : ca) {
+    const double fa = component_norm_ratio(la, a);
+    for (const auto& b : cb) {
+      block[idx++] *= fa * component_norm_ratio(lb, b);
+    }
+  }
+}
+
+// Per-dimension 1D overlap integrals S_x(i,j) = E_0^{ij} sqrt(pi/p) for all
+// i <= imax+2, j <= jmax (the +2 accommodates the kinetic-energy formula).
+struct Overlap1D {
+  Overlap1D(int imax, int jmax, double a, double b, double abx)
+      : e(imax, jmax, a, b, abx), factor(std::sqrt(kPi / (a + b))) {}
+  double operator()(int i, int j) const { return e(0, i, j) * factor; }
+  HermiteE e;
+  double factor;
+};
+
+}  // namespace
+
+std::vector<double> overlap_block(const Shell& sa, const Shell& sb) {
+  const int la = sa.l, lb = sb.l;
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  std::vector<double> cart(ca.size() * cb.size(), 0.0);
+  const Vec3 ab = sa.center - sb.center;
+
+  for (std::size_t ip = 0; ip < sa.nprim(); ++ip) {
+    for (std::size_t jp = 0; jp < sb.nprim(); ++jp) {
+      const double a = sa.exponents[ip], b = sb.exponents[jp];
+      const double coef = sa.coefficients[ip] * sb.coefficients[jp];
+      const Overlap1D sx(la, lb, a, b, ab.x);
+      const Overlap1D sy(la, lb, a, b, ab.y);
+      const Overlap1D sz(la, lb, a, b, ab.z);
+      std::size_t idx = 0;
+      for (const auto& compa : ca) {
+        for (const auto& compb : cb) {
+          cart[idx++] += coef * sx(compa.lx, compb.lx) *
+                         sy(compa.ly, compb.ly) * sz(compa.lz, compb.lz);
+        }
+      }
+    }
+  }
+  renormalize_cart_pair(la, lb, cart);
+  return pair_to_spherical(la, lb, cart);
+}
+
+std::vector<double> kinetic_block(const Shell& sa, const Shell& sb) {
+  const int la = sa.l, lb = sb.l;
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  std::vector<double> cart(ca.size() * cb.size(), 0.0);
+  const Vec3 ab = sa.center - sb.center;
+
+  for (std::size_t ip = 0; ip < sa.nprim(); ++ip) {
+    for (std::size_t jp = 0; jp < sb.nprim(); ++jp) {
+      const double a = sa.exponents[ip], b = sb.exponents[jp];
+      const double coef = sa.coefficients[ip] * sb.coefficients[jp];
+      // Need overlaps with the ket index raised by up to 2.
+      const Overlap1D sx(la, lb + 2, a, b, ab.x);
+      const Overlap1D sy(la, lb + 2, a, b, ab.y);
+      const Overlap1D sz(la, lb + 2, a, b, ab.z);
+      // 1D kinetic: T(i,j) = -2b^2 S(i,j+2) + b(2j+1) S(i,j) - j(j-1)/2 S(i,j-2).
+      auto t1d = [b](const Overlap1D& s, int i, int j) {
+        double v = -2.0 * b * b * s(i, j + 2) + b * (2.0 * j + 1.0) * s(i, j);
+        if (j >= 2) v -= 0.5 * j * (j - 1) * s(i, j - 2);
+        return v;
+      };
+      std::size_t idx = 0;
+      for (const auto& compa : ca) {
+        for (const auto& compb : cb) {
+          const double txyz =
+              t1d(sx, compa.lx, compb.lx) * sy(compa.ly, compb.ly) *
+                  sz(compa.lz, compb.lz) +
+              sx(compa.lx, compb.lx) * t1d(sy, compa.ly, compb.ly) *
+                  sz(compa.lz, compb.lz) +
+              sx(compa.lx, compb.lx) * sy(compa.ly, compb.ly) *
+                  t1d(sz, compa.lz, compb.lz);
+          cart[idx++] += coef * txyz;
+        }
+      }
+    }
+  }
+  renormalize_cart_pair(la, lb, cart);
+  return pair_to_spherical(la, lb, cart);
+}
+
+std::vector<double> nuclear_block(const Shell& sa, const Shell& sb,
+                                  const Molecule& molecule) {
+  const int la = sa.l, lb = sb.l;
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  std::vector<double> cart(ca.size() * cb.size(), 0.0);
+  const Vec3 ab = sa.center - sb.center;
+  HermiteR rints;
+
+  for (std::size_t ip = 0; ip < sa.nprim(); ++ip) {
+    for (std::size_t jp = 0; jp < sb.nprim(); ++jp) {
+      const double a = sa.exponents[ip], b = sb.exponents[jp];
+      const double p = a + b;
+      const double coef = sa.coefficients[ip] * sb.coefficients[jp];
+      const Vec3 pctr = (sa.center * a + sb.center * b) * (1.0 / p);
+      const HermiteE ex(la, lb, a, b, ab.x);
+      const HermiteE ey(la, lb, a, b, ab.y);
+      const HermiteE ez(la, lb, a, b, ab.z);
+      const double pref = 2.0 * kPi / p * coef;
+
+      for (const Atom& nucleus : molecule.atoms()) {
+        rints.compute(la + lb, p, pctr - nucleus.position);
+        std::size_t idx = 0;
+        for (const auto& compa : ca) {
+          for (const auto& compb : cb) {
+            double acc = 0.0;
+            for (int t = 0; t <= compa.lx + compb.lx; ++t) {
+              const double ext = ex(t, compa.lx, compb.lx);
+              for (int u = 0; u <= compa.ly + compb.ly; ++u) {
+                const double eyu = ey(u, compa.ly, compb.ly);
+                for (int v = 0; v <= compa.lz + compb.lz; ++v) {
+                  acc += ext * eyu * ez(v, compa.lz, compb.lz) * rints(t, u, v);
+                }
+              }
+            }
+            cart[idx++] += -static_cast<double>(nucleus.z) * pref * acc;
+          }
+        }
+      }
+    }
+  }
+  renormalize_cart_pair(la, lb, cart);
+  return pair_to_spherical(la, lb, cart);
+}
+
+namespace {
+
+template <typename BlockFn>
+Matrix assemble(const Basis& basis, BlockFn&& block_fn) {
+  const std::size_t n = basis.num_functions();
+  Matrix m(n, n);
+  const std::size_t nshell = basis.num_shells();
+  for (std::size_t s1 = 0; s1 < nshell; ++s1) {
+    for (std::size_t s2 = s1; s2 < nshell; ++s2) {
+      const std::vector<double> block = block_fn(basis.shell(s1), basis.shell(s2));
+      const std::size_t o1 = basis.shell_offset(s1), n1 = basis.shell_size(s1);
+      const std::size_t o2 = basis.shell_offset(s2), n2 = basis.shell_size(s2);
+      for (std::size_t i = 0; i < n1; ++i) {
+        for (std::size_t j = 0; j < n2; ++j) {
+          m(o1 + i, o2 + j) = block[i * n2 + j];
+          m(o2 + j, o1 + i) = block[i * n2 + j];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matrix overlap_matrix(const Basis& basis) {
+  return assemble(basis,
+                  [](const Shell& a, const Shell& b) { return overlap_block(a, b); });
+}
+
+Matrix kinetic_matrix(const Basis& basis) {
+  return assemble(basis,
+                  [](const Shell& a, const Shell& b) { return kinetic_block(a, b); });
+}
+
+Matrix nuclear_matrix(const Basis& basis) {
+  const Molecule& mol = basis.molecule();
+  return assemble(basis, [&mol](const Shell& a, const Shell& b) {
+    return nuclear_block(a, b, mol);
+  });
+}
+
+Matrix core_hamiltonian(const Basis& basis) {
+  Matrix h = kinetic_matrix(basis);
+  h += nuclear_matrix(basis);
+  return h;
+}
+
+}  // namespace mf

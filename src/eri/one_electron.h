@@ -1,0 +1,32 @@
+#pragma once
+// One-electron integrals: overlap S, kinetic T, nuclear attraction V, and
+// the core Hamiltonian H = T + V. These are cheap (O(nshell^2)) and
+// precomputed once per HF run (Algorithm 1, lines 2-4).
+
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+/// Spherical overlap block for a shell pair, shape [sph(a)][sph(b)].
+std::vector<double> overlap_block(const Shell& a, const Shell& b);
+
+/// Spherical kinetic-energy block for a shell pair.
+std::vector<double> kinetic_block(const Shell& a, const Shell& b);
+
+/// Spherical nuclear-attraction block for a shell pair, summed over the
+/// nuclei of `molecule` (includes the -Z charges).
+std::vector<double> nuclear_block(const Shell& a, const Shell& b,
+                                  const Molecule& molecule);
+
+/// Full matrices over the basis.
+Matrix overlap_matrix(const Basis& basis);
+Matrix kinetic_matrix(const Basis& basis);
+Matrix nuclear_matrix(const Basis& basis);
+
+/// H_core = T + V.
+Matrix core_hamiltonian(const Basis& basis);
+
+}  // namespace mf

@@ -1,0 +1,173 @@
+#include "eri/screening.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+
+// Smallest reduced exponent mu = min_a min_b a*b/(a+b) over primitive pairs;
+// exp(-mu R^2) bounds how fast the pair's charge distribution decays.
+double min_reduced_exponent(const Shell& a, const Shell& b) {
+  double amin = a.exponents.front();
+  for (double e : a.exponents) amin = std::min(amin, e);
+  double bmin = b.exponents.front();
+  for (double e : b.exponents) bmin = std::min(bmin, e);
+  return amin * bmin / (amin + bmin);
+}
+
+}  // namespace
+
+ScreeningData::ScreeningData(const Basis& basis, const ScreeningOptions& options)
+    : tau_(options.tau), nshells_(basis.num_shells()) {
+  MF_THROW_IF(options.tau <= 0.0, "screening: tau must be positive");
+  pair_values_.assign(nshells_ * nshells_, 0.0);
+
+  EriEngine engine(options.eri);
+  const double log_prefilter =
+      options.prefilter > 0.0 ? std::log(options.prefilter) : 0.0;
+
+  for (std::size_t m = 0; m < nshells_; ++m) {
+    const Shell& sm = basis.shell(m);
+    for (std::size_t n = m; n < nshells_; ++n) {
+      const Shell& sn = basis.shell(n);
+      if (options.prefilter > 0.0) {
+        const double r2 = (sm.center - sn.center).norm2();
+        if (-min_reduced_exponent(sm, sn) * r2 < log_prefilter) {
+          continue;  // pair value stays 0: cannot be significant
+        }
+      }
+      const double v = engine.schwarz_pair_value(sm, sn);
+      pair_values_[m * nshells_ + n] = v;
+      pair_values_[n * nshells_ + m] = v;
+      max_pair_value_ = std::max(max_pair_value_, v);
+    }
+  }
+
+  rebuild_derived();
+}
+
+void ScreeningData::rebuild_derived() {
+  max_pair_value_ = 0.0;
+  for (double v : pair_values_) max_pair_value_ = std::max(max_pair_value_, v);
+  significance_threshold_ =
+      max_pair_value_ > 0.0 ? tau_ / max_pair_value_ : tau_;
+  sig_.assign(nshells_, {});
+  for (std::size_t m = 0; m < nshells_; ++m) {
+    for (std::size_t n = 0; n < nshells_; ++n) {
+      if (significant(m, n)) sig_[m].push_back(static_cast<std::uint32_t>(n));
+    }
+  }
+  nsig_pairs_ = 0;
+  for (std::size_t m = 0; m < nshells_; ++m) {
+    for (std::uint32_t n : sig_[m]) {
+      if (n >= m) ++nsig_pairs_;
+    }
+  }
+}
+
+namespace {
+constexpr std::uint64_t kScreeningCacheMagic = 0x4d46534352303144ULL;
+}
+
+bool ScreeningData::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  const std::uint64_t n64 = nshells_;
+  ok = ok && std::fwrite(&kScreeningCacheMagic, 8, 1, f) == 1;
+  ok = ok && std::fwrite(&tau_, 8, 1, f) == 1;
+  ok = ok && std::fwrite(&n64, 8, 1, f) == 1;
+  ok = ok && std::fwrite(pair_values_.data(), sizeof(double),
+                         pair_values_.size(), f) == pair_values_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<ScreeningData> ScreeningData::load(const std::string& path,
+                                                 std::size_t expected_nshells,
+                                                 double expected_tau) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::uint64_t magic = 0, n64 = 0;
+  double tau = 0.0;
+  bool ok = std::fread(&magic, 8, 1, f) == 1 && std::fread(&tau, 8, 1, f) == 1 &&
+            std::fread(&n64, 8, 1, f) == 1;
+  if (!ok || magic != kScreeningCacheMagic || n64 != expected_nshells ||
+      tau != expected_tau) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  ScreeningData data;
+  data.tau_ = tau;
+  data.nshells_ = expected_nshells;
+  data.pair_values_.resize(expected_nshells * expected_nshells);
+  ok = std::fread(data.pair_values_.data(), sizeof(double),
+                  data.pair_values_.size(), f) == data.pair_values_.size();
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  data.rebuild_derived();
+  return data;
+}
+
+double ScreeningData::avg_significant_set_size() const {
+  if (nshells_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& s : sig_) total += s.size();
+  return static_cast<double>(total) / static_cast<double>(nshells_);
+}
+
+double ScreeningData::avg_consecutive_overlap() const {
+  if (nshells_ < 2) return 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t m = 0; m + 1 < nshells_; ++m) {
+    const auto& a = sig_[m];
+    const auto& b = sig_[m + 1];
+    std::size_t i = 0, j = 0, common = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    total += common;
+  }
+  return static_cast<double>(total) / static_cast<double>(nshells_ - 1);
+}
+
+std::uint64_t ScreeningData::count_unique_screened_quartets() const {
+  // Collect values of all significant unordered pairs (M <= N); any quartet
+  // surviving (MN)(PQ) >= tau has both pairs significant.
+  std::vector<double> values;
+  for (std::size_t m = 0; m < nshells_; ++m) {
+    for (std::uint32_t n : sig_[m]) {
+      if (n >= m) values.push_back(pair_value(m, n));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  const std::size_t np = values.size();
+  // Two-pointer count of ordered pairs (i, j) with v_i * v_j >= tau.
+  std::uint64_t ordered = 0;
+  std::size_t j = np;
+  for (std::size_t i = 0; i < np; ++i) {
+    // Decreasing v_i as i goes down... iterate i ascending, j descending:
+    // smallest j such that values[i] * values[j] >= tau.
+    while (j > 0 && values[i] * values[j - 1] >= tau_) --j;
+    ordered += np - j;
+  }
+  std::uint64_t diag = 0;
+  for (double v : values) {
+    if (v * v >= tau_) ++diag;
+  }
+  return (ordered + diag) / 2;
+}
+
+}  // namespace mf

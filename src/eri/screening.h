@@ -1,0 +1,100 @@
+#pragma once
+// Cauchy-Schwarz screening data (Section II-D).
+//
+// For every shell pair MN the pair value (MN) = sqrt(max |(ij|ij)|) is
+// computed and stored; a quartet (MN|PQ) is skipped when (MN)(PQ) < tau.
+// A pair is *significant* when (MN) >= tau / m with m the largest pair
+// value; Phi(M) (the significant set of M, Section III-B) collects the
+// significant partners of M. Everything downstream — task definitions,
+// communication footprints, the simulator's cost model, Table II's quartet
+// counts — is derived from this object.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "eri/eri_engine.h"
+
+namespace mf {
+
+struct ScreeningOptions {
+  /// Integral drop tolerance tau (the paper uses 1e-10 throughout).
+  double tau = 1e-10;
+  /// Skip the exact (MN|MN) computation for pairs whose minimal-exponent
+  /// Gaussian overlap factor exp(-mu_min R^2) is below this; such pairs
+  /// cannot be significant at any realistic tau. Set to 0 to disable.
+  double prefilter = 1e-20;
+  EriEngineOptions eri;
+};
+
+class ScreeningData {
+ public:
+  ScreeningData() = default;
+  ScreeningData(const Basis& basis, const ScreeningOptions& options);
+
+  double tau() const { return tau_; }
+  std::size_t num_shells() const { return nshells_; }
+
+  /// Pair value (MN); symmetric.
+  double pair_value(std::size_t m, std::size_t n) const {
+    return pair_values_[m * nshells_ + n];
+  }
+  double max_pair_value() const { return max_pair_value_; }
+
+  /// True when the pair survives the significance test (MN) >= tau/m.
+  bool significant(std::size_t m, std::size_t n) const {
+    return pair_value(m, n) >= significance_threshold_;
+  }
+  double significance_threshold() const { return significance_threshold_; }
+
+  /// Phi(M): significant partners of shell M, ascending by shell index.
+  const std::vector<std::uint32_t>& significant_set(std::size_t m) const {
+    return sig_[m];
+  }
+
+  /// Quartet screening test for (MN|PQ): (MN)(PQ) >= tau.
+  bool keep_quartet(std::size_t m, std::size_t n, std::size_t p,
+                    std::size_t q) const {
+    return pair_value(m, n) * pair_value(p, q) >= tau_;
+  }
+
+  /// Total number of significant (unordered) shell pairs.
+  std::uint64_t num_significant_pairs() const { return nsig_pairs_; }
+
+  /// Average |Phi(M)| (the performance model's parameter B).
+  double avg_significant_set_size() const;
+
+  /// Average |Phi(M) intersect Phi(M+1)| (the model's parameter q); depends
+  /// on the shell ordering, which is the point of Section III-D.
+  double avg_consecutive_overlap() const;
+
+  /// Number of unique shell quartets surviving screening (Table II column),
+  /// counted over quartet equivalence classes under 8-fold symmetry.
+  std::uint64_t count_unique_screened_quartets() const;
+
+  /// Serialize pair values to a binary cache file (computing Schwarz
+  /// bounds for paper-sized molecules takes minutes; the bench harness
+  /// caches them across binaries). Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Load a cache written by save(); returns an empty optional when the
+  /// file is missing, malformed, or does not match (nshells, tau).
+  static std::optional<ScreeningData> load(const std::string& path,
+                                           std::size_t expected_nshells,
+                                           double expected_tau);
+
+ private:
+  void rebuild_derived();
+
+  double tau_ = 0.0;
+  double significance_threshold_ = 0.0;
+  double max_pair_value_ = 0.0;
+  std::size_t nshells_ = 0;
+  std::uint64_t nsig_pairs_ = 0;
+  std::vector<double> pair_values_;
+  std::vector<std::vector<std::uint32_t>> sig_;
+};
+
+}  // namespace mf

@@ -1,0 +1,67 @@
+#include "ga/comm_stats.h"
+
+#include "util/check.h"
+
+namespace mf {
+
+void CommStats::record(char kind, std::uint64_t bytes, bool remote) {
+  switch (kind) {
+    case 'g':
+      ++get_calls;
+      get_bytes += bytes;
+      break;
+    case 'p':
+      ++put_calls;
+      put_bytes += bytes;
+      break;
+    case 'a':
+      ++acc_calls;
+      acc_bytes += bytes;
+      break;
+    case 'r':
+      ++rmw_calls;
+      break;
+    default:
+      MF_CHECK_MSG(false, "unknown comm kind " << kind);
+  }
+  if (remote) {
+    ++remote_calls;
+    remote_bytes += bytes;
+  }
+}
+
+CommStats& CommStats::operator+=(const CommStats& o) {
+  get_calls += o.get_calls;
+  put_calls += o.put_calls;
+  acc_calls += o.acc_calls;
+  rmw_calls += o.rmw_calls;
+  get_bytes += o.get_bytes;
+  put_bytes += o.put_bytes;
+  acc_bytes += o.acc_bytes;
+  remote_calls += o.remote_calls;
+  remote_bytes += o.remote_bytes;
+  return *this;
+}
+
+CommSummary summarize(const std::vector<CommStats>& per_rank) {
+  CommSummary s;
+  if (per_rank.empty()) return s;
+  for (const CommStats& r : per_rank) {
+    const double calls = static_cast<double>(r.total_calls());
+    const double bytes = static_cast<double>(r.total_bytes());
+    s.avg_calls += calls;
+    s.avg_bytes += bytes;
+    s.avg_rmw += static_cast<double>(r.rmw_calls);
+    if (calls > s.max_calls) s.max_calls = calls;
+    if (bytes > s.max_bytes) s.max_bytes = bytes;
+  }
+  const double n = static_cast<double>(per_rank.size());
+  s.avg_calls /= n;
+  s.avg_bytes /= n;
+  s.avg_rmw /= n;
+  return s;
+}
+
+double to_megabytes(double bytes) { return bytes / 1.0e6; }
+
+}  // namespace mf

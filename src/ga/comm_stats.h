@@ -1,0 +1,47 @@
+#pragma once
+// Instrumentation of one-sided communication, mirroring the measurements
+// reported in Tables VI and VII of the paper: number of calls to Global
+// Arrays communication functions and bytes transferred per process
+// (including local transfers, as the paper does for fairness).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mf {
+
+struct CommStats {
+  std::uint64_t get_calls = 0;
+  std::uint64_t put_calls = 0;
+  std::uint64_t acc_calls = 0;
+  std::uint64_t rmw_calls = 0;  // read-modify-write (task counters, steals)
+  std::uint64_t get_bytes = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t acc_bytes = 0;
+  std::uint64_t remote_calls = 0;  // subset of calls that cross ranks
+  std::uint64_t remote_bytes = 0;
+
+  std::uint64_t total_calls() const {
+    return get_calls + put_calls + acc_calls + rmw_calls;
+  }
+  std::uint64_t total_bytes() const { return get_bytes + put_bytes + acc_bytes; }
+
+  void record(char kind, std::uint64_t bytes, bool remote);
+
+  CommStats& operator+=(const CommStats& o);
+};
+
+/// Average and maximum over per-rank stats; used for table reporting.
+struct CommSummary {
+  double avg_calls = 0.0;
+  double avg_bytes = 0.0;
+  double max_calls = 0.0;
+  double max_bytes = 0.0;
+  double avg_rmw = 0.0;
+};
+CommSummary summarize(const std::vector<CommStats>& per_rank);
+
+/// Megabytes with the paper's convention (1 MB = 1e6 bytes).
+double to_megabytes(double bytes);
+
+}  // namespace mf

@@ -1,0 +1,89 @@
+#include "ga/distribution.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mf {
+
+Partition1D::Partition1D(std::vector<std::size_t> starts)
+    : starts_(std::move(starts)) {
+  MF_THROW_IF(starts_.size() < 2, "partition needs at least one part");
+  MF_THROW_IF(starts_.front() != 0, "partition must start at 0");
+  for (std::size_t k = 0; k + 1 < starts_.size(); ++k) {
+    MF_THROW_IF(starts_[k] > starts_[k + 1], "partition starts must be sorted");
+  }
+}
+
+Partition1D Partition1D::even(std::size_t n, std::size_t parts) {
+  MF_THROW_IF(parts == 0, "partition: parts must be > 0");
+  std::vector<std::size_t> starts(parts + 1);
+  const std::size_t base = n / parts, extra = n % parts;
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < parts; ++k) {
+    starts[k] = pos;
+    pos += base + (k < extra ? 1 : 0);
+  }
+  starts[parts] = n;
+  return Partition1D(std::move(starts));
+}
+
+std::size_t Partition1D::part_of(std::size_t i) const {
+  MF_CHECK(i < total());
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), i);
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+Distribution2D::Distribution2D(ProcessGrid grid, Partition1D rows,
+                               Partition1D cols)
+    : grid_(grid), rows_(std::move(rows)), cols_(std::move(cols)) {
+  MF_THROW_IF(rows_.num_parts() != grid_.rows(),
+              "row partition does not match grid rows");
+  MF_THROW_IF(cols_.num_parts() != grid_.cols(),
+              "column partition does not match grid cols");
+}
+
+Partition1D partition_by_shells(const Basis& basis, std::size_t parts) {
+  const std::size_t nshells = basis.num_shells();
+  const Partition1D shell_parts = Partition1D::even(nshells, parts);
+  std::vector<std::size_t> starts(parts + 1);
+  for (std::size_t k = 0; k < parts; ++k) {
+    const std::size_t s = shell_parts.begin(k);
+    starts[k] = s < nshells ? basis.shell_offset(s) : basis.num_functions();
+  }
+  starts[parts] = basis.num_functions();
+  return Partition1D(std::move(starts));
+}
+
+Partition1D partition_by_atoms(const Basis& basis, std::size_t parts) {
+  const std::size_t natoms = basis.molecule().size();
+  const Partition1D atom_parts = Partition1D::even(natoms, parts);
+  std::vector<std::size_t> starts(parts + 1);
+  for (std::size_t k = 0; k < parts; ++k) {
+    const std::size_t a = atom_parts.begin(k);
+    if (a >= natoms) {
+      starts[k] = basis.num_functions();
+      continue;
+    }
+    // First shell of atom a; atoms are laid out in order.
+    const auto& shells = basis.atom_shells(a);
+    MF_CHECK_MSG(!shells.empty(), "atom " << a << " has no shells");
+    starts[k] = basis.shell_offset(shells.front());
+  }
+  starts[parts] = basis.num_functions();
+  return Partition1D(std::move(starts));
+}
+
+Distribution2D gtfock_distribution(const Basis& basis, const ProcessGrid& grid) {
+  return Distribution2D(grid, partition_by_shells(basis, grid.rows()),
+                        partition_by_shells(basis, grid.cols()));
+}
+
+Distribution2D nwchem_distribution(const Basis& basis, std::size_t nprocs) {
+  ProcessGrid grid(nprocs, 1);
+  std::vector<std::size_t> col_starts{0, basis.num_functions()};
+  return Distribution2D(grid, partition_by_atoms(basis, nprocs),
+                        Partition1D(std::move(col_starts)));
+}
+
+}  // namespace mf

@@ -1,0 +1,78 @@
+#pragma once
+// Data distributions for the distributed F and D matrices.
+//
+// The paper's algorithm stores F and D 2D-blocked over the process grid by
+// shell ranges (Section III-E); NWChem's baseline uses block rows grouped
+// by atoms (Section II-F). Both are expressed as a pair of 1D partitions of
+// the basis-function index space whose cut points fall on shell boundaries.
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "ga/process_grid.h"
+
+namespace mf {
+
+/// Partition of [0, n) into contiguous parts; part k is [starts[k],
+/// starts[k+1]).
+class Partition1D {
+ public:
+  Partition1D() = default;
+  explicit Partition1D(std::vector<std::size_t> starts);
+
+  /// Even split of `n` elements into `parts` parts (remainder spread over
+  /// the leading parts).
+  static Partition1D even(std::size_t n, std::size_t parts);
+
+  std::size_t num_parts() const { return starts_.size() - 1; }
+  std::size_t total() const { return starts_.back(); }
+  std::size_t begin(std::size_t part) const { return starts_[part]; }
+  std::size_t end(std::size_t part) const { return starts_[part + 1]; }
+  std::size_t size(std::size_t part) const {
+    return starts_[part + 1] - starts_[part];
+  }
+
+  /// Part containing index i (binary search).
+  std::size_t part_of(std::size_t i) const;
+
+ private:
+  std::vector<std::size_t> starts_{0};
+};
+
+/// 2D distribution: row partition x column partition mapped onto a grid.
+class Distribution2D {
+ public:
+  Distribution2D() = default;
+  Distribution2D(ProcessGrid grid, Partition1D rows, Partition1D cols);
+
+  const ProcessGrid& grid() const { return grid_; }
+  const Partition1D& rows() const { return rows_; }
+  const Partition1D& cols() const { return cols_; }
+
+  std::size_t owner(std::size_t i, std::size_t j) const {
+    return grid_.rank_of(rows_.part_of(i), cols_.part_of(j));
+  }
+
+ private:
+  ProcessGrid grid_;
+  Partition1D rows_;
+  Partition1D cols_;
+};
+
+/// Shell-range partition converted to basis-function space: splits shells
+/// evenly into `parts` contiguous ranges, cut points at shell boundaries.
+Partition1D partition_by_shells(const Basis& basis, std::size_t parts);
+
+/// Function-space partition by atom block-rows (NWChem, Section II-F):
+/// process i owns atoms [i*natoms/p, (i+1)*natoms/p). Requires the basis
+/// shells to be grouped by atom in order (true unless reordered).
+Partition1D partition_by_atoms(const Basis& basis, std::size_t parts);
+
+/// GTFock's distribution: 2D-blocked by shell ranges over the grid.
+Distribution2D gtfock_distribution(const Basis& basis, const ProcessGrid& grid);
+
+/// NWChem's distribution: block rows by atoms, full columns.
+Distribution2D nwchem_distribution(const Basis& basis, std::size_t nprocs);
+
+}  // namespace mf

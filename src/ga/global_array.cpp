@@ -1,0 +1,174 @@
+#include "ga/global_array.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mf {
+
+GlobalArray::GlobalArray(Distribution2D dist) : dist_(std::move(dist)) {
+  const ProcessGrid& grid = dist_.grid();
+  blocks_.resize(grid.size());
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      auto block = std::make_unique<Block>();
+      block->data.assign(dist_.rows().size(pi) * dist_.cols().size(pj), 0.0);
+      blocks_[grid.rank_of(pi, pj)] = std::move(block);
+    }
+  }
+  stats_.resize(grid.size());
+}
+
+template <typename Fn>
+void GlobalArray::for_each_intersection(std::size_t r0, std::size_t r1,
+                                        std::size_t c0, std::size_t c1,
+                                        Fn&& fn) {
+  MF_CHECK(r0 <= r1 && r1 <= rows() && c0 <= c1 && c1 <= cols());
+  if (r0 == r1 || c0 == c1) return;
+  const Partition1D& rp = dist_.rows();
+  const Partition1D& cp = dist_.cols();
+  const std::size_t pi0 = rp.part_of(r0), pi1 = rp.part_of(r1 - 1);
+  const std::size_t pj0 = cp.part_of(c0), pj1 = cp.part_of(c1 - 1);
+  for (std::size_t pi = pi0; pi <= pi1; ++pi) {
+    if (rp.size(pi) == 0) continue;
+    const std::size_t br0 = std::max(r0, rp.begin(pi));
+    const std::size_t br1 = std::min(r1, rp.end(pi));
+    if (br0 >= br1) continue;
+    for (std::size_t pj = pj0; pj <= pj1; ++pj) {
+      if (cp.size(pj) == 0) continue;
+      const std::size_t bc0 = std::max(c0, cp.begin(pj));
+      const std::size_t bc1 = std::min(c1, cp.end(pj));
+      if (bc0 >= bc1) continue;
+      fn(pi, pj, br0, br1, bc0, bc1);
+    }
+  }
+}
+
+void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
+                      std::size_t c0, std::size_t c1, double* out) {
+  const std::size_t ld = c1 - c0;
+  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
+                                            std::size_t br0, std::size_t br1,
+                                            std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist_.grid().rank_of(pi, pj);
+    Block& block = *blocks_[rank];
+    const std::size_t bld = dist_.cols().size(pj);
+    for (std::size_t r = br0; r < br1; ++r) {
+      const double* src = block.data.data() +
+                          (r - dist_.rows().begin(pi)) * bld +
+                          (bc0 - dist_.cols().begin(pj));
+      double* dst = out + (r - r0) * ld + (bc0 - c0);
+      std::copy(src, src + (bc1 - bc0), dst);
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    stats_[caller].record('g', bytes, rank != caller);
+  });
+}
+
+void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
+                      std::size_t c0, std::size_t c1, const double* in) {
+  const std::size_t ld = c1 - c0;
+  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
+                                            std::size_t br0, std::size_t br1,
+                                            std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist_.grid().rank_of(pi, pj);
+    Block& block = *blocks_[rank];
+    const std::size_t bld = dist_.cols().size(pj);
+    std::lock_guard<std::mutex> lock(block.mutex);
+    for (std::size_t r = br0; r < br1; ++r) {
+      const double* src = in + (r - r0) * ld + (bc0 - c0);
+      double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
+                    (bc0 - dist_.cols().begin(pj));
+      std::copy(src, src + (bc1 - bc0), dst);
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    stats_[caller].record('p', bytes, rank != caller);
+  });
+}
+
+void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
+                      std::size_t c0, std::size_t c1, const double* in,
+                      double alpha) {
+  const std::size_t ld = c1 - c0;
+  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
+                                            std::size_t br0, std::size_t br1,
+                                            std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist_.grid().rank_of(pi, pj);
+    Block& block = *blocks_[rank];
+    const std::size_t bld = dist_.cols().size(pj);
+    std::lock_guard<std::mutex> lock(block.mutex);
+    for (std::size_t r = br0; r < br1; ++r) {
+      const double* src = in + (r - r0) * ld + (bc0 - c0);
+      double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
+                    (bc0 - dist_.cols().begin(pj));
+      for (std::size_t c = 0; c < bc1 - bc0; ++c) dst[c] += alpha * src[c];
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    stats_[caller].record('a', bytes, rank != caller);
+  });
+}
+
+void GlobalArray::fill(double value) {
+  for (auto& block : blocks_) {
+    std::fill(block->data.begin(), block->data.end(), value);
+  }
+}
+
+Matrix GlobalArray::to_matrix() const {
+  Matrix m(rows(), cols());
+  const ProcessGrid& grid = dist_.grid();
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      const Block& block = *blocks_[grid.rank_of(pi, pj)];
+      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c) {
+          m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c) =
+              block.data[r * nc + c];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+void GlobalArray::from_matrix(const Matrix& m) {
+  MF_THROW_IF(m.rows() != rows() || m.cols() != cols(),
+              "from_matrix: shape mismatch");
+  const ProcessGrid& grid = dist_.grid();
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      Block& block = *blocks_[grid.rank_of(pi, pj)];
+      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c) {
+          block.data[r * nc + c] =
+              m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c);
+        }
+      }
+    }
+  }
+}
+
+void GlobalArray::reset_stats() {
+  stats_.assign(stats_.size(), CommStats{});
+}
+
+GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
+                             long initial)
+    : owner_(owner_rank), value_(initial), stats_(nranks) {}
+
+long GlobalCounter::fetch_add(std::size_t caller, long delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const long old = value_;
+  value_ += delta;
+  stats_[caller].record('r', sizeof(long), caller != owner_);
+  return old;
+}
+
+long GlobalCounter::load() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+}  // namespace mf

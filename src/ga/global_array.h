@@ -1,0 +1,99 @@
+#pragma once
+// Global-Arrays-like distributed dense matrix with one-sided semantics.
+//
+// The paper phrases all communication through Global Arrays [23]: one-sided
+// Get/Put/Accumulate on a matrix distributed over ranks, plus atomic
+// read-modify-write counters (NGA_Read_inc) for task queues. This substrate
+// reproduces those semantics inside one OS process: each simulated rank owns
+// one block of the matrix; any rank may Get/Put/Acc any rectangle. Every
+// operation is instrumented per calling rank (one transfer per owner block
+// touched, which is how GA issues them) so Tables VI/VII can be measured
+// rather than estimated.
+//
+// Thread safety: concurrent Acc to the same block serialize on the block
+// mutex (GA guarantees atomic accumulate); Get/Put of disjoint regions are
+// safe. Phase discipline (prefetch -> compute -> flush) is the caller's job,
+// exactly as in the real code.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ga/comm_stats.h"
+#include "ga/distribution.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+class GlobalArray {
+ public:
+  explicit GlobalArray(Distribution2D dist);
+
+  const Distribution2D& distribution() const { return dist_; }
+  std::size_t rows() const { return dist_.rows().total(); }
+  std::size_t cols() const { return dist_.cols().total(); }
+
+  /// One-sided get of rows [r0,r1) x cols [c0,c1) into `out` (row-major,
+  /// leading dimension c1-c0). `caller` is the requesting rank.
+  void get(std::size_t caller, std::size_t r0, std::size_t r1, std::size_t c0,
+           std::size_t c1, double* out);
+
+  /// One-sided put.
+  void put(std::size_t caller, std::size_t r0, std::size_t r1, std::size_t c0,
+           std::size_t c1, const double* in);
+
+  /// One-sided atomic accumulate: A[r,c] += alpha * in[...].
+  void acc(std::size_t caller, std::size_t r0, std::size_t r1, std::size_t c0,
+           std::size_t c1, const double* in, double alpha = 1.0);
+
+  void fill(double value);
+
+  /// Gather the full matrix (verification / small problems only).
+  Matrix to_matrix() const;
+  /// Scatter from a full matrix.
+  void from_matrix(const Matrix& m);
+
+  /// Per-rank communication counters (size = grid size).
+  const std::vector<CommStats>& stats() const { return stats_; }
+  std::vector<CommStats>& mutable_stats() { return stats_; }
+  void reset_stats();
+
+ private:
+  struct Block {
+    std::vector<double> data;  // row-major, dims from the partitions
+    std::mutex mutex;
+  };
+
+  template <typename Fn>
+  void for_each_intersection(std::size_t r0, std::size_t r1, std::size_t c0,
+                             std::size_t c1, Fn&& fn);
+
+  Distribution2D dist_;
+  std::vector<std::unique_ptr<Block>> blocks_;  // grid row-major
+  std::vector<CommStats> stats_;
+};
+
+/// Atomic global counter owned by one rank, modeling NGA_Read_inc /
+/// ARMCI_Rmw — the primitive under NWChem's centralized dynamic scheduler
+/// and under the task queues of the work-stealing scheduler.
+class GlobalCounter {
+ public:
+  explicit GlobalCounter(std::size_t owner_rank, std::size_t nranks,
+                         long initial = 0);
+
+  /// Atomically returns the current value and adds `delta`.
+  long fetch_add(std::size_t caller, long delta = 1);
+
+  long load() const;
+
+  const std::vector<CommStats>& stats() const { return stats_; }
+
+ private:
+  std::size_t owner_;
+  mutable std::mutex mutex_;
+  long value_;
+  std::vector<CommStats> stats_;
+};
+
+}  // namespace mf

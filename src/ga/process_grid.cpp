@@ -1,0 +1,14 @@
+#include "ga/process_grid.h"
+
+#include <cmath>
+
+namespace mf {
+
+ProcessGrid ProcessGrid::squarest(std::size_t p) {
+  MF_THROW_IF(p == 0, "process count must be > 0");
+  std::size_t rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(p)));
+  while (rows > 1 && p % rows != 0) --rows;
+  return ProcessGrid(rows, p / rows);
+}
+
+}  // namespace mf

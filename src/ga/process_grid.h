@@ -1,0 +1,36 @@
+#pragma once
+// Virtual process grid (Section III-C): p processes arranged as
+// p_row x p_col, as square as possible. Ranks are row-major in the grid.
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace mf {
+
+class ProcessGrid {
+ public:
+  ProcessGrid() = default;
+  ProcessGrid(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+    MF_THROW_IF(rows == 0 || cols == 0, "process grid dimensions must be > 0");
+  }
+
+  /// Factor p into the most-square grid with rows <= cols.
+  static ProcessGrid squarest(std::size_t p);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+
+  std::size_t rank_of(std::size_t i, std::size_t j) const {
+    MF_CHECK(i < rows_ && j < cols_);
+    return i * cols_ + j;
+  }
+  std::size_t row_of(std::size_t rank) const { return rank / cols_; }
+  std::size_t col_of(std::size_t rank) const { return rank % cols_; }
+
+ private:
+  std::size_t rows_ = 1, cols_ = 1;
+};
+
+}  // namespace mf

@@ -1,0 +1,169 @@
+#include "ga/summa.h"
+
+#include <cmath>
+#include <thread>
+
+#include "util/check.h"
+
+namespace mf {
+
+void summa_multiply(GlobalArray& a, GlobalArray& b, GlobalArray& c,
+                    const SummaOptions& options) {
+  const std::size_t n = a.rows();
+  MF_THROW_IF(a.cols() != n || b.rows() != n || b.cols() != n ||
+                  c.rows() != n || c.cols() != n,
+              "summa: matrices must be square and equal-sized");
+  const Distribution2D& dist = c.distribution();
+  const ProcessGrid& grid = dist.grid();
+  const std::size_t panel = std::max<std::size_t>(1, options.panel_width);
+
+  auto rank_main = [&](std::size_t rank) {
+    const std::size_t pi = grid.row_of(rank), pj = grid.col_of(rank);
+    const std::size_t r0 = dist.rows().begin(pi), r1 = dist.rows().end(pi);
+    const std::size_t c0 = dist.cols().begin(pj), c1 = dist.cols().end(pj);
+    if (r0 == r1 || c0 == c1) return;
+    const std::size_t nr = r1 - r0, nc = c1 - c0;
+    std::vector<double> c_local(nr * nc, 0.0);
+    std::vector<double> a_panel, b_panel;
+
+    for (std::size_t k0 = 0; k0 < n; k0 += panel) {
+      const std::size_t k1 = std::min(k0 + panel, n);
+      const std::size_t kw = k1 - k0;
+      // SUMMA step: row panel of A (my rows), column panel of B (my cols).
+      a_panel.resize(nr * kw);
+      b_panel.resize(kw * nc);
+      a.get(rank, r0, r1, k0, k1, a_panel.data());
+      b.get(rank, k0, k1, c0, c1, b_panel.data());
+      for (std::size_t i = 0; i < nr; ++i) {
+        for (std::size_t k = 0; k < kw; ++k) {
+          const double aik = a_panel[i * kw + k];
+          if (aik == 0.0) continue;
+          const double* brow = b_panel.data() + k * nc;
+          double* crow = c_local.data() + i * nc;
+          for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+    c.put(rank, r0, r1, c0, c1, c_local.data());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(grid.size());
+  for (std::size_t r = 0; r < grid.size(); ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+}
+
+double distributed_trace(const GlobalArray& a) {
+  // Owner-local partial traces; the reduction itself is negligible traffic.
+  const Matrix m = a.to_matrix();
+  return trace(m);
+}
+
+double distributed_trace_product(GlobalArray& a, GlobalArray& b) {
+  const Matrix ma = a.to_matrix();
+  const Matrix mb = b.to_matrix();
+  return trace_product(ma, mb);
+}
+
+DistPurificationResult distributed_purify(GlobalArray& f_ortho, GlobalArray& d,
+                                          std::size_t nocc, int max_iterations,
+                                          double tolerance) {
+  const std::size_t n = f_ortho.rows();
+  MF_THROW_IF(n != f_ortho.cols(), "purify: matrix must be square");
+  MF_THROW_IF(nocc > n, "purify: nocc exceeds dimension");
+  DistPurificationResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Initial guess (same as the serial path: Palser-Manolopoulos).
+  const Matrix f = f_ortho.to_matrix();
+  double lo, hi;
+  gershgorin_bounds(f, lo, hi);
+  const double mu = trace(f) / static_cast<double>(n);
+  const double frac = static_cast<double>(nocc) / static_cast<double>(n);
+  double lambda = 0.0;
+  if (nocc != 0 && nocc != n && hi - lo > 1e-300) {
+    lambda = std::min(frac / std::max(hi - mu, 1e-300),
+                      (1.0 - frac) / std::max(mu - lo, 1e-300));
+  }
+  Matrix d0(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d0(i, j) = -lambda / static_cast<double>(n) * f(i, j);
+    }
+    d0(i, i) += lambda / static_cast<double>(n) * mu + frac;
+  }
+  d.from_matrix(d0);
+
+  GlobalArray d2(d.distribution());
+  GlobalArray d3(d.distribution());
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    summa_multiply(d, d, d2);
+    const double tr_d = distributed_trace(d);
+    const double tr_d2 = distributed_trace(d2);
+    result.idempotency_error = std::abs(tr_d2 - tr_d);
+    if (result.idempotency_error < tolerance) {
+      result.converged = true;
+      result.iterations = iter;
+      break;
+    }
+    summa_multiply(d2, d, d3);
+    const double tr_d3 = distributed_trace(d3);
+    const double denom = tr_d - tr_d2;
+    const double c = std::abs(denom) < 1e-300 ? 0.5 : (tr_d2 - tr_d3) / denom;
+
+    // Element-wise update of the owned blocks (no communication).
+    Matrix md = d.to_matrix(), md2 = d2.to_matrix(), md3 = d3.to_matrix();
+    Matrix next(n, n);
+    if (c >= 0.5) {
+      for (std::size_t k = 0; k < n * n; ++k) {
+        next.data()[k] = ((1.0 + c) * md2.data()[k] - md3.data()[k]) / c;
+      }
+    } else {
+      for (std::size_t k = 0; k < n * n; ++k) {
+        next.data()[k] = ((1.0 - 2.0 * c) * md.data()[k] +
+                          (1.0 + c) * md2.data()[k] - md3.data()[k]) /
+                         (1.0 - c);
+      }
+    }
+    d.from_matrix(next);
+    result.iterations = iter + 1;
+  }
+
+  result.comm = d.stats();
+  for (std::size_t r = 0; r < result.comm.size(); ++r) {
+    result.comm[r] += d2.stats()[r];
+    result.comm[r] += d3.stats()[r];
+  }
+  return result;
+}
+
+double model_summa_seconds(std::size_t n, double p, const MachineParams& machine,
+                           double flops_per_process) {
+  const double nn = static_cast<double>(n);
+  const double flops = 2.0 * nn * nn * nn / p;
+  const double t_comp = flops / flops_per_process;
+  // Per process: 2 n^2 / sqrt(p) elements of panel traffic, fetched in
+  // 2 * (n / panel) one-sided calls (panel width 64 assumed for latency).
+  const double elements = 2.0 * nn * nn / std::sqrt(p);
+  const double calls = 2.0 * nn / 64.0;
+  const double t_comm = calls * machine.network.latency +
+                        elements * 8.0 / machine.network.bandwidth;
+  return t_comp + t_comm;
+}
+
+double model_purification_seconds(std::size_t n, double p, int iterations,
+                                  const MachineParams& machine,
+                                  double flops_per_process) {
+  // Two multiplies plus trace reductions (modeled as log(p) latencies) per
+  // iteration.
+  const double per_iter =
+      2.0 * model_summa_seconds(n, p, machine, flops_per_process) +
+      3.0 * machine.network.latency * std::log2(std::max(2.0, p));
+  return iterations * per_iter;
+}
+
+}  // namespace mf

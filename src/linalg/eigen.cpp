@@ -1,0 +1,119 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mf {
+
+EigenResult eigh(const Matrix& a_in, double tol, int max_sweeps) {
+  MF_THROW_IF(a_in.rows() != a_in.cols(), "eigh: matrix must be square");
+  const std::size_t n = a_in.rows();
+  Matrix a = a_in;
+  symmetrize(a);
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&a, n]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(frobenius_norm(a), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p), aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // tan of the rotation angle, the numerically stable form.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors.resize(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) result.vectors(i, k) = v(i, order[k]);
+  }
+  return result;
+}
+
+Matrix inverse_sqrt(const Matrix& s, double threshold) {
+  const EigenResult eig = eigh(s);
+  const std::size_t n = s.rows();
+  MF_THROW_IF(!eig.values.empty() && eig.values.front() < threshold,
+              "inverse_sqrt: matrix not positive definite (min eigenvalue "
+                  << (eig.values.empty() ? 0.0 : eig.values.front()) << ")");
+  Matrix x(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const double w = 1.0 / std::sqrt(eig.values[k]);
+      x(i, k) = eig.vectors(i, k) * w;
+    }
+  Matrix out;
+  gemm(x, false, eig.vectors, true, 1.0, 0.0, out);
+  symmetrize(out);
+  return out;
+}
+
+Matrix sym_pow(const Matrix& a, double p, double threshold) {
+  const EigenResult eig = eigh(a);
+  const std::size_t n = a.rows();
+  Matrix x(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double w = eig.values[k];
+    w = (w <= threshold && p < 0) ? 0.0 : std::pow(w, p);
+    for (std::size_t i = 0; i < n; ++i) x(i, k) = eig.vectors(i, k) * w;
+  }
+  Matrix out;
+  gemm(x, false, eig.vectors, true, 1.0, 0.0, out);
+  return out;
+}
+
+Matrix density_from_eigenvectors(const EigenResult& eig, std::size_t nocc) {
+  const std::size_t n = eig.vectors.rows();
+  MF_THROW_IF(nocc > n, "density: nocc exceeds basis size");
+  Matrix c_occ(n, nocc);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < nocc; ++k) c_occ(i, k) = eig.vectors(i, k);
+  Matrix d;
+  gemm(c_occ, false, c_occ, true, 1.0, 0.0, d);
+  symmetrize(d);
+  return d;
+}
+
+}  // namespace mf

@@ -1,0 +1,39 @@
+#pragma once
+// Symmetric eigensolver (cyclic Jacobi) and the derived transforms the SCF
+// driver needs: S^{-1/2} basis orthogonalization and density formation from
+// occupied eigenvectors.
+//
+// Jacobi is O(n^3) with a larger constant than tridiagonalization but is
+// simple, accurate, and the matrices diagonalized here (overlap, transformed
+// Fock) are at most a few thousand on the real-execution path; large-scale
+// runs use purification instead, as in the paper (Section IV-E).
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mf {
+
+struct EigenResult {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // column k is the eigenvector of values[k]
+};
+
+/// Full eigendecomposition of a symmetric matrix by cyclic Jacobi sweeps.
+/// Throws if `a` is not square. Asymmetry is tolerated to ~1e-12 (the input
+/// is symmetrized internally).
+EigenResult eigh(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+/// Inverse square root S^{-1/2} of a symmetric positive-definite matrix.
+/// Eigenvalues below `threshold` are rejected (linear dependence).
+Matrix inverse_sqrt(const Matrix& s, double threshold = 1e-10);
+
+/// Matrix power A^p for symmetric A via the eigendecomposition.
+Matrix sym_pow(const Matrix& a, double p, double threshold = 0.0);
+
+/// Closed-shell density: D = C_occ * C_occ^T using the lowest `nocc`
+/// eigenvectors (note: the paper defines D = 2 C_occ C_occ^T; the factor 2
+/// convention is applied by the caller — see scf/hf.h).
+Matrix density_from_eigenvectors(const EigenResult& eig, std::size_t nocc);
+
+}  // namespace mf

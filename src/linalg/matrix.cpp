@@ -1,0 +1,151 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mf {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  MF_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  MF_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+namespace {
+
+// Inner kernel: C[mb x nb] += A[mb x kb] * B[kb x nb], contiguous row-major
+// panels addressed through strides.
+void gemm_block(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                double* c, std::size_t ldc, std::size_t mb, std::size_t nb,
+                std::size_t kb) {
+  for (std::size_t i = 0; i < mb; ++i) {
+    for (std::size_t k = 0; k < kb; ++k) {
+      const double aik = a[i * lda + k];
+      if (aik == 0.0) continue;
+      const double* brow = b + k * ldb;
+      double* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nb; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          double alpha, double beta, Matrix& c) {
+  const Matrix& am = trans_a ? a.transposed() : a;
+  const Matrix& bm = trans_b ? b.transposed() : b;
+  // Note: transposed() copies; fine at our sizes and keeps the kernel simple.
+  const std::size_t m = am.rows(), k = am.cols(), n = bm.cols();
+  MF_CHECK_MSG(bm.rows() == k, "gemm: inner dimensions mismatch");
+  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+  if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    c *= beta;
+  }
+  if (alpha == 0.0) return;
+
+  Matrix scaled;
+  const Matrix* ap = &am;
+  if (alpha != 1.0) {
+    scaled = am;
+    scaled *= alpha;
+    ap = &scaled;
+  }
+
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t mb = std::min(kBlock, m - i0);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::size_t kb = std::min(kBlock, k - k0);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+        const std::size_t nb = std::min(kBlock, n - j0);
+        gemm_block(ap->row(i0) + k0, ap->cols(), bm.row(k0) + j0, bm.cols(),
+                   c.row(i0) + j0, c.cols(), mb, nb, kb);
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm(a, false, b, false, 1.0, 0.0, c);
+  return c;
+}
+
+void symmetrize(Matrix& a) {
+  MF_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  const double* p = a.data();
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) s += p[i] * p[i];
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  MF_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+double trace(const Matrix& a) {
+  MF_CHECK(a.rows() == a.cols());
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) t += a(i, i);
+  return t;
+}
+
+double trace_product(const Matrix& a, const Matrix& b) {
+  MF_CHECK(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows());
+  double t = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) t += a(i, j) * b(j, i);
+  return t;
+}
+
+void gershgorin_bounds(const Matrix& a, double& lo, double& hi) {
+  MF_CHECK(a.rows() == a.cols());
+  lo = 1e300;
+  hi = -1e300;
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) radius += std::abs(a(i, j));
+    lo = std::min(lo, a(i, i) - radius);
+    hi = std::max(hi, a(i, i) + radius);
+  }
+}
+
+}  // namespace mf

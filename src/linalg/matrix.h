@@ -1,0 +1,91 @@
+#pragma once
+// Dense row-major matrix and the handful of BLAS-like kernels the library
+// needs (GEMM with transposes, symmetrization, norms, traces).
+//
+// The matrices here are modest (n_basis ≤ a few thousand); clarity and
+// testability are prioritized, with a blocked GEMM for cache behaviour.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, with op controlled by trans flags.
+void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          double alpha, double beta, Matrix& c);
+
+/// Convenience: returns A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Symmetrize in place: A <- (A + A^T) / 2.
+void symmetrize(Matrix& a);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// Max |a_ij - b_ij|.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Trace of a square matrix.
+double trace(const Matrix& a);
+
+/// Trace of A*B without forming the product (A, B square, same size).
+double trace_product(const Matrix& a, const Matrix& b);
+
+/// Gershgorin bounds [lo, hi] on the spectrum of a symmetric matrix.
+void gershgorin_bounds(const Matrix& a, double& lo, double& hi);
+
+}  // namespace mf

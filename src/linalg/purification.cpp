@@ -1,0 +1,89 @@
+#include "linalg/purification.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mf {
+
+Matrix mcweeny_step(const Matrix& d) {
+  Matrix d2 = matmul(d, d);
+  Matrix d3 = matmul(d2, d);
+  Matrix out = d2;
+  out *= 3.0;
+  d3 *= 2.0;
+  out -= d3;
+  return out;
+}
+
+PurificationResult purify_density(const Matrix& f_ortho, std::size_t nocc,
+                                  const PurificationOptions& opts) {
+  MF_THROW_IF(f_ortho.rows() != f_ortho.cols(), "purify: matrix must be square");
+  const std::size_t n = f_ortho.rows();
+  MF_THROW_IF(nocc > n, "purify: nocc exceeds dimension");
+  PurificationResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Initial guess (Palser-Manolopoulos): D0 = (lambda/n)(mu*I - F) + (nocc/n)I
+  // with mu = tr(F)/n and lambda chosen so the spectrum of D0 lies in [0,1].
+  double lo, hi;
+  gershgorin_bounds(f_ortho, lo, hi);
+  const double mu = trace(f_ortho) / static_cast<double>(n);
+  const double frac = static_cast<double>(nocc) / static_cast<double>(n);
+  double lambda;
+  if (nocc == 0 || nocc == n || hi - lo < 1e-300) {
+    lambda = 0.0;  // D0 is the exact (trivial) projector via the constant term
+  } else {
+    lambda = std::min(frac / std::max(hi - mu, 1e-300),
+                      (1.0 - frac) / std::max(mu - lo, 1e-300));
+  }
+
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = -lambda / static_cast<double>(n) * f_ortho(i, j);
+    }
+    d(i, i) += lambda / static_cast<double>(n) * mu + frac;
+  }
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    Matrix d2 = matmul(d, d);
+    const double tr_d = trace(d);
+    const double tr_d2 = trace(d2);
+    result.idempotency_error = std::abs(tr_d2 - tr_d);
+    if (result.idempotency_error < opts.tolerance) {
+      result.converged = true;
+      result.iterations = iter;
+      break;
+    }
+    Matrix d3 = matmul(d2, d);
+    const double tr_d3 = trace(d3);
+    const double denom = tr_d - tr_d2;
+    // c measures where the unoccupied/occupied eigenvalue clouds sit; it
+    // selects which trace-preserving cubic to apply.
+    const double c = std::abs(denom) < 1e-300 ? 0.5 : (tr_d2 - tr_d3) / denom;
+    Matrix next(n, n);
+    if (c >= 0.5) {
+      // D <- ((1+c) D^2 - D^3) / c
+      for (std::size_t i = 0; i < n * n; ++i)
+        next.data()[i] = ((1.0 + c) * d2.data()[i] - d3.data()[i]) / c;
+    } else {
+      // D <- ((1-2c) D + (1+c) D^2 - D^3) / (1-c)
+      for (std::size_t i = 0; i < n * n; ++i)
+        next.data()[i] = ((1.0 - 2.0 * c) * d.data()[i] +
+                          (1.0 + c) * d2.data()[i] - d3.data()[i]) /
+                         (1.0 - c);
+    }
+    d = std::move(next);
+    result.iterations = iter + 1;
+  }
+
+  symmetrize(d);
+  result.density = std::move(d);
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,215 @@
+#include "scf/hf.h"
+
+#include <cmath>
+#include <deque>
+
+#include "eri/one_electron.h"
+#include "linalg/eigen.h"
+#include "linalg/purification.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mf {
+
+double electronic_energy(const Matrix& density, const Matrix& h_core,
+                         const Matrix& fock) {
+  double e = 0.0;
+  const std::size_t n = density.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      e += density(i, j) * (h_core(i, j) + fock(i, j));
+    }
+  }
+  return 0.5 * e;
+}
+
+namespace {
+
+// Pulay DIIS: keep (F, error) pairs with error = X^T (FDS - SDF) X and
+// extrapolate F from the least-squares combination.
+class Diis {
+ public:
+  explicit Diis(std::size_t max_size) : max_size_(max_size) {}
+
+  Matrix extrapolate(const Matrix& f, const Matrix& error) {
+    focks_.push_back(f);
+    errors_.push_back(error);
+    if (focks_.size() > max_size_) {
+      focks_.pop_front();
+      errors_.pop_front();
+    }
+    const std::size_t m = focks_.size();
+    if (m < 2) return f;
+
+    // Solve the (m+1) x (m+1) DIIS system with Lagrange multiplier.
+    const std::size_t dim = m + 1;
+    Matrix b(dim, dim);
+    std::vector<double> rhs(dim, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        b(i, j) = trace_product(errors_[i], errors_[j].transposed());
+      }
+      b(i, m) = -1.0;
+      b(m, i) = -1.0;
+    }
+    b(m, m) = 0.0;
+    rhs[m] = -1.0;
+
+    // Gaussian elimination with partial pivoting (tiny system).
+    std::vector<double> x = rhs;
+    Matrix a = b;
+    for (std::size_t col = 0; col < dim; ++col) {
+      std::size_t piv = col;
+      for (std::size_t r = col + 1; r < dim; ++r) {
+        if (std::abs(a(r, col)) > std::abs(a(piv, col))) piv = r;
+      }
+      if (std::abs(a(piv, col)) < 1e-14) return f;  // singular: skip DIIS
+      if (piv != col) {
+        for (std::size_t c = 0; c < dim; ++c) std::swap(a(col, c), a(piv, c));
+        std::swap(x[col], x[piv]);
+      }
+      for (std::size_t r = col + 1; r < dim; ++r) {
+        const double factor = a(r, col) / a(col, col);
+        for (std::size_t c = col; c < dim; ++c) a(r, c) -= factor * a(col, c);
+        x[r] -= factor * x[col];
+      }
+    }
+    for (std::size_t col = dim; col-- > 0;) {
+      for (std::size_t c = col + 1; c < dim; ++c) x[col] -= a(col, c) * x[c];
+      x[col] /= a(col, col);
+    }
+
+    Matrix out(f.rows(), f.cols());
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < out.rows() * out.cols(); ++k) {
+        out.data()[k] += x[i] * focks_[i].data()[k];
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t max_size_;
+  std::deque<Matrix> focks_;
+  std::deque<Matrix> errors_;
+};
+
+}  // namespace
+
+HartreeFock::HartreeFock(const Basis& basis, ScfOptions options)
+    : basis_(basis),
+      options_(options),
+      screening_(basis, options.screening_options()),
+      s_(overlap_matrix(basis)),
+      x_(inverse_sqrt(s_)),
+      h_(core_hamiltonian(basis)) {
+  const int nelec = basis.molecule().num_electrons();
+  MF_THROW_IF(nelec % 2 != 0,
+              "closed-shell RHF requires an even electron count, got " << nelec);
+  nocc_ = static_cast<std::size_t>(nelec / 2);
+  MF_THROW_IF(nocc_ > basis.num_functions(),
+              "basis too small: " << basis.num_functions() << " functions for "
+                                  << nocc_ << " occupied orbitals");
+  fock_builder_ = [this](const Matrix& d, const Matrix& h) {
+    return fock_serial(basis_, screening_, d, h, nullptr, options_.eri);
+  };
+}
+
+void HartreeFock::set_fock_builder(FockBuilderFn builder) {
+  fock_builder_ = std::move(builder);
+}
+
+Matrix HartreeFock::build_density(const Matrix& f, ScfIterationInfo& info,
+                                  std::vector<double>* orbital_energies) const {
+  WallTimer timer;
+  // F' = X^T F X (Algorithm 1 line 7).
+  Matrix fx, fp;
+  gemm(f, false, x_, false, 1.0, 0.0, fx);
+  gemm(x_, true, fx, false, 1.0, 0.0, fp);
+
+  Matrix d_ortho;
+  if (options_.solver == DensitySolver::kDiagonalization) {
+    const EigenResult eig = eigh(fp);
+    if (orbital_energies != nullptr) *orbital_energies = eig.values;
+    d_ortho = density_from_eigenvectors(eig, nocc_);
+  } else {
+    PurificationResult pur = purify_density(fp, nocc_);
+    info.purification_iterations = pur.iterations;
+    d_ortho = std::move(pur.density);
+    if (orbital_energies != nullptr) orbital_energies->clear();
+  }
+  // D = 2 X D' X^T (closed-shell factor 2; C = X C').
+  Matrix xd, d;
+  gemm(x_, false, d_ortho, false, 1.0, 0.0, xd);
+  gemm(xd, false, x_, true, 2.0, 0.0, d);
+  symmetrize(d);
+  info.density_seconds = timer.seconds();
+  return d;
+}
+
+ScfResult HartreeFock::run() {
+  ScfResult result;
+  result.nuclear_repulsion = basis_.molecule().nuclear_repulsion();
+
+  // Initial guess from the core Hamiltonian (Algorithm 1 line 1).
+  ScfIterationInfo guess_info;
+  Matrix d = build_density(h_, guess_info, nullptr);
+
+  Diis diis(options_.diis_size);
+  double prev_energy = 0.0;
+  Matrix f;
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    ScfIterationInfo info;
+    info.iteration = iter;
+
+    WallTimer fock_timer;
+    f = fock_builder_(d, h_);
+    info.fock_seconds = fock_timer.seconds();
+
+    const double e_elec = electronic_energy(d, h_, f);
+    const double energy = e_elec + result.nuclear_repulsion;
+
+    Matrix f_for_density = f;
+    if (options_.use_diis) {
+      // DIIS error in the orthogonal basis: X^T (F D S - S D F) X.
+      Matrix fd, fds, sd, sdf, err, tmp;
+      gemm(f, false, d, false, 1.0, 0.0, fd);
+      gemm(fd, false, s_, false, 1.0, 0.0, fds);
+      gemm(s_, false, d, false, 1.0, 0.0, sd);
+      gemm(sd, false, f, false, 1.0, 0.0, sdf);
+      fds -= sdf;
+      gemm(fds, false, x_, false, 1.0, 0.0, tmp);
+      gemm(x_, true, tmp, false, 1.0, 0.0, err);
+      f_for_density = diis.extrapolate(f, err);
+    }
+
+    Matrix d_new = build_density(f_for_density, info, &result.orbital_energies);
+    info.density_change = max_abs_diff(d_new, d);
+    info.energy = energy;
+    result.history.push_back(info);
+
+    d = std::move(d_new);
+    result.iterations = iter;
+    result.energy = energy;
+    result.electronic_energy = e_elec;
+
+    if (iter > 1 && std::abs(energy - prev_energy) < options_.energy_tolerance &&
+        info.density_change < options_.density_tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_energy = energy;
+  }
+
+  result.fock = std::move(f);
+  result.density = std::move(d);
+  return result;
+}
+
+ScfResult run_hf(const Basis& basis, ScfOptions options) {
+  HartreeFock hf(basis, std::move(options));
+  return hf.run();
+}
+
+}  // namespace mf

@@ -1,0 +1,107 @@
+#pragma once
+// Restricted Hartree-Fock driver (Algorithm 1 of the paper).
+//
+// The driver wires together the substrates: one-electron integrals and
+// X = S^{-1/2} precomputed up front, then an SCF loop alternating Fock
+// construction (line 6 — the paper's focus) and density computation
+// (lines 7-10) via either diagonalization or purification (Section IV-E).
+// Convergence follows the paper: change in the density matrix below a
+// threshold. DIIS acceleration is available and on by default.
+//
+// Density convention: D = 2 C_occ C_occ^T (tr(D S) = n electrons).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "core/fock_serial.h"
+#include "eri/screening.h"
+#include "linalg/matrix.h"
+
+namespace mf {
+
+enum class DensitySolver {
+  kDiagonalization,  // Jacobi eigensolver on X^T F X
+  kPurification,     // canonical purification (no eigensolver)
+};
+
+struct ScfOptions {
+  int max_iterations = 64;
+  double energy_tolerance = 1e-9;
+  double density_tolerance = 1e-7;  // max-abs change in D
+  double tau = 1e-10;               // screening tolerance
+  bool use_diis = true;
+  std::size_t diis_size = 8;
+  DensitySolver solver = DensitySolver::kDiagonalization;
+  EriEngineOptions eri;
+  ScreeningOptions screening_options() const {
+    ScreeningOptions s;
+    s.tau = tau;
+    s.eri = eri;
+    return s;
+  }
+};
+
+struct ScfIterationInfo {
+  int iteration = 0;
+  double energy = 0.0;          // total energy after this iteration
+  double density_change = 0.0;  // max-abs change vs previous D
+  double fock_seconds = 0.0;
+  double density_seconds = 0.0;  // diagonalization or purification
+  int purification_iterations = 0;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;  // total = electronic + nuclear
+  double electronic_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  Matrix fock;
+  Matrix density;
+  std::vector<double> orbital_energies;  // empty on the purification path
+  std::vector<ScfIterationInfo> history;
+};
+
+/// Pluggable Fock builder: (density, h_core) -> F. The default uses the
+/// serial screened builder; examples swap in the parallel builders.
+using FockBuilderFn =
+    std::function<Matrix(const Matrix& density, const Matrix& h_core)>;
+
+class HartreeFock {
+ public:
+  HartreeFock(const Basis& basis, ScfOptions options = {});
+
+  /// Replace the Fock construction step (keeps everything else).
+  void set_fock_builder(FockBuilderFn builder);
+
+  ScfResult run();
+
+  const ScreeningData& screening() const { return screening_; }
+  const Matrix& overlap() const { return s_; }
+  const Matrix& core() const { return h_; }
+
+  /// Number of doubly-occupied orbitals (closed shell: n_electrons / 2).
+  std::size_t num_occupied() const { return nocc_; }
+
+ private:
+  Matrix build_density(const Matrix& f, ScfIterationInfo& info,
+                       std::vector<double>* orbital_energies) const;
+
+  const Basis& basis_;
+  ScfOptions options_;
+  ScreeningData screening_;
+  Matrix s_, x_, h_;
+  std::size_t nocc_ = 0;
+  FockBuilderFn fock_builder_;
+};
+
+/// One-call convenience wrapper.
+ScfResult run_hf(const Basis& basis, ScfOptions options = {});
+
+/// Electronic energy 1/2 sum_ij D_ij (H_ij + F_ij).
+double electronic_energy(const Matrix& density, const Matrix& h_core,
+                         const Matrix& fock);
+
+}  // namespace mf

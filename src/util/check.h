@@ -1,0 +1,46 @@
+#pragma once
+// Internal invariant checking.
+//
+// MF_CHECK(cond) aborts with a message when an invariant is violated; it is
+// active in all build types because the cost is negligible next to integral
+// computation, and silent corruption in a distributed run is far worse than
+// a crash. MF_THROW_IF is used for user-facing argument validation.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mf::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "MF_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mf::detail
+
+#define MF_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond)) ::mf::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MF_CHECK_MSG(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream mf_os_;                                     \
+      mf_os_ << msg;                                                 \
+      ::mf::detail::check_failed(#cond, __FILE__, __LINE__, mf_os_.str()); \
+    }                                                                \
+  } while (0)
+
+#define MF_THROW_IF(cond, msg)                                       \
+  do {                                                               \
+    if (cond) {                                                      \
+      std::ostringstream mf_os_;                                     \
+      mf_os_ << msg;                                                 \
+      throw std::invalid_argument(mf_os_.str());                     \
+    }                                                                \
+  } while (0)

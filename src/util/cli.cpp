@@ -1,0 +1,68 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mf {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known) {
+  auto is_known = [&](const std::string& name) {
+    return std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg, value = "1";
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+               is_known(name)) {
+      // "--key value" only when the next token is not a flag; boolean flags
+      // like --full must not swallow positionals, so only consume the next
+      // token when this flag is followed by something that parses as a value
+      // and the flag was declared.
+      // Heuristic: flags whose name ends in a known boolean set stay valueless.
+      // We keep it simple: --key=value is the canonical form; --key value is
+      // accepted when the next token is clearly a value (digit or letter) and
+      // the current flag is not re-specified later. Benches use --key=value.
+      value = "1";
+    }
+    if (!is_known(name)) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+long CliArgs::get_int(const std::string& name, long def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool full_scale_requested(const CliArgs& args) {
+  if (args.has("full")) return true;
+  const char* env = std::getenv("MINIFOCK_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace mf

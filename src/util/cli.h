@@ -1,0 +1,34 @@
+#pragma once
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --flag, --key=value and --key value forms. Unknown flags are an
+// error so typos in bench invocations fail loudly.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mf {
+
+class CliArgs {
+ public:
+  /// Parses argv. `known` lists accepted flag names (without "--").
+  CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// True if env var MINIFOCK_FULL=1 or --full was given: run paper-size inputs.
+bool full_scale_requested(const CliArgs& args);
+
+}  // namespace mf

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs nothing at Info by default; benches and examples
+// raise the level. Thread-safe: each message is formatted into a single
+// string and written with one call.
+
+#include <sstream>
+#include <string>
+
+namespace mf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define MF_LOG(level, stream_expr)                          \
+  do {                                                      \
+    if (static_cast<int>(level) >= static_cast<int>(::mf::log_level())) { \
+      std::ostringstream mf_log_os_;                        \
+      mf_log_os_ << stream_expr;                            \
+      ::mf::detail::log_emit(level, mf_log_os_.str());      \
+    }                                                       \
+  } while (0)
+
+#define MF_LOG_DEBUG(s) MF_LOG(::mf::LogLevel::kDebug, s)
+#define MF_LOG_INFO(s) MF_LOG(::mf::LogLevel::kInfo, s)
+#define MF_LOG_WARN(s) MF_LOG(::mf::LogLevel::kWarn, s)
+#define MF_LOG_ERROR(s) MF_LOG(::mf::LogLevel::kError, s)
+
+}  // namespace mf

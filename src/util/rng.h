@@ -1,0 +1,39 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All randomized tests and workload generators take an explicit seed so
+// runs are reproducible; SplitMix64 is used because it is tiny, fast and
+// has no warm-up pathologies for sequential seeds.
+
+#include <cstdint>
+
+namespace mf {
+
+/// SplitMix64 PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mf

@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace mf {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  if (nthreads == 0) {
+    nthreads = std::thread::hardware_concurrency();
+    if (nthreads == 0) nthreads = 1;
+  }
+  workers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  if (n <= grain || workers_.empty()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto body = [next, end, grain, &fn] {
+    for (;;) {
+      const std::size_t lo = next->fetch_add(grain);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + grain, end);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  // Workers pull chunks; the caller participates too so a 1-thread pool
+  // still makes progress while its worker is busy elsewhere.
+  const std::size_t nhelpers = workers_.size();
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (std::size_t w = 0; w < nhelpers; ++w) {
+    submit([&, body] {
+      body();
+      std::lock_guard<std::mutex> lock(m);
+      ++done;
+      cv.notify_one();
+    });
+  }
+  body();
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done.load() == nhelpers; });
+}
+
+void parallel_for_simple(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (n < 256 || hw <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(hw);
+  pool.parallel_for(begin, end, fn, std::max<std::size_t>(1, n / (8 * hw)));
+}
+
+}  // namespace mf

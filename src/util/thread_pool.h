@@ -1,0 +1,59 @@
+#pragma once
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used by the threaded runtime for intra-task parallelism and by the
+// precomputation passes (Schwarz bounds, task-cost tables). The pool is
+// work-queue based; parallel_for chunks the index range dynamically so
+// irregular per-index costs (screened shell pairs) still balance.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mf {
+
+class ThreadPool {
+ public:
+  /// Creates `nthreads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use wait_idle to synchronize).
+  void submit(std::function<void()> fn);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// The calling thread participates. `grain` is the dynamic chunk size.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience: run fn(i) over [begin,end) with a temporary pool when the
+/// caller does not keep one. Falls back to serial execution for tiny ranges.
+void parallel_for_simple(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn);
+
+}  // namespace mf

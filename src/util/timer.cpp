@@ -1,0 +1,24 @@
+#include "util/timer.h"
+
+namespace mf {
+
+void Stopwatch::start(const std::string& name) {
+  open_[name] = std::chrono::steady_clock::now();
+}
+
+void Stopwatch::stop(const std::string& name) {
+  auto it = open_.find(name);
+  if (it == open_.end()) return;
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - it->second)
+          .count();
+  totals_[name] += dt;
+  open_.erase(it);
+}
+
+double Stopwatch::total(const std::string& name) const {
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+}  // namespace mf

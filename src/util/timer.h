@@ -1,0 +1,53 @@
+#pragma once
+// Wall-clock timing utilities.
+//
+// WallTimer measures elapsed wall time with steady_clock. Stopwatch
+// accumulates named intervals, which the benches use to report per-phase
+// timing breakdowns.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mf {
+
+/// Simple steady-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into named buckets.
+class Stopwatch {
+ public:
+  /// Start (or restart) timing the named phase.
+  void start(const std::string& name);
+  /// Stop the named phase and add the elapsed time to its bucket.
+  void stop(const std::string& name);
+  /// Total accumulated seconds for a phase (0 if never timed).
+  double total(const std::string& name) const;
+  /// All buckets, for reporting.
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+ private:
+  std::map<std::string, double> totals_;
+  std::map<std::string, std::chrono::steady_clock::time_point> open_;
+};
+
+}  // namespace mf

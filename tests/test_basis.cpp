@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "chem/basis_parser.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "chem/shell.h"
+
+namespace mf {
+namespace {
+
+TEST(BasisParser, ParsesSimpleBlock) {
+  const std::string text = R"(
+****
+H     0
+S   2   1.00
+      1.0   0.5
+      0.5   0.5
+P   1   1.00
+      0.8   1.0
+****
+)";
+  const auto parsed = parse_g94_basis(text);
+  ASSERT_TRUE(parsed.count(1));
+  const auto& shells = parsed.at(1);
+  ASSERT_EQ(shells.size(), 2u);
+  EXPECT_EQ(shells[0].l, 0);
+  EXPECT_EQ(shells[0].exponents.size(), 2u);
+  EXPECT_EQ(shells[1].l, 1);
+}
+
+TEST(BasisParser, SplitsSpShells) {
+  const std::string text = R"(
+****
+C 0
+SP 2 1.00
+  2.0  0.1  0.3
+  1.0  0.2  0.4
+****
+)";
+  const auto parsed = parse_g94_basis(text);
+  const auto& shells = parsed.at(6);
+  ASSERT_EQ(shells.size(), 2u);
+  EXPECT_EQ(shells[0].l, 0);
+  EXPECT_EQ(shells[1].l, 1);
+  EXPECT_DOUBLE_EQ(shells[1].coefficients[0], 0.3);
+  EXPECT_DOUBLE_EQ(shells[1].coefficients[1], 0.4);
+}
+
+TEST(BasisParser, FortranExponents) {
+  const std::string text = "****\nH 0\nS 1 1.00\n 1.0D+01 1.0\n****\n";
+  const auto parsed = parse_g94_basis(text);
+  EXPECT_DOUBLE_EQ(parsed.at(1)[0].exponents[0], 10.0);
+}
+
+TEST(BasisParser, RejectsMalformed) {
+  EXPECT_THROW(parse_g94_basis("****\nH 0\nS 2 1.00\n 1.0 1.0\n****\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_g94_basis("****\nH 0\nQ 1 1.00\n 1.0 1.0\n****\n"),
+               std::invalid_argument);
+}
+
+// Table II structure check: cc-pVDZ gives C 6 shells / 14 functions and
+// H 3 shells / 5 functions (spherical).
+TEST(Basis, CcPvdzShellStructure) {
+  const BasisLibrary lib = BasisLibrary::builtin("cc-pvdz");
+  Molecule carbon;
+  carbon.add_atom(6, {0, 0, 0});
+  const Basis c_basis(carbon, lib);
+  EXPECT_EQ(c_basis.num_shells(), 6u);
+  EXPECT_EQ(c_basis.num_functions(), 14u);
+  const Basis h_basis(hydrogen_atom(), lib);
+  EXPECT_EQ(h_basis.num_shells(), 3u);
+  EXPECT_EQ(h_basis.num_functions(), 5u);
+}
+
+// Table II: C100H202 has 1206 shells and 2410 basis functions.
+TEST(Basis, TableTwoCountsAlkane) {
+  const BasisLibrary lib = BasisLibrary::builtin("cc-pvdz");
+  const Basis basis(linear_alkane(100), lib);
+  EXPECT_EQ(basis.num_shells(), 1206u);
+  EXPECT_EQ(basis.num_functions(), 2410u);
+}
+
+TEST(Basis, Sto3gCounts) {
+  const BasisLibrary lib = BasisLibrary::builtin("sto-3g");
+  const Basis basis(water(), lib);
+  // O: 1s + 2s + 2p -> 3 shells, 5 functions; H: 1 shell, 1 function.
+  EXPECT_EQ(basis.num_shells(), 5u);
+  EXPECT_EQ(basis.num_functions(), 7u);
+}
+
+TEST(Basis, OffsetsAreContiguous) {
+  const BasisLibrary lib = BasisLibrary::builtin("cc-pvdz");
+  const Basis basis(methane(), lib);
+  std::size_t expect = 0;
+  for (std::size_t s = 0; s < basis.num_shells(); ++s) {
+    EXPECT_EQ(basis.shell_offset(s), expect);
+    expect += basis.shell_size(s);
+  }
+  EXPECT_EQ(expect, basis.num_functions());
+}
+
+TEST(Basis, AtomShellMap) {
+  const BasisLibrary lib = BasisLibrary::builtin("cc-pvdz");
+  const Basis basis(methane(), lib);
+  EXPECT_EQ(basis.atom_shells(0).size(), 6u);  // C
+  for (std::size_t a = 1; a <= 4; ++a) {
+    EXPECT_EQ(basis.atom_shells(a).size(), 3u);  // H
+  }
+}
+
+TEST(Basis, ReorderedPermutesShells) {
+  const BasisLibrary lib = BasisLibrary::builtin("sto-3g");
+  const Basis basis(water(), lib);
+  std::vector<std::size_t> perm = {4, 3, 2, 1, 0};
+  const Basis r = basis.reordered(perm);
+  EXPECT_EQ(r.num_functions(), basis.num_functions());
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(r.shell(s).atom, basis.shell(perm[s]).atom);
+    EXPECT_EQ(r.shell(s).l, basis.shell(perm[s]).l);
+  }
+}
+
+TEST(Basis, ReorderedRejectsBadPermutation) {
+  const BasisLibrary lib = BasisLibrary::builtin("sto-3g");
+  const Basis basis(water(), lib);
+  EXPECT_THROW(basis.reordered({0, 0, 1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(basis.reordered({0, 1}), std::invalid_argument);
+}
+
+TEST(Basis, UnknownBasisThrows) {
+  EXPECT_THROW(BasisLibrary::builtin("nope-9z"), std::invalid_argument);
+  const BasisLibrary lib = BasisLibrary::builtin("sto-3g");
+  Molecule kr;
+  kr.add_atom(36, {0, 0, 0});
+  EXPECT_THROW(Basis(kr, lib), std::invalid_argument);
+}
+
+TEST(Shell, DoubleFactorial) {
+  EXPECT_DOUBLE_EQ(double_factorial_odd(0), 1.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(1), 1.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(2), 3.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(3), 15.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(4), 105.0);
+}
+
+}  // namespace
+}  // namespace mf

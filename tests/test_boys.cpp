@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eri/boys.h"
+
+namespace mf {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Closed form: F_0(x) = sqrt(pi/x)/2 * erf(sqrt(x)).
+TEST(Boys, F0ClosedForm) {
+  for (double x : {1e-8, 0.001, 0.1, 0.5, 1.0, 3.0, 10.0, 30.0, 34.9, 35.1,
+                   50.0, 100.0, 500.0}) {
+    const double expect =
+        x < 1e-12 ? 1.0 : 0.5 * std::sqrt(kPi / x) * std::erf(std::sqrt(x));
+    EXPECT_NEAR(boys_single(0, x), expect, 1e-13 * std::max(1.0, expect))
+        << "x=" << x;
+  }
+}
+
+TEST(Boys, ZeroArgument) {
+  double f[11];
+  boys(10, 0.0, f);
+  for (int n = 0; n <= 10; ++n) EXPECT_DOUBLE_EQ(f[n], 1.0 / (2 * n + 1));
+}
+
+// Recursion identity: F_{n-1}(x) = (2x F_n(x) + e^{-x}) / (2n-1).
+TEST(Boys, DownwardRecursionConsistency) {
+  for (double x : {0.01, 0.7, 5.0, 20.0, 34.0, 36.0, 80.0}) {
+    double f[13];
+    boys(12, x, f);
+    for (int n = 12; n >= 1; --n) {
+      const double lhs = f[n - 1];
+      const double rhs = (2.0 * x * f[n] + std::exp(-x)) / (2.0 * n - 1.0);
+      EXPECT_NEAR(lhs, rhs, 1e-12 * std::max(1.0, std::abs(lhs)))
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+// Numerical quadrature reference (Simpson with many panels).
+double boys_quadrature(int n, double x) {
+  const int panels = 20000;
+  const double h = 1.0 / panels;
+  double sum = 0.0;
+  auto f = [n, x](double t) { return std::pow(t, 2 * n) * std::exp(-x * t * t); };
+  for (int i = 0; i < panels; ++i) {
+    const double a = i * h, b = a + h;
+    sum += (f(a) + 4.0 * f(0.5 * (a + b)) + f(b)) * h / 6.0;
+  }
+  return sum;
+}
+
+TEST(Boys, MatchesQuadrature) {
+  for (int n : {0, 1, 3, 6, 10}) {
+    for (double x : {0.2, 2.0, 15.0, 40.0}) {
+      EXPECT_NEAR(boys_single(n, x), boys_quadrature(n, x), 1e-10)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Boys, MonotoneDecreasingInN) {
+  double f[9];
+  boys(8, 2.5, f);
+  for (int n = 0; n < 8; ++n) EXPECT_GT(f[n], f[n + 1]);
+}
+
+// Long-double downward-recursion reference, accurate to ~1e-18 relative.
+long double boys_reference(int n, long double x) {
+  const int nmax = n + 60;
+  long double term = 1.0L / (2 * nmax + 1), sum = term;
+  for (int k = 1; k < 4000; ++k) {
+    term *= 2 * x / (2 * nmax + 2 * k + 1);
+    sum += term;
+    if (term < 1e-25L * sum) break;
+  }
+  long double f = expl(-x) * sum;
+  for (int m = nmax - 1; m >= n; --m) f = (2 * x * f + expl(-x)) / (2 * m + 1);
+  return f;
+}
+
+TEST(Boys, AccurateAcrossRegimeSwitch) {
+  // Both evaluation branches (series below x=35, asymptotic above) must stay
+  // near machine accuracy; a sloppy asymptotic form would show up as a
+  // relative jump here.
+  for (int n : {0, 2, 4, 8, 12}) {
+    for (double x : {30.0, 34.9, 34.999999, 35.000001, 35.1, 40.0, 60.0}) {
+      const double mine = boys_single(n, x);
+      const double ref = static_cast<double>(boys_reference(n, x));
+      EXPECT_NEAR(mine, ref, 1e-12 * std::max(ref, 1e-300))
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mf

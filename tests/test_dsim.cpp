@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "baseline/nwchem_sim.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_task.h"
+#include "core/gtfock_sim.h"
+#include "core/perf_model.h"
+#include "core/shell_reorder.h"
+#include "core/task_cost.h"
+#include "dsim/event_queue.h"
+#include "dsim/network.h"
+
+namespace mf {
+namespace {
+
+TEST(EventQueue, TimeOrderWithFifoTies) {
+  EventQueue q;
+  q.schedule(2.0, 1);
+  q.schedule(1.0, 2);
+  q.schedule(1.0, 3);  // same time as rank 2, scheduled later
+  q.schedule(0.5, 4);
+  EXPECT_EQ(q.pop().rank, 4u);
+  EXPECT_EQ(q.pop().rank, 2u);
+  EXPECT_EQ(q.pop().rank, 3u);
+  EXPECT_EQ(q.pop().rank, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimResource, SerializesOverlappingRequests) {
+  SimResource res;
+  EXPECT_DOUBLE_EQ(res.acquire(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(res.acquire(0.5, 1.0), 2.0);  // waits for the first
+  EXPECT_DOUBLE_EQ(res.acquire(5.0, 1.0), 6.0);  // idle gap, starts at 5
+}
+
+TEST(NetworkModel, TransferTime) {
+  NetworkModel net;
+  net.latency = 1e-6;
+  net.bandwidth = 1e9;
+  EXPECT_DOUBLE_EQ(net.transfer_seconds(1000000), 1e-6 + 1e-3);
+}
+
+struct Workload {
+  Workload(Molecule mol, const char* basis_name)
+      : basis(apply_reordering(Basis(mol, BasisLibrary::builtin(basis_name)),
+                               {ReorderScheme::kCells, 5.0, 1})),
+        screening(basis, {1e-10, 1e-20, {}}),
+        costs(basis, screening) {}
+  Basis basis;
+  ScreeningData screening;
+  TaskCostModel costs;
+};
+
+// The fast factorized cost model must agree EXACTLY with the direct
+// per-task enumeration.
+TEST(TaskCostModel, MatchesDirectEnumeration) {
+  Workload w(linear_alkane(6), "sto-3g");
+  const std::size_t ns = w.basis.num_shells();
+  for (std::size_t m = 0; m < ns; ++m) {
+    for (std::size_t n = 0; n < ns; ++n) {
+      EXPECT_DOUBLE_EQ(w.costs.task_integrals(m, n),
+                       task_integral_count(w.basis, w.screening, m, n))
+          << "task " << m << "," << n;
+      EXPECT_EQ(w.costs.task_quartets(m, n),
+                task_quartet_count(w.screening, m, n))
+          << "task " << m << "," << n;
+    }
+  }
+}
+
+TEST(TaskCostModel, MatchesDirectEnumerationCcPvdz) {
+  Workload w(water_cluster(2, 3), "cc-pvdz");
+  const std::size_t ns = w.basis.num_shells();
+  for (std::size_t m = 0; m < ns; m += 3) {
+    for (std::size_t n = 0; n < ns; n += 2) {
+      EXPECT_DOUBLE_EQ(w.costs.task_integrals(m, n),
+                       task_integral_count(w.basis, w.screening, m, n));
+    }
+  }
+}
+
+TEST(TaskCostModel, TotalQuartetsMatchScreening) {
+  Workload w(linear_alkane(8), "sto-3g");
+  EXPECT_EQ(w.costs.total_quartets(),
+            w.screening.count_unique_screened_quartets());
+}
+
+GtFockSimOptions sim_opts(std::size_t cores) {
+  GtFockSimOptions o;
+  o.total_cores = cores;
+  o.machine.t_int = 1.0e-6;
+  return o;
+}
+
+TEST(GtFockSim, ExecutesEveryTaskOnce) {
+  Workload w(linear_alkane(10), "sto-3g");
+  const GtFockSimResult r =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(48));
+  std::uint64_t tasks = 0;
+  for (const auto& rank : r.ranks) tasks += rank.tasks_owned + rank.tasks_stolen;
+  const std::size_t ns = w.basis.num_shells();
+  EXPECT_EQ(tasks, ns * ns);
+}
+
+TEST(GtFockSim, ComputeTimeIsConserved) {
+  // Total T_comp across ranks equals total integrals * t_int / node speed,
+  // independent of p and of stealing.
+  Workload w(linear_alkane(10), "sto-3g");
+  const double expected = w.costs.total_integrals() * 1.0e-6 /
+                          (12.0 * MachineParams{}.intra_node_efficiency);
+  for (std::size_t cores : {12u, 48u, 192u}) {
+    const GtFockSimResult r =
+        simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(cores));
+    double total = 0.0;
+    for (const auto& rank : r.ranks) total += rank.comp_time;
+    EXPECT_NEAR(total, expected, 1e-9 * expected) << cores;
+  }
+}
+
+TEST(GtFockSim, MoreCoresFasterWallTime) {
+  Workload w(linear_alkane(14), "sto-3g");
+  const double t12 =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(12)).fock_time();
+  const double t48 =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(48)).fock_time();
+  const double t192 =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(192)).fock_time();
+  EXPECT_GT(t12, t48);
+  EXPECT_GT(t48, t192);
+  // Speedup from 12 to 192 cores (16x resources) should be substantial.
+  EXPECT_GT(t12 / t192, 6.0);
+}
+
+TEST(GtFockSim, StealingImprovesLoadBalance) {
+  Workload w(linear_alkane(14), "sto-3g");
+  GtFockSimOptions with = sim_opts(108);
+  GtFockSimOptions without = sim_opts(108);
+  without.work_stealing = false;
+  const GtFockSimResult rw = simulate_gtfock(w.basis, w.screening, w.costs, with);
+  const GtFockSimResult ro =
+      simulate_gtfock(w.basis, w.screening, w.costs, without);
+  EXPECT_LT(rw.load_balance(), ro.load_balance());
+  EXPECT_LE(rw.fock_time(), ro.fock_time() * 1.001);
+}
+
+TEST(GtFockSim, LoadBalanceNearOne) {
+  // Table VIII: l stays close to 1 with work stealing.
+  Workload w(graphene_flake(2), "sto-3g");
+  const GtFockSimResult r =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(108));
+  EXPECT_LT(r.load_balance(), 1.2);
+  EXPECT_GE(r.load_balance(), 1.0);
+}
+
+TEST(GtFockSim, DeterministicAcrossRuns) {
+  Workload w(linear_alkane(8), "sto-3g");
+  const GtFockSimResult a =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(60));
+  const GtFockSimResult b =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(60));
+  EXPECT_EQ(a.fock_time(), b.fock_time());
+  EXPECT_EQ(a.avg_steal_victims(), b.avg_steal_victims());
+  EXPECT_EQ(a.avg_comm_calls(), b.avg_comm_calls());
+}
+
+struct NwchemWorkload {
+  NwchemWorkload(Molecule mol, const char* basis_name)
+      : basis(mol, BasisLibrary::builtin(basis_name)),
+        screening(basis, {1e-10, 1e-20, {}}),
+        table(basis, screening) {}
+  Basis basis;
+  ScreeningData screening;
+  NwchemTaskTable table;
+};
+
+// Both algorithms compute exactly the unique screened quartets, so the two
+// independent cost tabulations must agree on totals.
+TEST(NwchemTaskTable, TotalsMatchGtFockCostModel) {
+  const Molecule mol = linear_alkane(8);
+  NwchemWorkload nw(mol, "sto-3g");
+  const Basis basis(mol, BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const TaskCostModel costs(basis, sd);
+  EXPECT_EQ(nw.table.total_quartets(), costs.total_quartets());
+  EXPECT_NEAR(nw.table.total_integrals(), costs.total_integrals(),
+              1e-6 * costs.total_integrals());
+}
+
+TEST(NwchemSim, AllTasksExecuted) {
+  NwchemWorkload w(linear_alkane(6), "sto-3g");
+  NwchemSimOptions opts;
+  opts.total_cores = 24;
+  opts.machine.t_int = 1e-6;
+  const NwchemSimResult r = simulate_nwchem(w.table, opts);
+  std::uint64_t tasks = 0;
+  for (const auto& rank : r.ranks) tasks += rank.tasks_executed;
+  EXPECT_EQ(tasks, w.table.num_tasks());
+  // Every rank ends with one failed GetTask.
+  EXPECT_EQ(r.scheduler_accesses, w.table.num_tasks() + opts.total_cores);
+}
+
+TEST(NwchemSim, CentralCounterLimitsScaling) {
+  // At very large p the serialized counter dominates: wall time stops
+  // improving even though compute shrinks.
+  NwchemWorkload w(linear_alkane(10), "sto-3g");
+  NwchemSimOptions opts;
+  opts.machine.t_int = 1e-6;
+  opts.total_cores = 12;
+  const double t12 = simulate_nwchem(w.table, opts).fock_time();
+  opts.total_cores = 96;
+  const double t96 = simulate_nwchem(w.table, opts).fock_time();
+  EXPECT_LT(t96, t12);
+  // Lower bound: all GetTask services serialized at the owner.
+  const double floor = static_cast<double>(w.table.num_tasks()) *
+                       opts.machine.network.rmw_service;
+  opts.total_cores = 4096;
+  const double t4096 = simulate_nwchem(w.table, opts).fock_time();
+  EXPECT_GE(t4096, floor);
+}
+
+TEST(GtFockVsNwchemSim, GtFockHasLowerOverheadAtScale) {
+  // Figure 2's headline: comparable T_comp, order-of-magnitude lower T_ov
+  // for GTFock at large core counts.
+  const Molecule mol = linear_alkane(12);
+  Workload gw(mol, "sto-3g");
+  NwchemWorkload nw(mol, "sto-3g");
+
+  GtFockSimOptions gopts = sim_opts(384);
+  NwchemSimOptions nopts;
+  nopts.total_cores = 384;
+  nopts.machine.t_int = gopts.machine.t_int;
+
+  const GtFockSimResult g = simulate_gtfock(gw.basis, gw.screening, gw.costs, gopts);
+  const NwchemSimResult n = simulate_nwchem(nw.table, nopts);
+  EXPECT_LT(g.avg_overhead(), n.avg_overhead());
+  EXPECT_LT(g.avg_comm_calls(), n.avg_comm_calls());
+}
+
+TEST(PerfModel, InternalConsistency) {
+  Workload w(linear_alkane(10), "sto-3g");
+  const PerfModelParams m =
+      derive_model_params(w.basis, w.screening, 2.0e-6, 1.5);
+  for (double p : {4.0, 16.0, 64.0}) {
+    const double l_direct = model_tcomm(m, p) / model_tcomp(m, p);
+    EXPECT_NEAR(model_overhead_ratio(m, p), l_direct, 1e-12 * l_direct);
+    EXPECT_GT(model_efficiency(m, p), 0.0);
+    EXPECT_LT(model_efficiency(m, p), 1.0);
+  }
+}
+
+TEST(PerfModel, ClosedFormAtMaxParallelism) {
+  Workload w(linear_alkane(10), "sto-3g");
+  const PerfModelParams m = derive_model_params(w.basis, w.screening, 2e-6, 3.8);
+  const double n2 = static_cast<double>(m.nshells) * m.nshells;
+  EXPECT_NEAR(model_overhead_ratio(m, n2) / model_overhead_ratio_at_max(m), 1.0,
+              0.05);
+}
+
+TEST(PerfModel, OverheadGrowsWithP) {
+  Workload w(linear_alkane(10), "sto-3g");
+  const PerfModelParams m = derive_model_params(w.basis, w.screening, 2e-6, 1.0);
+  EXPECT_LT(model_overhead_ratio(m, 16), model_overhead_ratio(m, 1024));
+}
+
+TEST(PerfModel, IsoefficiencyIsSqrtP) {
+  Workload w(linear_alkane(10), "sto-3g");
+  const PerfModelParams m = derive_model_params(w.basis, w.screening, 2e-6, 1.0);
+  EXPECT_NEAR(isoefficiency_nshells(m, 100.0, 400.0),
+              2.0 * static_cast<double>(m.nshells), 1e-9);
+}
+
+TEST(PerfModel, CalibrationProducesPlausibleTint) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const double t = calibrate_t_int(basis, sd, 64);
+  // Anywhere from 10ns to 1ms per integral is "the machine works".
+  EXPECT_GT(t, 1e-8);
+  EXPECT_LT(t, 1e-3);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,169 @@
+// Physics-property sweeps of the integral engine: far-field multipole
+// limits, parameterized angular-momentum symmetry checks, and consistency
+// between one- and two-electron code paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/shell.h"
+#include "eri/eri_engine.h"
+#include "eri/one_electron.h"
+
+namespace mf {
+namespace {
+
+Shell make_shell(int l, const Vec3& center, std::vector<double> exps,
+                 std::vector<double> coefs) {
+  Shell s;
+  s.l = l;
+  s.center = center;
+  s.exponents = std::move(exps);
+  s.coefficients = std::move(coefs);
+  normalize_shell(s);
+  return s;
+}
+
+// Two well-separated unit charge clouds interact like point charges:
+// (aa|bb) -> 1/R as R grows (the physics behind Schwarz screening).
+TEST(EriProperties, FarFieldPointChargeLimit) {
+  EriEngine engine;
+  const Shell a = make_shell(0, {0, 0, 0}, {1.1}, {1.0});
+  for (double r : {8.0, 12.0, 20.0}) {
+    const Shell b = make_shell(0, {0, 0, r}, {0.9}, {1.0});
+    const double v = engine.compute(a, a, b, b)[0];
+    EXPECT_NEAR(v, 1.0 / r, 1e-6 / r) << "R=" << r;
+  }
+}
+
+// A p-cloud's monopole with itself: (pp|ss) far field is also 1/R for the
+// spherically-averaged diagonal components.
+TEST(EriProperties, FarFieldPShellMonopole) {
+  EriEngine engine;
+  const Shell p = make_shell(1, {0, 0, 0}, {1.3}, {1.0});
+  const Shell s = make_shell(0, {0, 0, 15.0}, {0.8}, {1.0});
+  const auto& block = engine.compute(p, p, s, s);  // [3][3][1][1]
+  // The p cloud has a quadrupole moment, so the monopole limit carries an
+  // O(<r^2>/R^3) correction (~1e-4 here).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(block[static_cast<std::size_t>(i) * 3 + i], 1.0 / 15.0, 5e-4);
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) EXPECT_NEAR(block[static_cast<std::size_t>(i) * 3 + j], 0.0, 1e-6);
+    }
+  }
+}
+
+// ERIs are positive for diagonal "density" pairs: (ij|ij) >= 0 (they are
+// self-energies of a charge distribution).
+TEST(EriProperties, DiagonalQuartetsNonNegative) {
+  EriEngine engine;
+  const Shell shells[] = {
+      make_shell(0, {0, 0, 0}, {0.5, 2.0}, {0.4, 0.7}),
+      make_shell(1, {0.8, -0.3, 0.4}, {1.1}, {1.0}),
+      make_shell(2, {-0.5, 0.7, 0.1}, {0.9}, {1.0}),
+  };
+  for (const Shell& a : shells) {
+    for (const Shell& b : shells) {
+      const auto& block = engine.compute(a, b, a, b);
+      const std::size_t na = a.sph_size(), nb = b.sph_size();
+      for (std::size_t i = 0; i < na; ++i) {
+        for (std::size_t j = 0; j < nb; ++j) {
+          EXPECT_GE(block[((i * nb + j) * na + i) * nb + j], -1e-14);
+        }
+      }
+    }
+  }
+}
+
+struct AmCase {
+  int la, lb, lc, ld;
+};
+
+class EriAmSweep : public ::testing::TestWithParam<AmCase> {};
+
+// Bra<->ket exchange symmetry holds element-wise for every angular
+// momentum combination through d shells.
+TEST_P(EriAmSweep, BraKetSymmetry) {
+  const AmCase c = GetParam();
+  EriEngine engine;
+  const Shell a = make_shell(c.la, {0.1, 0.2, 0.3}, {1.2}, {1.0});
+  const Shell b = make_shell(c.lb, {0.9, -0.1, 0.0}, {0.8}, {1.0});
+  const Shell cc = make_shell(c.lc, {-0.4, 0.5, 0.6}, {1.5}, {1.0});
+  const Shell d = make_shell(c.ld, {0.3, 0.7, -0.5}, {0.6}, {1.0});
+
+  const auto abcd = engine.compute(a, b, cc, d);
+  const auto cdab = engine.compute(cc, d, a, b);
+  const std::size_t na = a.sph_size(), nb = b.sph_size(), nc = cc.sph_size(),
+                    nd = d.sph_size();
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (std::size_t k = 0; k < nc; ++k) {
+        for (std::size_t l = 0; l < nd; ++l) {
+          const double v1 = abcd[((i * nb + j) * nc + k) * nd + l];
+          const double v2 = cdab[((k * nd + l) * na + i) * nb + j];
+          EXPECT_NEAR(v1, v2, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AngularMomenta, EriAmSweep,
+    ::testing::Values(AmCase{0, 0, 0, 0}, AmCase{1, 0, 0, 0},
+                      AmCase{1, 1, 0, 0}, AmCase{1, 0, 1, 0},
+                      AmCase{1, 1, 1, 1}, AmCase{2, 0, 0, 0},
+                      AmCase{2, 1, 0, 0}, AmCase{2, 1, 1, 0},
+                      AmCase{2, 2, 0, 0}, AmCase{2, 2, 1, 1},
+                      AmCase{2, 2, 2, 2}, AmCase{2, 0, 2, 0}));
+
+// Scaling property: scaling all exponents by s^2 and all centers by 1/s
+// scales every ERI by exactly s (Coulomb integrals are homogeneous of
+// degree -1 in length).
+TEST(EriProperties, CoulombLengthScaling) {
+  EriEngine engine;
+  const double s = 1.7;
+  auto scaled = [s](const Shell& sh) {
+    Shell out;
+    out.l = sh.l;
+    out.center = sh.center * (1.0 / s);
+    for (double e : sh.exponents) out.exponents.push_back(e * s * s);
+    out.coefficients.assign(sh.exponents.size(), 1.0);
+    normalize_shell(out);
+    return out;
+  };
+  const Shell a = make_shell(1, {0.0, 0.0, 0.0}, {1.0}, {1.0});
+  const Shell b = make_shell(0, {1.2, 0.5, -0.3}, {0.7}, {1.0});
+  const Shell c = make_shell(2, {-0.4, 0.8, 0.2}, {1.4}, {1.0});
+  const auto ref = engine.compute(a, b, c, b);
+  std::vector<double> base = ref;
+  const auto scaled_block = engine.compute(scaled(a), scaled(b), scaled(c), scaled(b));
+  ASSERT_EQ(base.size(), scaled_block.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(scaled_block[i], s * base[i], 1e-11 * std::max(1.0, std::abs(s * base[i])));
+  }
+}
+
+// The nuclear attraction of a far-away nucleus approaches -Z/R times the
+// overlap matrix (another multipole limit, tying V to S).
+TEST(EriProperties, NuclearFarFieldMatchesOverlap) {
+  const Shell a = make_shell(1, {0, 0, 0}, {1.0}, {1.0});
+  const Shell b = make_shell(1, {0.4, 0.1, 0.0}, {1.4}, {1.0});
+  Molecule far;
+  far.add_atom(6, {0.0, 0.0, 40.0});
+  const auto v = nuclear_block(a, b, far);
+  const auto s = overlap_block(a, b);
+  // Off-diagonal (zero-overlap) elements pick up dipole terms of order
+  // Z <r> / R^2 ~ 1e-3; test the monopole relation on the large elements
+  // and only bound the rest.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (std::abs(s[i]) > 0.01) {
+      EXPECT_NEAR(v[i] / s[i], -6.0 / 40.0, 2e-3);
+    } else {
+      EXPECT_LT(std::abs(v[i]), 5e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "baseline/nwchem_fock.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/fock_serial.h"
+#include "core/shell_reorder.h"
+#include "eri/one_electron.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+struct Fixture {
+  Fixture(Molecule mol, const char* basis_name, double tau = 1e-11,
+          ReorderScheme scheme = ReorderScheme::kCells)
+      : basis(apply_reordering(Basis(mol, BasisLibrary::builtin(basis_name)),
+                               {scheme, 5.0, 1})),
+        screening(basis, {tau, 1e-20, {}}),
+        h(core_hamiltonian(basis)),
+        d(random_density(basis.num_functions(), 77)),
+        reference(fock_serial(basis, screening, d, h)) {}
+
+  Basis basis;
+  ScreeningData screening;
+  Matrix h;
+  Matrix d;
+  Matrix reference;
+};
+
+class GtFockProcsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GtFockProcsTest, MatchesSerialAcrossProcessCounts) {
+  Fixture fx(water_cluster(3, 5), "sto-3g");
+  GtFockOptions opts;
+  opts.nprocs = GetParam();
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult result = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(result.fock, fx.reference), 1e-10)
+      << "p=" << GetParam();
+  // Every task executed exactly once.
+  std::uint64_t tasks = 0;
+  for (const auto& r : result.ranks) tasks += r.tasks_owned + r.tasks_stolen;
+  const std::size_t ns = fx.basis.num_shells();
+  EXPECT_EQ(tasks, ns * ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, GtFockProcsTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+TEST(GtFock, MatchesSerialWithCcPvdz) {
+  Fixture fx(water(), "cc-pvdz");
+  GtFockOptions opts;
+  opts.nprocs = 4;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  EXPECT_LT(max_abs_diff(builder.build(fx.d, fx.h).fock, fx.reference), 1e-10);
+}
+
+TEST(GtFock, MatchesSerialWithoutStealing) {
+  Fixture fx(linear_alkane(4), "sto-3g");
+  GtFockOptions opts;
+  opts.nprocs = 6;
+  opts.work_stealing = false;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult result = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(result.fock, fx.reference), 1e-10);
+  for (const auto& r : result.ranks) {
+    EXPECT_EQ(r.tasks_stolen, 0u);
+    EXPECT_EQ(r.steal_victims, 0u);
+  }
+}
+
+TEST(GtFock, MatchesSerialAcrossReorderings) {
+  for (ReorderScheme scheme : {ReorderScheme::kNone, ReorderScheme::kCells,
+                               ReorderScheme::kMorton, ReorderScheme::kRandom}) {
+    // The reordering permutes the basis, so each fixture recomputes its own
+    // serial reference in the same order; the parallel build must match it.
+    Fixture fx(linear_alkane(3), "sto-3g", 1e-11, scheme);
+    GtFockOptions opts;
+    opts.nprocs = 5;
+    GtFockBuilder builder(fx.basis, fx.screening, opts);
+    EXPECT_LT(max_abs_diff(builder.build(fx.d, fx.h).fock, fx.reference),
+              1e-10)
+        << "scheme=" << static_cast<int>(scheme);
+  }
+}
+
+TEST(GtFock, ExplicitNonSquareGrid) {
+  Fixture fx(water_cluster(2, 3), "sto-3g");
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 5);
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult result = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(result.fock, fx.reference), 1e-10);
+  EXPECT_EQ(result.ranks.size(), 10u);
+}
+
+TEST(GtFock, StatsAreConsistent) {
+  Fixture fx(water_cluster(2, 9), "sto-3g");
+  GtFockOptions opts;
+  opts.nprocs = 4;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult result = builder.build(fx.d, fx.h);
+
+  std::uint64_t quartets = 0;
+  for (const auto& r : result.ranks) quartets += r.quartets_computed;
+  EXPECT_EQ(quartets, fx.screening.count_unique_screened_quartets());
+
+  for (const auto& r : result.ranks) {
+    EXPECT_GT(r.comm.get_calls, 0u);  // prefetch happened
+    EXPECT_GT(r.comm.acc_calls, 0u);  // flush happened
+    EXPECT_GE(r.total_seconds, 0.0);
+  }
+  EXPECT_GE(result.load_balance(), 1.0);
+  EXPECT_GE(result.avg_overhead_seconds(), 0.0);
+}
+
+TEST(GtFock, RejectsBadOptions) {
+  Fixture fx(h2(), "sto-3g");
+  GtFockOptions opts;
+  opts.nprocs = 2;
+  opts.steal_fraction = 0.0;
+  EXPECT_THROW(GtFockBuilder(fx.basis, fx.screening, opts),
+               std::invalid_argument);
+}
+
+class NwchemProcsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NwchemProcsTest, MatchesSerialAcrossProcessCounts) {
+  Fixture fx(water_cluster(3, 5), "sto-3g", 1e-11, ReorderScheme::kNone);
+  NwchemOptions opts;
+  opts.nprocs = GetParam();
+  NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+  const NwchemResult result = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(result.fock, fx.reference), 1e-10)
+      << "p=" << GetParam();
+  std::uint64_t tasks = 0;
+  for (const auto& r : result.ranks) tasks += r.tasks_executed;
+  EXPECT_EQ(tasks, result.total_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, NwchemProcsTest,
+                         ::testing::Values(1, 2, 4, 7, 12));
+
+TEST(Nwchem, MatchesSerialCcPvdz) {
+  Fixture fx(water(), "cc-pvdz", 1e-11, ReorderScheme::kNone);
+  NwchemOptions opts;
+  opts.nprocs = 3;
+  NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+  EXPECT_LT(max_abs_diff(builder.build(fx.d, fx.h).fock, fx.reference), 1e-10);
+}
+
+TEST(Nwchem, SchedulerAccessesScaleWithTasks) {
+  Fixture fx(linear_alkane(4), "sto-3g", 1e-11, ReorderScheme::kNone);
+  NwchemOptions opts;
+  opts.nprocs = 3;
+  NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+  const NwchemResult result = builder.build(fx.d, fx.h);
+  // Every rank makes one final failed GetTask, so accesses = tasks + p.
+  EXPECT_EQ(result.scheduler_accesses, result.total_tasks + opts.nprocs);
+}
+
+TEST(Nwchem, GetsAreMoreFrequentThanGtFock) {
+  // The architectural claim of the paper: per-task block fetching produces
+  // far more communication calls than GTFock's prefetch (Table VII).
+  // Atom ordering is used because NWChem's block-row distribution requires
+  // shells grouped by atom.
+  Fixture fx(water_cluster(3, 11), "sto-3g", 1e-11, ReorderScheme::kNone);
+  GtFockOptions gopts;
+  gopts.nprocs = 4;
+  NwchemOptions nopts;
+  nopts.nprocs = 4;
+  GtFockBuilder gt(fx.basis, fx.screening, gopts);
+  NwchemFockBuilder nw(fx.basis, fx.screening, nopts);
+  const auto gres = gt.build(fx.d, fx.h);
+  const auto nres = nw.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(gres.fock, nres.fock), 1e-10);
+  EXPECT_GT(nres.comm_summary().avg_calls, gres.comm_summary().avg_calls);
+}
+
+TEST(AtomScreening, SignificanceReflectsDistance) {
+  const Basis basis(linear_alkane(20), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const AtomScreening atoms = atom_screening(basis, sd);
+  EXPECT_TRUE(atoms.significant(0, 0));
+  EXPECT_TRUE(atoms.significant(0, 1));
+  // Atom 0 and the last carbon are ~37 A apart in C20H42? No: ~24 A. Far
+  // enough that the pair is insignificant at tau=1e-10.
+  EXPECT_FALSE(atoms.significant(0, 19));
+}
+
+TEST(NwchemTasks, EnumerationIsDense) {
+  const Basis basis(water_cluster(2, 3), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const AtomScreening atoms = atom_screening(basis, sd);
+  std::uint64_t expected = 0;
+  for_each_nwchem_task(basis.molecule().size(), atoms,
+                       [&](const NwchemTask& t) {
+                         EXPECT_EQ(t.id, expected);
+                         EXPECT_LE(t.l_lo, t.l_hi);
+                         EXPECT_LE(t.l_hi, t.l_lo + 4);
+                         ++expected;
+                       });
+  EXPECT_EQ(nwchem_task_count(basis.molecule().size(), atoms), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_serial.h"
+#include "eri/one_electron.h"
+#include "linalg/eigen.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+class FockSerialTest : public ::testing::TestWithParam<
+                           std::tuple<const char*, const char*>> {};
+
+TEST_P(FockSerialTest, MatchesBruteForce) {
+  const auto [mol_name, basis_name] = GetParam();
+  Molecule mol;
+  if (std::string(mol_name) == "h2o") {
+    mol = water();
+  } else if (std::string(mol_name) == "ch4") {
+    mol = methane();
+  } else {
+    mol = h2();
+  }
+  const Basis basis(mol, BasisLibrary::builtin(basis_name));
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix d = random_density(basis.num_functions(), 42);
+
+  ScreeningOptions sopts;
+  sopts.tau = 1e-14;  // keep everything: exact comparison
+  const ScreeningData screening(basis, sopts);
+
+  const Matrix ref = fock_bruteforce(basis, d, h);
+  SerialFockStats stats;
+  const Matrix f = fock_serial(basis, screening, d, h, &stats);
+
+  EXPECT_LT(max_abs_diff(f, ref), 1e-10)
+      << mol_name << "/" << basis_name;
+  EXPECT_GT(stats.quartets_computed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Molecules, FockSerialTest,
+    ::testing::Values(std::make_tuple("h2", "sto-3g"),
+                      std::make_tuple("h2", "cc-pvdz"),
+                      std::make_tuple("h2o", "sto-3g"),
+                      std::make_tuple("h2o", "6-31g"),
+                      std::make_tuple("ch4", "sto-3g")));
+
+TEST(FockSerial, SymmetricResult) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix d = random_density(basis.num_functions(), 7);
+  ScreeningOptions sopts;
+  sopts.tau = 1e-12;
+  const ScreeningData screening(basis, sopts);
+  const Matrix f = fock_serial(basis, screening, d, h);
+  EXPECT_LT(max_abs_diff(f, f.transposed()), 1e-11);
+}
+
+TEST(FockSerial, LinearInDensityMinusCore) {
+  // F(D) - H is linear in D: F(a*D) - H = a*(F(D) - H).
+  const Basis basis(h2(), BasisLibrary::builtin("sto-3g"));
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix d = random_density(basis.num_functions(), 9);
+  Matrix d2 = d;
+  d2 *= 2.0;
+  ScreeningOptions sopts;
+  sopts.tau = 1e-14;
+  const ScreeningData screening(basis, sopts);
+  const Matrix f1 = fock_serial(basis, screening, d, h);
+  const Matrix f2 = fock_serial(basis, screening, d2, h);
+  Matrix lhs = f2 - h;
+  Matrix rhs = f1 - h;
+  rhs *= 2.0;
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-10);
+}
+
+TEST(FockSerial, ScreeningIntroducesOnlySmallErrors) {
+  const Basis basis(linear_alkane(3), BasisLibrary::builtin("sto-3g"));
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix d = random_density(basis.num_functions(), 11);
+
+  ScreeningOptions exact_opts;
+  exact_opts.tau = 1e-16;
+  ScreeningOptions screened_opts;
+  screened_opts.tau = 1e-7;
+  const ScreeningData exact(basis, exact_opts);
+  const ScreeningData screened(basis, screened_opts);
+
+  SerialFockStats s_exact, s_screened;
+  const Matrix f_exact = fock_serial(basis, exact, d, h, &s_exact);
+  const Matrix f_scr = fock_serial(basis, screened, d, h, &s_screened);
+  EXPECT_LE(s_screened.quartets_computed, s_exact.quartets_computed);
+  // tau=1e-7 errors stay well below 1e-5 for a unit-scale density.
+  EXPECT_LT(max_abs_diff(f_exact, f_scr), 1e-5);
+}
+
+TEST(FockSerial, QuartetCountMatchesScreeningPrediction) {
+  const Basis basis(linear_alkane(2), BasisLibrary::builtin("sto-3g"));
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix d = random_density(basis.num_functions(), 13);
+  ScreeningOptions sopts;
+  sopts.tau = 1e-9;
+  const ScreeningData screening(basis, sopts);
+  SerialFockStats stats;
+  fock_serial(basis, screening, d, h, &stats);
+  EXPECT_EQ(stats.quartets_computed, screening.count_unique_screened_quartets());
+}
+
+}  // namespace
+}  // namespace mf

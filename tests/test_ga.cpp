@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "ga/distribution.h"
+#include "ga/global_array.h"
+#include "ga/process_grid.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+TEST(ProcessGrid, SquarestFactorization) {
+  EXPECT_EQ(ProcessGrid::squarest(1).rows(), 1u);
+  EXPECT_EQ(ProcessGrid::squarest(12).rows(), 3u);
+  EXPECT_EQ(ProcessGrid::squarest(12).cols(), 4u);
+  EXPECT_EQ(ProcessGrid::squarest(16).rows(), 4u);
+  EXPECT_EQ(ProcessGrid::squarest(7).rows(), 1u);
+  EXPECT_EQ(ProcessGrid::squarest(7).cols(), 7u);
+}
+
+TEST(ProcessGrid, RankMapping) {
+  const ProcessGrid g(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t r = g.rank_of(i, j);
+      EXPECT_EQ(g.row_of(r), i);
+      EXPECT_EQ(g.col_of(r), j);
+    }
+  }
+}
+
+TEST(Partition, EvenSplit) {
+  const Partition1D p = Partition1D::even(10, 3);
+  EXPECT_EQ(p.size(0), 4u);
+  EXPECT_EQ(p.size(1), 3u);
+  EXPECT_EQ(p.size(2), 3u);
+  EXPECT_EQ(p.part_of(0), 0u);
+  EXPECT_EQ(p.part_of(3), 0u);
+  EXPECT_EQ(p.part_of(4), 1u);
+  EXPECT_EQ(p.part_of(9), 2u);
+}
+
+TEST(Partition, ShellAlignedCuts) {
+  const Basis basis(methane(), BasisLibrary::builtin("cc-pvdz"));
+  const Partition1D p = partition_by_shells(basis, 4);
+  EXPECT_EQ(p.total(), basis.num_functions());
+  // Every cut must land on a shell boundary.
+  for (std::size_t k = 0; k < p.num_parts(); ++k) {
+    bool on_boundary = p.begin(k) == basis.num_functions();
+    for (std::size_t s = 0; s < basis.num_shells() && !on_boundary; ++s) {
+      if (basis.shell_offset(s) == p.begin(k)) on_boundary = true;
+    }
+    EXPECT_TRUE(on_boundary) << "cut " << k << " at " << p.begin(k);
+  }
+}
+
+TEST(Partition, AtomBlockRows) {
+  const Basis basis(methane(), BasisLibrary::builtin("sto-3g"));
+  const Partition1D p = partition_by_atoms(basis, 5);
+  EXPECT_EQ(p.num_parts(), 5u);
+  EXPECT_EQ(p.total(), basis.num_functions());
+  // Methane: C has 5 functions, each H has 1.
+  EXPECT_EQ(p.size(0), 5u);
+  for (std::size_t k = 1; k < 5; ++k) EXPECT_EQ(p.size(k), 1u);
+}
+
+TEST(GlobalArray, RoundTripThroughBlocks) {
+  const Basis basis(methane(), BasisLibrary::builtin("cc-pvdz"));
+  const Distribution2D dist =
+      gtfock_distribution(basis, ProcessGrid::squarest(6));
+  GlobalArray ga(dist);
+  Rng rng(3);
+  Matrix m(ga.rows(), ga.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.uniform();
+  ga.from_matrix(m);
+  EXPECT_LT(max_abs_diff(ga.to_matrix(), m), 1e-15);
+}
+
+TEST(GlobalArray, GetCrossesBlockBoundaries) {
+  const Basis basis(methane(), BasisLibrary::builtin("cc-pvdz"));
+  const Distribution2D dist =
+      gtfock_distribution(basis, ProcessGrid::squarest(4));
+  GlobalArray ga(dist);
+  Matrix m(ga.rows(), ga.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = static_cast<double>(i * 100 + j);
+  ga.from_matrix(m);
+
+  const std::size_t r0 = 3, r1 = ga.rows() - 2, c0 = 1, c1 = ga.cols() - 1;
+  std::vector<double> buf((r1 - r0) * (c1 - c0));
+  ga.get(/*caller=*/0, r0, r1, c0, c1, buf.data());
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      EXPECT_EQ(buf[(r - r0) * (c1 - c0) + (c - c0)], m(r, c));
+    }
+  }
+}
+
+TEST(GlobalArray, AccAccumulatesAtomically) {
+  // Many threads accumulate 1.0 into the same cell; result is the count.
+  const Basis basis(h2(), BasisLibrary::builtin("cc-pvdz"));
+  GlobalArray ga(gtfock_distribution(basis, ProcessGrid(1, 1)));
+  const double one = 1.0;
+  const int per_thread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i) ga.acc(0, 2, 3, 2, 3, &one);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(ga.to_matrix()(2, 2), 4.0 * per_thread);
+}
+
+TEST(GlobalArray, StatsDistinguishLocalAndRemote) {
+  const Basis basis(methane(), BasisLibrary::builtin("sto-3g"));
+  const Distribution2D dist = nwchem_distribution(basis, 5);
+  GlobalArray ga(dist);
+  std::vector<double> buf(ga.cols());
+  // Rank 0 reads its own first row: local.
+  ga.get(0, 0, 1, 0, ga.cols(), buf.data());
+  // Rank 4 reads rank 0's row: remote.
+  ga.get(4, 0, 1, 0, ga.cols(), buf.data());
+  EXPECT_EQ(ga.stats()[0].get_calls, 1u);
+  EXPECT_EQ(ga.stats()[0].remote_calls, 0u);
+  EXPECT_EQ(ga.stats()[4].get_calls, 1u);
+  EXPECT_EQ(ga.stats()[4].remote_calls, 1u);
+  EXPECT_EQ(ga.stats()[4].get_bytes, ga.cols() * sizeof(double));
+}
+
+TEST(GlobalArray, PutOverwritesRegion) {
+  const Basis basis(h2(), BasisLibrary::builtin("sto-3g"));
+  GlobalArray ga(gtfock_distribution(basis, ProcessGrid(1, 2)));
+  ga.fill(7.0);
+  std::vector<double> zeros(2, 0.0);
+  ga.put(0, 0, 1, 0, 2, zeros.data());
+  const Matrix m = ga.to_matrix();
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+  EXPECT_EQ(m(1, 0), 7.0);
+}
+
+TEST(GlobalCounter, FetchAddSequence) {
+  GlobalCounter counter(0, 3);
+  EXPECT_EQ(counter.fetch_add(1), 0);
+  EXPECT_EQ(counter.fetch_add(2), 1);
+  EXPECT_EQ(counter.fetch_add(0), 2);
+  EXPECT_EQ(counter.load(), 3);
+  // Stats: rank 0's access was local, others remote.
+  EXPECT_EQ(counter.stats()[0].rmw_calls, 1u);
+  EXPECT_EQ(counter.stats()[0].remote_calls, 0u);
+  EXPECT_EQ(counter.stats()[1].remote_calls, 1u);
+}
+
+TEST(GlobalCounter, ConcurrentIncrementsAreLossless) {
+  GlobalCounter counter(0, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (int i = 0; i < 1000; ++i) counter.fetch_add(static_cast<std::size_t>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), 4000);
+}
+
+TEST(CommStats, SummaryAveragesAndMaxima) {
+  std::vector<CommStats> per_rank(2);
+  per_rank[0].record('g', 100, true);
+  per_rank[1].record('a', 300, false);
+  per_rank[1].record('r', 0, true);
+  const CommSummary s = summarize(per_rank);
+  EXPECT_DOUBLE_EQ(s.avg_calls, 1.5);
+  EXPECT_DOUBLE_EQ(s.avg_bytes, 200.0);
+  EXPECT_DOUBLE_EQ(s.max_bytes, 300.0);
+  EXPECT_DOUBLE_EQ(s.avg_rmw, 0.5);
+}
+
+}  // namespace
+}  // namespace mf

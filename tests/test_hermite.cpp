@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eri/cart_sph.h"
+#include "eri/hermite.h"
+
+namespace mf {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(CartesianComponents, CountsAndOrdering) {
+  EXPECT_EQ(cartesian_components(0).size(), 1u);
+  EXPECT_EQ(cartesian_components(1).size(), 3u);
+  EXPECT_EQ(cartesian_components(2).size(), 6u);
+  EXPECT_EQ(cartesian_components(3).size(), 10u);
+  // p ordering is x, y, z.
+  const auto& p = cartesian_components(1);
+  EXPECT_EQ(p[0].lx, 1);
+  EXPECT_EQ(p[1].ly, 1);
+  EXPECT_EQ(p[2].lz, 1);
+  // d starts with xx, xy.
+  const auto& d = cartesian_components(2);
+  EXPECT_EQ(d[0].lx, 2);
+  EXPECT_EQ(d[1].lx, 1);
+  EXPECT_EQ(d[1].ly, 1);
+  // Each component sums to l.
+  for (int l = 0; l <= kMaxAm; ++l) {
+    for (const auto& c : cartesian_components(l)) {
+      EXPECT_EQ(c.lx + c.ly + c.lz, l);
+    }
+  }
+}
+
+TEST(HermiteE, BaseCaseIsGaussianProductPrefactor) {
+  const double a = 1.3, b = 0.7, ab = 0.9;
+  const HermiteE e(0, 0, a, b, ab);
+  const double mu = a * b / (a + b);
+  EXPECT_NEAR(e(0, 0, 0), std::exp(-mu * ab * ab), 1e-15);
+}
+
+TEST(HermiteE, SameCenterMatchesMonomialExpansion) {
+  // For AB = 0 and i=j=0: E_0^{00} = 1. Raising i once at the same center
+  // with PA = 0 gives E_1^{10} = 1/(2p), E_0^{10} = 0.
+  const double a = 0.8, b = 1.1;
+  const HermiteE e(1, 1, a, b, 0.0);
+  const double p = a + b;
+  EXPECT_NEAR(e(0, 0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(e(0, 1, 0), 0.0, 1e-15);
+  EXPECT_NEAR(e(1, 1, 0), 1.0 / (2.0 * p), 1e-15);
+  // x^1 * x^1 = x^2 = H_2/(4p^2)-ish: E_0^{11} = 1/(2p) at the same center.
+  EXPECT_NEAR(e(0, 1, 1), 1.0 / (2.0 * p), 1e-14);
+}
+
+TEST(HermiteE, BraKetSwapSymmetry) {
+  // Swapping (i, a) with (j, b) and negating AB leaves E_t unchanged.
+  const double a = 1.7, b = 0.4, ab = -0.6;
+  const HermiteE e1(2, 1, a, b, ab);
+  const HermiteE e2(1, 2, b, a, -ab);
+  for (int i = 0; i <= 2; ++i) {
+    for (int j = 0; j <= 1; ++j) {
+      for (int t = 0; t <= i + j; ++t) {
+        EXPECT_NEAR(e1(t, i, j), e2(t, j, i), 1e-14) << i << j << t;
+      }
+    }
+  }
+}
+
+TEST(HermiteE, SumRuleGivesOverlap) {
+  // 1D overlap: S_ij = E_0^{ij} sqrt(pi/p); check against direct
+  // Gauss-Hermite-style quadrature of x^i (x-R)^j exp(...) for a shifted
+  // pair. Trapezoid over a wide interval is plenty at these exponents.
+  const double a = 0.9, b = 1.4, r = 1.1;  // B at x = +r; A at 0
+  const HermiteE ex(2, 2, a, b, -r);       // AB = A_x - B_x = -r
+  const double p = a + b;
+  for (int i = 0; i <= 2; ++i) {
+    for (int j = 0; j <= 2; ++j) {
+      double quad = 0.0;
+      const int steps = 4000;
+      const double lo = -12.0, hi = 14.0, h = (hi - lo) / steps;
+      for (int k = 0; k <= steps; ++k) {
+        const double x = lo + k * h;
+        const double w = (k == 0 || k == steps) ? 0.5 : 1.0;
+        quad += w * std::pow(x, i) * std::pow(x - r, j) *
+                std::exp(-a * x * x - b * (x - r) * (x - r));
+      }
+      quad *= h;
+      EXPECT_NEAR(ex(0, i, j) * std::sqrt(kPi / p), quad, 1e-10)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(HermiteR, BaseValueIsBoys) {
+  HermiteR r;
+  r.compute(0, 0.8, {0.3, -0.2, 0.5});
+  // R_000 = F_0(alpha |PQ|^2).
+  const double t = 0.8 * (0.09 + 0.04 + 0.25);
+  EXPECT_NEAR(r(0, 0, 0), std::sqrt(kPi / t) / 2.0 * std::erf(std::sqrt(t)),
+              1e-12);
+}
+
+TEST(HermiteR, GradientRelation) {
+  // R_{100} = d/dX F_0(alpha R^2) = -2 alpha X F_1. Verified against a
+  // central difference of R_000 in the X component.
+  const double alpha = 0.6;
+  const Vec3 pq{0.7, 0.1, -0.4};
+  HermiteR r;
+  r.compute(1, alpha, pq);
+  const double r100 = r(1, 0, 0);
+
+  const double eps = 1e-6;
+  HermiteR rp, rm;
+  rp.compute(0, alpha, {pq.x + eps, pq.y, pq.z});
+  rm.compute(0, alpha, {pq.x - eps, pq.y, pq.z});
+  const double fd = (rp(0, 0, 0) - rm(0, 0, 0)) / (2.0 * eps);
+  EXPECT_NEAR(r100, fd, 1e-7);
+}
+
+TEST(HermiteR, PermutationSymmetryInAxes) {
+  // Swapping x and y components of PQ swaps t and u indices.
+  HermiteR rxy, ryx;
+  rxy.compute(4, 1.1, {0.5, -0.8, 0.2});
+  ryx.compute(4, 1.1, {-0.8, 0.5, 0.2});
+  for (int t = 0; t <= 2; ++t) {
+    for (int u = 0; u + t <= 3; ++u) {
+      EXPECT_NEAR(rxy(t, u, 1), ryx(u, t, 1), 1e-12);
+    }
+  }
+}
+
+TEST(CartSph, ComponentRatios) {
+  // s and p components are already unit-normalized; d: xx needs 1, xy needs
+  // sqrt(3).
+  EXPECT_DOUBLE_EQ(component_norm_ratio(0, {0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(component_norm_ratio(1, {1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(component_norm_ratio(2, {2, 0, 0}), 1.0);
+  EXPECT_NEAR(component_norm_ratio(2, {1, 1, 0}), std::sqrt(3.0), 1e-15);
+}
+
+TEST(CartSph, DTransformRowsAreOrthonormal) {
+  // In the normalized-Cartesian metric G (identity except <xx|yy>=1/3
+  // pairs), the d transform rows must be orthonormal.
+  const auto& t = spherical_transform(2);
+  const auto& comps = cartesian_components(2);
+  auto metric = [&](std::size_t i, std::size_t j) {
+    if (i == j) return 1.0;
+    const auto &a = comps[i], &b = comps[j];
+    // <xx|yy>-type overlaps are 1/3; others vanish.
+    const bool both_squares = (a.lx % 2 == 0 && a.ly % 2 == 0 && a.lz % 2 == 0) &&
+                              (b.lx % 2 == 0 && b.ly % 2 == 0 && b.lz % 2 == 0);
+    return both_squares ? 1.0 / 3.0 : 0.0;
+  };
+  for (std::size_t r1 = 0; r1 < 5; ++r1) {
+    for (std::size_t r2 = 0; r2 < 5; ++r2) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+          dot += t[r1 * 6 + i] * metric(i, j) * t[r2 * 6 + j];
+        }
+      }
+      EXPECT_NEAR(dot, r1 == r2 ? 1.0 : 0.0, 1e-14) << r1 << "," << r2;
+    }
+  }
+}
+
+TEST(CartSph, RejectsUnsupportedAngularMomentum) {
+  EXPECT_THROW(spherical_transform(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mf

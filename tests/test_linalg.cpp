@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/purification.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed);
+  symmetrize(m);
+  return m;
+}
+
+TEST(Matrix, GemmMatchesNaive) {
+  const Matrix a = random_matrix(13, 7, 1);
+  const Matrix b = random_matrix(7, 9, 2);
+  const Matrix c = matmul(a, b);
+  for (std::size_t i = 0; i < 13; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 7; ++k) s += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, GemmTransposes) {
+  const Matrix a = random_matrix(6, 4, 3);
+  const Matrix b = random_matrix(6, 5, 4);
+  Matrix c;
+  gemm(a, true, b, false, 1.0, 0.0, c);  // A^T B
+  const Matrix ref = matmul(a.transposed(), b);
+  EXPECT_LT(max_abs_diff(c, ref), 1e-12);
+
+  Matrix c2;
+  gemm(b, true, a, false, 2.0, 0.0, c2);  // 2 B^T A
+  Matrix ref2 = matmul(b.transposed(), a);
+  ref2 *= 2.0;
+  EXPECT_LT(max_abs_diff(c2, ref2), 1e-12);
+}
+
+TEST(Matrix, GemmBetaAccumulates) {
+  const Matrix a = random_matrix(5, 5, 5);
+  const Matrix b = random_matrix(5, 5, 6);
+  Matrix c = random_matrix(5, 5, 7);
+  const Matrix c0 = c;
+  gemm(a, false, b, false, 1.0, 1.0, c);
+  Matrix ref = matmul(a, b);
+  ref += c0;
+  EXPECT_LT(max_abs_diff(c, ref), 1e-12);
+}
+
+TEST(Matrix, TraceProduct) {
+  const Matrix a = random_symmetric(8, 8);
+  const Matrix b = random_symmetric(8, 9);
+  EXPECT_NEAR(trace_product(a, b), trace(matmul(a, b)), 1e-12);
+}
+
+TEST(Matrix, GershgorinBoundsContainSpectrum) {
+  const Matrix a = random_symmetric(10, 10);
+  double lo, hi;
+  gershgorin_bounds(a, lo, hi);
+  const EigenResult eig = eigh(a);
+  EXPECT_GE(eig.values.front(), lo - 1e-12);
+  EXPECT_LE(eig.values.back(), hi + 1e-12);
+}
+
+TEST(Eigen, DiagonalizesKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const EigenResult eig = eigh(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  const std::size_t n = 12;
+  const Matrix a = random_symmetric(n, 11);
+  const EigenResult eig = eigh(a);
+  // A = V diag(w) V^T
+  Matrix vw(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) vw(i, k) = eig.vectors(i, k) * eig.values[k];
+  Matrix rec;
+  gemm(vw, false, eig.vectors, true, 1.0, 0.0, rec);
+  EXPECT_LT(max_abs_diff(rec, a), 1e-9);
+}
+
+TEST(Eigen, VectorsAreOrthonormal) {
+  const Matrix a = random_symmetric(9, 13);
+  const EigenResult eig = eigh(a);
+  Matrix vtv;
+  gemm(eig.vectors, true, eig.vectors, false, 1.0, 0.0, vtv);
+  EXPECT_LT(max_abs_diff(vtv, Matrix::identity(9)), 1e-10);
+}
+
+TEST(Eigen, InverseSqrt) {
+  // Build an SPD matrix A = M M^T + I.
+  const Matrix m = random_matrix(7, 7, 17);
+  Matrix a;
+  gemm(m, false, m, true, 1.0, 0.0, a);
+  a += Matrix::identity(7);
+  const Matrix x = inverse_sqrt(a);
+  // X A X = I.
+  const Matrix xax = matmul(matmul(x, a), x);
+  EXPECT_LT(max_abs_diff(xax, Matrix::identity(7)), 1e-9);
+}
+
+TEST(Eigen, InverseSqrtRejectsIndefinite) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(inverse_sqrt(a), std::invalid_argument);
+}
+
+TEST(Eigen, SymPow) {
+  const Matrix m = random_matrix(6, 6, 19);
+  Matrix a;
+  gemm(m, false, m, true, 1.0, 0.0, a);
+  a += Matrix::identity(6);
+  const Matrix half = sym_pow(a, 0.5);
+  EXPECT_LT(max_abs_diff(matmul(half, half), a), 1e-9);
+}
+
+TEST(Purification, MatchesDiagonalizationProjector) {
+  const std::size_t n = 20, nocc = 7;
+  const Matrix f = random_symmetric(n, 23);
+  const PurificationResult pur = purify_density(f, nocc);
+  ASSERT_TRUE(pur.converged);
+
+  const EigenResult eig = eigh(f);
+  const Matrix d_ref = density_from_eigenvectors(eig, nocc);
+  EXPECT_LT(max_abs_diff(pur.density, d_ref), 1e-6);
+  EXPECT_NEAR(trace(pur.density), static_cast<double>(nocc), 1e-8);
+}
+
+TEST(Purification, IdempotentResult) {
+  const Matrix f = random_symmetric(16, 29);
+  const PurificationResult pur = purify_density(f, 5);
+  ASSERT_TRUE(pur.converged);
+  const Matrix d2 = matmul(pur.density, pur.density);
+  EXPECT_LT(max_abs_diff(d2, pur.density), 1e-6);
+}
+
+TEST(Purification, TrivialOccupations) {
+  const Matrix f = random_symmetric(6, 31);
+  const PurificationResult none = purify_density(f, 0);
+  EXPECT_NEAR(frobenius_norm(none.density), 0.0, 1e-10);
+  const PurificationResult all = purify_density(f, 6);
+  EXPECT_LT(max_abs_diff(all.density, Matrix::identity(6)), 1e-8);
+}
+
+TEST(Purification, McWeenyStepFixesProjector) {
+  // A projector is a fixed point of the McWeeny polynomial.
+  const Matrix f = random_symmetric(10, 37);
+  const EigenResult eig = eigh(f);
+  const Matrix d = density_from_eigenvectors(eig, 4);
+  EXPECT_LT(max_abs_diff(mcweeny_step(d), d), 1e-10);
+}
+
+}  // namespace
+}  // namespace mf

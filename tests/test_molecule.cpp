@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/element.h"
+#include "chem/molecule.h"
+#include "chem/molecule_builders.h"
+
+namespace mf {
+namespace {
+
+TEST(Element, RoundTrip) {
+  EXPECT_EQ(atomic_number("H"), 1);
+  EXPECT_EQ(atomic_number("he"), 2);
+  EXPECT_EQ(atomic_number("C"), 6);
+  EXPECT_EQ(element_symbol(8), "O");
+  EXPECT_THROW(atomic_number("Xx"), std::invalid_argument);
+  EXPECT_THROW(element_symbol(200), std::invalid_argument);
+}
+
+TEST(Molecule, NuclearRepulsionH2) {
+  const Molecule mol = h2(1.4);
+  EXPECT_NEAR(mol.nuclear_repulsion(), 1.0 / 1.4, 1e-12);
+  EXPECT_EQ(mol.num_electrons(), 2);
+}
+
+TEST(Molecule, Formula) {
+  EXPECT_EQ(methane().formula(), "CH4");
+  EXPECT_EQ(water().formula(), "H2O");
+  EXPECT_EQ(graphene_flake(2).formula(), "C24H12");
+}
+
+TEST(Molecule, ParseXyz) {
+  const Molecule mol = parse_xyz("2\ncomment\nH 0 0 0\nH 0 0 0.74\n");
+  ASSERT_EQ(mol.size(), 2u);
+  EXPECT_EQ(mol.atom(0).z, 1);
+  EXPECT_NEAR((mol.atom(1).position - mol.atom(0).position).norm(),
+              0.74 * kBohrPerAngstrom, 1e-9);
+  EXPECT_THROW(parse_xyz("3\nc\nH 0 0 0\n"), std::invalid_argument);
+}
+
+// The coronene series: 6k^2 carbons, 6k hydrogens (Table II molecules for
+// k = 4, 5; C24H12 from Table V for k = 2).
+TEST(Builders, GrapheneFlakeCounts) {
+  for (std::size_t k : {1u, 2u, 3u, 4u, 5u}) {
+    const Molecule mol = graphene_flake(k);
+    EXPECT_EQ(mol.count(6), 6 * k * k) << "k=" << k;
+    EXPECT_EQ(mol.count(1), 6 * k) << "k=" << k;
+  }
+}
+
+TEST(Builders, GrapheneBondLengths) {
+  const Molecule mol = graphene_flake(2);
+  // Every carbon has 2 or 3 carbon neighbors at ~1.42 A.
+  const double cc = 1.42 * kBohrPerAngstrom;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    if (mol.atom(i).z != 6) continue;
+    int neighbors = 0;
+    for (std::size_t j = 0; j < mol.size(); ++j) {
+      if (i == j || mol.atom(j).z != 6) continue;
+      const double r = (mol.atom(i).position - mol.atom(j).position).norm();
+      if (r < 1.2 * cc) {
+        EXPECT_NEAR(r, cc, 1e-6);
+        ++neighbors;
+      }
+    }
+    EXPECT_GE(neighbors, 2);
+    EXPECT_LE(neighbors, 3);
+  }
+}
+
+TEST(Builders, AlkaneCounts) {
+  for (std::size_t n : {1u, 2u, 10u, 20u}) {
+    const Molecule mol = linear_alkane(n);
+    EXPECT_EQ(mol.count(6), n);
+    EXPECT_EQ(mol.count(1), 2 * n + 2);
+  }
+}
+
+TEST(Builders, AlkaneGeometrySane) {
+  const Molecule mol = linear_alkane(10);
+  // No two atoms closer than 0.9 A.
+  const double min_dist = 0.9 * kBohrPerAngstrom;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    for (std::size_t j = i + 1; j < mol.size(); ++j) {
+      EXPECT_GT((mol.atom(i).position - mol.atom(j).position).norm(), min_dist)
+          << "atoms " << i << "," << j;
+    }
+  }
+}
+
+TEST(Builders, AlkaneChainIsLinear) {
+  // 1D structure: the x-extent dominates y/z extents (screening argument in
+  // Section IV-B relies on this).
+  const Molecule mol = linear_alkane(30);
+  double xmin = 1e9, xmax = -1e9, ymin = 1e9, ymax = -1e9;
+  for (const Atom& a : mol.atoms()) {
+    xmin = std::min(xmin, a.position.x);
+    xmax = std::max(xmax, a.position.x);
+    ymin = std::min(ymin, a.position.y);
+    ymax = std::max(ymax, a.position.y);
+  }
+  EXPECT_GT(xmax - xmin, 5.0 * (ymax - ymin));
+}
+
+TEST(Builders, WaterClusterCounts) {
+  const Molecule mol = water_cluster(8, 1);
+  EXPECT_EQ(mol.count(8), 8u);
+  EXPECT_EQ(mol.count(1), 16u);
+  EXPECT_EQ(mol.num_electrons(), 80);
+}
+
+TEST(Builders, WaterClusterDeterministic) {
+  const Molecule a = water_cluster(4, 9);
+  const Molecule b = water_cluster(4, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ((a.atom(i).position - b.atom(i).position).norm(), 0.0);
+  }
+}
+
+TEST(Builders, MethaneTetrahedral) {
+  const Molecule mol = methane();
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_NEAR((mol.atom(i).position - mol.atom(0).position).norm(),
+                1.089 * kBohrPerAngstrom, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mf

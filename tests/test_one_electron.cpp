@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "eri/one_electron.h"
+#include "linalg/eigen.h"
+
+namespace mf {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Shell make_shell(int l, const Vec3& center, std::vector<double> exps,
+                 std::vector<double> coefs) {
+  Shell s;
+  s.l = l;
+  s.center = center;
+  s.exponents = std::move(exps);
+  s.coefficients = std::move(coefs);
+  normalize_shell(s);
+  return s;
+}
+
+// Every spherical component of every shell must have unit self-overlap;
+// this exercises primitive + contraction normalization, the per-component
+// Cartesian ratios, and the spherical transform together.
+TEST(OneElectron, SelfOverlapIsIdentityForSPD) {
+  for (int l : {0, 1, 2}) {
+    const Shell s = make_shell(l, {0.3, -0.2, 0.5}, {1.3, 0.4}, {0.6, 0.8});
+    const auto block = overlap_block(s, s);
+    const std::size_t n = s.sph_size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(block[i * n + j], i == j ? 1.0 : 0.0, 1e-12)
+            << "l=" << l << " ij=" << i << j;
+      }
+    }
+  }
+}
+
+// <T> of a single normalized s Gaussian is 3a/2.
+TEST(OneElectron, KineticSingleGaussianClosedForm) {
+  for (double a : {0.25, 1.0, 3.7}) {
+    const Shell s = make_shell(0, {0, 0, 0}, {a}, {1.0});
+    const auto t = kinetic_block(s, s);
+    EXPECT_NEAR(t[0], 1.5 * a, 1e-12);
+  }
+}
+
+// <V> of a single normalized s Gaussian centered on a charge Z is
+// -Z * 2 sqrt(2a/pi).
+TEST(OneElectron, NuclearSingleGaussianClosedForm) {
+  for (double a : {0.5, 2.0}) {
+    const Shell s = make_shell(0, {0, 0, 0}, {a}, {1.0});
+    Molecule nucleus;
+    nucleus.add_atom(3, {0, 0, 0});
+    const auto v = nuclear_block(s, s, nucleus);
+    EXPECT_NEAR(v[0], -3.0 * 2.0 * std::sqrt(2.0 * a / kPi), 1e-12);
+  }
+}
+
+// Known closed-form pair overlap of two s Gaussians at distance R.
+TEST(OneElectron, TwoCenterOverlapClosedForm) {
+  const double a = 0.8, b = 1.7, r = 1.9;
+  const Shell s1 = make_shell(0, {0, 0, 0}, {a}, {1.0});
+  const Shell s2 = make_shell(0, {0, 0, r}, {b}, {1.0});
+  const auto s = overlap_block(s1, s2);
+  const double p = a + b;
+  const double na = std::pow(2.0 * a / kPi, 0.75);
+  const double nb = std::pow(2.0 * b / kPi, 0.75);
+  const double expect =
+      na * nb * std::exp(-a * b / p * r * r) * std::pow(kPi / p, 1.5);
+  EXPECT_NEAR(s[0], expect, 1e-12);
+}
+
+TEST(OneElectron, OverlapMatrixSymmetricPositiveDefinite) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const Matrix s = overlap_matrix(basis);
+  EXPECT_LT(max_abs_diff(s, s.transposed()), 1e-12);
+  const EigenResult eig = eigh(s);
+  EXPECT_GT(eig.values.front(), 0.0);
+  for (std::size_t i = 0; i < s.rows(); ++i) EXPECT_NEAR(s(i, i), 1.0, 1e-10);
+}
+
+TEST(OneElectron, KineticMatrixPositiveDefinite) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const Matrix t = kinetic_matrix(basis);
+  EXPECT_LT(max_abs_diff(t, t.transposed()), 1e-12);
+  const EigenResult eig = eigh(t);
+  EXPECT_GT(eig.values.front(), 0.0);
+}
+
+TEST(OneElectron, TranslationInvariance) {
+  const Basis b1(methane(), BasisLibrary::builtin("sto-3g"));
+  Molecule shifted = methane();
+  Molecule moved;
+  for (const Atom& a : shifted.atoms()) {
+    moved.add_atom(a.z, a.position + Vec3{3.0, -1.0, 2.0});
+  }
+  const Basis b2(moved, BasisLibrary::builtin("sto-3g"));
+  EXPECT_LT(max_abs_diff(overlap_matrix(b1), overlap_matrix(b2)), 1e-11);
+  EXPECT_LT(max_abs_diff(kinetic_matrix(b1), kinetic_matrix(b2)), 1e-11);
+  EXPECT_LT(max_abs_diff(nuclear_matrix(b1), nuclear_matrix(b2)), 1e-10);
+}
+
+// Hydrogen atom in STO-3G: one electron, so the ground-state energy is the
+// lowest eigenvalue of H_core in the S metric. Literature: -0.466582 Eh.
+TEST(OneElectron, HydrogenAtomSto3gEnergy) {
+  const Basis basis(hydrogen_atom(), BasisLibrary::builtin("sto-3g"));
+  const Matrix s = overlap_matrix(basis);
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix x = inverse_sqrt(s);
+  const Matrix hp = matmul(matmul(x.transposed(), h), x);
+  const EigenResult eig = eigh(hp);
+  EXPECT_NEAR(eig.values.front(), -0.466582, 1e-5);
+}
+
+// Same for cc-pVDZ: literature RHF energy of the H atom is -0.499278 Eh.
+TEST(OneElectron, HydrogenAtomCcPvdzEnergy) {
+  const Basis basis(hydrogen_atom(), BasisLibrary::builtin("cc-pvdz"));
+  const Matrix s = overlap_matrix(basis);
+  const Matrix h = core_hamiltonian(basis);
+  const Matrix x = inverse_sqrt(s);
+  const Matrix hp = matmul(matmul(x.transposed(), h), x);
+  const EigenResult eig = eigh(hp);
+  EXPECT_NEAR(eig.values.front(), -0.499278, 1e-4);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline/nwchem_sim.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/task_cost.h"
+#include "eri/screening.h"
+
+namespace mf {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("minifock_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, ScreeningRoundTrip) {
+  const Basis basis(linear_alkane(4), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData original(basis, {1e-9, 1e-20, {}});
+  ASSERT_TRUE(original.save(path("s.bin")));
+  const auto loaded = ScreeningData::load(path("s.bin"), basis.num_shells(), 1e-9);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_significant_pairs(), original.num_significant_pairs());
+  EXPECT_EQ(loaded->count_unique_screened_quartets(),
+            original.count_unique_screened_quartets());
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    EXPECT_EQ(loaded->significant_set(m), original.significant_set(m));
+    for (std::size_t n = 0; n < basis.num_shells(); ++n) {
+      EXPECT_DOUBLE_EQ(loaded->pair_value(m, n), original.pair_value(m, n));
+    }
+  }
+}
+
+TEST_F(PersistenceTest, ScreeningRejectsMismatch) {
+  const Basis basis(h2(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData original(basis, {1e-9, 1e-20, {}});
+  ASSERT_TRUE(original.save(path("s.bin")));
+  EXPECT_FALSE(ScreeningData::load(path("s.bin"), basis.num_shells() + 1, 1e-9)
+                   .has_value());
+  EXPECT_FALSE(ScreeningData::load(path("s.bin"), basis.num_shells(), 1e-10)
+                   .has_value());
+  EXPECT_FALSE(ScreeningData::load(path("missing.bin"), basis.num_shells(), 1e-9)
+                   .has_value());
+}
+
+TEST_F(PersistenceTest, ScreeningRejectsCorruptFile) {
+  std::FILE* f = std::fopen(path("junk.bin").c_str(), "wb");
+  std::fputs("not a cache", f);
+  std::fclose(f);
+  EXPECT_FALSE(ScreeningData::load(path("junk.bin"), 2, 1e-9).has_value());
+}
+
+TEST_F(PersistenceTest, TaskCostModelRoundTrip) {
+  const Basis basis(linear_alkane(4), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const TaskCostModel original(basis, sd);
+  ASSERT_TRUE(original.save(path("c.bin")));
+  const auto loaded = TaskCostModel::load(path("c.bin"), basis.num_shells());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_quartets(), original.total_quartets());
+  EXPECT_DOUBLE_EQ(loaded->total_integrals(), original.total_integrals());
+  for (std::size_t m = 0; m < basis.num_shells(); m += 3) {
+    for (std::size_t n = 0; n < basis.num_shells(); n += 2) {
+      EXPECT_DOUBLE_EQ(loaded->task_integrals(m, n),
+                       original.task_integrals(m, n));
+      EXPECT_EQ(loaded->task_quartets(m, n), original.task_quartets(m, n));
+    }
+  }
+  EXPECT_FALSE(
+      TaskCostModel::load(path("c.bin"), basis.num_shells() + 1).has_value());
+}
+
+TEST_F(PersistenceTest, NwchemTableRoundTrip) {
+  const Basis basis(water_cluster(2, 3), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const NwchemTaskTable original(basis, sd);
+  ASSERT_TRUE(original.save(path("n.bin")));
+  const auto loaded = NwchemTaskTable::load(path("n.bin"), basis, sd);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded->total_quartets(), original.total_quartets());
+  EXPECT_DOUBLE_EQ(loaded->total_integrals(), original.total_integrals());
+  for (std::size_t t = 0; t < original.num_tasks(); t += 7) {
+    EXPECT_EQ(loaded->task(t).calls, original.task(t).calls);
+    EXPECT_EQ(loaded->task(t).bytes, original.task(t).bytes);
+    EXPECT_DOUBLE_EQ(loaded->task(t).integrals, original.task(t).integrals);
+  }
+}
+
+TEST_F(PersistenceTest, NwchemTableRejectsWrongMolecule) {
+  const Basis basis(water_cluster(2, 3), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {1e-10, 1e-20, {}});
+  const NwchemTaskTable original(basis, sd);
+  ASSERT_TRUE(original.save(path("n.bin")));
+  const Basis other(linear_alkane(5), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd2(other, {1e-10, 1e-20, {}});
+  EXPECT_FALSE(NwchemTaskTable::load(path("n.bin"), other, sd2).has_value());
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "eri/one_electron.h"
+#include "scf/hf.h"
+
+namespace mf {
+namespace {
+
+// Literature RHF total energies (hartree). He is geometry-free, so it pins
+// the whole integral + SCF stack to an absolute reference.
+TEST(Scf, HeliumSto3g) {
+  const Basis basis(helium(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -2.807784, 2e-5);
+}
+
+TEST(Scf, H2Sto3gSzaboGeometry) {
+  const Basis basis(h2(1.4), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  // Szabo & Ostlund report -1.1167 Eh total at R = 1.4 bohr.
+  EXPECT_NEAR(r.energy, -1.1167, 2e-3);
+}
+
+TEST(Scf, WaterSto3gInKnownRange) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -74.94, 0.03);
+}
+
+TEST(Scf, WaterCcPvdzInKnownRange) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  // RHF/cc-pVDZ water is approximately -76.027 Eh near this geometry.
+  EXPECT_NEAR(r.energy, -76.027, 0.05);
+}
+
+TEST(Scf, BiggerBasisIsVariationallyLower) {
+  const Molecule mol = water();
+  const ScfResult small = run_hf(Basis(mol, BasisLibrary::builtin("sto-3g")));
+  const ScfResult mid = run_hf(Basis(mol, BasisLibrary::builtin("6-31g")));
+  const ScfResult large = run_hf(Basis(mol, BasisLibrary::builtin("cc-pvdz")));
+  ASSERT_TRUE(small.converged && mid.converged && large.converged);
+  EXPECT_LT(mid.energy, small.energy);
+  EXPECT_LT(large.energy, mid.energy);
+}
+
+TEST(Scf, DensityTraceEqualsElectronCount) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  HartreeFock hf(basis);
+  const ScfResult r = hf.run();
+  ASSERT_TRUE(r.converged);
+  const Matrix s = hf.overlap();
+  EXPECT_NEAR(trace_product(r.density, s),
+              static_cast<double>(basis.molecule().num_electrons()), 1e-6);
+}
+
+TEST(Scf, DensityIdempotentInOverlapMetric) {
+  // For D = 2 C C^T: D S D = 2 D.
+  const Basis basis(h2(1.4), BasisLibrary::builtin("sto-3g"));
+  HartreeFock hf(basis);
+  const ScfResult r = hf.run();
+  ASSERT_TRUE(r.converged);
+  const Matrix dsd = matmul(matmul(r.density, hf.overlap()), r.density);
+  Matrix two_d = r.density;
+  two_d *= 2.0;
+  EXPECT_LT(max_abs_diff(dsd, two_d), 1e-6);
+}
+
+TEST(Scf, PurificationMatchesDiagonalization) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  ScfOptions diag;
+  ScfOptions pur;
+  pur.solver = DensitySolver::kPurification;
+  const ScfResult a = run_hf(basis, diag);
+  const ScfResult b = run_hf(basis, pur);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.energy, b.energy, 1e-6);
+  // Purification iteration counts are recorded (Table IX instrumentation).
+  bool any = false;
+  for (const auto& info : b.history) {
+    if (info.purification_iterations > 0) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Scf, ConvergesWithoutDiis) {
+  const Basis basis(helium(), BasisLibrary::builtin("sto-3g"));
+  ScfOptions opts;
+  opts.use_diis = false;
+  const ScfResult r = run_hf(basis, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -2.807784, 2e-5);
+}
+
+TEST(Scf, OddElectronCountRejected) {
+  const Basis basis(hydrogen_atom(), BasisLibrary::builtin("sto-3g"));
+  EXPECT_THROW(run_hf(basis), std::invalid_argument);
+}
+
+TEST(Scf, OrbitalEnergiesSorted) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  ASSERT_FALSE(r.orbital_energies.empty());
+  for (std::size_t i = 0; i + 1 < r.orbital_energies.size(); ++i) {
+    EXPECT_LE(r.orbital_energies[i], r.orbital_energies[i + 1]);
+  }
+  // Occupied orbitals of a stable molecule are bound (negative).
+  EXPECT_LT(r.orbital_energies[0], 0.0);
+}
+
+TEST(Scf, HistoryEnergiesDecreaseOverall) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GE(r.history.size(), 2u);
+  EXPECT_LT(r.history.back().energy, r.history.front().energy + 1e-9);
+}
+
+TEST(Scf, CustomFockBuilderIsUsed) {
+  const Basis basis(helium(), BasisLibrary::builtin("sto-3g"));
+  HartreeFock hf(basis);
+  int calls = 0;
+  hf.set_fock_builder([&](const Matrix& d, const Matrix& h) {
+    ++calls;
+    return fock_serial(basis, hf.screening(), d, h);
+  });
+  const ScfResult r = hf.run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(calls, r.iterations);
+  EXPECT_NEAR(r.energy, -2.807784, 2e-5);
+}
+
+}  // namespace
+}  // namespace mf

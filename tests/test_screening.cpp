@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "eri/screening.h"
+
+namespace mf {
+namespace {
+
+ScreeningData screen(const Basis& basis, double tau = 1e-10) {
+  ScreeningOptions opts;
+  opts.tau = tau;
+  return ScreeningData(basis, opts);
+}
+
+TEST(Screening, PairValuesSymmetricAndNonNegative) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const ScreeningData sd = screen(basis);
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    for (std::size_t n = 0; n < basis.num_shells(); ++n) {
+      EXPECT_DOUBLE_EQ(sd.pair_value(m, n), sd.pair_value(n, m));
+      EXPECT_GE(sd.pair_value(m, n), 0.0);
+    }
+  }
+  EXPECT_GT(sd.max_pair_value(), 0.0);
+}
+
+TEST(Screening, SmallMoleculeEverythingSignificant) {
+  // In a compact molecule at tau=1e-10 all pairs interact.
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd = screen(basis);
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    EXPECT_EQ(sd.significant_set(m).size(), basis.num_shells());
+  }
+  const std::size_t ns = basis.num_shells();
+  EXPECT_EQ(sd.num_significant_pairs(), ns * (ns + 1) / 2);
+}
+
+TEST(Screening, LongAlkaneDropsFarPairs) {
+  const Basis basis(linear_alkane(24), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd = screen(basis);
+  const std::size_t ns = basis.num_shells();
+  // Far pairs must be insignificant: average significant set much smaller
+  // than the shell count.
+  EXPECT_LT(sd.avg_significant_set_size(), 0.7 * static_cast<double>(ns));
+  // First and last carbon shells are far apart (> 40 bohr): not significant.
+  EXPECT_FALSE(sd.significant(0, ns - 1));
+}
+
+TEST(Screening, PrefilterMatchesExact) {
+  const Basis basis(linear_alkane(12), BasisLibrary::builtin("sto-3g"));
+  ScreeningOptions with;
+  with.tau = 1e-10;
+  ScreeningOptions without = with;
+  without.prefilter = 0.0;
+  const ScreeningData a(basis, with);
+  const ScreeningData b(basis, without);
+  EXPECT_EQ(a.num_significant_pairs(), b.num_significant_pairs());
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    EXPECT_EQ(a.significant_set(m), b.significant_set(m));
+  }
+}
+
+TEST(Screening, TighterTauKeepsMorePairs) {
+  const Basis basis(linear_alkane(16), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData loose = screen(basis, 1e-6);
+  const ScreeningData tight = screen(basis, 1e-12);
+  EXPECT_LE(loose.num_significant_pairs(), tight.num_significant_pairs());
+  EXPECT_LE(loose.count_unique_screened_quartets(),
+            tight.count_unique_screened_quartets());
+}
+
+TEST(Screening, QuartetCountMatchesBruteForce) {
+  const Basis basis(linear_alkane(4), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd = screen(basis, 1e-8);
+  const std::size_t ns = basis.num_shells();
+  // Brute-force count over canonical quartet classes.
+  std::uint64_t expect = 0;
+  for (std::size_t m = 0; m < ns; ++m) {
+    for (std::size_t n = m; n < ns; ++n) {
+      for (std::size_t p = 0; p < ns; ++p) {
+        for (std::size_t q = p; q < ns; ++q) {
+          if (std::make_pair(p, q) < std::make_pair(m, n)) continue;
+          if (sd.pair_value(m, n) * sd.pair_value(p, q) >= sd.tau()) ++expect;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(sd.count_unique_screened_quartets(), expect);
+}
+
+TEST(Screening, KeepQuartetConsistentWithPairValues) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd = screen(basis, 1e-10);
+  EXPECT_TRUE(sd.keep_quartet(0, 0, 0, 0));
+  // Artificial check: product below tau is dropped.
+  EXPECT_EQ(sd.keep_quartet(0, 1, 2, 3),
+            sd.pair_value(0, 1) * sd.pair_value(2, 3) >= sd.tau());
+}
+
+TEST(Screening, ConsecutiveOverlapBounded) {
+  const Basis basis(linear_alkane(10), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd = screen(basis);
+  const double q = sd.avg_consecutive_overlap();
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, sd.avg_significant_set_size() + 1e-9);
+}
+
+}  // namespace
+}  // namespace mf

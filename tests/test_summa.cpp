@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "ga/distribution.h"
+#include "ga/summa.h"
+#include "linalg/eigen.h"
+#include "linalg/purification.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Distribution2D square_dist(std::size_t n, std::size_t p) {
+  const ProcessGrid grid = ProcessGrid::squarest(p);
+  return Distribution2D(grid, Partition1D::even(n, grid.rows()),
+                        Partition1D::even(n, grid.cols()));
+}
+
+class SummaTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SummaTest, MatchesDenseGemmAcrossGrids) {
+  const std::size_t n = 37;
+  const Matrix a = random_matrix(n, 1), b = random_matrix(n, 2);
+  const Distribution2D dist = square_dist(n, GetParam());
+  GlobalArray ga(dist), gb(dist), gc(dist);
+  ga.from_matrix(a);
+  gb.from_matrix(b);
+  SummaOptions opts;
+  opts.panel_width = 8;
+  summa_multiply(ga, gb, gc, opts);
+  EXPECT_LT(max_abs_diff(gc.to_matrix(), matmul(a, b)), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SummaTest, ::testing::Values(1, 2, 4, 6, 9, 12));
+
+TEST(Summa, CommCountsRecorded) {
+  const std::size_t n = 24;
+  const Distribution2D dist = square_dist(n, 4);
+  GlobalArray ga(dist), gb(dist), gc(dist);
+  ga.from_matrix(random_matrix(n, 3));
+  gb.from_matrix(random_matrix(n, 4));
+  summa_multiply(ga, gb, gc, {8});
+  // Every rank issued gets on both inputs and one put on the output.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_GT(ga.stats()[r].get_calls, 0u);
+    EXPECT_GT(gb.stats()[r].get_calls, 0u);
+    EXPECT_GE(gc.stats()[r].put_calls, 1u);
+  }
+}
+
+TEST(Summa, DistributedTraceMatchesDense) {
+  const std::size_t n = 19;
+  const Matrix a = random_matrix(n, 5);
+  const Matrix b = random_matrix(n, 6);
+  GlobalArray ga(square_dist(n, 6)), gb(square_dist(n, 6));
+  ga.from_matrix(a);
+  gb.from_matrix(b);
+  EXPECT_NEAR(distributed_trace(ga), trace(a), 1e-12);
+  EXPECT_NEAR(distributed_trace_product(ga, gb), trace_product(a, b), 1e-10);
+}
+
+TEST(DistributedPurification, MatchesSerialPurification) {
+  const std::size_t n = 30, nocc = 11;
+  Matrix f = random_matrix(n, 7);
+  symmetrize(f);
+  const Distribution2D dist = square_dist(n, 4);
+  GlobalArray gf(dist), gd(dist);
+  gf.from_matrix(f);
+  const DistPurificationResult dres = distributed_purify(gf, gd, nocc);
+  ASSERT_TRUE(dres.converged);
+
+  const PurificationResult sres = purify_density(f, nocc);
+  ASSERT_TRUE(sres.converged);
+  EXPECT_LT(max_abs_diff(gd.to_matrix(), sres.density), 1e-6);
+  EXPECT_EQ(dres.iterations, sres.iterations);
+  // SUMMA communication was recorded.
+  double calls = 0;
+  for (const auto& s : dres.comm) calls += static_cast<double>(s.total_calls());
+  EXPECT_GT(calls, 0.0);
+}
+
+TEST(DistributedPurification, ProjectsOntoOccupiedSpace) {
+  const std::size_t n = 16, nocc = 5;
+  Matrix f = random_matrix(n, 9);
+  symmetrize(f);
+  GlobalArray gf(square_dist(n, 9)), gd(square_dist(n, 9));
+  gf.from_matrix(f);
+  const DistPurificationResult res = distributed_purify(gf, gd, nocc);
+  ASSERT_TRUE(res.converged);
+  const Matrix d = gd.to_matrix();
+  EXPECT_NEAR(trace(d), static_cast<double>(nocc), 1e-7);
+  EXPECT_LT(max_abs_diff(matmul(d, d), d), 1e-6);
+  // D commutes with F (both diagonal in the same eigenbasis).
+  const Matrix df = matmul(d, f), fd = matmul(f, d);
+  EXPECT_LT(max_abs_diff(df, fd), 1e-5);
+}
+
+TEST(SummaModel, ScalesWithResources) {
+  MachineParams machine;
+  const double flops = 1.0e11;
+  const double t1 = model_summa_seconds(2000, 1.0, machine, flops);
+  const double t16 = model_summa_seconds(2000, 16.0, machine, flops);
+  EXPECT_GT(t1, t16);
+  const double tp1 = model_purification_seconds(2000, 16.0, 45, machine, flops);
+  EXPECT_GT(tp1, 45 * 2 * model_summa_seconds(2000, 16.0, machine, flops) * 0.99);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+
+#include "core/symmetry.h"
+
+namespace mf {
+namespace {
+
+TEST(Symmetry, PairCheckCanonicalizesEveryPair) {
+  const std::size_t n = 9;
+  for (std::size_t a = 0; a < n; ++a) {
+    EXPECT_TRUE(symmetry_check(a, a));
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Exactly one of the two orders passes.
+      EXPECT_NE(symmetry_check(a, b), symmetry_check(b, a))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// Canonical key of a quartet class: the 8 permutation images of
+// (M,P | N,Q), minimized lexicographically.
+std::array<std::size_t, 4> class_key(std::size_t m, std::size_t p,
+                                     std::size_t n, std::size_t q) {
+  std::array<std::array<std::size_t, 4>, 8> images = {{
+      {m, p, n, q},
+      {p, m, n, q},
+      {m, p, q, n},
+      {p, m, q, n},
+      {n, q, m, p},
+      {q, n, m, p},
+      {n, q, p, m},
+      {q, n, p, m},
+  }};
+  std::array<std::size_t, 4> best = images[0];
+  for (const auto& im : images) {
+    if (im < best) best = im;
+  }
+  return best;
+}
+
+// The core uniqueness property of Algorithm 3: over the full (M,P,N,Q)
+// enumeration, every 8-fold symmetry class has exactly one representative
+// passing unique_quartet().
+TEST(Symmetry, UniqueQuartetCoversEveryClassExactlyOnce) {
+  const std::size_t n = 8;
+  std::map<std::array<std::size_t, 4>, int> hits;
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t nn = 0; nn < n; ++nn) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (unique_quartet(m, p, nn, q)) {
+            hits[class_key(m, p, nn, q)]++;
+          }
+        }
+      }
+    }
+  }
+  // Number of classes = npairs*(npairs+1)/2 with npairs = n(n+1)/2.
+  const std::size_t npairs = n * (n + 1) / 2;
+  EXPECT_EQ(hits.size(), npairs * (npairs + 1) / 2);
+  for (const auto& [key, count] : hits) {
+    EXPECT_EQ(count, 1) << key[0] << "," << key[1] << "," << key[2] << ","
+                        << key[3];
+  }
+}
+
+// Degeneracy must equal the actual orbit size of the canonical quartet.
+TEST(Symmetry, DegeneracyEqualsOrbitSize) {
+  const std::size_t n = 6;
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t nn = 0; nn < n; ++nn) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (!unique_quartet(m, p, nn, q)) continue;
+          std::set<std::array<std::size_t, 4>> orbit;
+          const std::array<std::array<std::size_t, 4>, 8> images = {{
+              {m, p, nn, q},
+              {p, m, nn, q},
+              {m, p, q, nn},
+              {p, m, q, nn},
+              {nn, q, m, p},
+              {q, nn, m, p},
+              {nn, q, p, m},
+              {q, nn, p, m},
+          }};
+          for (const auto& im : images) orbit.insert(im);
+          EXPECT_EQ(static_cast<std::size_t>(quartet_degeneracy(m, p, nn, q)),
+                    orbit.size())
+              << m << p << nn << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(Symmetry, TaskGridHalvesWork) {
+  // Tasks (M,N) with M != N and !symmetry_check(M,N) contribute nothing;
+  // exactly half the off-diagonal task grid is live.
+  const std::size_t n = 10;
+  std::size_t live = 0;
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t nn = 0; nn < n; ++nn) {
+      if (symmetry_check(m, nn)) ++live;
+    }
+  }
+  EXPECT_EQ(live, n + n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace mf

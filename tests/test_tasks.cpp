@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_task.h"
+#include "core/shell_reorder.h"
+
+namespace mf {
+namespace {
+
+struct Workload {
+  Workload(Molecule mol, const char* basis_name, ReorderScheme scheme)
+      : basis(apply_reordering(Basis(mol, BasisLibrary::builtin(basis_name)),
+                               {scheme, 5.0, 3})),
+        screening(basis, {1e-10, 1e-20, {}}) {}
+  Basis basis;
+  ScreeningData screening;
+};
+
+TEST(StaticPartition, CoversTaskGridExactly) {
+  const std::size_t nshells = 23;
+  const ProcessGrid grid(3, 4);
+  const auto blocks = static_partition(nshells, grid);
+  ASSERT_EQ(blocks.size(), 12u);
+  std::vector<int> covered(nshells * nshells, 0);
+  for (const TaskBlock& b : blocks) {
+    for (std::size_t m = b.row_begin; m < b.row_end; ++m) {
+      for (std::size_t n = b.col_begin; n < b.col_end; ++n) {
+        covered[m * nshells + n]++;
+      }
+    }
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(StaticPartition, BalancedBlockSizes) {
+  const auto blocks = static_partition(100, ProcessGrid(4, 4));
+  std::size_t min_tasks = SIZE_MAX, max_tasks = 0;
+  for (const TaskBlock& b : blocks) {
+    min_tasks = std::min(min_tasks, b.num_tasks());
+    max_tasks = std::max(max_tasks, b.num_tasks());
+  }
+  EXPECT_EQ(max_tasks, 625u);
+  EXPECT_EQ(min_tasks, 625u);
+}
+
+TEST(Footprint, ContainsTaskRowsAndColumns) {
+  Workload s(linear_alkane(6), "sto-3g", ReorderScheme::kCells);
+  const TaskBlock block{2, 5, 10, 14};
+  const BlockFootprint fp = block_footprint(s.basis, s.screening, block);
+  for (std::size_t m = 2; m < 5; ++m) {
+    EXPECT_NE(std::find(fp.shells.begin(), fp.shells.end(), m), fp.shells.end());
+  }
+  // func_local maps exactly the functions of the footprint shells.
+  std::size_t mapped = 0;
+  for (std::int32_t v : fp.func_local) {
+    if (v >= 0) ++mapped;
+  }
+  EXPECT_EQ(mapped, fp.num_functions);
+}
+
+TEST(Footprint, RunsPartitionShellSet) {
+  Workload s(linear_alkane(8), "sto-3g", ReorderScheme::kCells);
+  const TaskBlock block{0, 4, 0, 4};
+  const BlockFootprint fp = block_footprint(s.basis, s.screening, block);
+  std::size_t total = 0;
+  for (const auto& run : fp.runs) {
+    EXPECT_LT(run.first, run.second);
+    total += run.second - run.first;
+  }
+  EXPECT_EQ(total, fp.shells.size());
+}
+
+// Figure 1's observation: a 50x50 block of tasks needs far less than
+// 2500x the data of a single task, because footprints overlap heavily
+// after spatial reordering (the paper reports ~80x for C100H202).
+TEST(Footprint, BlockFootprintSublinearInTasks) {
+  Workload s(linear_alkane(16), "sto-3g", ReorderScheme::kCells);
+  const std::size_t ns = s.basis.num_shells();
+  const std::size_t m0 = ns / 3, n0 = 2 * ns / 3;
+  const std::uint64_t single =
+      footprint_elements(s.basis, s.screening, {m0, m0 + 1, n0, n0 + 1});
+  const std::size_t w = 20;
+  const std::uint64_t block = footprint_elements(
+      s.basis, s.screening, {m0, m0 + w, n0, n0 + w});
+  EXPECT_GT(single, 0u);
+  EXPECT_GT(block, single);
+  // 400 tasks, but footprint grows far less than 400x.
+  EXPECT_LT(block, 60 * single);
+}
+
+TEST(Footprint, ReorderingShrinksPrefetchFootprints) {
+  // The point of Section III-D: after cell reordering a task block touches
+  // a small, mostly-contiguous slice of the basis; under a random shell
+  // order the same block's footprint spans nearly everything, inflating the
+  // prefetch volume.
+  const Molecule mol = linear_alkane(40);
+  Workload ordered(mol, "sto-3g", ReorderScheme::kCells);
+  Workload random(mol, "sto-3g", ReorderScheme::kRandom);
+
+  auto total_footprint_funcs = [](const Workload& s) {
+    const ProcessGrid grid(4, 4);
+    std::size_t funcs = 0;
+    for (const TaskBlock& b :
+         static_partition(s.basis.num_shells(), grid)) {
+      funcs += block_footprint(s.basis, s.screening, b).num_functions;
+    }
+    return funcs;
+  };
+  EXPECT_LT(total_footprint_funcs(ordered),
+            0.8 * static_cast<double>(total_footprint_funcs(random)));
+}
+
+TEST(Tasks, QuartetCountsSumToUniqueTotal) {
+  Workload s(water_cluster(2, 4), "sto-3g", ReorderScheme::kCells);
+  const std::size_t ns = s.basis.num_shells();
+  std::uint64_t total = 0;
+  for (std::size_t m = 0; m < ns; ++m) {
+    for (std::size_t n = 0; n < ns; ++n) {
+      total += task_quartet_count(s.screening, m, n);
+    }
+  }
+  EXPECT_EQ(total, s.screening.count_unique_screened_quartets());
+}
+
+TEST(Tasks, IntegralCountPositiveForLiveTasks) {
+  Workload s(water(), "cc-pvdz", ReorderScheme::kCells);
+  const std::size_t ns = s.basis.num_shells();
+  double total = 0.0;
+  for (std::size_t m = 0; m < ns; ++m) {
+    for (std::size_t n = 0; n < ns; ++n) {
+      const double c = task_integral_count(s.basis, s.screening, m, n);
+      EXPECT_GE(c, 0.0);
+      total += c;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Reorder, PermutationIsValid) {
+  const Basis basis(graphene_flake(2), BasisLibrary::builtin("sto-3g"));
+  for (ReorderScheme scheme : {ReorderScheme::kNone, ReorderScheme::kCells,
+                               ReorderScheme::kMorton, ReorderScheme::kRandom}) {
+    const auto perm = reorder_permutation(basis, {scheme, 4.0, 7});
+    std::vector<std::size_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::size_t> expect(perm.size());
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(sorted, expect) << static_cast<int>(scheme);
+  }
+}
+
+TEST(Reorder, CellsImproveSignificantSetContiguity) {
+  // Measure the average index span of Phi(M); cell ordering must beat the
+  // adversarial random order on a spatially extended molecule.
+  const Molecule mol = linear_alkane(24);
+  auto avg_span = [&](ReorderScheme scheme) {
+    const Basis b = apply_reordering(
+        Basis(mol, BasisLibrary::builtin("sto-3g")), {scheme, 5.0, 11});
+    const ScreeningData sd(b, {1e-10, 1e-20, {}});
+    double total = 0.0;
+    for (std::size_t m = 0; m < b.num_shells(); ++m) {
+      const auto& phi = sd.significant_set(m);
+      if (!phi.empty()) total += static_cast<double>(phi.back() - phi.front());
+    }
+    return total / static_cast<double>(b.num_shells());
+  };
+  EXPECT_LT(avg_span(ReorderScheme::kCells),
+            0.6 * avg_span(ReorderScheme::kRandom));
+}
+
+TEST(Reorder, CellOrderingIncreasesConsecutiveOverlap) {
+  // The model parameter q = |Phi(M) ∩ Phi(M+1)| grows when neighbors in
+  // index space are neighbors in real space.
+  const Molecule mol = linear_alkane(24);
+  auto overlap = [&](ReorderScheme scheme) {
+    const Basis b = apply_reordering(
+        Basis(mol, BasisLibrary::builtin("sto-3g")), {scheme, 5.0, 13});
+    const ScreeningData sd(b, {1e-10, 1e-20, {}});
+    return sd.avg_consecutive_overlap();
+  };
+  EXPECT_GT(overlap(ReorderScheme::kCells),
+            overlap(ReorderScheme::kRandom));
+}
+
+}  // namespace
+}  // namespace mf
