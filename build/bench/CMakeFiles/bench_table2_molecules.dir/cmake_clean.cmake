@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_molecules.dir/bench_table2_molecules.cpp.o"
+  "CMakeFiles/bench_table2_molecules.dir/bench_table2_molecules.cpp.o.d"
+  "bench_table2_molecules"
+  "bench_table2_molecules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

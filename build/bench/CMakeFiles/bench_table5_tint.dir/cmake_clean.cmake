@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tint.dir/bench_table5_tint.cpp.o"
+  "CMakeFiles/bench_table5_tint.dir/bench_table5_tint.cpp.o.d"
+  "bench_table5_tint"
+  "bench_table5_tint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_comm_calls.dir/bench_table7_comm_calls.cpp.o"
+  "CMakeFiles/bench_table7_comm_calls.dir/bench_table7_comm_calls.cpp.o.d"
+  "bench_table7_comm_calls"
+  "bench_table7_comm_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_comm_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_purification.dir/bench_table9_purification.cpp.o"
+  "CMakeFiles/bench_table9_purification.dir/bench_table9_purification.cpp.o.d"
+  "bench_table9_purification"
+  "bench_table9_purification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_purification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/mf_bench_common.dir/bench_common.cpp.o.d"
+  "libmf_bench_common.a"
+  "libmf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scaling_study.dir/cluster_scaling_study.cpp.o"
+  "CMakeFiles/cluster_scaling_study.dir/cluster_scaling_study.cpp.o.d"
+  "cluster_scaling_study"
+  "cluster_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_fock.dir/parallel_fock.cpp.o"
+  "CMakeFiles/parallel_fock.dir/parallel_fock.cpp.o.d"
+  "parallel_fock"
+  "parallel_fock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_fock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

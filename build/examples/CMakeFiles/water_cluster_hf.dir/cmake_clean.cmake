@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_cluster_hf.dir/water_cluster_hf.cpp.o"
+  "CMakeFiles/water_cluster_hf.dir/water_cluster_hf.cpp.o.d"
+  "water_cluster_hf"
+  "water_cluster_hf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_cluster_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/nwchem_fock.cpp" "src/baseline/CMakeFiles/mf_baseline.dir/nwchem_fock.cpp.o" "gcc" "src/baseline/CMakeFiles/mf_baseline.dir/nwchem_fock.cpp.o.d"
+  "/root/repo/src/baseline/nwchem_sim.cpp" "src/baseline/CMakeFiles/mf_baseline.dir/nwchem_sim.cpp.o" "gcc" "src/baseline/CMakeFiles/mf_baseline.dir/nwchem_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eri/CMakeFiles/mf_eri.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mf_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mf_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_baseline.dir/nwchem_fock.cpp.o"
+  "CMakeFiles/mf_baseline.dir/nwchem_fock.cpp.o.d"
+  "CMakeFiles/mf_baseline.dir/nwchem_sim.cpp.o"
+  "CMakeFiles/mf_baseline.dir/nwchem_sim.cpp.o.d"
+  "libmf_baseline.a"
+  "libmf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

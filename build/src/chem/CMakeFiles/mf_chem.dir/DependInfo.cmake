@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/basis_data.cpp" "src/chem/CMakeFiles/mf_chem.dir/basis_data.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/basis_data.cpp.o.d"
+  "/root/repo/src/chem/basis_parser.cpp" "src/chem/CMakeFiles/mf_chem.dir/basis_parser.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/basis_parser.cpp.o.d"
+  "/root/repo/src/chem/basis_set.cpp" "src/chem/CMakeFiles/mf_chem.dir/basis_set.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/basis_set.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/chem/CMakeFiles/mf_chem.dir/element.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/element.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/mf_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/chem/molecule_builders.cpp" "src/chem/CMakeFiles/mf_chem.dir/molecule_builders.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/molecule_builders.cpp.o.d"
+  "/root/repo/src/chem/shell.cpp" "src/chem/CMakeFiles/mf_chem.dir/shell.cpp.o" "gcc" "src/chem/CMakeFiles/mf_chem.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

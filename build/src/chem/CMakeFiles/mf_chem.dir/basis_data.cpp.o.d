@@ -1,0 +1,3 @@
+src/chem/CMakeFiles/mf_chem.dir/basis_data.cpp.o: \
+ /root/repo/src/chem/basis_data.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/chem/basis_data.h

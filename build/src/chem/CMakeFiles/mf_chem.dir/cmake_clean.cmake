@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_chem.dir/basis_data.cpp.o"
+  "CMakeFiles/mf_chem.dir/basis_data.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/basis_parser.cpp.o"
+  "CMakeFiles/mf_chem.dir/basis_parser.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/basis_set.cpp.o"
+  "CMakeFiles/mf_chem.dir/basis_set.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/element.cpp.o"
+  "CMakeFiles/mf_chem.dir/element.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/molecule.cpp.o"
+  "CMakeFiles/mf_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/molecule_builders.cpp.o"
+  "CMakeFiles/mf_chem.dir/molecule_builders.cpp.o.d"
+  "CMakeFiles/mf_chem.dir/shell.cpp.o"
+  "CMakeFiles/mf_chem.dir/shell.cpp.o.d"
+  "libmf_chem.a"
+  "libmf_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

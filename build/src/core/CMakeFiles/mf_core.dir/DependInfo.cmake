@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fock_builder.cpp" "src/core/CMakeFiles/mf_core.dir/fock_builder.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/fock_builder.cpp.o.d"
+  "/root/repo/src/core/fock_serial.cpp" "src/core/CMakeFiles/mf_core.dir/fock_serial.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/fock_serial.cpp.o.d"
+  "/root/repo/src/core/fock_task.cpp" "src/core/CMakeFiles/mf_core.dir/fock_task.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/fock_task.cpp.o.d"
+  "/root/repo/src/core/fock_update.cpp" "src/core/CMakeFiles/mf_core.dir/fock_update.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/fock_update.cpp.o.d"
+  "/root/repo/src/core/gtfock_sim.cpp" "src/core/CMakeFiles/mf_core.dir/gtfock_sim.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/gtfock_sim.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/mf_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/shell_reorder.cpp" "src/core/CMakeFiles/mf_core.dir/shell_reorder.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/shell_reorder.cpp.o.d"
+  "/root/repo/src/core/task_cost.cpp" "src/core/CMakeFiles/mf_core.dir/task_cost.cpp.o" "gcc" "src/core/CMakeFiles/mf_core.dir/task_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eri/CMakeFiles/mf_eri.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mf_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mf_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_core.dir/fock_builder.cpp.o"
+  "CMakeFiles/mf_core.dir/fock_builder.cpp.o.d"
+  "CMakeFiles/mf_core.dir/fock_serial.cpp.o"
+  "CMakeFiles/mf_core.dir/fock_serial.cpp.o.d"
+  "CMakeFiles/mf_core.dir/fock_task.cpp.o"
+  "CMakeFiles/mf_core.dir/fock_task.cpp.o.d"
+  "CMakeFiles/mf_core.dir/fock_update.cpp.o"
+  "CMakeFiles/mf_core.dir/fock_update.cpp.o.d"
+  "CMakeFiles/mf_core.dir/gtfock_sim.cpp.o"
+  "CMakeFiles/mf_core.dir/gtfock_sim.cpp.o.d"
+  "CMakeFiles/mf_core.dir/perf_model.cpp.o"
+  "CMakeFiles/mf_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mf_core.dir/shell_reorder.cpp.o"
+  "CMakeFiles/mf_core.dir/shell_reorder.cpp.o.d"
+  "CMakeFiles/mf_core.dir/task_cost.cpp.o"
+  "CMakeFiles/mf_core.dir/task_cost.cpp.o.d"
+  "libmf_core.a"
+  "libmf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

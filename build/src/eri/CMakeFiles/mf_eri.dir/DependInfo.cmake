@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eri/boys.cpp" "src/eri/CMakeFiles/mf_eri.dir/boys.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/boys.cpp.o.d"
+  "/root/repo/src/eri/cart_sph.cpp" "src/eri/CMakeFiles/mf_eri.dir/cart_sph.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/cart_sph.cpp.o.d"
+  "/root/repo/src/eri/eri_engine.cpp" "src/eri/CMakeFiles/mf_eri.dir/eri_engine.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/eri_engine.cpp.o.d"
+  "/root/repo/src/eri/hermite.cpp" "src/eri/CMakeFiles/mf_eri.dir/hermite.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/hermite.cpp.o.d"
+  "/root/repo/src/eri/one_electron.cpp" "src/eri/CMakeFiles/mf_eri.dir/one_electron.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/one_electron.cpp.o.d"
+  "/root/repo/src/eri/screening.cpp" "src/eri/CMakeFiles/mf_eri.dir/screening.cpp.o" "gcc" "src/eri/CMakeFiles/mf_eri.dir/screening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chem/CMakeFiles/mf_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_eri.dir/boys.cpp.o"
+  "CMakeFiles/mf_eri.dir/boys.cpp.o.d"
+  "CMakeFiles/mf_eri.dir/cart_sph.cpp.o"
+  "CMakeFiles/mf_eri.dir/cart_sph.cpp.o.d"
+  "CMakeFiles/mf_eri.dir/eri_engine.cpp.o"
+  "CMakeFiles/mf_eri.dir/eri_engine.cpp.o.d"
+  "CMakeFiles/mf_eri.dir/hermite.cpp.o"
+  "CMakeFiles/mf_eri.dir/hermite.cpp.o.d"
+  "CMakeFiles/mf_eri.dir/one_electron.cpp.o"
+  "CMakeFiles/mf_eri.dir/one_electron.cpp.o.d"
+  "CMakeFiles/mf_eri.dir/screening.cpp.o"
+  "CMakeFiles/mf_eri.dir/screening.cpp.o.d"
+  "libmf_eri.a"
+  "libmf_eri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_eri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

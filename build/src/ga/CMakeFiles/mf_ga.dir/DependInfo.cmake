@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/comm_stats.cpp" "src/ga/CMakeFiles/mf_ga.dir/comm_stats.cpp.o" "gcc" "src/ga/CMakeFiles/mf_ga.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/ga/distribution.cpp" "src/ga/CMakeFiles/mf_ga.dir/distribution.cpp.o" "gcc" "src/ga/CMakeFiles/mf_ga.dir/distribution.cpp.o.d"
+  "/root/repo/src/ga/global_array.cpp" "src/ga/CMakeFiles/mf_ga.dir/global_array.cpp.o" "gcc" "src/ga/CMakeFiles/mf_ga.dir/global_array.cpp.o.d"
+  "/root/repo/src/ga/process_grid.cpp" "src/ga/CMakeFiles/mf_ga.dir/process_grid.cpp.o" "gcc" "src/ga/CMakeFiles/mf_ga.dir/process_grid.cpp.o.d"
+  "/root/repo/src/ga/summa.cpp" "src/ga/CMakeFiles/mf_ga.dir/summa.cpp.o" "gcc" "src/ga/CMakeFiles/mf_ga.dir/summa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

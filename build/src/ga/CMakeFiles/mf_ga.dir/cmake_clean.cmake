@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_ga.dir/comm_stats.cpp.o"
+  "CMakeFiles/mf_ga.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/mf_ga.dir/distribution.cpp.o"
+  "CMakeFiles/mf_ga.dir/distribution.cpp.o.d"
+  "CMakeFiles/mf_ga.dir/global_array.cpp.o"
+  "CMakeFiles/mf_ga.dir/global_array.cpp.o.d"
+  "CMakeFiles/mf_ga.dir/process_grid.cpp.o"
+  "CMakeFiles/mf_ga.dir/process_grid.cpp.o.d"
+  "CMakeFiles/mf_ga.dir/summa.cpp.o"
+  "CMakeFiles/mf_ga.dir/summa.cpp.o.d"
+  "libmf_ga.a"
+  "libmf_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/mf_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/mf_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mf_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mf_linalg.dir/purification.cpp.o"
+  "CMakeFiles/mf_linalg.dir/purification.cpp.o.d"
+  "libmf_linalg.a"
+  "libmf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmf_linalg.a"
+)

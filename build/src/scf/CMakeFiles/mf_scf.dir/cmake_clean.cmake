@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_scf.dir/hf.cpp.o"
+  "CMakeFiles/mf_scf.dir/hf.cpp.o.d"
+  "libmf_scf.a"
+  "libmf_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

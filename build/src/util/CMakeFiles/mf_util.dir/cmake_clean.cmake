@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_util.dir/cli.cpp.o"
+  "CMakeFiles/mf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mf_util.dir/logging.cpp.o"
+  "CMakeFiles/mf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mf_util.dir/rng.cpp.o"
+  "CMakeFiles/mf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mf_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mf_util.dir/timer.cpp.o"
+  "CMakeFiles/mf_util.dir/timer.cpp.o.d"
+  "libmf_util.a"
+  "libmf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

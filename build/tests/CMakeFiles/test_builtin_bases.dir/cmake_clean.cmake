@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builtin_bases.dir/test_builtin_bases.cpp.o"
+  "CMakeFiles/test_builtin_bases.dir/test_builtin_bases.cpp.o.d"
+  "test_builtin_bases"
+  "test_builtin_bases.pdb"
+  "test_builtin_bases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builtin_bases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

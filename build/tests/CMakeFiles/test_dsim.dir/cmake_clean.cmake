@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsim.dir/test_dsim.cpp.o"
+  "CMakeFiles/test_dsim.dir/test_dsim.cpp.o.d"
+  "test_dsim"
+  "test_dsim.pdb"
+  "test_dsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

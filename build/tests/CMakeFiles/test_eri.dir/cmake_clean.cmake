@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eri.dir/test_eri.cpp.o"
+  "CMakeFiles/test_eri.dir/test_eri.cpp.o.d"
+  "test_eri"
+  "test_eri.pdb"
+  "test_eri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

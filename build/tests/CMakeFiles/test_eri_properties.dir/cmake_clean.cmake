@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eri_properties.dir/test_eri_properties.cpp.o"
+  "CMakeFiles/test_eri_properties.dir/test_eri_properties.cpp.o.d"
+  "test_eri_properties"
+  "test_eri_properties.pdb"
+  "test_eri_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eri_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fock_parallel.dir/test_fock_parallel.cpp.o"
+  "CMakeFiles/test_fock_parallel.dir/test_fock_parallel.cpp.o.d"
+  "test_fock_parallel"
+  "test_fock_parallel.pdb"
+  "test_fock_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fock_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

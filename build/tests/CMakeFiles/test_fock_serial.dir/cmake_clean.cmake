@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fock_serial.dir/test_fock_serial.cpp.o"
+  "CMakeFiles/test_fock_serial.dir/test_fock_serial.cpp.o.d"
+  "test_fock_serial"
+  "test_fock_serial.pdb"
+  "test_fock_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fock_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

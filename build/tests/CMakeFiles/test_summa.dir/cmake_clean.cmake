@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summa.dir/test_summa.cpp.o"
+  "CMakeFiles/test_summa.dir/test_summa.cpp.o.d"
+  "test_summa"
+  "test_summa.pdb"
+  "test_summa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_molecule[1]_include.cmake")
+include("/root/repo/build/tests/test_basis[1]_include.cmake")
+include("/root/repo/build/tests/test_boys[1]_include.cmake")
+include("/root/repo/build/tests/test_one_electron[1]_include.cmake")
+include("/root/repo/build/tests/test_eri[1]_include.cmake")
+include("/root/repo/build/tests/test_screening[1]_include.cmake")
+include("/root/repo/build/tests/test_symmetry[1]_include.cmake")
+include("/root/repo/build/tests/test_fock_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_scf[1]_include.cmake")
+include("/root/repo/build/tests/test_ga[1]_include.cmake")
+include("/root/repo/build/tests/test_tasks[1]_include.cmake")
+include("/root/repo/build/tests/test_fock_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_dsim[1]_include.cmake")
+include("/root/repo/build/tests/test_summa[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_hermite[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_eri_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_builtin_bases[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
