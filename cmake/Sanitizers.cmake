@@ -1,0 +1,59 @@
+# Sanitizer lanes for the concurrent Fock builder.
+#
+# The work-stealing builder (src/core/fock_builder.cpp) is genuinely
+# multithreaded: per-rank queues under mutexes, a spin-on-ready D-buffer
+# handoff, and one-sided Get/Acc on the Global-Arrays substrate. Interleaving
+# bugs on that surface do not reproduce reliably in a plain build, so every
+# CI change runs the stress suite under ThreadSanitizer via this module.
+#
+# Usage:
+#   cmake -B build-tsan -DMINIFOCK_SANITIZE=thread
+#   cmake -B build-asan -DMINIFOCK_SANITIZE=address        # implies UBSan too
+#   cmake -B build-ubsan -DMINIFOCK_SANITIZE=undefined
+#
+# Every target calls minifock_enable_sanitizers(<target>) so that the flags
+# reach each compilation unit and each link line; mixing instrumented and
+# uninstrumented objects is the classic way to get false negatives (TSan)
+# or link failures (ASan).
+
+set(MINIFOCK_SANITIZE "" CACHE STRING
+    "Sanitizer lane: empty, 'thread', 'address', or 'undefined'")
+set_property(CACHE MINIFOCK_SANITIZE PROPERTY STRINGS
+             "" "thread" "address" "undefined")
+
+set(MINIFOCK_SANITIZER_FLAGS "")
+if(MINIFOCK_SANITIZE STREQUAL "thread")
+  set(MINIFOCK_SANITIZER_FLAGS -fsanitize=thread)
+elseif(MINIFOCK_SANITIZE STREQUAL "address")
+  # ASan and UBSan compose; TSan cannot be combined with either.
+  set(MINIFOCK_SANITIZER_FLAGS -fsanitize=address,undefined
+      -fno-sanitize-recover=undefined)
+elseif(MINIFOCK_SANITIZE STREQUAL "undefined")
+  set(MINIFOCK_SANITIZER_FLAGS -fsanitize=undefined
+      -fno-sanitize-recover=undefined)
+elseif(NOT MINIFOCK_SANITIZE STREQUAL "")
+  message(FATAL_ERROR
+          "MINIFOCK_SANITIZE must be empty, 'thread', 'address', or "
+          "'undefined'; got '${MINIFOCK_SANITIZE}'")
+endif()
+
+if(MINIFOCK_SANITIZER_FLAGS)
+  # Frame pointers keep sanitizer stack traces readable at -O1/-O2.
+  list(APPEND MINIFOCK_SANITIZER_FLAGS -fno-omit-frame-pointer -g)
+  message(STATUS "minifock: sanitizer lane '${MINIFOCK_SANITIZE}' "
+                 "(${MINIFOCK_SANITIZER_FLAGS})")
+endif()
+
+# Apply the configured sanitizer lane to one target. A no-op when
+# MINIFOCK_SANITIZE is empty, so every CMakeLists calls it unconditionally.
+function(minifock_enable_sanitizers target)
+  if(NOT MINIFOCK_SANITIZER_FLAGS)
+    return()
+  endif()
+  get_target_property(_type ${target} TYPE)
+  if(_type STREQUAL "INTERFACE_LIBRARY")
+    return()  # header-only: nothing to compile or link
+  endif()
+  target_compile_options(${target} PRIVATE ${MINIFOCK_SANITIZER_FLAGS})
+  target_link_options(${target} PRIVATE ${MINIFOCK_SANITIZER_FLAGS})
+endfunction()

@@ -144,6 +144,9 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   d_ga.from_matrix(density);
   d_ga.reset_stats();  // scatter is setup, not algorithm communication
 
+  MF_THROW_IF(nshells > 0xffffffffULL,
+              "GtFock: shell count exceeds 32-bit task encoding");
+
   const std::vector<TaskBlock> blocks = static_partition(nshells, grid);
   std::vector<TaskQueue> queues(p);
   std::vector<LocalBuffers> buffers(p);
@@ -151,6 +154,12 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     std::lock_guard<std::mutex> lock(queues[r].mutex);
     for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
       for (std::size_t n = blocks[r].col_begin; n < blocks[r].col_end; ++n) {
+        // Only the canonical half of the task grid does work (the other
+        // half is rejected wholesale by SymmetryCheck inside dotask).
+        // Enqueuing dead tasks would burn a queue atomic per task, inflate
+        // tasks_owned/tasks_stolen, and let thieves waste steal blocks —
+        // and a whole D-buffer copy — on no-op work.
+        if (!symmetry_check(m, n)) continue;
         queues[r].tasks.push_back({static_cast<std::uint32_t>(m),
                                    static_cast<std::uint32_t>(n)});
       }
@@ -242,7 +251,9 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
       // Algorithm 3 with the loop order inverted to iterate only over the
       // significant sets.
       const std::size_t m = task.m, n = task.n;
-      if (m != n && !symmetry_check(m, n)) return;  // dead half of the grid
+      // Queues are populated with canonical tasks only; this guard is
+      // defense-in-depth against a future caller enqueuing the dead half.
+      if (!symmetry_check(m, n)) return;
       LocalCtx ctx{d_buf, w_buf, fp.func_local.data(), fp.num_functions};
       for (std::uint32_t pp : screening_.significant_set(m)) {
         if (!symmetry_check(m, pp)) continue;

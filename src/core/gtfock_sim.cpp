@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "core/fock_task.h"
+#include "core/symmetry.h"
 #include "dsim/event_queue.h"
 #include "util/check.h"
 
@@ -31,7 +32,11 @@ struct RankState {
 };
 
 std::uint64_t pack(std::size_t m, std::size_t n) {
-  return (static_cast<std::uint64_t>(m) << 32) | n;
+  // Mask the low word so an oversized n can never silently alias the m
+  // field; simulate_gtfock rejects nshells > UINT32_MAX at entry, making
+  // the mask a no-op on every accepted input.
+  return (static_cast<std::uint64_t>(m) << 32) |
+         (static_cast<std::uint64_t>(n) & 0xffffffffULL);
 }
 
 }  // namespace
@@ -99,6 +104,8 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
       options.grid.has_value() ? *options.grid : ProcessGrid::squarest(p);
   MF_THROW_IF(grid.size() != p, "gtfock sim: grid does not match node count");
   const std::size_t nshells = basis.num_shells();
+  MF_THROW_IF(nshells > 0xffffffffULL,
+              "gtfock sim: shell count exceeds 32-bit task encoding");
   const NetworkModel& net = options.machine.network;
   const double node_speed = static_cast<double>(options.machine.cores_per_node) *
                             options.machine.intra_node_efficiency;
@@ -116,7 +123,11 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
 
   std::size_t min_steal = options.min_steal_queue;
   if (min_steal == 0) {
-    const std::size_t per_rank = nshells * nshells / std::max<std::size_t>(p, 1);
+    // Adaptive threshold sized from the live (canonical) task count, since
+    // the dead half of the grid is never enqueued.
+    const std::size_t per_rank =
+        static_cast<std::size_t>(live_task_count(nshells)) /
+        std::max<std::size_t>(p, 1);
     min_steal = std::min<std::size_t>(8, std::max<std::size_t>(1, per_rank / 8));
   }
 
@@ -132,6 +143,9 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
     st.footprint = block_footprint(basis, screening, blocks[r]);
     for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
       for (std::size_t n = blocks[r].col_begin; n < blocks[r].col_end; ++n) {
+        // Mirror the threaded builder: only canonical tasks are enqueued,
+        // so simulated and measured queue-atomic counts stay comparable.
+        if (!symmetry_check(m, n)) continue;
         st.queue.push_back(pack(m, n));
       }
     }

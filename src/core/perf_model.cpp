@@ -96,8 +96,19 @@ double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
   // Draw the quartet sample once, then time it in several batches and take
   // the fastest batch: wall-clock timing on a shared machine is noisy in
   // one direction only, so the minimum is the robust estimator.
+  // Rejection sampling must be bounded: when tau is tight relative to the
+  // pair values, no product of sampled pairs may ever reach it, and an
+  // unbounded loop would spin forever. 1000 draws per requested quartet is
+  // far beyond any plausible rejection rate for a usable screening setup.
   std::vector<std::array<std::uint32_t, 4>> sample;
+  const std::size_t max_attempts = 1000 * sample_quartets + 1000;
+  std::size_t attempts = 0;
   while (sample.size() < sample_quartets) {
+    MF_THROW_IF(++attempts > max_attempts,
+                "calibrate_t_int: drew only "
+                    << sample.size() << " of " << sample_quartets
+                    << " unscreened quartets in " << max_attempts
+                    << " attempts; tau is too tight for this basis");
     const auto& bra = pairs[rng.uniform_int(pairs.size())];
     const auto& ket = pairs[rng.uniform_int(pairs.size())];
     if (screening.pair_value(bra.first, bra.second) *

@@ -11,6 +11,7 @@
 // and bra-vs-ket — with a tie-break for equal bra/ket leading shells.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mf {
 
@@ -30,6 +31,13 @@ inline bool unique_quartet(std::size_t m, std::size_t p, std::size_t n,
   if (!symmetry_check(n, q)) return false;  // ket order
   // bra-vs-ket order; when the leading shells tie, break on the second.
   return m != n ? symmetry_check(m, n) : symmetry_check(p, q);
+}
+
+/// Number of tasks in an nshells x nshells grid that pass symmetry_check:
+/// the diagonal plus exactly one of (m,n)/(n,m) per off-diagonal pair.
+/// Task queues hold only these; the rest of the grid is dead work.
+inline std::uint64_t live_task_count(std::size_t nshells) {
+  return static_cast<std::uint64_t>(nshells) * (nshells + 1) / 2;
 }
 
 /// Multiplicity of a canonical quartet's symmetry orbit (1, 2, 4 or 8):

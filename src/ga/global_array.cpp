@@ -17,6 +17,13 @@ GlobalArray::GlobalArray(Distribution2D dist) : dist_(std::move(dist)) {
     }
   }
   stats_.resize(grid.size());
+  stats_mutexes_ = std::vector<std::mutex>(grid.size());
+}
+
+void GlobalArray::record(std::size_t caller, char kind, std::uint64_t bytes,
+                         bool remote) {
+  std::lock_guard<std::mutex> lock(stats_mutexes_[caller]);
+  stats_[caller].record(kind, bytes, remote);
 }
 
 template <typename Fn>
@@ -53,6 +60,10 @@ void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
     const std::size_t rank = dist_.grid().rank_of(pi, pj);
     Block& block = *blocks_[rank];
     const std::size_t bld = dist_.cols().size(pj);
+    // Gets serialize on the block mutex like put/acc: a get overlapping a
+    // concurrent acc must observe either the pre- or post-accumulate block,
+    // never a torn element (and never a TSan-visible data race).
+    std::lock_guard<std::mutex> lock(block.mutex);
     for (std::size_t r = br0; r < br1; ++r) {
       const double* src = block.data.data() +
                           (r - dist_.rows().begin(pi)) * bld +
@@ -61,7 +72,7 @@ void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
       std::copy(src, src + (bc1 - bc0), dst);
     }
     const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    stats_[caller].record('g', bytes, rank != caller);
+    record(caller, 'g', bytes, rank != caller);
   });
 }
 
@@ -82,7 +93,7 @@ void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
       std::copy(src, src + (bc1 - bc0), dst);
     }
     const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    stats_[caller].record('p', bytes, rank != caller);
+    record(caller, 'p', bytes, rank != caller);
   });
 }
 
@@ -104,7 +115,7 @@ void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
       for (std::size_t c = 0; c < bc1 - bc0; ++c) dst[c] += alpha * src[c];
     }
     const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    stats_[caller].record('a', bytes, rank != caller);
+    record(caller, 'a', bytes, rank != caller);
   });
 }
 

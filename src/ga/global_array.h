@@ -10,10 +10,11 @@
 // touched, which is how GA issues them) so Tables VI/VII can be measured
 // rather than estimated.
 //
-// Thread safety: concurrent Acc to the same block serialize on the block
-// mutex (GA guarantees atomic accumulate); Get/Put of disjoint regions are
-// safe. Phase discipline (prefetch -> compute -> flush) is the caller's job,
-// exactly as in the real code.
+// Thread safety: every Get/Put/Acc serializes on the mutex of each block it
+// touches (GA guarantees atomic accumulate; gets overlapping a concurrent
+// acc see a per-block-consistent snapshot, never torn elements). Phase
+// discipline (prefetch -> compute -> flush) remains the caller's job for
+// *algorithmic* correctness, exactly as in the real code.
 
 #include <cstdint>
 #include <memory>
@@ -69,9 +70,14 @@ class GlobalArray {
   void for_each_intersection(std::size_t r0, std::size_t r1, std::size_t c0,
                              std::size_t c1, Fn&& fn);
 
+  void record(std::size_t caller, char kind, std::uint64_t bytes, bool remote);
+
   Distribution2D dist_;
   std::vector<std::unique_ptr<Block>> blocks_;  // grid row-major
   std::vector<CommStats> stats_;
+  // One lock per caller rank: simulated ranks are threads, and stress tests
+  // may drive the same rank from several OS threads at once.
+  mutable std::vector<std::mutex> stats_mutexes_;
 };
 
 /// Atomic global counter owned by one rank, modeling NGA_Read_inc /

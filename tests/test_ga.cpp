@@ -158,6 +158,85 @@ TEST(GlobalCounter, FetchAddSequence) {
   EXPECT_EQ(counter.stats()[1].remote_calls, 1u);
 }
 
+TEST(GlobalArray, ConcurrentAccMatchesSerialAccumulation) {
+  // Four callers acc overlapping rectangles concurrently; the result must
+  // equal the serial accumulation exactly (integer-valued updates keep
+  // every FP sum exact regardless of interleaving order), and the per-
+  // caller stats must match the per-caller call counts.
+  const Basis basis(methane(), BasisLibrary::builtin("cc-pvdz"));
+  const ProcessGrid grid = ProcessGrid::squarest(4);
+  const Distribution2D dist = gtfock_distribution(basis, grid);
+  GlobalArray ga(dist);
+  const std::size_t rows = ga.rows(), cols = ga.cols();
+  const int per_caller = 100;
+
+  // Serial reference of the same updates.
+  Matrix expected(rows, cols);
+  for (std::size_t caller = 0; caller < 4; ++caller) {
+    const double v = static_cast<double>(caller + 1);
+    for (int i = 0; i < per_caller; ++i)
+      for (std::size_t r = 0; r < rows / 2; ++r)
+        for (std::size_t c = caller; c < cols; ++c) expected(r, c) += v;
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t caller = 0; caller < 4; ++caller) {
+    threads.emplace_back([&ga, caller, rows, cols] {
+      const double v = static_cast<double>(caller + 1);
+      std::vector<double> buf((rows / 2) * (cols - caller), v);
+      for (int i = 0; i < per_caller; ++i)
+        ga.acc(caller, 0, rows / 2, caller, cols, buf.data());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_abs_diff(ga.to_matrix(), expected), 0.0);
+
+  // Each caller's rectangle spans a fixed set of owner blocks; GA issues
+  // one acc per block touched per call.
+  for (std::size_t caller = 0; caller < 4; ++caller) {
+    std::uint64_t blocks_touched = 0;
+    for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+      for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+        const bool row_hit = dist.rows().begin(pi) < rows / 2 &&
+                             dist.rows().size(pi) > 0;
+        const bool col_hit = dist.cols().end(pj) > caller &&
+                             dist.cols().size(pj) > 0;
+        if (row_hit && col_hit) ++blocks_touched;
+      }
+    }
+    EXPECT_EQ(ga.stats()[caller].acc_calls,
+              blocks_touched * static_cast<std::uint64_t>(per_caller))
+        << "caller " << caller;
+    EXPECT_EQ(ga.stats()[caller].get_calls, 0u);
+  }
+}
+
+TEST(GlobalCounter, ConcurrentFetchAddStatsMatchCallCounts) {
+  // Many callers hammer the counter; the final value must equal the serial
+  // sum and each caller's rmw/remote stats must equal its own call count.
+  const std::size_t nranks = 4;
+  const std::size_t owner = 1;
+  GlobalCounter counter(owner, nranks);
+  const int per_caller = 800;
+  std::vector<std::thread> threads;
+  for (std::size_t caller = 0; caller < nranks; ++caller) {
+    threads.emplace_back([&counter, caller] {
+      for (int i = 0; i < per_caller; ++i)
+        counter.fetch_add(caller, static_cast<long>(caller));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), per_caller * (0 + 1 + 2 + 3));
+  for (std::size_t caller = 0; caller < nranks; ++caller) {
+    EXPECT_EQ(counter.stats()[caller].rmw_calls,
+              static_cast<std::uint64_t>(per_caller))
+        << "caller " << caller;
+    EXPECT_EQ(counter.stats()[caller].remote_calls,
+              caller == owner ? 0u : static_cast<std::uint64_t>(per_caller))
+        << "caller " << caller;
+  }
+}
+
 TEST(GlobalCounter, ConcurrentIncrementsAreLossless) {
   GlobalCounter counter(0, 4);
   std::vector<std::thread> threads;

@@ -1,0 +1,231 @@
+// Concurrency stress suite for the work-stealing GtFock builder
+// (Section III-F / Algorithm 4).
+//
+// The correctness assertions here hold in every build type; the point of
+// the suite is that the SAME runs, executed under MINIFOCK_SANITIZE=thread,
+// become a deterministic race hunt over the builder's three hard surfaces:
+//   * GlobalArray get/acc overlap (prefetch vs flush on shared blocks),
+//   * queue pop/steal contention (owner popping while thieves raid the back),
+//   * the LocalBuffers::ready spin handoff (thieves copying a victim's D
+//     buffer that the victim may still be prefetching).
+// CI runs this file in both the Release lane and the Debug+TSan lane.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/fock_serial.h"
+#include "core/shell_reorder.h"
+#include "core/symmetry.h"
+#include "eri/one_electron.h"
+#include "ga/distribution.h"
+#include "ga/global_array.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+struct Fixture {
+  explicit Fixture(Molecule mol, const char* basis_name = "sto-3g",
+                   double tau = 1e-11)
+      : basis(apply_reordering(Basis(mol, BasisLibrary::builtin(basis_name)),
+                               {ReorderScheme::kCells, 5.0, 1})),
+        screening(basis, {tau, 1e-20, {}}),
+        h(core_hamiltonian(basis)),
+        d(random_density(basis.num_functions(), 77)),
+        reference(fock_serial(basis, screening, d, h)),
+        unique_quartets(screening.count_unique_screened_quartets()) {}
+
+  Basis basis;
+  ScreeningData screening;
+  Matrix h;
+  Matrix d;
+  Matrix reference;
+  std::uint64_t unique_quartets;
+};
+
+// Runs one build and checks every invariant the scheduler must preserve no
+// matter how the steal interleaving played out.
+GtFockResult run_checked(const Fixture& fx, const GtFockOptions& opts,
+                         const char* what) {
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult result = builder.build(fx.d, fx.h);
+
+  EXPECT_LT(max_abs_diff(result.fock, fx.reference), 1e-10) << what;
+
+  // Exactly the live (canonical) half of the task grid executed, once.
+  std::uint64_t owned = 0, stolen = 0, probes = 0, atomics = 0, quartets = 0;
+  for (const auto& r : result.ranks) {
+    owned += r.tasks_owned;
+    stolen += r.tasks_stolen;
+    probes += r.steal_probes;
+    atomics += r.queue_atomic_ops;
+    quartets += r.quartets_computed;
+  }
+  EXPECT_EQ(owned + stolen, live_task_count(fx.basis.num_shells())) << what;
+  EXPECT_EQ(quartets, fx.unique_quartets) << what;
+
+  // Exact queue-atomic ledger: every owned task is one successful pop, every
+  // rank ends with exactly one failed pop, and every steal probe is one
+  // atomic on the victim's queue. Dead tasks would break this by burning
+  // atomics without appearing in any counter.
+  EXPECT_EQ(atomics, owned + result.ranks.size() + probes) << what;
+
+  return result;
+}
+
+TEST(StressStealing, GridMatrixTimesStealFraction) {
+  Fixture fx(water_cluster(3, 5));
+  const std::pair<std::size_t, std::size_t> grids[] = {
+      {1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}, {3, 4}, {4, 4}};
+  for (const auto& [rows, cols] : grids) {
+    for (double fraction : {0.05, 0.5, 1.0}) {
+      GtFockOptions opts;
+      opts.grid = ProcessGrid(rows, cols);
+      opts.steal_fraction = fraction;
+      const std::string what = std::to_string(rows) + "x" +
+                               std::to_string(cols) + " f=" +
+                               std::to_string(fraction);
+      run_checked(fx, opts, what.c_str());
+    }
+  }
+}
+
+TEST(StressStealing, RepeatedRunsStayCorrectUnderContention) {
+  Fixture fx(water_cluster(2, 7));
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(3, 3);
+  opts.steal_fraction = 0.5;
+  for (int run = 0; run < 8; ++run) {
+    const std::string what = "run " + std::to_string(run);
+    run_checked(fx, opts, what.c_str());
+  }
+}
+
+TEST(StressStealing, SingleRankIsBitwiseDeterministic) {
+  // With one rank there is no scheduling freedom: repeated builds must
+  // produce bit-for-bit identical Fock matrices.
+  Fixture fx(linear_alkane(3));
+  GtFockOptions opts;
+  opts.nprocs = 1;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix first = builder.build(fx.d, fx.h).fock;
+  for (int run = 0; run < 3; ++run) {
+    const Matrix again = builder.build(fx.d, fx.h).fock;
+    EXPECT_EQ(max_abs_diff(first, again), 0.0) << "run " << run;
+  }
+}
+
+TEST(StressStealing, TinyBlocksManyThieves) {
+  // 9 ranks over a 2-shell system: 3 live tasks total, so almost every rank
+  // starts empty and goes straight to stealing. This is the maximal-
+  // contention configuration for the ready-flag handoff — thieves routinely
+  // reach a victim's buffers before the victim finished prefetching.
+  Fixture fx(h2(), "sto-3g", 1e-12);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(3, 3);
+  for (int run = 0; run < 25; ++run) {
+    const std::string what = "run " + std::to_string(run);
+    run_checked(fx, opts, what.c_str());
+  }
+}
+
+TEST(StressStealing, FullQueueRaidsWithFractionOne) {
+  // steal_fraction = 1.0 empties an entire victim queue per raid: the widest
+  // possible pop/steal windows on a single critical section.
+  Fixture fx(water_cluster(2, 5));
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(4, 4);
+  opts.steal_fraction = 1.0;
+  for (int run = 0; run < 6; ++run) {
+    const std::string what = "run " + std::to_string(run);
+    run_checked(fx, opts, what.c_str());
+  }
+}
+
+TEST(StressStealing, DeadTaskFilteringHalvesQueueAtomics) {
+  // Regression for the dead-task defect: with the non-canonical half of the
+  // grid enqueued, a stealing-free run costs ns^2 + 1 queue atomics; with
+  // filtering it costs ns(ns+1)/2 + 1, an asymptotic 2x reduction.
+  Fixture fx(water_cluster(2, 9));
+  const std::size_t ns = fx.basis.num_shells();
+  GtFockOptions opts;
+  opts.nprocs = 1;
+  const GtFockResult result = run_checked(fx, opts, "p=1");
+  EXPECT_EQ(result.ranks[0].queue_atomic_ops, live_task_count(ns) + 1);
+  EXPECT_LT(result.ranks[0].queue_atomic_ops, ns * ns / 2 + ns + 2);
+}
+
+TEST(StressStealing, GlobalArrayGetAccOverlap) {
+  // Readers sweep overlapping rectangles with get while writers acc into
+  // the same blocks. The builder's phase discipline never overlaps the two
+  // on one array; this test deliberately does, so the TSan lane proves the
+  // substrate itself is race-free even off the happy path. All accumulated
+  // values are small integers, so the final sums are exact in FP.
+  const Basis basis(water_cluster(2, 2), BasisLibrary::builtin("cc-pvdz"));
+  const ProcessGrid grid = ProcessGrid::squarest(4);
+  GlobalArray ga(gtfock_distribution(basis, grid));
+  const std::size_t rows = ga.rows(), cols = ga.cols();
+
+  const int sweeps = 40;
+  std::vector<double> ones(rows * cols, 1.0);
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < 2; ++w) {
+    threads.emplace_back([&ga, &ones, rows, cols, w] {
+      for (int i = 0; i < sweeps; ++i) {
+        ga.acc(w, 0, rows, 0, cols, ones.data());
+        ga.acc(w, rows / 4, 3 * rows / 4, cols / 4, 3 * cols / 4, ones.data());
+      }
+    });
+  }
+  for (std::size_t r = 2; r < 4; ++r) {
+    threads.emplace_back([&ga, rows, cols, r] {
+      std::vector<double> buf(rows * cols);
+      for (int i = 0; i < sweeps; ++i) {
+        ga.get(r, 0, rows, 0, cols, buf.data());
+        ga.get(r, 0, rows / 2, cols / 3, cols, buf.data());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const Matrix m = ga.to_matrix();
+  const double expected_outer = 2.0 * sweeps;
+  EXPECT_EQ(m(0, 0), expected_outer);
+  EXPECT_EQ(m(rows / 4, cols / 4), 2.0 * expected_outer);
+  EXPECT_EQ(m(rows - 1, cols - 1), expected_outer);
+  // Per-caller call accounting survived the contention.
+  EXPECT_EQ(ga.stats()[2].get_calls, ga.stats()[3].get_calls);
+  EXPECT_GT(ga.stats()[0].acc_calls, 0u);
+}
+
+TEST(StressStealing, StealingDisabledMatchesLedgerExactly) {
+  Fixture fx(linear_alkane(4));
+  GtFockOptions opts;
+  opts.nprocs = 6;
+  opts.work_stealing = false;
+  const GtFockResult result = run_checked(fx, opts, "no stealing");
+  for (const auto& r : result.ranks) {
+    EXPECT_EQ(r.tasks_stolen, 0u);
+    EXPECT_EQ(r.steal_probes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mf
