@@ -45,6 +45,9 @@ ScreeningData cached_screening(const std::string& key, const Basis& basis,
                                double tau) {
   const std::string path = cache_dir() + "/" + key + ".screen";
   if (auto loaded = ScreeningData::load(path, basis.num_shells(), tau)) {
+    // The cache holds only pair values; rebuild the shell-pair tables the
+    // engine's hot path contracts against.
+    loaded->build_pairs(basis);
     return std::move(*loaded);
   }
   WallTimer timer;

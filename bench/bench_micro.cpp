@@ -1,19 +1,35 @@
 // Google-benchmark microbenchmarks of the compute kernels underneath the
 // Fock build: Boys function, primitive/contracted ERI shell quartets by
-// angular momentum class, one-electron blocks, dense GEMM, a purification
-// step, and the Schwarz pair-value kernel. These are the quantities the
-// simulator's t_int calibration rests on.
+// angular momentum class (legacy per-quartet path and shell-pair path),
+// one-electron blocks, dense GEMM, a purification step, and the Schwarz
+// pair-value kernel. These are the quantities the simulator's t_int
+// calibration rests on.
+//
+// After the registered benchmarks run, main() always measures t_int on a
+// small water-cluster workload with the shell-pair cache on and off and
+// writes the result to BENCH_tint.json (override the path with
+// MINIFOCK_TINT_JSON). CI runs this binary with a match-nothing
+// --benchmark_filter purely for that JSON smoke artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "chem/basis_set.h"
 #include "chem/molecule_builders.h"
+#include "core/symmetry.h"
 #include "eri/boys.h"
 #include "eri/eri_engine.h"
 #include "eri/one_electron.h"
+#include "eri/screening.h"
+#include "eri/shell_pair.h"
 #include "linalg/matrix.h"
 #include "linalg/purification.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -51,32 +67,67 @@ void BM_EriQuartet(benchmark::State& state) {
   const Shell d = bench_shell(l, 0.7, {0.6, 0, 0.9});
   std::uint64_t ints = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.compute(a, b, c, d).data());
+    benchmark::DoNotOptimize(engine.compute_legacy(a, b, c, d).data());
   }
   ints = engine.integrals_computed();
   state.SetItemsProcessed(static_cast<std::int64_t>(ints));
 }
 BENCHMARK(BM_EriQuartet)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
 
-void BM_EriContractedSsss(benchmark::State& state) {
-  // cc-pVDZ-like deep contraction: the common worst case for s shells.
+// Same quartets through the shell-pair path with the pair tables built
+// once outside the timing loop — the hot-path configuration of the Fock
+// builders.
+void BM_EriQuartetPair(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
   EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const ShellPairData bra(bench_shell(l, 1.3, {0, 0, 0}),
+                          bench_shell(l, 0.9, {0.5, 0.4, 0}), thr);
+  const ShellPairData ket(bench_shell(l, 1.1, {0, 0.8, 0.3}),
+                          bench_shell(l, 0.7, {0.6, 0, 0.9}), thr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(bra, ket).data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriQuartetPair)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+Shell deep_s_shell(const Vec3& at) {
+  // cc-pVDZ-like deep contraction: the common worst case for s shells.
   Shell s;
   s.l = 0;
-  s.center = {0, 0, 0};
+  s.center = at;
   s.exponents = {6665.0, 1000.0, 228.0, 64.71, 21.06, 6.459, 2.343, 0.4852};
   s.coefficients = {0.000692, 0.005329, 0.027077, 0.101718,
                     0.27474,  0.448564, 0.285074, 0.015204};
   normalize_shell(s);
-  Shell t = s;
-  t.center = {1.5, 0, 0};
+  return s;
+}
+
+void BM_EriContractedSsss(benchmark::State& state) {
+  EriEngine engine;
+  const Shell s = deep_s_shell({0, 0, 0});
+  const Shell t = deep_s_shell({1.5, 0, 0});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.compute(s, t, s, t).data());
+    benchmark::DoNotOptimize(engine.compute_legacy(s, t, s, t).data());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(engine.integrals_computed()));
 }
 BENCHMARK(BM_EriContractedSsss);
+
+void BM_EriContractedSsssPair(benchmark::State& state) {
+  EriEngine engine;
+  const ShellPairData st(deep_s_shell({0, 0, 0}), deep_s_shell({1.5, 0, 0}),
+                         EriEngineOptions{}.primitive_threshold);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(st, st).data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriContractedSsssPair);
 
 void BM_SchwarzPairValue(benchmark::State& state) {
   EriEngine engine;
@@ -125,6 +176,148 @@ void BM_McWeenyStep(benchmark::State& state) {
 }
 BENCHMARK(BM_McWeenyStep)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// BENCH_tint.json: t_int on a realistic workload, pair cache on vs off.
+// ---------------------------------------------------------------------------
+
+struct TintRow {
+  bool pair_cache = false;
+  double seconds = 0.0;
+  double t_int_us = 0.0;
+  double quartets_per_s = 0.0;
+};
+
+int emit_tint_json() {
+  // Small water cluster in cc-pVDZ: contracted s shells plus p/d — the
+  // mix the builders actually see. All unique screened quartets.
+  const std::string workload = "water_cluster(2)/cc-pvdz";
+  const Basis basis(water_cluster(2), BasisLibrary::builtin("cc-pvdz"));
+  ScreeningOptions sopts;
+  const ScreeningData screening(basis, sopts);
+  const ShellPairList& list = screening.pairs();
+
+  struct Quartet {
+    std::uint32_t m, k_mp, n, k_nq;
+  };
+  std::vector<Quartet> quartets;
+  const std::size_t ns = basis.num_shells();
+  for (std::size_t m = 0; m < ns; ++m) {
+    const auto& phi_m = screening.significant_set(m);
+    for (std::size_t n = 0; n < ns; ++n) {
+      if (!symmetry_check(m, n) && m != n) continue;
+      const auto& phi_n = screening.significant_set(n);
+      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+        const std::size_t p = phi_m[kp];
+        if (!symmetry_check(m, p)) continue;
+        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+          const std::size_t q = phi_n[kq];
+          if (!unique_quartet(m, p, n, q)) continue;
+          if (!screening.keep_quartet(m, p, n, q)) continue;
+          quartets.push_back({static_cast<std::uint32_t>(m),
+                              static_cast<std::uint32_t>(kp),
+                              static_cast<std::uint32_t>(n),
+                              static_cast<std::uint32_t>(kq)});
+        }
+      }
+    }
+  }
+  // Keep the smoke run fast: a strided sample is representative because
+  // the enumeration interleaves all angular momentum classes.
+  constexpr std::size_t kMaxQuartets = 20000;
+  if (quartets.size() > kMaxQuartets) {
+    const std::size_t stride = (quartets.size() + kMaxQuartets - 1) / kMaxQuartets;
+    std::vector<Quartet> sampled;
+    for (std::size_t i = 0; i < quartets.size(); i += stride) {
+      sampled.push_back(quartets[i]);
+    }
+    quartets.swap(sampled);
+  }
+
+  EriEngine engine;
+  const int reps = 3;
+  double sink = 0.0;
+  auto time_legacy = [&] {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer timer;
+      for (const Quartet& q : quartets) {
+        const auto block = engine.compute_legacy(
+            basis.shell(q.m), basis.shell(screening.significant_set(q.m)[q.k_mp]),
+            basis.shell(q.n), basis.shell(screening.significant_set(q.n)[q.k_nq]));
+        sink += block[0];
+      }
+      best = std::min(best, timer.seconds());
+    }
+    return best;
+  };
+  auto time_pair = [&] {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer timer;
+      for (const Quartet& q : quartets) {
+        const auto block =
+            engine.compute(list.pair_at(q.m, q.k_mp), list.pair_at(q.n, q.k_nq));
+        sink += block[0];
+      }
+      best = std::min(best, timer.seconds());
+    }
+    return best;
+  };
+
+  const double nq = static_cast<double>(quartets.size());
+  TintRow off, on;
+  off.pair_cache = false;
+  off.seconds = time_legacy();
+  off.t_int_us = off.seconds / nq * 1e6;
+  off.quartets_per_s = nq / off.seconds;
+  on.pair_cache = true;
+  on.seconds = time_pair();
+  on.t_int_us = on.seconds / nq * 1e6;
+  on.quartets_per_s = nq / on.seconds;
+  const double speedup = off.t_int_us / on.t_int_us;
+
+  const char* env = std::getenv("MINIFOCK_TINT_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_tint.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", workload.c_str());
+  std::fprintf(f, "  \"tau\": %.3e,\n", screening.tau());
+  std::fprintf(f, "  \"quartets\": %zu,\n", quartets.size());
+  std::fprintf(f, "  \"results\": [\n");
+  for (const TintRow* row : {&off, &on}) {
+    std::fprintf(f,
+                 "    {\"pair_cache\": %s, \"seconds\": %.6e, "
+                 "\"t_int_us\": %.6f, \"quartets_per_s\": %.1f}%s\n",
+                 row->pair_cache ? "true" : "false", row->seconds,
+                 row->t_int_us, row->quartets_per_s,
+                 row->pair_cache ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_t_int\": %.4f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf(
+      "t_int (%s, %zu quartets): legacy %.3f us, pair cache %.3f us, "
+      "speedup %.2fx -> %s\n",
+      workload.c_str(), quartets.size(), off.t_int_us, on.t_int_us, speedup,
+      path.c_str());
+  // Keep the accumulated integrals observable so the timed loops cannot
+  // be discarded.
+  if (sink == -1.0) std::printf("%f\n", sink);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return emit_tint_json();
+}

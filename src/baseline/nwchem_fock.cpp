@@ -5,6 +5,7 @@
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
+#include "eri/shell_pair.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
 #include "util/check.h"
@@ -193,6 +194,12 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     NwchemRankStats& stats = result.ranks[rank];
     WallTimer total_timer;
     EriEngine engine(options_.eri);
+    const ShellPairList* pair_list =
+        screening_.has_pairs() ? &screening_.pairs() : nullptr;
+    PairResolver bra_pairs(basis_, pair_list,
+                           options_.eri.primitive_threshold);
+    PairResolver ket_pairs(basis_, pair_list,
+                           options_.eri.primitive_threshold);
     AtomBlockCtx ctx(basis_, d_ga, w_ga, rank, func_atom, atom_offset, atom_nf);
 
     // Executes one atom quartet: all unique, unscreened shell quartets with
@@ -204,6 +211,11 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
         for (std::size_t n : basis_.atom_shells(aj)) {
           if (ai == aj && n > m) continue;
           const double pv_mn = screening_.pair_value(m, n);
+          // An insignificant bra pair cannot pass the quartet test for any
+          // ket: (MN)(PQ) <= (MN) * max < tau.
+          if (pv_mn < screening_.significance_threshold()) continue;
+          // Bra pair (M, N) hoisted out of the ket loops.
+          const ShellPairData& bra = bra_pairs.at(m, n);
           for (std::size_t pp : basis_.atom_shells(ak)) {
             for (std::size_t qq : basis_.atom_shells(al)) {
               if (ak == al && qq > pp) continue;
@@ -215,8 +227,7 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
                 continue;
               }
               const std::vector<double>& eri =
-                  engine.compute(basis_.shell(m), basis_.shell(n),
-                                 basis_.shell(pp), basis_.shell(qq));
+                  engine.compute(bra, ket_pairs.at(pp, qq));
               apply_quartet_update(basis_, m, n, pp, qq, eri,
                                    quartet_degeneracy(m, n, pp, qq), ctx);
             }

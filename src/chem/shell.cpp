@@ -4,12 +4,9 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/constants.h"
 
 namespace mf {
-
-namespace {
-constexpr double kPi = 3.14159265358979323846;
-}
 
 char am_letter(int l) {
   static const char letters[] = "spdfghi";

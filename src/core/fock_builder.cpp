@@ -7,6 +7,7 @@
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
+#include "eri/shell_pair.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
 #include "util/check.h"
@@ -245,6 +246,15 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     stats.prefetch_seconds = prefetch_timer.seconds();
 
     EriEngine engine(options_.eri);
+    // The pair list is immutable and shared read-only by every rank thread;
+    // the resolvers (transient fallback for cache-restored screenings) are
+    // engine-local.
+    const ShellPairList* pair_list =
+        screening_.has_pairs() ? &screening_.pairs() : nullptr;
+    PairResolver bra_pairs(basis_, pair_list,
+                           options_.eri.primitive_threshold);
+    PairResolver ket_pairs(basis_, pair_list,
+                           options_.eri.primitive_threshold);
 
     auto dotask = [&](const Task& task, const BlockFootprint& fp,
                       const double* d_buf, double* w_buf) {
@@ -255,15 +265,20 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
       // defense-in-depth against a future caller enqueuing the dead half.
       if (!symmetry_check(m, n)) return;
       LocalCtx ctx{d_buf, w_buf, fp.func_local.data(), fp.num_functions};
-      for (std::uint32_t pp : screening_.significant_set(m)) {
+      const auto& phi_m = screening_.significant_set(m);
+      const auto& phi_n = screening_.significant_set(n);
+      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+        const std::uint32_t pp = phi_m[kp];
         if (!symmetry_check(m, pp)) continue;
         const double pv_mp = screening_.pair_value(m, pp);
-        for (std::uint32_t qq : screening_.significant_set(n)) {
+        // Bra pair (M, P) hoisted out of the ket loop.
+        const ShellPairData& bra = bra_pairs.at(m, kp, pp);
+        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+          const std::uint32_t qq = phi_n[kq];
           if (!unique_quartet(m, pp, n, qq)) continue;
           if (pv_mp * screening_.pair_value(n, qq) < screening_.tau()) continue;
           const std::vector<double>& eri =
-              engine.compute(basis_.shell(m), basis_.shell(pp), basis_.shell(n),
-                             basis_.shell(qq));
+              engine.compute(bra, ket_pairs.at(n, kq, qq));
           apply_quartet_update(basis_, m, pp, n, qq, eri,
                                quartet_degeneracy(m, pp, n, qq), ctx);
         }

@@ -2,6 +2,7 @@
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
+#include "eri/shell_pair.h"
 #include "util/timer.h"
 
 namespace mf {
@@ -18,9 +19,12 @@ Matrix fock_bruteforce(const Basis& basis, const Matrix& density,
     for (std::size_t n = 0; n < nshell; ++n) {
       for (std::size_t p = 0; p < nshell; ++p) {
         for (std::size_t q = 0; q < nshell; ++q) {
+          // The brute-force reference deliberately stays on the seed
+          // quartet loop: it is the oracle the pair-based builds are
+          // validated against.
           const std::vector<double>& eri =
-              engine.compute(basis.shell(m), basis.shell(n), basis.shell(p),
-                             basis.shell(q));
+              engine.compute_legacy(basis.shell(m), basis.shell(n),
+                                    basis.shell(p), basis.shell(q));
           const std::size_t om = basis.shell_offset(m), nm = basis.shell_size(m);
           const std::size_t on = basis.shell_offset(n), nn = basis.shell_size(n);
           const std::size_t op = basis.shell_offset(p), np = basis.shell_size(p);
@@ -56,6 +60,13 @@ Matrix fock_serial(const Basis& basis, const ScreeningData& screening,
   DenseFockContext ctx{density, w};
   WallTimer timer;
 
+  // Shell-pair data: precomputed by the screening pass, or built
+  // transiently when this ScreeningData was restored from a cache file.
+  const ShellPairList* pair_list =
+      screening.has_pairs() ? &screening.pairs() : nullptr;
+  PairResolver bra_pairs(basis, pair_list, eri_options.primitive_threshold);
+  PairResolver ket_pairs(basis, pair_list, eri_options.primitive_threshold);
+
   // The paper's enumeration: tasks (M,:|N,:) over the full shell grid,
   // quartets (M P | N Q) kept when unique and unscreened.
   for (std::size_t m = 0; m < nshell; ++m) {
@@ -63,15 +74,18 @@ Matrix fock_serial(const Basis& basis, const ScreeningData& screening,
     for (std::size_t n = 0; n < nshell; ++n) {
       if (!symmetry_check(m, n) && m != n) continue;  // fast skip: see below
       const auto& phi_n = screening.significant_set(n);
-      for (std::uint32_t p : phi_m) {
+      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+        const std::uint32_t p = phi_m[kp];
         if (!symmetry_check(m, p)) continue;
         const double pv_mp = screening.pair_value(m, p);
-        for (std::uint32_t q : phi_n) {
+        // The bra pair (M, P) is invariant across the whole ket loop.
+        const ShellPairData& bra = bra_pairs.at(m, kp, p);
+        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+          const std::uint32_t q = phi_n[kq];
           if (!unique_quartet(m, p, n, q)) continue;
           if (pv_mp * screening.pair_value(n, q) < screening.tau()) continue;
           const std::vector<double>& eri =
-              engine.compute(basis.shell(m), basis.shell(p), basis.shell(n),
-                             basis.shell(q));
+              engine.compute(bra, ket_pairs.at(n, kq, q));
           apply_quartet_update(basis, m, p, n, q, eri,
                                quartet_degeneracy(m, p, n, q), ctx);
         }

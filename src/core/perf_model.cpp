@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "eri/shell_pair.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -74,11 +75,18 @@ double isoefficiency_nshells(const PerfModelParams& m, double p_ref, double p) {
 double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
                        std::size_t sample_quartets, std::uint64_t seed,
                        const EriEngineOptions& eri_opts) {
-  // Collect significant pairs, then time random unscreened quartets.
+  // Collect significant pairs, then time random unscreened quartets. When
+  // the screening carries shell-pair tables (the hot-path configuration),
+  // t_int is calibrated on the pair-based engine path the builders run.
+  const ShellPairList* pair_list =
+      screening.has_pairs() ? &screening.pairs() : nullptr;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<const ShellPairData*> pair_data;
   for (std::size_t m = 0; m < basis.num_shells(); ++m) {
-    for (std::uint32_t n : screening.significant_set(m)) {
-      pairs.emplace_back(static_cast<std::uint32_t>(m), n);
+    const auto& phi = screening.significant_set(m);
+    for (std::size_t k = 0; k < phi.size(); ++k) {
+      pairs.emplace_back(static_cast<std::uint32_t>(m), phi[k]);
+      if (pair_list != nullptr) pair_data.push_back(&pair_list->pair_at(m, k));
     }
   }
   MF_THROW_IF(pairs.empty(), "calibrate_t_int: nothing survives screening");
@@ -100,7 +108,7 @@ double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
   // pair values, no product of sampled pairs may ever reach it, and an
   // unbounded loop would spin forever. 1000 draws per requested quartet is
   // far beyond any plausible rejection rate for a usable screening setup.
-  std::vector<std::array<std::uint32_t, 4>> sample;
+  std::vector<std::pair<std::size_t, std::size_t>> sample;  // (bra, ket) idx
   const std::size_t max_attempts = 1000 * sample_quartets + 1000;
   std::size_t attempts = 0;
   while (sample.size() < sample_quartets) {
@@ -109,23 +117,33 @@ double calibrate_t_int(const Basis& basis, const ScreeningData& screening,
                     << sample.size() << " of " << sample_quartets
                     << " unscreened quartets in " << max_attempts
                     << " attempts; tau is too tight for this basis");
-    const auto& bra = pairs[rng.uniform_int(pairs.size())];
-    const auto& ket = pairs[rng.uniform_int(pairs.size())];
+    const std::size_t bi = rng.uniform_int(pairs.size());
+    const std::size_t ki = rng.uniform_int(pairs.size());
+    const auto& bra = pairs[bi];
+    const auto& ket = pairs[ki];
     if (screening.pair_value(bra.first, bra.second) *
             screening.pair_value(ket.first, ket.second) <
         screening.tau()) {
       continue;
     }
-    sample.push_back({bra.first, bra.second, ket.first, ket.second});
+    sample.emplace_back(bi, ki);
   }
 
   double best = 1e300;
   for (int batch = 0; batch < 5; ++batch) {
     engine.reset_counters();
     WallTimer timer;
-    for (const auto& q : sample) {
-      engine.compute(basis.shell(q[0]), basis.shell(q[1]), basis.shell(q[2]),
-                     basis.shell(q[3]));
+    if (pair_list != nullptr) {
+      for (const auto& [bi, ki] : sample) {
+        engine.compute(*pair_data[bi], *pair_data[ki]);
+      }
+    } else {
+      for (const auto& [bi, ki] : sample) {
+        engine.compute(basis.shell(pairs[bi].first),
+                       basis.shell(pairs[bi].second),
+                       basis.shell(pairs[ki].first),
+                       basis.shell(pairs[ki].second));
+      }
     }
     const double seconds = timer.seconds();
     MF_CHECK(engine.integrals_computed() > 0);

@@ -3,11 +3,11 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/constants.h"
 
 namespace mf {
 
 namespace {
-constexpr double kPi = 3.14159265358979323846;
 constexpr double kSeriesCutoff = 35.0;
 }  // namespace
 

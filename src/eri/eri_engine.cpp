@@ -4,14 +4,11 @@
 #include <cmath>
 
 #include "eri/cart_sph.h"
+#include "eri/shell_pair.h"
 #include "util/check.h"
+#include "util/constants.h"
 
 namespace mf {
-
-namespace {
-constexpr double kPi = 3.14159265358979323846;
-constexpr double kTwoPiPow52 = 2.0 * 17.4934183276248629;  // 2 * pi^{5/2}
-}  // namespace
 
 EriEngine::EriEngine(EriEngineOptions options) : options_(options) {}
 
@@ -21,10 +18,124 @@ void EriEngine::reset_counters() {
   prim_quartets_ = 0;
 }
 
+const std::vector<double>& EriEngine::compute_cartesian(
+    const ShellPairData& bra, const ShellPairData& ket) {
+  const int la = bra.la(), lb = bra.lb(), lc = ket.la(), ld = ket.lb();
+  MF_CHECK(la <= kMaxAm && lb <= kMaxAm && lc <= kMaxAm && ld <= kMaxAm);
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  const std::size_t nab = ca.size() * cb.size();
+  const std::size_t ncd = cc.size() * cd.size();
+  cart_.assign(nab * ncd, 0.0);
+
+  const int lbra = la + lb;
+  const int lket = lc + ld;
+  const int ltot = lbra + lket;
+
+  // inner_[(t*(lbra+1)+u)*(lbra+1)+v) * ncd + cd] holds the ket-contracted
+  // Hermite intermediate for one primitive quartet.
+  const std::size_t bra_stride = static_cast<std::size_t>(lbra + 1);
+  inner_.resize(bra_stride * bra_stride * bra_stride * ncd);
+
+  for (const PrimPair& bp : bra.prims()) {
+    for (const PrimPair& kp : ket.prims()) {
+      ++prim_quartets_;
+      const double psum = bp.p + kp.p;
+      const double alpha = bp.p * kp.p / psum;
+      rints_.compute(ltot, alpha, bp.center - kp.center);
+      // bp.coef * kp.coef carries 2 pi^{5/2} cab ccd / (p q).
+      const double pref = bp.coef * kp.coef / std::sqrt(psum);
+
+      // Step 1: ket contraction. For every bra Hermite order (t,u,v)
+      // and ket component pair, fold the ket E coefficients into R.
+      for (int t = 0; t <= lbra; ++t) {
+        for (int u = 0; u + t <= lbra; ++u) {
+          for (int v = 0; v + t + u <= lbra; ++v) {
+            double* row =
+                inner_.data() + ((t * bra_stride + u) * bra_stride + v) * ncd;
+            std::size_t cd_idx = 0;
+            for (const auto& compc : cc) {
+              for (const auto& compd : cd) {
+                double acc = 0.0;
+                for (int tau = 0; tau <= compc.lx + compd.lx; ++tau) {
+                  const double extau = kp.ex(tau, compc.lx, compd.lx);
+                  for (int nu = 0; nu <= compc.ly + compd.ly; ++nu) {
+                    const double eynu = kp.ey(nu, compc.ly, compd.ly);
+                    for (int phi = 0; phi <= compc.lz + compd.lz; ++phi) {
+                      const double sign = ((tau + nu + phi) & 1) ? -1.0 : 1.0;
+                      acc += sign * extau * eynu *
+                             kp.ez(phi, compc.lz, compd.lz) *
+                             rints_(t + tau, u + nu, v + phi);
+                    }
+                  }
+                }
+                row[cd_idx++] = acc;
+              }
+            }
+          }
+        }
+      }
+
+      // Step 2: bra contraction into the Cartesian output block.
+      std::size_t ab_idx = 0;
+      for (const auto& compa : ca) {
+        for (const auto& compb : cb) {
+          double* out_row = cart_.data() + ab_idx * ncd;
+          for (int t = 0; t <= compa.lx + compb.lx; ++t) {
+            const double ext = bp.ex(t, compa.lx, compb.lx);
+            for (int u = 0; u <= compa.ly + compb.ly; ++u) {
+              const double eyu = bp.ey(u, compa.ly, compb.ly);
+              const double exy = ext * eyu;
+              for (int v = 0; v <= compa.lz + compb.lz; ++v) {
+                const double w = pref * exy * bp.ez(v, compa.lz, compb.lz);
+                const double* in_row =
+                    inner_.data() +
+                    ((t * bra_stride + u) * bra_stride + v) * ncd;
+                for (std::size_t k = 0; k < ncd; ++k) {
+                  out_row[k] += w * in_row[k];
+                }
+              }
+            }
+          }
+          ++ab_idx;
+        }
+      }
+    }
+  }
+
+  renormalize_cart_quartet(la, lb, lc, ld, cart_.data());
+  ++quartets_;
+  integrals_ += nab * ncd;
+  return cart_;
+}
+
+const std::vector<double>& EriEngine::compute(const ShellPairData& bra,
+                                              const ShellPairData& ket) {
+  const std::vector<double>& cart = compute_cartesian(bra, ket);
+  sph_ = quartet_to_spherical(bra.la(), bra.lb(), ket.la(), ket.lb(), cart);
+  return sph_;
+}
+
 const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
                                                         const Shell& sb,
                                                         const Shell& sc,
                                                         const Shell& sd) {
+  const ShellPairData bra(sa, sb, options_.primitive_threshold);
+  const ShellPairData ket(sc, sd, options_.primitive_threshold);
+  return compute_cartesian(bra, ket);
+}
+
+const std::vector<double>& EriEngine::compute(const Shell& a, const Shell& b,
+                                              const Shell& c, const Shell& d) {
+  const std::vector<double>& cart = compute_cartesian(a, b, c, d);
+  sph_ = quartet_to_spherical(a.l, b.l, c.l, d.l, cart);
+  return sph_;
+}
+
+const std::vector<double>& EriEngine::compute_cartesian_legacy(
+    const Shell& sa, const Shell& sb, const Shell& sc, const Shell& sd) {
   const int la = sa.l, lb = sb.l, lc = sc.l, ld = sd.l;
   MF_CHECK(la <= kMaxAm && lb <= kMaxAm && lc <= kMaxAm && ld <= kMaxAm);
   const auto& ca = cartesian_components(la);
@@ -37,9 +148,29 @@ const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
 
   const Vec3 ab = sa.center - sb.center;
   const Vec3 cdv = sc.center - sd.center;
+  // Loop-invariant separations, hoisted out of the primitive loops.
+  const double ab2 = ab.norm2();
+  const double cd2 = cdv.norm2();
   const int lbra = la + lb;
   const int lket = lc + ld;
   const int ltot = lbra + lket;
+
+  // Hoist the ket screening exponentials: |c_k c_l| exp(-mu CD^2) depends
+  // only on the ket primitive pair, not on the bra primitives it used to be
+  // recomputed under.
+  std::vector<double> ket_screen;
+  if (options_.primitive_threshold > 0.0) {
+    ket_screen.reserve(sc.nprim() * sd.nprim());
+    for (std::size_t kp = 0; kp < sc.nprim(); ++kp) {
+      const double c = sc.exponents[kp];
+      for (std::size_t lp = 0; lp < sd.nprim(); ++lp) {
+        const double d = sd.exponents[lp];
+        ket_screen.push_back(
+            std::abs(sc.coefficients[kp] * sd.coefficients[lp]) *
+            std::exp(-c * d / (c + d) * cd2));
+      }
+    }
+  }
 
   // inner_[(t*(lbra+1)+u)*(lbra+1)+v) * ncd + cd] holds the ket-contracted
   // Hermite intermediate for one primitive quartet.
@@ -53,7 +184,7 @@ const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
       const double p = a + b;
       const double cab = sa.coefficients[ip] * sb.coefficients[jp];
       if (options_.primitive_threshold > 0.0 &&
-          std::abs(cab) * std::exp(-a * b / p * ab.norm2()) <
+          std::abs(cab) * std::exp(-a * b / p * ab2) <
               options_.primitive_threshold) {
         continue;
       }
@@ -69,8 +200,7 @@ const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
           const double q = c + d;
           const double ccd = sc.coefficients[kp] * sd.coefficients[lp];
           if (options_.primitive_threshold > 0.0 &&
-              std::abs(ccd) * std::exp(-c * d / q * cdv.norm2()) <
-                  options_.primitive_threshold) {
+              ket_screen[kp * sd.nprim() + lp] < options_.primitive_threshold) {
             continue;
           }
           ++prim_quartets_;
@@ -152,25 +282,37 @@ const std::vector<double>& EriEngine::compute_cartesian(const Shell& sa,
   return cart_;
 }
 
-const std::vector<double>& EriEngine::compute(const Shell& a, const Shell& b,
-                                              const Shell& c, const Shell& d) {
-  const std::vector<double>& cart = compute_cartesian(a, b, c, d);
+const std::vector<double>& EriEngine::compute_legacy(const Shell& a,
+                                                     const Shell& b,
+                                                     const Shell& c,
+                                                     const Shell& d) {
+  const std::vector<double>& cart = compute_cartesian_legacy(a, b, c, d);
   sph_ = quartet_to_spherical(a.l, b.l, c.l, d.l, cart);
   return sph_;
 }
 
-double EriEngine::schwarz_pair_value(const Shell& a, const Shell& b) {
-  const std::vector<double>& block = compute(a, b, a, b);
-  const std::size_t na = a.sph_size(), nb = b.sph_size();
+double EriEngine::schwarz_from_spherical(int la, int lb) {
+  const std::size_t na = spherical_count(la), nb = spherical_count(lb);
   double mx = 0.0;
   for (std::size_t i = 0; i < na; ++i) {
     for (std::size_t j = 0; j < nb; ++j) {
       // Element (ij|ij) of the [na][nb][na][nb] block.
-      const double v = block[((i * nb + j) * na + i) * nb + j];
+      const double v = sph_[((i * nb + j) * na + i) * nb + j];
       mx = std::max(mx, std::abs(v));
     }
   }
   return std::sqrt(mx);
+}
+
+double EriEngine::schwarz_pair_value(const ShellPairData& pair) {
+  compute(pair, pair);
+  return schwarz_from_spherical(pair.la(), pair.lb());
+}
+
+double EriEngine::schwarz_pair_value(const Shell& a, const Shell& b) {
+  // One pair build serves both bra and ket of (ab|ab).
+  const ShellPairData pair(a, b, options_.primitive_threshold);
+  return schwarz_pair_value(pair);
 }
 
 }  // namespace mf

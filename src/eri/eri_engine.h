@@ -6,8 +6,17 @@
 // the compute kernel whose per-integral cost t_int both the measured Table V
 // and the simulator's cost model are built on.
 //
+// The hot path is pair-based: compute(bra, ket) contracts two precomputed
+// ShellPairData objects (see eri/shell_pair.h), so per-primitive-pair
+// quantities — HermiteE tables, product centers, prefactors, screening
+// exponentials — are built once per shell pair instead of once per quartet.
+// The shell-based overloads are thin wrappers that build transient pairs;
+// compute_legacy retains the seed quartet loop as an independent oracle for
+// the property tests and the t_int baseline bench_micro compares against.
+//
 // The engine is stateful only through reusable scratch buffers and counters;
-// create one engine per thread.
+// create one engine per thread. ShellPairData/ShellPairList inputs are
+// read-only and may be shared between engines.
 
 #include <cstdint>
 #include <vector>
@@ -17,12 +26,15 @@
 
 namespace mf {
 
+class ShellPairData;
+
 struct EriEngineOptions {
   /// Primitive-pair neglect threshold: a bra (or ket) primitive pair is
   /// skipped when |c_i c_j| exp(-mu AB^2) falls below this value. Setting 0
   /// disables primitive pre-screening (the paper notes NWChem's stronger
   /// primitive pre-screening as the source of its lower t_int; this knob is
-  /// the ablation for that).
+  /// the ablation for that). Pair-based calls use the threshold the
+  /// ShellPairData was built with instead.
   double primitive_threshold = 1e-16;
 };
 
@@ -30,18 +42,44 @@ class EriEngine {
  public:
   explicit EriEngine(EriEngineOptions options = {});
 
-  /// Spherical ERIs for the shell quartet (ab|cd); the returned buffer has
-  /// shape [sph(a)][sph(b)][sph(c)][sph(d)] and is valid until the next call.
+  /// Spherical ERIs for the quartet (bra | ket) from precomputed pair data;
+  /// the returned buffer has shape [sph(a)][sph(b)][sph(c)][sph(d)] and is
+  /// valid until the next call. This is the hot path.
+  const std::vector<double>& compute(const ShellPairData& bra,
+                                     const ShellPairData& ket);
+
+  /// Cartesian ERIs with normalized components from precomputed pair data,
+  /// shape [cart(a)][cart(b)][cart(c)][cart(d)].
+  const std::vector<double>& compute_cartesian(const ShellPairData& bra,
+                                               const ShellPairData& ket);
+
+  /// Spherical ERIs for the shell quartet (ab|cd); thin wrapper that builds
+  /// transient pair data and calls the pair path.
   const std::vector<double>& compute(const Shell& a, const Shell& b,
                                      const Shell& c, const Shell& d);
 
-  /// Cartesian ERIs with normalized components, shape
-  /// [cart(a)][cart(b)][cart(c)][cart(d)]. Exposed for tests.
+  /// Cartesian ERIs via transient pair data. Exposed for tests.
   const std::vector<double>& compute_cartesian(const Shell& a, const Shell& b,
                                                const Shell& c, const Shell& d);
 
+  /// The seed per-quartet loop (every primitive-pair quantity rebuilt in
+  /// place): retained as an independent oracle and as the baseline for the
+  /// pair-path speedup measured by bench_micro. Spherical output.
+  const std::vector<double>& compute_legacy(const Shell& a, const Shell& b,
+                                            const Shell& c, const Shell& d);
+
+  /// Cartesian variant of the seed loop.
+  const std::vector<double>& compute_cartesian_legacy(const Shell& a,
+                                                      const Shell& b,
+                                                      const Shell& c,
+                                                      const Shell& d);
+
   /// Cauchy-Schwarz pair value sqrt(max_{i,j} (ij|ij)) for functions i in a,
-  /// j in b (spherical).
+  /// j in b (spherical), from precomputed pair data.
+  double schwarz_pair_value(const ShellPairData& pair);
+
+  /// Shell-based wrapper: builds the pair data once and reuses it for both
+  /// bra and ket of (ab|ab).
   double schwarz_pair_value(const Shell& a, const Shell& b);
 
   /// Counters for calibration and reporting.
@@ -51,6 +89,8 @@ class EriEngine {
   void reset_counters();
 
  private:
+  double schwarz_from_spherical(int la, int lb);
+
   EriEngineOptions options_;
   std::vector<double> cart_;
   std::vector<double> sph_;

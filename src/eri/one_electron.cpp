@@ -5,12 +5,11 @@
 #include "eri/cart_sph.h"
 #include "eri/hermite.h"
 #include "util/check.h"
+#include "util/constants.h"
 
 namespace mf {
 
 namespace {
-
-constexpr double kPi = 3.14159265358979323846;
 
 // Renormalize a Cartesian pair block by per-component ratios.
 void renormalize_cart_pair(int la, int lb, std::vector<double>& block) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cmath>
 
+#include "eri/shell_pair.h"
 #include "util/check.h"
 
 namespace mf {
@@ -41,7 +42,10 @@ ScreeningData::ScreeningData(const Basis& basis, const ScreeningOptions& options
           continue;  // pair value stays 0: cannot be significant
         }
       }
-      const double v = engine.schwarz_pair_value(sm, sn);
+      // One pair-data build serves both bra and ket of (mn|mn) — the seed
+      // paid a full independent quartet construction here.
+      const ShellPairData pd(sm, sn, options.eri.primitive_threshold);
+      const double v = engine.schwarz_pair_value(pd);
       pair_values_[m * nshells_ + n] = v;
       pair_values_[n * nshells_ + m] = v;
       max_pair_value_ = std::max(max_pair_value_, v);
@@ -49,6 +53,18 @@ ScreeningData::ScreeningData(const Basis& basis, const ScreeningOptions& options
   }
 
   rebuild_derived();
+  build_pairs(basis, options.eri.primitive_threshold);
+}
+
+const ShellPairList& ScreeningData::pairs() const {
+  MF_CHECK(pairs_ != nullptr);
+  return *pairs_;
+}
+
+void ScreeningData::build_pairs(const Basis& basis,
+                                double primitive_threshold) {
+  pairs_ = std::make_shared<const ShellPairList>(basis, *this,
+                                                 primitive_threshold);
 }
 
 void ScreeningData::rebuild_derived() {

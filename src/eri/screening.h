@@ -10,6 +10,7 @@
 // counts — is derived from this object.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "eri/eri_engine.h"
 
 namespace mf {
+
+class ShellPairList;
 
 struct ScreeningOptions {
   /// Integral drop tolerance tau (the paper uses 1e-10 throughout).
@@ -63,6 +66,20 @@ class ScreeningData {
   /// Total number of significant (unordered) shell pairs.
   std::uint64_t num_significant_pairs() const { return nsig_pairs_; }
 
+  /// Precomputed shell-pair data (eri/shell_pair.h) for every significant
+  /// ordered pair, parallel to the significant sets. Built by the
+  /// screening constructor and shared read-only across threads and SCF
+  /// iterations. Absent on instances restored via load() until
+  /// build_pairs() is called.
+  bool has_pairs() const { return pairs_ != nullptr; }
+  const ShellPairList& pairs() const;
+
+  /// Builds (or rebuilds) the pair list for this screening's significant
+  /// sets. `basis` must be the basis the pair values were computed from.
+  void build_pairs(const Basis& basis,
+                   double primitive_threshold = EriEngineOptions{}
+                       .primitive_threshold);
+
   /// Average |Phi(M)| (the performance model's parameter B).
   double avg_significant_set_size() const;
 
@@ -95,6 +112,7 @@ class ScreeningData {
   std::uint64_t nsig_pairs_ = 0;
   std::vector<double> pair_values_;
   std::vector<std::vector<std::uint32_t>> sig_;
+  std::shared_ptr<const ShellPairList> pairs_;
 };
 
 }  // namespace mf

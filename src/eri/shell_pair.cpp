@@ -1,0 +1,73 @@
+#include "eri/shell_pair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eri/screening.h"
+#include "util/check.h"
+#include "util/constants.h"
+
+namespace mf {
+
+ShellPairData::ShellPairData(const Shell& a, const Shell& b,
+                             double primitive_threshold)
+    : la_(a.l), lb_(b.l) {
+  const Vec3 ab = a.center - b.center;
+  const double ab2 = ab.norm2();
+  // sqrt(2 pi^{5/2}): bra.coef * ket.coef multiplies out to the quartet's
+  // 2 pi^{5/2} cab ccd / (p q) factor.
+  static const double kPairPref = std::sqrt(kTwoPiPow52);
+
+  prims_.reserve(a.nprim() * b.nprim());
+  for (std::size_t ip = 0; ip < a.nprim(); ++ip) {
+    const double ea = a.exponents[ip];
+    for (std::size_t jp = 0; jp < b.nprim(); ++jp) {
+      const double eb = b.exponents[jp];
+      const double p = ea + eb;
+      const double cab = a.coefficients[ip] * b.coefficients[jp];
+      if (primitive_threshold > 0.0 &&
+          std::abs(cab) * std::exp(-ea * eb / p * ab2) < primitive_threshold) {
+        continue;
+      }
+      PrimPair pair{p,
+                    1.0 / p,
+                    (a.center * ea + b.center * eb) * (1.0 / p),
+                    kPairPref / p * cab,
+                    HermiteE(la_, lb_, ea, eb, ab.x),
+                    HermiteE(la_, lb_, ea, eb, ab.y),
+                    HermiteE(la_, lb_, ea, eb, ab.z)};
+      prims_.push_back(std::move(pair));
+    }
+  }
+}
+
+ShellPairList::ShellPairList(const Basis& basis, const ScreeningData& screening,
+                             double primitive_threshold)
+    : primitive_threshold_(primitive_threshold) {
+  const std::size_t nshells = basis.num_shells();
+  MF_CHECK(screening.num_shells() == nshells);
+  partners_.resize(nshells);
+  pairs_.resize(nshells);
+  for (std::size_t m = 0; m < nshells; ++m) {
+    const auto& phi = screening.significant_set(m);
+    partners_[m] = phi;
+    pairs_[m].reserve(phi.size());
+    for (std::uint32_t n : phi) {
+      pairs_[m].emplace_back(basis.shell(m), basis.shell(n),
+                             primitive_threshold);
+      npairs_ += 1;
+      nprim_pairs_ += pairs_[m].back().prims().size();
+    }
+  }
+}
+
+const ShellPairData* ShellPairList::find(std::size_t m, std::size_t n) const {
+  if (m >= partners_.size()) return nullptr;
+  const auto& phi = partners_[m];
+  const auto it =
+      std::lower_bound(phi.begin(), phi.end(), static_cast<std::uint32_t>(n));
+  if (it == phi.end() || *it != n) return nullptr;
+  return &pairs_[m][static_cast<std::size_t>(it - phi.begin())];
+}
+
+}  // namespace mf

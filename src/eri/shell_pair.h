@@ -1,0 +1,135 @@
+#pragma once
+// Precomputed shell-pair data for the ERI hot path.
+//
+// The paper's task shape (M,: | N,:) fixes the bra shell pair across an
+// entire ket loop, yet the seed engine rebuilt every primitive-pair
+// quantity — HermiteE tables, Gaussian-product centers, contraction
+// prefactors, the screening exponential — from scratch for every quartet.
+// ShellPairData computes them once per shell pair; ShellPairList holds one
+// entry per significant ordered pair (parallel to ScreeningData's Phi
+// sets) and is shared read-only across threads and SCF iterations.
+//
+// Data layout, per surviving primitive pair (i, j) of shells (A, B):
+//   p      = a_i + b_j           merged exponent
+//   inv_p  = 1 / p
+//   center = (a_i A + b_j B) / p Gaussian-product center
+//   coef   = sqrt(2 pi^{5/2}) / p * c_i c_j
+//   ex/ey/ez                     HermiteE tables (E_0^{00} carries the
+//                                exp(-mu AB^2) overlap decay)
+// so a quartet's Coulomb prefactor 2 pi^{5/2} cab ccd / (p q sqrt(p+q))
+// factorizes as bra.coef * ket.coef / sqrt(p + q), and nothing about the
+// bra has to be recomputed while the ket loop runs.
+//
+// Primitive pairs failing |c_i c_j| exp(-mu AB^2) < primitive_threshold are
+// dropped at construction — the same test the seed engine applied per
+// quartet (EriEngineOptions::primitive_threshold).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/shell.h"
+#include "eri/hermite.h"
+
+namespace mf {
+
+class ScreeningData;
+
+/// One surviving primitive pair; see the header comment for the layout.
+struct PrimPair {
+  double p = 0.0;
+  double inv_p = 0.0;
+  Vec3 center;
+  double coef = 0.0;
+  HermiteE ex, ey, ez;
+};
+
+/// All surviving primitive pairs of one ordered shell pair (A, B), plus the
+/// angular momenta the contraction loops need. Immutable after
+/// construction; safe to share across threads.
+class ShellPairData {
+ public:
+  ShellPairData(const Shell& a, const Shell& b, double primitive_threshold);
+
+  int la() const { return la_; }
+  int lb() const { return lb_; }
+  const std::vector<PrimPair>& prims() const { return prims_; }
+
+ private:
+  int la_ = 0, lb_ = 0;
+  std::vector<PrimPair> prims_;
+};
+
+/// Pair data for every significant ordered shell pair of a basis: entry
+/// (m, k) corresponds to screening.significant_set(m)[k], so the task
+/// loops over Phi(M) x Phi(N) index it directly. Built once per geometry
+/// (ScreeningData owns one) and shared read-only.
+class ShellPairList {
+ public:
+  ShellPairList(const Basis& basis, const ScreeningData& screening,
+                double primitive_threshold);
+
+  /// Pair data for (m, significant_set(m)[k]).
+  const ShellPairData& pair_at(std::size_t m, std::size_t k) const {
+    return pairs_[m][k];
+  }
+
+  /// Pair data for shells (m, n), or nullptr when (m, n) is not a
+  /// significant pair. Binary search over Phi(m).
+  const ShellPairData* find(std::size_t m, std::size_t n) const;
+
+  double primitive_threshold() const { return primitive_threshold_; }
+  std::size_t num_shells() const { return pairs_.size(); }
+  /// Total stored ordered pairs (both orientations of each unordered pair).
+  std::uint64_t num_pairs() const { return npairs_; }
+  /// Total surviving primitive pairs across the list.
+  std::uint64_t num_prim_pairs() const { return nprim_pairs_; }
+
+ private:
+  double primitive_threshold_ = 0.0;
+  std::uint64_t npairs_ = 0;
+  std::uint64_t nprim_pairs_ = 0;
+  std::vector<std::vector<std::uint32_t>> partners_;  // Phi(m), sorted
+  std::vector<std::vector<ShellPairData>> pairs_;
+};
+
+/// Serves shell pairs to a quartet loop: precomputed entries when a
+/// ShellPairList is available, transient pair data built on the spot when
+/// not (e.g. a ScreeningData loaded from cache without a basis). Keep one
+/// resolver per loop role (bra / ket) — the transient scratch slot holds
+/// only the most recent pair.
+class PairResolver {
+ public:
+  PairResolver(const Basis& basis, const ShellPairList* list,
+               double primitive_threshold)
+      : basis_(basis), list_(list), primitive_threshold_(primitive_threshold) {}
+
+  /// Pair for shells (m, n) where n == significant_set(m)[k]. The reference
+  /// stays valid until the next at() call on this resolver.
+  const ShellPairData& at(std::size_t m, std::size_t k, std::size_t n) {
+    if (list_ != nullptr) return list_->pair_at(m, k);
+    scratch_.emplace(basis_.shell(m), basis_.shell(n), primitive_threshold_);
+    return *scratch_;
+  }
+
+  /// Pair for shells (m, n) without a Phi index (binary search when the
+  /// list is available). Same lifetime rule as at(m, k, n).
+  const ShellPairData& at(std::size_t m, std::size_t n) {
+    if (list_ != nullptr) {
+      const ShellPairData* pd = list_->find(m, n);
+      if (pd != nullptr) return *pd;
+    }
+    scratch_.emplace(basis_.shell(m), basis_.shell(n), primitive_threshold_);
+    return *scratch_;
+  }
+
+ private:
+  const Basis& basis_;
+  const ShellPairList* list_;
+  double primitive_threshold_;
+  std::optional<ShellPairData> scratch_;
+};
+
+}  // namespace mf

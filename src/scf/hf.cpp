@@ -110,6 +110,13 @@ HartreeFock::HartreeFock(const Basis& basis, ScfOptions options)
   MF_THROW_IF(nocc_ > basis.num_functions(),
               "basis too small: " << basis.num_functions() << " functions for "
                                   << nocc_ << " occupied orbitals");
+  // The shell-pair tables (eri/shell_pair.h) are built once per geometry —
+  // the screening pass above constructs them — and reused by every Fock
+  // build across SCF iterations; this guards the invariant the builder
+  // relies on if the screening construction path ever changes.
+  if (!screening_.has_pairs()) {
+    screening_.build_pairs(basis_, options_.eri.primitive_threshold);
+  }
   fock_builder_ = [this](const Matrix& d, const Matrix& h) {
     return fock_serial(basis_, screening_, d, h, nullptr, options_.eri);
   };

@@ -1,0 +1,15 @@
+#pragma once
+// Mathematical constants shared by the integral machinery (boys.cpp,
+// hermite/shell-pair/ERI engines, one-electron integrals, shell
+// normalization). Previously each translation unit redefined its own copy
+// of pi and the 2*pi^{5/2} Coulomb prefactor; this is the single source.
+
+namespace mf {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// 2 * pi^{5/2}: the Coulomb prefactor of a primitive quartet,
+/// 2 pi^{5/2} / (p q sqrt(p+q)).
+inline constexpr double kTwoPiPow52 = 2.0 * 17.4934183276248629;
+
+}  // namespace mf

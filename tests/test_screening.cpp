@@ -4,6 +4,7 @@
 
 #include "chem/basis_set.h"
 #include "chem/molecule_builders.h"
+#include "eri/eri_engine.h"
 #include "eri/screening.h"
 
 namespace mf {
@@ -98,6 +99,34 @@ TEST(Screening, KeepQuartetConsistentWithPairValues) {
   // Artificial check: product below tau is dropped.
   EXPECT_EQ(sd.keep_quartet(0, 1, 2, 3),
             sd.pair_value(0, 1) * sd.pair_value(2, 3) >= sd.tau());
+}
+
+// The screening constructor now builds Schwarz bounds through the
+// shell-pair path; the bounds must be unchanged from the seed's
+// per-quartet evaluation (oracle: compute_legacy on (mn|mn)).
+TEST(Screening, SchwarzBoundsUnchangedBySharedPairPath) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const ScreeningData sd = screen(basis);
+  EriEngine engine;
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    const Shell& sm = basis.shell(m);
+    for (std::size_t n = m; n < basis.num_shells(); ++n) {
+      const Shell& sn = basis.shell(n);
+      const std::vector<double> block = engine.compute_legacy(sm, sn, sm, sn);
+      const std::size_t na = sm.sph_size(), nb = sn.sph_size();
+      double vmax = 0.0;
+      for (std::size_t i = 0; i < na; ++i) {
+        for (std::size_t j = 0; j < nb; ++j) {
+          vmax = std::max(vmax,
+                          std::abs(block[((i * nb + j) * na + i) * nb + j]));
+        }
+      }
+      const double legacy = std::sqrt(vmax);
+      EXPECT_NEAR(sd.pair_value(m, n), legacy,
+                  1e-12 * std::max(1.0, legacy))
+          << "pair (" << m << "," << n << ")";
+    }
+  }
 }
 
 TEST(Screening, ConsecutiveOverlapBounded) {

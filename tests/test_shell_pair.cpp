@@ -1,0 +1,270 @@
+// Shell-pair data layer (eri/shell_pair.h): the pair-based ERI path must
+// reproduce the seed per-quartet loop exactly, the precomputed pair list
+// must be interchangeable with transient pairs, and one list must be
+// shareable read-only across threads (the TSan lane runs this file).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_serial.h"
+#include "core/symmetry.h"
+#include "eri/eri_engine.h"
+#include "eri/screening.h"
+#include "eri/shell_pair.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Shell make_shell(int l, const Vec3& center, std::vector<double> exps,
+                 std::vector<double> coefs) {
+  Shell s;
+  s.l = l;
+  s.center = center;
+  s.exponents = std::move(exps);
+  s.coefficients = std::move(coefs);
+  normalize_shell(s);
+  return s;
+}
+
+Shell random_shell(Rng& rng, int l) {
+  const std::size_t nprim = 1 + rng.uniform_int(3);
+  std::vector<double> exps, coefs;
+  for (std::size_t k = 0; k < nprim; ++k) {
+    exps.push_back(rng.uniform(0.15, 4.0));
+    coefs.push_back(rng.uniform(0.2, 1.0));
+  }
+  return make_shell(l,
+                    {rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2),
+                     rng.uniform(-1.2, 1.2)},
+                    std::move(exps), std::move(coefs));
+}
+
+// Pair-based ERIs must match the seed quartet loop to 1e-12 on randomized
+// contracted shells for every angular momentum through kMaxAm.
+TEST(ShellPair, PairPathMatchesLegacyRandomizedToMaxAm) {
+  Rng rng(2024);
+  EriEngine engine;
+  for (int la = 0; la <= kMaxAm; ++la) {
+    for (int lc = 0; lc <= kMaxAm; ++lc) {
+      for (int rep = 0; rep < 3; ++rep) {
+        const Shell a = random_shell(rng, la);
+        const Shell b = random_shell(rng, static_cast<int>(rng.uniform_int(
+                                              static_cast<std::uint64_t>(la) + 1)));
+        const Shell c = random_shell(rng, lc);
+        const Shell d = random_shell(rng, static_cast<int>(rng.uniform_int(
+                                              static_cast<std::uint64_t>(lc) + 1)));
+        const std::vector<double> legacy =
+            engine.compute_cartesian_legacy(a, b, c, d);
+        const std::vector<double> pair = engine.compute_cartesian(a, b, c, d);
+        ASSERT_EQ(legacy.size(), pair.size());
+        double scale = 1.0;
+        for (double v : legacy) scale = std::max(scale, std::abs(v));
+        for (std::size_t i = 0; i < legacy.size(); ++i) {
+          ASSERT_NEAR(pair[i], legacy[i], 1e-12 * scale)
+              << "la=" << la << " lb=" << b.l << " lc=" << lc << " ld=" << d.l
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// The 8-fold permutation symmetry of (ab|cd) must survive the pair
+// factorization (spherical output, mixed shells).
+TEST(ShellPair, PairPathEightFoldSymmetry) {
+  EriEngine engine;
+  const Shell a = make_shell(0, {0.0, 0.0, 0.0}, {1.1, 0.3}, {0.5, 0.6});
+  const Shell b = make_shell(1, {0.5, -0.3, 0.2}, {0.8}, {1.0});
+  const Shell c = make_shell(2, {-0.4, 0.6, 0.1}, {0.9}, {1.0});
+  const Shell d = make_shell(1, {0.2, 0.2, -0.7}, {0.6, 1.5}, {0.7, 0.4});
+
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const ShellPairData ab(a, b, thr), ba(b, a, thr);
+  const ShellPairData cd(c, d, thr), dc(d, c, thr);
+
+  const auto abcd = engine.compute(ab, cd);
+  const auto bacd = engine.compute(ba, cd);
+  const auto abdc = engine.compute(ab, dc);
+  const auto cdab = engine.compute(cd, ab);
+
+  const std::size_t na = a.sph_size(), nb = b.sph_size(), nc = c.sph_size(),
+                    nd = d.sph_size();
+  auto at = [](const std::vector<double>& v, std::size_t i, std::size_t j,
+               std::size_t k, std::size_t l, std::size_t n2, std::size_t n3,
+               std::size_t n4) {
+    return v[((i * n2 + j) * n3 + k) * n4 + l];
+  };
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (std::size_t k = 0; k < nc; ++k) {
+        for (std::size_t l = 0; l < nd; ++l) {
+          const double ref = at(abcd, i, j, k, l, nb, nc, nd);
+          EXPECT_NEAR(at(bacd, j, i, k, l, na, nc, nd), ref, 1e-12);
+          EXPECT_NEAR(at(abdc, i, j, l, k, nb, nd, nc), ref, 1e-12);
+          EXPECT_NEAR(at(cdab, k, l, i, j, nd, na, nb), ref, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+// primitive_threshold ablation: with the threshold disabled every primitive
+// pair survives; with the default the dropped pairs change nothing at the
+// integral accuracy the threshold promises.
+TEST(ShellPair, PrimitiveThresholdAblation) {
+  // Deep contraction with a wide exponent spread: tiny-coefficient tight
+  // primitives are exactly the ones the threshold drops at separation.
+  const Shell s = make_shell(
+      0, {0, 0, 0}, {6665.0, 228.0, 21.06, 2.343, 0.4852},
+      {0.000692, 0.027077, 0.27474, 0.448564, 0.015204});
+  Shell t = s;
+  t.center = {6.0, 0, 0};
+
+  const ShellPairData all(s, t, 0.0);
+  const ShellPairData pruned(s, t, EriEngineOptions{}.primitive_threshold);
+  EXPECT_EQ(all.prims().size(), s.nprim() * t.nprim());
+  EXPECT_LT(pruned.prims().size(), all.prims().size());
+
+  EriEngine engine;
+  const std::vector<double> full = engine.compute_cartesian(all, all);
+  const std::vector<double> thresh = engine.compute_cartesian(pruned, pruned);
+  ASSERT_EQ(full.size(), thresh.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    // The neglect threshold bounds each dropped primitive quartet by
+    // ~1e-16 * (bounded Boys factor); 1e-12 is comfortably above the
+    // accumulated neglect and far below any physical integral here.
+    EXPECT_NEAR(full[i], thresh[i], 1e-12);
+  }
+}
+
+// ShellPairList is parallel to the screening's significant sets and
+// find() agrees with pair_at().
+TEST(ShellPair, ListParallelsSignificantSets) {
+  const Basis basis(water(), BasisLibrary::builtin("cc-pvdz"));
+  const ScreeningData sd(basis, {});
+  ASSERT_TRUE(sd.has_pairs());
+  const ShellPairList& list = sd.pairs();
+  EXPECT_EQ(list.num_shells(), basis.num_shells());
+
+  std::uint64_t counted = 0;
+  for (std::size_t m = 0; m < basis.num_shells(); ++m) {
+    const auto& phi = sd.significant_set(m);
+    for (std::size_t k = 0; k < phi.size(); ++k) {
+      const ShellPairData& pd = list.pair_at(m, k);
+      EXPECT_EQ(pd.la(), basis.shell(m).l);
+      EXPECT_EQ(pd.lb(), basis.shell(phi[k]).l);
+      EXPECT_EQ(&pd, list.find(m, phi[k]));
+      ++counted;
+    }
+  }
+  EXPECT_EQ(list.num_pairs(), counted);
+  EXPECT_GT(list.num_prim_pairs(), 0u);
+  // A pair outside every significant set does not exist in the list.
+  EXPECT_EQ(list.find(0, basis.num_shells() + 7), nullptr);
+}
+
+// One ShellPairList shared read-only across EriEngine instances on several
+// threads must give bit-identical results to a serial engine. This is the
+// TSan-lane workload for the pair layer.
+TEST(ShellPair, SharedListAcrossThreadsMatchesSerial) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {});
+  const ShellPairList& list = sd.pairs();
+  const std::size_t ns = basis.num_shells();
+
+  // Every unique unscreened quartet, enumerated once.
+  struct Quartet {
+    std::size_t m, k_mp, n, k_nq;
+  };
+  std::vector<Quartet> quartets;
+  for (std::size_t m = 0; m < ns; ++m) {
+    const auto& phi_m = sd.significant_set(m);
+    for (std::size_t n = 0; n < ns; ++n) {
+      if (!symmetry_check(m, n) && m != n) continue;
+      const auto& phi_n = sd.significant_set(n);
+      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+        if (!symmetry_check(m, phi_m[kp])) continue;
+        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+          if (!unique_quartet(m, phi_m[kp], n, phi_n[kq])) continue;
+          quartets.push_back({m, kp, n, kq});
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(quartets.empty());
+
+  // Serial reference: the first element of every quartet block.
+  std::vector<double> reference(quartets.size());
+  {
+    EriEngine engine;
+    for (std::size_t i = 0; i < quartets.size(); ++i) {
+      const Quartet& q = quartets[i];
+      reference[i] = engine.compute(list.pair_at(q.m, q.k_mp),
+                                    list.pair_at(q.n, q.k_nq))[0];
+    }
+  }
+
+  const std::size_t nthreads = 4;
+  std::vector<std::vector<double>> results(nthreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      EriEngine engine;  // engines are per-thread; the list is shared
+      results[t].resize(quartets.size());
+      // Interleaved strides so threads walk the shared list concurrently.
+      for (std::size_t i = t; i < quartets.size(); i += nthreads) {
+        const Quartet& q = quartets[i];
+        results[t][i] = engine.compute(list.pair_at(q.m, q.k_mp),
+                                       list.pair_at(q.n, q.k_nq))[0];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t i = 0; i < quartets.size(); ++i) {
+    EXPECT_EQ(results[i % nthreads][i], reference[i]) << "quartet " << i;
+  }
+}
+
+// A ScreeningData restored from a cache file has no pair tables; the Fock
+// paths must fall back to transient pairs and produce the exact same
+// matrix (same arithmetic, just built on the spot).
+TEST(ShellPair, LoadedScreeningFallbackMatchesPairList) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {});
+  ASSERT_TRUE(sd.has_pairs());
+  const std::string path = ::testing::TempDir() + "shell_pair_screen.bin";
+  ASSERT_TRUE(sd.save(path));
+  auto loaded = ScreeningData::load(path, basis.num_shells(), sd.tau());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->has_pairs());
+
+  const std::size_t nbf = basis.num_functions();
+  Rng rng(11);
+  Matrix density(nbf, nbf), h(nbf, nbf);
+  for (std::size_t i = 0; i < nbf; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      density(i, j) = density(j, i) = rng.uniform(-0.5, 0.5);
+    }
+  }
+  const Matrix with_list = fock_serial(basis, sd, density, h);
+  const Matrix fallback = fock_serial(basis, *loaded, density, h);
+  for (std::size_t i = 0; i < nbf * nbf; ++i) {
+    EXPECT_DOUBLE_EQ(fallback.data()[i], with_list.data()[i]);
+  }
+
+  loaded->build_pairs(basis);
+  ASSERT_TRUE(loaded->has_pairs());
+  EXPECT_EQ(loaded->pairs().num_pairs(), sd.pairs().num_pairs());
+  EXPECT_EQ(loaded->pairs().num_prim_pairs(), sd.pairs().num_prim_pairs());
+}
+
+}  // namespace
+}  // namespace mf
