@@ -2,6 +2,7 @@
 
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
@@ -80,12 +81,11 @@ namespace {
 // blocks accumulated locally, flushed when the task completes.
 class AtomBlockCtx {
  public:
-  AtomBlockCtx(const Basis& basis, GlobalArray& d_ga, GlobalArray& w_ga,
-               std::size_t rank, const std::vector<std::uint32_t>& func_atom,
+  AtomBlockCtx(GlobalArray& d_ga, GlobalArray& w_ga, std::size_t rank,
+               const std::vector<std::uint32_t>& func_atom,
                const std::vector<std::size_t>& atom_offset,
                const std::vector<std::size_t>& atom_nf)
-      : basis_(basis),
-        d_ga_(d_ga),
+      : d_ga_(d_ga),
         w_ga_(w_ga),
         rank_(rank),
         func_atom_(func_atom),
@@ -136,7 +136,6 @@ class AtomBlockCtx {
     return d_.emplace(key, std::move(block)).first->second;
   }
 
-  const Basis& basis_;
   GlobalArray& d_ga_;
   GlobalArray& w_ga_;
   std::size_t rank_;
@@ -154,7 +153,7 @@ NwchemFockBuilder::NwchemFockBuilder(const Basis& basis,
                                      NwchemOptions options)
     : basis_(basis),
       screening_(screening),
-      options_(options),
+      options_(std::move(options)),
       atoms_(atom_screening(basis, screening)) {
   MF_THROW_IF(options_.nprocs == 0, "Nwchem: need at least one process");
 }
@@ -200,7 +199,7 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
                            options_.eri.primitive_threshold);
     PairResolver ket_pairs(basis_, pair_list,
                            options_.eri.primitive_threshold);
-    AtomBlockCtx ctx(basis_, d_ga, w_ga, rank, func_atom, atom_offset, atom_nf);
+    AtomBlockCtx ctx(d_ga, w_ga, rank, func_atom, atom_offset, atom_nf);
 
     // Executes one atom quartet: all unique, unscreened shell quartets with
     // bra shells on atoms (I, J) and ket shells on atoms (K, L).
@@ -236,8 +235,10 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
       }
     };
 
-    // Algorithm 2: every rank walks the full enumeration, executing the
-    // tasks whose ids it claims from the centralized counter.
+    // phase: compute — Algorithm 2: every rank walks the full enumeration,
+    // executing the tasks whose ids it claims from the centralized counter.
+    // (No prefetch phase: NWChem's baseline fetches D blocks on demand, and
+    // each task's F updates are flushed as soon as the task completes.)
     long task = counter.fetch_add(rank, 1);
     ++stats.get_task_calls;
     for_each_nwchem_task(natoms, atoms_, [&](const NwchemTask& t) {
@@ -248,7 +249,8 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
         do_atom_quartet(t.atom_i, t.atom_j, t.atom_k, l);
       }
       stats.compute_seconds += timer.seconds();
-      ctx.flush();  // F updates are communication, not T_comp
+      // phase: flush — F updates are communication, not T_comp.
+      ctx.flush();
       ++stats.tasks_executed;
       task = counter.fetch_add(rank, 1);
       ++stats.get_task_calls;
@@ -264,11 +266,14 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
   for (std::size_t r = 0; r < p; ++r) threads.emplace_back(rank_main, r);
   for (auto& t : threads) t.join();
 
+  const std::vector<CommStats> d_stats = d_ga.stats();
+  const std::vector<CommStats> w_stats = w_ga.stats();
+  const std::vector<CommStats> counter_stats = counter.stats();
   for (std::size_t r = 0; r < p; ++r) {
-    result.ranks[r].comm += d_ga.stats()[r];
-    result.ranks[r].comm += w_ga.stats()[r];
-    result.ranks[r].comm += counter.stats()[r];
-    result.scheduler_accesses += counter.stats()[r].rmw_calls;
+    result.ranks[r].comm += d_stats[r];
+    result.ranks[r].comm += w_stats[r];
+    result.ranks[r].comm += counter_stats[r];
+    result.scheduler_accesses += counter_stats[r].rmw_calls;
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

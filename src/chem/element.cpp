@@ -8,11 +8,13 @@
 namespace mf {
 
 namespace {
+// Double braces: std::array aggregate init needs the inner pair, or Clang's
+// -Wmissing-braces (in -Wall) rejects it under -Werror.
 constexpr std::array<const char*, 37> kSymbols = {
-    "",   "H",  "He", "Li", "Be", "B",  "C",  "N",  "O",  "F",
-    "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar", "K",
-    "Ca", "Sc", "Ti", "V",  "Cr", "Mn", "Fe", "Co", "Ni", "Cu",
-    "Zn", "Ga", "Ge", "As", "Se", "Br", "Kr"};
+    {"",   "H",  "He", "Li", "Be", "B",  "C",  "N",  "O",  "F",
+     "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar", "K",
+     "Ca", "Sc", "Ti", "V",  "Cr", "Mn", "Fe", "Co", "Ni", "Cu",
+     "Zn", "Ga", "Ge", "As", "Se", "Br", "Kr"}};
 }  // namespace
 
 int atomic_number(const std::string& symbol) {

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
@@ -11,6 +11,8 @@
 #include "ga/distribution.h"
 #include "ga/global_array.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace mf {
@@ -22,14 +24,22 @@ struct Task {
 };
 
 // Per-rank task queue. In real GTFock these live in Global Arrays and every
-// operation is an ARMCI atomic; atomic_ops mirrors that count.
+// operation is an ARMCI atomic; atomic_ops mirrors that count. All state is
+// guarded: owners and thieves go through the locked methods only.
 struct TaskQueue {
-  std::mutex mutex;
-  std::deque<Task> tasks;
-  std::uint64_t atomic_ops = 0;
+  Mutex mutex;
+  std::deque<Task> tasks MF_GUARDED_BY(mutex);
+  std::uint64_t atomic_ops MF_GUARDED_BY(mutex) = 0;
 
-  bool pop_front(Task& out) {
-    std::lock_guard<std::mutex> lock(mutex);
+  // Initial population from the static partition (setup phase; still locked
+  // so the annotation describes the real protocol, not a phase convention).
+  void push_initial(std::vector<Task> initial) MF_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    tasks.insert(tasks.end(), initial.begin(), initial.end());
+  }
+
+  bool pop_front(Task& out) MF_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     ++atomic_ops;
     if (tasks.empty()) return false;
     out = tasks.front();
@@ -39,8 +49,8 @@ struct TaskQueue {
 
   // Probe + steal from the back in one critical section; returns stolen
   // tasks (empty if none).
-  std::vector<Task> steal(double fraction) {
-    std::lock_guard<std::mutex> lock(mutex);
+  std::vector<Task> steal(double fraction) MF_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     ++atomic_ops;
     if (tasks.empty()) return {};
     std::size_t take = static_cast<std::size_t>(
@@ -54,13 +64,24 @@ struct TaskQueue {
     }
     return out;
   }
+
+  std::uint64_t atomic_ops_snapshot() MF_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    return atomic_ops;
+  }
 };
 
 // Prefetched local buffers for one task block (the victim's or our own):
 // dense D and W over the footprint's compressed function index space.
 struct LocalBuffers {
+  // Publication protocol, not a lock: the owning rank writes footprint and
+  // d_local, then publishes with ready.store(release); thieves spin on
+  // ready.load(acquire) before reading either field. The annotation system
+  // cannot express a release/acquire handoff, so these fields stay
+  // unannotated and the protocol is enforced by the TSan stress lane.
   BlockFootprint footprint;
   std::vector<double> d_local;
+  // lint: unguarded(release/acquire publication flag for the fields above)
   std::atomic<bool> ready{false};
 };
 
@@ -127,7 +148,7 @@ CommSummary GtFockResult::comm_summary() const {
 
 GtFockBuilder::GtFockBuilder(const Basis& basis, const ScreeningData& screening,
                              GtFockOptions options)
-    : basis_(basis), screening_(screening), options_(options) {
+    : basis_(basis), screening_(screening), options_(std::move(options)) {
   MF_THROW_IF(options_.nprocs == 0 && !options_.grid.has_value(),
               "GtFock: need at least one process");
   MF_THROW_IF(options_.steal_fraction <= 0.0 || options_.steal_fraction > 1.0,
@@ -152,7 +173,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   std::vector<TaskQueue> queues(p);
   std::vector<LocalBuffers> buffers(p);
   for (std::size_t r = 0; r < p; ++r) {
-    std::lock_guard<std::mutex> lock(queues[r].mutex);
+    std::vector<Task> initial;
     for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
       for (std::size_t n = blocks[r].col_begin; n < blocks[r].col_end; ++n) {
         // Only the canonical half of the task grid does work (the other
@@ -161,10 +182,11 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
         // tasks_owned/tasks_stolen, and let thieves waste steal blocks —
         // and a whole D-buffer copy — on no-op work.
         if (!symmetry_check(m, n)) continue;
-        queues[r].tasks.push_back({static_cast<std::uint32_t>(m),
-                                   static_cast<std::uint32_t>(n)});
+        initial.push_back({static_cast<std::uint32_t>(m),
+                           static_cast<std::uint32_t>(n)});
       }
     }
+    queues[r].push_initial(std::move(initial));
   }
 
   GtFockResult result;
@@ -235,7 +257,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     stats.initial_block = blocks[rank];
     WallTimer total_timer;
 
-    // Prefetch (Algorithm 4 lines 3-4).
+    // phase: prefetch — Algorithm 4 lines 3-4.
     WallTimer prefetch_timer;
     LocalBuffers& mine = buffers[rank];
     mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
@@ -285,7 +307,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
       }
     };
 
-    // Drain the local queue (Algorithm 4 lines 5-8).
+    // phase: compute — drain the local queue (Algorithm 4 lines 5-8).
     Task task;
     while (queues[rank].pop_front(task)) {
       WallTimer t;
@@ -320,6 +342,8 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             while (!vb.ready.load(std::memory_order_acquire)) {
               std::this_thread::yield();
             }
+            // The copy IS the modeled one-sided Get of the victim's buffer.
+            // NOLINTNEXTLINE(performance-unnecessary-copy-initialization)
             std::vector<double> d_copy = vb.d_local;
             stats.comm.record('g', d_copy.size() * sizeof(double), true);
             std::vector<double> w_steal(d_copy.size(), 0.0);
@@ -346,7 +370,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
       }
     }
 
-    // Flush our own F buffer (Algorithm 4 line 9).
+    // phase: flush — our own F buffer (Algorithm 4 line 9).
     WallTimer flush_timer;
     flush_w(rank, mine.footprint, w_local);
     stats.flush_seconds += flush_timer.seconds();
@@ -361,11 +385,15 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   for (std::size_t r = 0; r < p; ++r) threads.emplace_back(rank_main, r);
   for (auto& t : threads) t.join();
 
-  // Collect communication stats: GA transfers plus queue atomics.
+  // Collect communication stats: GA transfers plus queue atomics. The rank
+  // threads are joined, but every accessor still goes through its lock —
+  // the annotations describe the protocol, not the current phase.
+  const std::vector<CommStats> d_stats = d_ga.stats();
+  const std::vector<CommStats> w_stats = w_ga.stats();
   for (std::size_t r = 0; r < p; ++r) {
-    result.ranks[r].comm += d_ga.stats()[r];
-    result.ranks[r].comm += w_ga.stats()[r];
-    result.ranks[r].queue_atomic_ops = queues[r].atomic_ops;
+    result.ranks[r].comm += d_stats[r];
+    result.ranks[r].comm += w_stats[r];
+    result.ranks[r].queue_atomic_ops = queues[r].atomic_ops_snapshot();
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

@@ -136,7 +136,7 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
   std::vector<RankState> state(p);
   EventQueue events;
 
-  // Prefetch phase: footprint transfers charged up front (Algorithm 4
+  // phase: prefetch — footprint transfers charged up front (Algorithm 4
   // lines 1-4); the rank becomes runnable when its prefetch completes.
   for (std::size_t r = 0; r < p; ++r) {
     RankState& st = state[r];
@@ -160,7 +160,8 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
     events.schedule(t, static_cast<std::uint32_t>(r));
   }
 
-  // Flush of a local W buffer: same transfer pattern as the prefetch.
+  // phase: flush — a local W buffer costs the same transfer pattern as the
+  // prefetch.
   auto flush_time = [&](std::size_t rank, const RankState& st) {
     const std::uint64_t calls = st.prefetch_calls;
     const std::uint64_t bytes = st.prefetch_bytes;
@@ -186,7 +187,8 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
 
     switch (st.phase) {
       case RankState::Phase::kOwnTasks: {
-        // Pop from the own (node-local) queue, serialized against thieves.
+        // phase: compute — pop from the own (node-local) queue, serialized
+        // against thieves.
         now = st.queue_resource.acquire(now, net.local_rmw_service);
         ++rep.queue_atomic_ops;
         if (st.queue.empty()) {

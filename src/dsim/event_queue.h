@@ -2,6 +2,15 @@
 // Minimal discrete-event scheduling: a time-ordered heap of (time, rank)
 // entries with deterministic FIFO tie-breaking, so simulations are exactly
 // reproducible run to run.
+//
+// Concurrency contract: single-owner. The discrete-event simulators
+// (core/gtfock_sim, baseline/nwchem_sim) run their event loop on exactly
+// one thread, so EventQueue carries no internal locking by design — adding
+// a mutex here would serialize nothing and cost determinism-audit clarity.
+// If a parallel driver ever shares one EventQueue across threads it must
+// add external synchronization AND thread-safety annotations (see
+// util/thread_annotations.h); tools/lint flags unannotated mutex/atomic
+// members to keep that decision explicit.
 
 #include <cstdint>
 #include <queue>

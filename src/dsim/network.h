@@ -33,6 +33,11 @@ struct NetworkModel {
 
 /// A serially reusable resource (an atomic counter's owner, a task queue):
 /// requests are served in arrival order, one at a time.
+///
+/// Concurrency contract: single-owner, like EventQueue — it models
+/// serialization in *virtual* time and is only ever touched from the one
+/// simulator thread, so it is deliberately unsynchronized (and must stay
+/// behind a single event loop; see dsim/event_queue.h).
 class SimResource {
  public:
   /// Request `service` seconds of exclusive use starting no earlier than

@@ -6,24 +6,27 @@
 
 namespace mf {
 
-GlobalArray::GlobalArray(Distribution2D dist) : dist_(std::move(dist)) {
+GlobalArray::GlobalArray(Distribution2D dist)
+    : dist_(std::move(dist)), stats_(dist_.grid().size()) {
   const ProcessGrid& grid = dist_.grid();
   blocks_.resize(grid.size());
   for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
     for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
       auto block = std::make_unique<Block>();
-      block->data.assign(dist_.rows().size(pi) * dist_.cols().size(pj), 0.0);
+      {
+        MutexLock lock(block->mutex);
+        block->data.assign(dist_.rows().size(pi) * dist_.cols().size(pj), 0.0);
+      }
       blocks_[grid.rank_of(pi, pj)] = std::move(block);
     }
   }
-  stats_.resize(grid.size());
-  stats_mutexes_ = std::vector<std::mutex>(grid.size());
 }
 
 void GlobalArray::record(std::size_t caller, char kind, std::uint64_t bytes,
                          bool remote) {
-  std::lock_guard<std::mutex> lock(stats_mutexes_[caller]);
-  stats_[caller].record(kind, bytes, remote);
+  StatsSlot& slot = stats_[caller];
+  MutexLock lock(slot.mutex);
+  slot.stats.record(kind, bytes, remote);
 }
 
 template <typename Fn>
@@ -63,7 +66,7 @@ void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
     // Gets serialize on the block mutex like put/acc: a get overlapping a
     // concurrent acc must observe either the pre- or post-accumulate block,
     // never a torn element (and never a TSan-visible data race).
-    std::lock_guard<std::mutex> lock(block.mutex);
+    MutexLock lock(block.mutex);
     for (std::size_t r = br0; r < br1; ++r) {
       const double* src = block.data.data() +
                           (r - dist_.rows().begin(pi)) * bld +
@@ -85,7 +88,7 @@ void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
     const std::size_t rank = dist_.grid().rank_of(pi, pj);
     Block& block = *blocks_[rank];
     const std::size_t bld = dist_.cols().size(pj);
-    std::lock_guard<std::mutex> lock(block.mutex);
+    MutexLock lock(block.mutex);
     for (std::size_t r = br0; r < br1; ++r) {
       const double* src = in + (r - r0) * ld + (bc0 - c0);
       double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
@@ -107,7 +110,7 @@ void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
     const std::size_t rank = dist_.grid().rank_of(pi, pj);
     Block& block = *blocks_[rank];
     const std::size_t bld = dist_.cols().size(pj);
-    std::lock_guard<std::mutex> lock(block.mutex);
+    MutexLock lock(block.mutex);
     for (std::size_t r = br0; r < br1; ++r) {
       const double* src = in + (r - r0) * ld + (bc0 - c0);
       double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
@@ -121,6 +124,7 @@ void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
 
 void GlobalArray::fill(double value) {
   for (auto& block : blocks_) {
+    MutexLock lock(block->mutex);
     std::fill(block->data.begin(), block->data.end(), value);
   }
 }
@@ -132,6 +136,7 @@ Matrix GlobalArray::to_matrix() const {
     for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
       const Block& block = *blocks_[grid.rank_of(pi, pj)];
       const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      MutexLock lock(block.mutex);
       for (std::size_t r = 0; r < nr; ++r) {
         for (std::size_t c = 0; c < nc; ++c) {
           m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c) =
@@ -151,6 +156,7 @@ void GlobalArray::from_matrix(const Matrix& m) {
     for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
       Block& block = *blocks_[grid.rank_of(pi, pj)];
       const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      MutexLock lock(block.mutex);
       for (std::size_t r = 0; r < nr; ++r) {
         for (std::size_t c = 0; c < nc; ++c) {
           block.data[r * nc + c] =
@@ -161,8 +167,21 @@ void GlobalArray::from_matrix(const Matrix& m) {
   }
 }
 
+std::vector<CommStats> GlobalArray::stats() const {
+  std::vector<CommStats> out;
+  out.reserve(stats_.size());
+  for (const StatsSlot& slot : stats_) {
+    MutexLock lock(slot.mutex);
+    out.push_back(slot.stats);
+  }
+  return out;
+}
+
 void GlobalArray::reset_stats() {
-  stats_.assign(stats_.size(), CommStats{});
+  for (StatsSlot& slot : stats_) {
+    MutexLock lock(slot.mutex);
+    slot.stats = CommStats{};
+  }
 }
 
 GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
@@ -170,7 +189,7 @@ GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
     : owner_(owner_rank), value_(initial), stats_(nranks) {}
 
 long GlobalCounter::fetch_add(std::size_t caller, long delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const long old = value_;
   value_ += delta;
   stats_[caller].record('r', sizeof(long), caller != owner_);
@@ -178,8 +197,13 @@ long GlobalCounter::fetch_add(std::size_t caller, long delta) {
 }
 
 long GlobalCounter::load() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return value_;
+}
+
+std::vector<CommStats> GlobalCounter::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 }  // namespace mf

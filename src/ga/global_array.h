@@ -12,18 +12,21 @@
 //
 // Thread safety: every Get/Put/Acc serializes on the mutex of each block it
 // touches (GA guarantees atomic accumulate; gets overlapping a concurrent
-// acc see a per-block-consistent snapshot, never torn elements). Phase
-// discipline (prefetch -> compute -> flush) remains the caller's job for
-// *algorithmic* correctness, exactly as in the real code.
+// acc see a per-block-consistent snapshot, never torn elements). Block data
+// and per-rank counters are MF_GUARDED_BY their mutexes, so a Clang build
+// rejects any unlocked access at compile time. Phase discipline
+// (prefetch -> compute -> flush) remains the caller's job for *algorithmic*
+// correctness, exactly as in the real code.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "ga/comm_stats.h"
 #include "ga/distribution.h"
 #include "linalg/matrix.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mf {
 
@@ -55,15 +58,27 @@ class GlobalArray {
   /// Scatter from a full matrix.
   void from_matrix(const Matrix& m);
 
-  /// Per-rank communication counters (size = grid size).
-  const std::vector<CommStats>& stats() const { return stats_; }
-  std::vector<CommStats>& mutable_stats() { return stats_; }
+  /// Snapshot of the per-rank communication counters (size = grid size).
+  /// Each slot is copied under its own lock, so the call is safe while
+  /// other ranks are still communicating (each slot is internally
+  /// consistent; cross-rank skew is possible mid-phase, as on a real
+  /// machine). Replaces the old mutable_stats() escape hatch, which handed
+  /// out the vector with no synchronization contract.
+  std::vector<CommStats> stats() const;
   void reset_stats();
 
  private:
   struct Block {
-    std::vector<double> data;  // row-major, dims from the partitions
-    std::mutex mutex;
+    mutable Mutex mutex;
+    std::vector<double> data MF_GUARDED_BY(mutex);  // row-major block
+  };
+
+  /// Per-rank counter slot. One lock per caller rank: simulated ranks are
+  /// threads, and stress tests may drive the same rank from several OS
+  /// threads at once.
+  struct StatsSlot {
+    mutable Mutex mutex;
+    CommStats stats MF_GUARDED_BY(mutex);
   };
 
   template <typename Fn>
@@ -74,10 +89,7 @@ class GlobalArray {
 
   Distribution2D dist_;
   std::vector<std::unique_ptr<Block>> blocks_;  // grid row-major
-  std::vector<CommStats> stats_;
-  // One lock per caller rank: simulated ranks are threads, and stress tests
-  // may drive the same rank from several OS threads at once.
-  mutable std::vector<std::mutex> stats_mutexes_;
+  std::vector<StatsSlot> stats_;
 };
 
 /// Atomic global counter owned by one rank, modeling NGA_Read_inc /
@@ -89,17 +101,18 @@ class GlobalCounter {
                          long initial = 0);
 
   /// Atomically returns the current value and adds `delta`.
-  long fetch_add(std::size_t caller, long delta = 1);
+  long fetch_add(std::size_t caller, long delta = 1) MF_EXCLUDES(mutex_);
 
-  long load() const;
+  long load() const MF_EXCLUDES(mutex_);
 
-  const std::vector<CommStats>& stats() const { return stats_; }
+  /// Snapshot of the per-rank counters, copied under the lock.
+  std::vector<CommStats> stats() const MF_EXCLUDES(mutex_);
 
  private:
   std::size_t owner_;
-  mutable std::mutex mutex_;
-  long value_;
-  std::vector<CommStats> stats_;
+  mutable Mutex mutex_;
+  long value_ MF_GUARDED_BY(mutex_);
+  std::vector<CommStats> stats_ MF_GUARDED_BY(mutex_);
 };
 
 }  // namespace mf

@@ -134,9 +134,11 @@ DistPurificationResult distributed_purify(GlobalArray& f_ortho, GlobalArray& d,
   }
 
   result.comm = d.stats();
+  const std::vector<CommStats> d2_stats = d2.stats();
+  const std::vector<CommStats> d3_stats = d3.stats();
   for (std::size_t r = 0; r < result.comm.size(); ++r) {
-    result.comm[r] += d2.stats()[r];
-    result.comm[r] += d3.stats()[r];
+    result.comm[r] += d2_stats[r];
+    result.comm[r] += d3_stats[r];
   }
   return result;
 }

@@ -61,6 +61,8 @@ double CliArgs::get_double(const std::string& name, double def) const {
 
 bool full_scale_requested(const CliArgs& args) {
   if (args.has("full")) return true;
+  // Read-only env lookup at startup; no concurrent setenv in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("MINIFOCK_FULL");
   return env != nullptr && std::string(env) == "1";
 }

@@ -1,0 +1,78 @@
+#pragma once
+// Annotated mutex / condition-variable wrappers for the concurrent layer.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so Clang's capability analysis cannot see an acquisition made
+// through them: every MF_GUARDED_BY access under a std::lock_guard would be
+// a false positive. These zero-overhead wrappers re-export the standard
+// primitives with the annotations attached, making the analysis precise.
+// All concurrent code in src/ uses mf::Mutex / mf::MutexLock / mf::CondVar
+// (tools/lint rejects raw std::mutex members outside this header).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace mf {
+
+/// std::mutex with capability annotations. Same size, same cost: lock(),
+/// unlock() and try_lock() are inline forwards.
+class MF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MF_ACQUIRE() { mu_.lock(); }
+  void unlock() MF_RELEASE() { mu_.unlock(); }
+  bool try_lock() MF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard over mf::Mutex — the annotated std::lock_guard. The analysis
+/// knows the capability is held exactly for this object's lifetime.
+class MF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable working directly on mf::Mutex. wait() requires the
+/// mutex held, releases it while blocked, and re-acquires before returning —
+/// the capability is held at entry and exit, which is exactly what the
+/// MF_REQUIRES contract states. Callers loop on their predicate:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MF_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand ownership
+    // back without unlocking — the caller's MutexLock still owns it.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mf

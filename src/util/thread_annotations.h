@@ -1,0 +1,67 @@
+#pragma once
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's capability analysis attributes so the locking
+// discipline of the concurrent layer — GlobalArray block mutexes, the
+// ThreadPool queue, the work-stealing task queues — is a compile-time
+// contract instead of a comment. On Clang builds the top-level CMakeLists
+// adds -Wthread-safety -Werror=thread-safety, so a guarded member accessed
+// without its mutex fails the build; tests/negative_compile.py proves the
+// rejection, and the clang-threadsafety CI lane enforces it on every push.
+//
+// Usage conventions in this codebase:
+//   * Prefer mf::Mutex / mf::MutexLock / mf::CondVar (util/mutex.h) over
+//     std::mutex: the standard library's lock types carry no annotations,
+//     so the analysis cannot see them (tools/lint enforces this).
+//   * Every mutex/atomic member either carries MF_GUARDED_BY or a
+//     `// lint: unguarded(<reason>)` waiver (tools/lint enforces this too).
+//   * Public entry points that take a lock internally are annotated
+//     MF_EXCLUDES(mutex) so re-entry deadlocks are rejected statically.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(SWIG)
+#define MF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MF_THREAD_ANNOTATION_(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define MF_CAPABILITY(x) MF_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MF_SCOPED_CAPABILITY MF_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define MF_GUARDED_BY(x) MF_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define MF_PT_GUARDED_BY(x) MF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define MF_REQUIRES(...) MF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define MF_ACQUIRE(...) MF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define MF_RELEASE(...) MF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define MF_TRY_ACQUIRE(...) \
+  MF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define MF_EXCLUDES(...) MF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define MF_ASSERT_CAPABILITY(x) MF_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MF_RETURN_CAPABILITY(x) MF_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one function. Use only with a
+/// comment explaining why the protocol is not expressible (and expect the
+/// reviewer to push back).
+#define MF_NO_THREAD_SAFETY_ANALYSIS \
+  MF_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace mf {
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t nthreads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -26,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(fn));
     ++in_flight_;
   }
@@ -34,23 +35,23 @@ void ThreadPool::submit(std::function<void()> fn) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -67,6 +68,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  // Monotone chunk cursor shared by all helpers; fetch_add hands out
+  // disjoint ranges. lint: unguarded(atomic cursor, sole synchronization)
   auto next = std::make_shared<std::atomic<std::size_t>>(begin);
   auto body = [next, end, grain, &fn] {
     for (;;) {
@@ -77,22 +80,24 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
   };
   // Workers pull chunks; the caller participates too so a 1-thread pool
-  // still makes progress while its worker is busy elsewhere.
+  // still makes progress while its worker is busy elsewhere. The barrier
+  // counter is guarded by a local mutex (locals cannot carry MF_GUARDED_BY,
+  // but every access below sits inside a MutexLock on m).
   const std::size_t nhelpers = workers_.size();
-  std::atomic<std::size_t> done{0};
-  std::mutex m;
-  std::condition_variable cv;
+  std::size_t done = 0;
+  Mutex m;
+  CondVar cv;
   for (std::size_t w = 0; w < nhelpers; ++w) {
     submit([&, body] {
       body();
-      std::lock_guard<std::mutex> lock(m);
+      MutexLock lock(m);
       ++done;
       cv.notify_one();
     });
   }
   body();
-  std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return done.load() == nhelpers; });
+  MutexLock lock(m);
+  while (done != nhelpers) cv.wait(m);
 }
 
 void parallel_for_simple(std::size_t begin, std::size_t end,

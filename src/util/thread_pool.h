@@ -5,14 +5,18 @@
 // precomputation passes (Schwarz bounds, task-cost tables). The pool is
 // work-queue based; parallel_for chunks the index range dynamically so
 // irregular per-index costs (screened shell pairs) still balance.
+//
+// All queue state is guarded by mutex_ and annotated, so a Clang build
+// rejects any access outside the lock at compile time.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mf {
 
@@ -28,10 +32,10 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; fire-and-forget (use wait_idle to synchronize).
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) MF_EXCLUDES(mutex_);
 
   /// Block until all submitted tasks have completed.
-  void wait_idle();
+  void wait_idle() MF_EXCLUDES(mutex_);
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// The calling thread participates. `grain` is the dynamic chunk size.
@@ -40,15 +44,15 @@ class ThreadPool {
                     std::size_t grain = 1);
 
  private:
-  void worker_loop();
+  void worker_loop() MF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> queue_ MF_GUARDED_BY(mutex_);
+  std::size_t in_flight_ MF_GUARDED_BY(mutex_) = 0;
+  bool stop_ MF_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience: run fn(i) over [begin,end) with a temporary pool when the

@@ -1,0 +1,36 @@
+// Positive control for the negative-compile fixture (tests/negative_compile.py).
+//
+// This TU follows the house locking discipline exactly; it must compile
+// cleanly under `clang++ -fsyntax-only -Wthread-safety -Werror`. If it ever
+// fails, the harness is broken (wrong flags, broken wrappers) and the
+// violation TUs failing would prove nothing.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) MF_EXCLUDES(mutex_) {
+    mf::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const MF_EXCLUDES(mutex_) {
+    mf::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  mutable mf::Mutex mutex_;
+  int balance_ MF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(10);
+  return account.balance() == 10 ? 0 : 1;
+}

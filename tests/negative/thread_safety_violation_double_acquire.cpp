@@ -1,0 +1,33 @@
+// DELIBERATE VIOLATION — this TU must FAIL to compile under
+// `clang++ -fsyntax-only -Wthread-safety -Werror`.
+//
+// It calls an MF_EXCLUDES(mu) function while already holding mu — the
+// self-deadlock shape (std::mutex is non-recursive). The fixture
+// (tests/negative_compile.py) asserts Clang rejects it.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+mf::Mutex g_mutex;
+int g_value MF_GUARDED_BY(g_mutex) = 0;
+
+void locked_add(int amount) MF_EXCLUDES(g_mutex) {
+  mf::MutexLock lock(g_mutex);
+  g_value += amount;
+}
+
+// BUG (seeded): holds g_mutex and re-enters through locked_add, which would
+// self-deadlock at runtime.
+void add_twice() MF_EXCLUDES(g_mutex) {
+  mf::MutexLock lock(g_mutex);
+  locked_add(1);
+}
+
+}  // namespace
+
+int main() {
+  add_twice();
+  return g_value;
+}

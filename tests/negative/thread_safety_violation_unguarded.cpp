@@ -1,0 +1,30 @@
+// DELIBERATE VIOLATION — this TU must FAIL to compile under
+// `clang++ -fsyntax-only -Wthread-safety -Werror`.
+//
+// It writes a MF_GUARDED_BY member without holding its mutex: exactly the
+// class of bug the annotation layer exists to reject at compile time. The
+// fixture (tests/negative_compile.py) asserts the rejection; if this TU ever
+// compiles on Clang, the -Wthread-safety promotion has silently regressed.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (seeded): touches balance_ with mutex_ not held.
+  void deposit_racy(int amount) { balance_ += amount; }
+
+ private:
+  mf::Mutex mutex_;
+  int balance_ MF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit_racy(10);
+  return 0;
+}

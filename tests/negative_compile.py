@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Negative-compile fixture for the Clang thread-safety lane.
+
+Proves the annotation layer actually rejects bugs, not just that it compiles:
+
+  1. positive control  tests/negative/thread_safety_ok.cpp
+       must COMPILE under  clang++ -fsyntax-only -Wthread-safety -Werror
+       (otherwise the harness itself is broken and 2./3. prove nothing);
+  2. seeded violation  .../thread_safety_violation_unguarded.cpp
+       (guarded-member write without the lock) must FAIL to compile with a
+       thread-safety diagnostic;
+  3. seeded violation  .../thread_safety_violation_double_acquire.cpp
+       (re-acquiring a held mutex through an MF_EXCLUDES call) must FAIL
+       likewise.
+
+Clang is required for the analysis; GCC expands the annotation macros to
+nothing. When no clang++ is available (e.g. the GCC-only dev container) the
+script exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE — the CI
+clang-threadsafety lane always has clang and therefore always enforces.
+
+Usage:
+  negative_compile.py --repo-root <path> [--cxx <clang++>]
+
+Compiler resolution order: --cxx, $MINIFOCK_CLANGXX, then clang++ and
+versioned clang++-NN names on PATH.
+"""
+
+import argparse
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+SKIP_RC = 77
+
+CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(22, 13, -1)]
+
+
+def find_clang(explicit):
+    names = []
+    if explicit:
+        names.append(explicit)
+    env = os.environ.get("MINIFOCK_CLANGXX")
+    if env:
+        names.append(env)
+    names.extend(CANDIDATES)
+    for name in names:
+        path = shutil.which(name) or (name if os.path.isfile(name) else None)
+        if not path:
+            continue
+        try:
+            out = subprocess.run([path, "--version"], capture_output=True,
+                                 text=True, timeout=60).stdout
+        except OSError:
+            continue
+        if "clang" in out.lower():
+            return path
+    return None
+
+
+def compile_tu(cxx, repo_root, tu):
+    cmd = [
+        cxx, "-fsyntax-only", "-std=c++20",
+        "-I", str(repo_root / "src"),
+        "-Wall", "-Wextra", "-Wthread-safety", "-Werror",
+        str(tu),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo-root", type=pathlib.Path, required=True)
+    ap.add_argument("--cxx", help="clang++ to use (otherwise auto-detected)")
+    args = ap.parse_args()
+
+    cxx = find_clang(args.cxx)
+    if cxx is None:
+        print("SKIP: no clang++ found (thread-safety analysis is Clang-only; "
+              "the clang-threadsafety CI lane enforces this fixture)")
+        return SKIP_RC
+
+    negative_dir = args.repo_root / "tests" / "negative"
+    failures = []
+
+    ok_tu = negative_dir / "thread_safety_ok.cpp"
+    rc, stderr = compile_tu(cxx, args.repo_root, ok_tu)
+    if rc != 0:
+        failures.append(f"positive control {ok_tu.name} FAILED to compile "
+                        f"(harness broken):\n{stderr}")
+    else:
+        print(f"PASS: {ok_tu.name} compiles cleanly")
+
+    for name in ("thread_safety_violation_unguarded.cpp",
+                 "thread_safety_violation_double_acquire.cpp"):
+        tu = negative_dir / name
+        rc, stderr = compile_tu(cxx, args.repo_root, tu)
+        if rc == 0:
+            failures.append(f"violation {name} COMPILED — the thread-safety "
+                            "gate is not rejecting seeded bugs")
+        elif "thread-safety" not in stderr and "-Wthread-safety" not in stderr:
+            failures.append(f"violation {name} failed for the wrong reason "
+                            f"(expected a thread-safety diagnostic):\n{stderr}")
+        else:
+            print(f"PASS: {name} rejected with a thread-safety diagnostic")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"negative-compile fixture OK (compiler: {cxx})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+// Runtime coverage for the annotated synchronization layer
+// (src/util/mutex.h + src/util/thread_annotations.h).
+//
+// The Clang thread-safety analysis is compile-time only; these tests pin the
+// *runtime* semantics of the wrappers — MutexLock really excludes, CondVar
+// really wakes, try_lock really fails under contention — so that the
+// annotations always describe behavior that exists. The TSan lane runs this
+// binary too, which is what keeps an annotation from papering over a data
+// race: the macro says "guarded", TSan checks that it is.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace mf {
+namespace {
+
+// A guarded counter in the house style: capability member first, guarded
+// state annotated, public methods MF_EXCLUDES.
+class GuardedCounter {
+ public:
+  void add(int v) MF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    value_ += v;
+  }
+
+  int value() const MF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int value_ MF_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(ThreadAnnotations, MacrosAreTransparentOnThisCompiler) {
+  // Whatever the compiler (Clang expands attributes, GCC expands nothing),
+  // annotated code must behave identically to unannotated code.
+  GuardedCounter c;
+  c.add(41);
+  c.add(1);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(ThreadAnnotations, GuardedCounterSurvivesContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  GuardedCounter c;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(ThreadAnnotations, TryLockFailsWhileHeld) {
+  Mutex mu;
+  mu.lock();  // raw lock on purpose: exercising the primitive itself
+  std::atomic<bool> acquired{true};
+  // Branch on the try_lock result so Clang's analysis sees the capability
+  // state resolve on both paths (MF_TRY_ACQUIRE(true)).
+  std::thread probe([&] {
+    if (mu.try_lock()) {
+      mu.unlock();
+      acquired.store(true);
+    } else {
+      acquired.store(false);
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(acquired.load());
+  mu.unlock();
+  const bool reacquired = mu.try_lock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (local, so annotated by convention)
+  std::thread waiter([&]() MF_NO_THREAD_SAFETY_ANALYSIS {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();  // hangs (and times out the test) if the wake is lost
+  MutexLock lock(mu);
+  EXPECT_TRUE(ready);
+}
+
+TEST(ThreadAnnotations, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  int phase = 0;
+  int arrived = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&]() MF_NO_THREAD_SAFETY_ANALYSIS {
+      MutexLock lock(mu);
+      ++arrived;
+      cv.notify_all();  // wake the releaser once everyone is parked
+      while (phase == 0) cv.wait(mu);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    while (arrived != kWaiters) cv.wait(mu);
+    phase = 1;
+  }
+  cv.notify_all();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(arrived, kWaiters);
+}
+
+TEST(ThreadAnnotations, ThreadPoolStillDrivesGuardedState) {
+  // The pool's own queue/condvar state moved onto the annotated wrappers;
+  // check the pool still runs work that itself locks an annotated mutex.
+  GuardedCounter c;
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&c] { c.add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(c.value(), kTasks);
+}
+
+}  // namespace
+}  // namespace mf
