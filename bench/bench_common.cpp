@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "core/perf_model.h"
+#include "obs/obs_cli.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -165,11 +166,24 @@ MachineParams paper_machine(double t_int) {
   return machine;
 }
 
+namespace {
+
+// Set once by parse_bench_args; the artifacts are written at process exit
+// so every bench gets --trace-out/--metrics-out without per-bench plumbing
+// (the obs registries are leaked statics, safe to read from atexit).
+obs::ObsConfig g_obs_config;
+void write_obs_artifacts_at_exit() { obs::write_artifacts(g_obs_config); }
+
+}  // namespace
+
 CliArgs parse_bench_args(int argc, const char* const* argv,
                          std::vector<std::string> extra_flags) {
   std::vector<std::string> flags = {"full", "tau", "cores", "basis"};
   for (auto& f : extra_flags) flags.push_back(std::move(f));
-  return CliArgs(argc, argv, flags);
+  CliArgs args(argc, argv, obs::with_cli_flags(std::move(flags)));
+  g_obs_config = obs::configure_from_cli(args);
+  if (g_obs_config.any()) std::atexit(write_obs_artifacts_at_exit);
+  return args;
 }
 
 void print_header(const std::string& table, const std::string& description,

@@ -79,7 +79,9 @@ struct SweepRow {
 std::vector<SweepRow> run_scaling_sweep(const PreparedCase& prepared,
                                         const std::vector<std::size_t>& cores);
 
-/// Standard bench CLI: --full, --tau=..., --cores=..., plus extras.
+/// Standard bench CLI: --full, --tau=..., --cores=..., plus extras, plus
+/// --trace-out=PATH / --metrics-out=PATH (enables the obs gates and writes
+/// the artifacts at process exit).
 CliArgs parse_bench_args(int argc, const char* const* argv,
                          std::vector<std::string> extra_flags = {});
 

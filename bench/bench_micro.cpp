@@ -28,6 +28,7 @@
 #include "eri/shell_pair.h"
 #include "linalg/matrix.h"
 #include "linalg/purification.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -92,6 +93,40 @@ void BM_EriQuartetPair(benchmark::State& state) {
       static_cast<std::int64_t>(engine.integrals_computed()));
 }
 BENCHMARK(BM_EriQuartetPair)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+// The observability overhead contract (DESIGN.md, "Observability"): with
+// the runtime gate off, a span + instant around the hot quartet kernel
+// must cost < 2% vs the bare BM_EriQuartetPair above. Compare the two
+// series directly when auditing the contract.
+void BM_EriQuartetPairTracedOff(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  obs::set_tracing_enabled(false);
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const ShellPairData bra(bench_shell(l, 1.3, {0, 0, 0}),
+                          bench_shell(l, 0.9, {0.5, 0.4, 0}), thr);
+  const ShellPairData ket(bench_shell(l, 1.1, {0, 0.8, 0.3}),
+                          bench_shell(l, 0.7, {0.6, 0, 0.9}), thr);
+  for (auto _ : state) {
+    MF_TRACE_SPAN("bench", "quartet");
+    MF_TRACE_INSTANT("bench", "tick");
+    benchmark::DoNotOptimize(engine.compute(bra, ket).data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriQuartetPairTracedOff)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+// The raw cost of one gated span + instant with tracing disabled — two
+// acquire loads and nothing else. This is the per-call-site floor.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    MF_TRACE_SPAN("bench", "noop");
+    MF_TRACE_INSTANT("bench", "noop");
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
 
 Shell deep_s_shell(const Vec3& at) {
   // cc-pVDZ-like deep contraction: the common worst case for s shells.

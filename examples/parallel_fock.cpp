@@ -1,12 +1,15 @@
 // Distributed Fock matrix construction on simulated ranks.
 //
-//   $ ./examples/parallel_fock [n_carbons] [nprocs]
+//   $ ./examples/parallel_fock [n_carbons] [nprocs] \
+//         [--trace-out=trace.json] [--metrics-out=report.json]
 //
 // Builds one Fock matrix for a linear alkane three ways — the serial
 // reference, the paper's GTFock algorithm (static 2D partition + prefetch +
 // work stealing) on `nprocs` simulated ranks, and the NWChem-style baseline
 // — verifies they agree to machine precision, and prints the per-rank
-// instrumentation the paper's evaluation is built on.
+// instrumentation the paper's evaluation is built on. With --trace-out the
+// run also writes a Chrome trace (open in https://ui.perfetto.dev); with
+// --metrics-out, the machine-readable run report.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,14 +21,19 @@
 #include "core/fock_serial.h"
 #include "core/shell_reorder.h"
 #include "eri/one_electron.h"
+#include "obs/obs_cli.h"
 #include "scf/hf.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace mf;
+  const CliArgs args(argc, argv, obs::with_cli_flags());
+  const obs::ObsConfig obs_cfg = obs::configure_from_cli(args);
+  const auto& pos = args.positional();
   const std::size_t n_carbons =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 6;
+      !pos.empty() ? static_cast<std::size_t>(std::atol(pos[0].c_str())) : 6;
   const std::size_t nprocs =
-      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 8;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atol(pos[1].c_str())) : 8;
 
   const Molecule mol = linear_alkane(n_carbons);
   const Basis atom_basis(mol, BasisLibrary::builtin("sto-3g"));
@@ -96,5 +104,5 @@ int main(int argc, char** argv) {
               to_megabytes(nsum.avg_bytes));
   std::printf("\ncall ratio (NWChem/GTFock): %.1fx\n",
               nsum.avg_calls / gsum.avg_calls);
-  return 0;
+  return obs::write_artifacts(obs_cfg) ? 0 : 1;
 }

@@ -9,7 +9,10 @@
 #include "eri/shell_pair.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/thread_id.h"
 #include "util/timer.h"
 
 namespace mf {
@@ -190,6 +193,8 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
   result.total_tasks = nwchem_task_count(natoms, atoms_);
 
   auto rank_main = [&](std::size_t rank) {
+    ThreadRankScope rank_scope(static_cast<int>(rank));
+    MF_TRACE_SPAN("rank", "rank_main");
     NwchemRankStats& stats = result.ranks[rank];
     WallTimer total_timer;
     EriEngine engine(options_.eri);
@@ -244,13 +249,19 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     for_each_nwchem_task(natoms, atoms_, [&](const NwchemTask& t) {
       if (static_cast<long>(t.id) != task) return;
       WallTimer timer;
-      for (std::uint32_t l = t.l_lo; l <= t.l_hi; ++l) {
-        if (!atoms_.keep(t.atom_i, t.atom_j, t.atom_k, l)) continue;
-        do_atom_quartet(t.atom_i, t.atom_j, t.atom_k, l);
+      {
+        MF_TRACE_SPAN("phase", "compute");
+        for (std::uint32_t l = t.l_lo; l <= t.l_hi; ++l) {
+          if (!atoms_.keep(t.atom_i, t.atom_j, t.atom_k, l)) continue;
+          do_atom_quartet(t.atom_i, t.atom_j, t.atom_k, l);
+        }
       }
       stats.compute_seconds += timer.seconds();
       // phase: flush — F updates are communication, not T_comp.
-      ctx.flush();
+      {
+        MF_TRACE_SPAN("phase", "flush");
+        ctx.flush();
+      }
       ++stats.tasks_executed;
       task = counter.fetch_add(rank, 1);
       ++stats.get_task_calls;
@@ -274,6 +285,23 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     result.ranks[r].comm += w_stats[r];
     result.ranks[r].comm += counter_stats[r];
     result.scheduler_accesses += counter_stats[r].rmw_calls;
+  }
+
+  // Funnel per-rank stats into the run report, mirroring the GTFock path so
+  // the two builders can be diffed from one artifact.
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& mreg = obs::MetricsRegistry::instance();
+    obs::Histogram& rank_total = mreg.histogram("nwchem.rank.total_ns");
+    for (const NwchemRankStats& r : result.ranks) {
+      mreg.counter("nwchem.tasks_executed").add(r.tasks_executed);
+      mreg.counter("nwchem.get_task_calls").add(r.get_task_calls);
+      mreg.counter("nwchem.atom_quartets").add(r.atom_quartets);
+      mreg.counter("nwchem.quartets_computed").add(r.quartets_computed);
+      mreg.counter("nwchem.integrals_computed").add(r.integrals_computed);
+      record_to_metrics(r.comm, "nwchem.comm");
+      rank_total.record_ns(static_cast<std::int64_t>(r.total_seconds * 1e9));
+    }
+    mreg.gauge("nwchem.load_balance").set(result.load_balance());
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

@@ -2,17 +2,22 @@
 
 #include <atomic>
 #include <deque>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "core/fock_update.h"
 #include "core/symmetry.h"
 #include "eri/shell_pair.h"
+#include "ga/comm_stats.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "util/thread_id.h"
 #include "util/timer.h"
 
 namespace mf {
@@ -156,6 +161,7 @@ GtFockBuilder::GtFockBuilder(const Basis& basis, const ScreeningData& screening,
 }
 
 GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
+  MF_TRACE_SPAN("fock", "gtfock_build");
   const ProcessGrid grid = options_.resolved_grid();
   const std::size_t p = grid.size();
   const std::size_t nshells = basis_.num_shells();
@@ -253,16 +259,33 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   };
 
   auto rank_main = [&](std::size_t rank) {
+    // Bind the simulated rank to this thread so trace events (and log
+    // lines) carry it; the exporter renders each rank as its own process.
+    ThreadRankScope rank_scope(static_cast<int>(rank));
+    MF_TRACE_SPAN("rank", "rank_main");
     GtFockRankStats& stats = result.ranks[rank];
     stats.initial_block = blocks[rank];
     WallTimer total_timer;
 
+    // Cached once per rank thread: instrument addresses are stable, so the
+    // per-task recording below is lock-free.
+    obs::Histogram* task_hist = nullptr;
+    obs::Histogram* steal_hist = nullptr;
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry& mreg = obs::MetricsRegistry::instance();
+      task_hist = &mreg.histogram("gtfock.task.duration_ns");
+      steal_hist = &mreg.histogram("gtfock.steal.latency_ns");
+    }
+
     // phase: prefetch — Algorithm 4 lines 3-4.
     WallTimer prefetch_timer;
     LocalBuffers& mine = buffers[rank];
-    mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
-    fetch_d(rank, mine.footprint, mine.d_local);
-    mine.ready.store(true, std::memory_order_release);
+    {
+      MF_TRACE_SPAN("phase", "prefetch");
+      mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
+      fetch_d(rank, mine.footprint, mine.d_local);
+      mine.ready.store(true, std::memory_order_release);
+    }
     std::vector<double> w_local(
         mine.footprint.num_functions * mine.footprint.num_functions, 0.0);
     stats.prefetch_seconds = prefetch_timer.seconds();
@@ -308,18 +331,31 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     };
 
     // phase: compute — drain the local queue (Algorithm 4 lines 5-8).
-    Task task;
-    while (queues[rank].pop_front(task)) {
-      WallTimer t;
-      dotask(task, mine.footprint, mine.d_local.data(), w_local.data());
-      stats.compute_seconds += t.seconds();
-      ++stats.tasks_owned;
+    {
+      MF_TRACE_SPAN("phase", "compute");
+      Task task;
+      while (queues[rank].pop_front(task)) {
+        // Per-task spans are sampled (1 in 16) so a full-size run cannot
+        // blow the fixed trace buffers; the histogram sees every task.
+        obs::SpanGuard task_span = (stats.tasks_owned % 16 == 0)
+                                       ? obs::SpanGuard("task", "dotask")
+                                       : obs::SpanGuard();
+        WallTimer t;
+        dotask(task, mine.footprint, mine.d_local.data(), w_local.data());
+        const double secs = t.seconds();
+        stats.compute_seconds += secs;
+        ++stats.tasks_owned;
+        if (task_hist != nullptr) {
+          task_hist->record_ns(static_cast<std::int64_t>(secs * 1e9));
+        }
+      }
     }
 
     // Work stealing (Section III-F): scan the grid row-wise starting from
     // our own row; per victim, copy its D buffer once and keep a dedicated
     // W buffer, flushed when we move on.
     if (options_.work_stealing && p > 1) {
+      MF_TRACE_SPAN("phase", "steal");
       const std::size_t my_row = grid.row_of(rank);
       bool found_work = true;
       while (found_work) {
@@ -331,11 +367,17 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             if (victim == rank) continue;
             ++stats.steal_probes;
             stats.comm.record('r', sizeof(long), true);
+            WallTimer steal_timer;
             std::vector<Task> stolen =
                 queues[victim].steal(options_.steal_fraction);
             if (stolen.empty()) continue;
             found_work = true;
             ++stats.steal_victims;
+            MF_TRACE_INSTANT("steal", "steal");
+            if (steal_hist != nullptr) {
+              steal_hist->record_ns(
+                  static_cast<std::int64_t>(steal_timer.seconds() * 1e9));
+            }
 
             // Copy the victim's D buffer (it is immutable after prefetch).
             LocalBuffers& vb = buffers[victim];
@@ -352,18 +394,35 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             // victim while it still has work (amortizes the D copy).
             for (;;) {
               for (const Task& t : stolen) {
+                obs::SpanGuard task_span =
+                    (stats.tasks_stolen % 16 == 0)
+                        ? obs::SpanGuard("task", "dotask_stolen")
+                        : obs::SpanGuard();
                 WallTimer timer;
                 dotask(t, vb.footprint, d_copy.data(), w_steal.data());
-                stats.compute_seconds += timer.seconds();
+                const double secs = timer.seconds();
+                stats.compute_seconds += secs;
                 ++stats.tasks_stolen;
+                if (task_hist != nullptr) {
+                  task_hist->record_ns(static_cast<std::int64_t>(secs * 1e9));
+                }
               }
               ++stats.steal_probes;
               stats.comm.record('r', sizeof(long), true);
+              WallTimer resteal_timer;
               stolen = queues[victim].steal(options_.steal_fraction);
               if (stolen.empty()) break;
+              MF_TRACE_INSTANT("steal", "steal");
+              if (steal_hist != nullptr) {
+                steal_hist->record_ns(
+                    static_cast<std::int64_t>(resteal_timer.seconds() * 1e9));
+              }
             }
             WallTimer flush_timer;
-            flush_w(rank, vb.footprint, w_steal);
+            {
+              MF_TRACE_SPAN("victim_flush", "flush_stolen");
+              flush_w(rank, vb.footprint, w_steal);
+            }
             stats.flush_seconds += flush_timer.seconds();
           }
         }
@@ -372,7 +431,10 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
 
     // phase: flush — our own F buffer (Algorithm 4 line 9).
     WallTimer flush_timer;
-    flush_w(rank, mine.footprint, w_local);
+    {
+      MF_TRACE_SPAN("phase", "flush");
+      flush_w(rank, mine.footprint, w_local);
+    }
     stats.flush_seconds += flush_timer.seconds();
 
     stats.quartets_computed = engine.shell_quartets_computed();
@@ -394,6 +456,29 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     result.ranks[r].comm += d_stats[r];
     result.ranks[r].comm += w_stats[r];
     result.ranks[r].queue_atomic_ops = queues[r].atomic_ops_snapshot();
+  }
+
+  // Funnel the per-rank stats into the run report. The "gtfock.comm.*"
+  // counters are the sum of per-rank CommStats, so they equal the console
+  // summary's totals by construction.
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& mreg = obs::MetricsRegistry::instance();
+    obs::Histogram& rank_total = mreg.histogram("gtfock.rank.total_ns");
+    for (const GtFockRankStats& r : result.ranks) {
+      mreg.counter("gtfock.tasks_owned").add(r.tasks_owned);
+      mreg.counter("gtfock.tasks_stolen").add(r.tasks_stolen);
+      mreg.counter("gtfock.steal_victims").add(r.steal_victims);
+      mreg.counter("gtfock.steal_probes").add(r.steal_probes);
+      mreg.counter("gtfock.queue_atomic_ops").add(r.queue_atomic_ops);
+      mreg.counter("gtfock.quartets_computed").add(r.quartets_computed);
+      mreg.counter("gtfock.integrals_computed").add(r.integrals_computed);
+      record_to_metrics(r.comm, "gtfock.comm");
+      rank_total.record_ns(static_cast<std::int64_t>(r.total_seconds * 1e9));
+    }
+    mreg.gauge("gtfock.load_balance").set(result.load_balance());
+    mreg.gauge("gtfock.avg_steal_victims").set(result.avg_steal_victims());
+    mreg.set_label("gtfock.grid", std::to_string(grid.rows()) + "x" +
+                                      std::to_string(grid.cols()));
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

@@ -1,5 +1,6 @@
 #include "ga/comm_stats.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mf {
@@ -63,5 +64,19 @@ CommSummary summarize(const std::vector<CommStats>& per_rank) {
 }
 
 double to_megabytes(double bytes) { return bytes / 1.0e6; }
+
+void record_to_metrics(const CommStats& stats, const std::string& prefix) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.counter(prefix + ".get_calls").add(stats.get_calls);
+  reg.counter(prefix + ".put_calls").add(stats.put_calls);
+  reg.counter(prefix + ".acc_calls").add(stats.acc_calls);
+  reg.counter(prefix + ".rmw_calls").add(stats.rmw_calls);
+  reg.counter(prefix + ".get_bytes").add(stats.get_bytes);
+  reg.counter(prefix + ".put_bytes").add(stats.put_bytes);
+  reg.counter(prefix + ".acc_bytes").add(stats.acc_bytes);
+  reg.counter(prefix + ".remote_calls").add(stats.remote_calls);
+  reg.counter(prefix + ".remote_bytes").add(stats.remote_bytes);
+}
 
 }  // namespace mf

@@ -44,4 +44,11 @@ CommSummary summarize(const std::vector<CommStats>& per_rank);
 /// Megabytes with the paper's convention (1 MB = 1e6 bytes).
 double to_megabytes(double bytes);
 
+/// Funnel one CommStats block into the metrics registry as counters named
+/// "<prefix>.get_calls", "<prefix>.get_bytes", ... (obs/metrics.h). Adding
+/// each rank's stats under the same prefix yields registry counters equal
+/// to the CommStats totals, so the run report agrees with the Table VI/VII
+/// console summaries by construction. No-op when metrics are disabled.
+void record_to_metrics(const CommStats& stats, const std::string& prefix);
+
 }  // namespace mf

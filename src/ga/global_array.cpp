@@ -2,9 +2,48 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mf {
+namespace {
+
+// Per-op byte distributions for the run report. Registry instruments have
+// stable addresses for the process lifetime, so the name lookup happens
+// once per kind and recording is lock-free after that.
+void record_op_metrics(char kind, std::uint64_t bytes) {
+  if (!obs::metrics_enabled()) return;
+  switch (kind) {
+    case 'g': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.get.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'p': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.put.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'a': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.acc.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'r': {
+      static obs::Counter& c =
+          obs::MetricsRegistry::instance().counter("ga.rmw_ops");
+      c.add(1);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
 
 GlobalArray::GlobalArray(Distribution2D dist)
     : dist_(std::move(dist)), stats_(dist_.grid().size()) {
@@ -24,6 +63,7 @@ GlobalArray::GlobalArray(Distribution2D dist)
 
 void GlobalArray::record(std::size_t caller, char kind, std::uint64_t bytes,
                          bool remote) {
+  record_op_metrics(kind, bytes);
   StatsSlot& slot = stats_[caller];
   MutexLock lock(slot.mutex);
   slot.stats.record(kind, bytes, remote);
@@ -189,6 +229,7 @@ GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
     : owner_(owner_rank), value_(initial), stats_(nranks) {}
 
 long GlobalCounter::fetch_add(std::size_t caller, long delta) {
+  record_op_metrics('r', sizeof(long));
   MutexLock lock(mutex_);
   const long old = value_;
   value_ += delta;

@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mf::obs {
+
+namespace {
+// Runtime gate for the recording sites wired through the stack.
+// lint: unguarded(independent on/off gate, same protocol as tracing)
+std::atomic<bool> g_metrics_enabled{false};
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_acquire);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_release);
+}
+
+std::size_t Histogram::bin_index(std::uint64_t value) {
+  // value 0 -> bin 0; otherwise 1 + floor(log2(value)), i.e. bit_width.
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bin_lo(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bin_hi(std::size_t i) {
+  if (i == 0) return 1;
+  if (i >= kBins - 1) return ~std::uint64_t{0};
+  return std::uint64_t{1} << i;
+}
+
+void Histogram::record(std::uint64_t value) {
+  bins_[bin_index(value)].fetch_add(1);
+  count_.fetch_add(1);
+  sum_.fetch_add(value);
+  std::uint64_t cur = min_.load();
+  while (value < cur && !min_.compare_exchange_weak(cur, value)) {
+  }
+  cur = max_.load();
+  while (value > cur && !max_.compare_exchange_weak(cur, value)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : bins_) b.store(0);
+  count_.store(0);
+  sum_.store(0);
+  min_.store(~std::uint64_t{0});
+  max_.store(0);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: instruments are process-lifetime by contract, so
+  // pointers cached by instrumented code never dangle at exit.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::set_label(const std::string& key,
+                                const std::string& value) {
+  MutexLock lock(mutex_);
+  labels_[key] = value;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  labels_.clear();
+}
+
+std::string MetricsRegistry::json() const {
+  MutexLock lock(mutex_);
+  std::string out;
+  out.reserve(1 << 14);
+  char buf[160];
+
+  out += "{\n  \"schema\": \"minifock-run-report/v1\",\n";
+
+  out += "  \"labels\": {";
+  bool first = true;
+  for (const auto& [key, value] : labels_) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    append_json_escaped(out, key);
+    out += "\": \"";
+    append_json_escaped(out, value);
+    out += "\"";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    append_json_escaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\": %" PRIu64, c->value());
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    append_json_escaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\": %.9e", g->value());
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    append_json_escaped(out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"bins\": [",
+                  h->count(), h->sum(), h->min(), h->max());
+    out += buf;
+    bool first_bin = true;
+    for (std::size_t i = 0; i < Histogram::kBins; ++i) {
+      const std::uint64_t n = h->bin_count(i);
+      if (n == 0) continue;  // sparse: only occupied bins are listed
+      if (!first_bin) out += ", ";
+      first_bin = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"lo\": %" PRIu64 ", \"hi\": %" PRIu64
+                    ", \"count\": %" PRIu64 "}",
+                    Histogram::bin_lo(i), Histogram::bin_hi(i), n);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  const std::string doc = json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  if (written != doc.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace mf::obs

@@ -1,0 +1,145 @@
+#pragma once
+// Metrics layer: a process-wide registry of named counters, gauges and
+// log-binned histograms, serialized as one schema'd machine-readable run
+// report ("minifock-run-report/v1") that every bench/example can emit.
+//
+// The registry funnels everything the paper measures into one artifact:
+// CommStats (Tables VI/VII), GtFockRankStats (Table VIII load balance,
+// steal counts), queue atomics (Section IV-C) and the obs layer's own
+// per-task / steal-latency / GA-bytes distributions.
+//
+// Hot path: instruments are found by name once (registration locks) and
+// cached by the instrumented code; recording is then plain atomic
+// arithmetic — no lock, no allocation. Instrument objects have stable
+// addresses for the life of the process (reset() zeroes values but never
+// destroys instruments), so cached pointers never dangle. Concurrent
+// recording is safe; readers either run after the recording threads join
+// (the builders' pattern) or accept cross-instrument skew, exactly like
+// GlobalArray::stats().
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mf::obs {
+
+/// Runtime gate for the funnels and per-op recording sites. Reading an
+/// instrument is always allowed.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { v_.fetch_add(delta); }
+  std::uint64_t value() const { return v_.load(); }
+  void reset() { v_.store(0); }
+
+ private:
+  // lint: unguarded(independent monotone counter; reads after thread join)
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins scalar (energies, ratios, configuration echoes).
+class Gauge {
+ public:
+  void set(double value) { v_.store(value); }
+  double value() const { return v_.load(); }
+  void reset() { set(0.0); }
+
+ private:
+  // lint: unguarded(independent last-writer-wins scalar)
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-binned histogram over non-negative integer samples (nanoseconds,
+/// bytes, counts). Bin 0 holds the value 0; bin k >= 1 holds values in
+/// [2^(k-1), 2^k). 65 bins cover the full uint64 range, so bin edges are
+/// exact powers of two — cheap to compute (bit_width) and stable across
+/// runs, which is what a perf trajectory needs to diff.
+class Histogram {
+ public:
+  static constexpr std::size_t kBins = 65;
+
+  void record(std::uint64_t value);
+  /// Convenience for wall-clock samples: clamps negatives to 0.
+  void record_ns(std::int64_t ns) {
+    record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+  static std::size_t bin_index(std::uint64_t value);
+  /// Inclusive lower edge of bin i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bin_lo(std::size_t i);
+  /// Exclusive upper edge of bin i (1, 2, 4, ...; uint64 max for the last).
+  static std::uint64_t bin_hi(std::size_t i);
+
+  std::uint64_t count() const { return count_.load(); }
+  std::uint64_t sum() const { return sum_.load(); }
+  /// 0 when empty.
+  std::uint64_t min() const {
+    const std::uint64_t v = min_.load();
+    return v == ~std::uint64_t{0} ? 0 : v;
+  }
+  /// 0 when empty.
+  std::uint64_t max() const { return max_.load(); }
+  std::uint64_t bin_count(std::size_t i) const {
+    return i < kBins ? bins_[i].load() : 0;
+  }
+  void reset();
+
+ private:
+  // lint: unguarded(independent per-bin counters; reads after thread join)
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  // lint: unguarded(independent statistic)
+  std::atomic<std::uint64_t> count_{0};
+  // lint: unguarded(independent statistic)
+  std::atomic<std::uint64_t> sum_{0};
+  // lint: unguarded(CAS min-tracker; interleaving-independent final value)
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  // lint: unguarded(CAS max-tracker; interleaving-independent final value)
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The process-wide instrument registry. Lookups lock; returned references
+/// stay valid forever (instruments are never destroyed, reset() only
+/// zeroes values).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name) MF_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) MF_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) MF_EXCLUDES(mutex_);
+
+  /// Free-form run metadata (workload name, grid shape, ...), emitted under
+  /// "labels" in the report.
+  void set_label(const std::string& key, const std::string& value)
+      MF_EXCLUDES(mutex_);
+
+  /// Zeroes every instrument and drops labels; instrument objects (and any
+  /// cached pointers to them) stay valid.
+  void reset() MF_EXCLUDES(mutex_);
+
+  /// Snapshot as the "minifock-run-report/v1" JSON document.
+  std::string json() const MF_EXCLUDES(mutex_);
+  /// Write json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const MF_EXCLUDES(mutex_);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MF_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> labels_ MF_GUARDED_BY(mutex_);
+};
+
+}  // namespace mf::obs

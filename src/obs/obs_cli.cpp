@@ -1,0 +1,47 @@
+#include "obs/obs_cli.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace mf::obs {
+
+std::vector<std::string> with_cli_flags(std::vector<std::string> flags) {
+  flags.emplace_back(kTraceOutFlag);
+  flags.emplace_back(kMetricsOutFlag);
+  return flags;
+}
+
+ObsConfig configure_from_cli(const CliArgs& args) {
+  ObsConfig config;
+  config.trace_path = args.get(kTraceOutFlag);
+  config.metrics_path = args.get(kMetricsOutFlag);
+  if (config.tracing()) set_tracing_enabled(true);
+  if (config.metrics()) set_metrics_enabled(true);
+  return config;
+}
+
+bool write_artifacts(const ObsConfig& config) {
+  bool ok = true;
+  if (config.tracing()) {
+    if (write_chrome_trace(config.trace_path)) {
+      MF_LOG_INFO("trace written to " << config.trace_path << " ("
+                                      << trace_event_count() << " events, "
+                                      << trace_dropped_count() << " dropped)");
+    } else {
+      MF_LOG_WARN("could not write trace to " << config.trace_path);
+      ok = false;
+    }
+  }
+  if (config.metrics()) {
+    if (MetricsRegistry::instance().write_json(config.metrics_path)) {
+      MF_LOG_INFO("run report written to " << config.metrics_path);
+    } else {
+      MF_LOG_WARN("could not write run report to " << config.metrics_path);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace mf::obs

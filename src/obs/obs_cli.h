@@ -1,0 +1,39 @@
+#pragma once
+// --trace-out / --metrics-out plumbing shared by every bench and example.
+//
+// Usage pattern:
+//   CliArgs args(argc, argv, obs::with_cli_flags({"full", "tau"}));
+//   const obs::ObsConfig obs_cfg = obs::configure_from_cli(args);
+//   ... run ...
+//   obs::write_artifacts(obs_cfg);
+//
+// configure_from_cli() enables tracing iff --trace-out was given and the
+// metrics registry iff --metrics-out was given, so a run without the flags
+// pays only the disabled-gate check on each instrumentation site.
+
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+
+namespace mf::obs {
+
+/// Appends kTraceOutFlag / kMetricsOutFlag to a known-flag list.
+std::vector<std::string> with_cli_flags(std::vector<std::string> flags = {});
+
+struct ObsConfig {
+  std::string trace_path;    // empty = tracing off
+  std::string metrics_path;  // empty = metrics off
+  bool tracing() const { return !trace_path.empty(); }
+  bool metrics() const { return !metrics_path.empty(); }
+  bool any() const { return tracing() || metrics(); }
+};
+
+/// Reads the flags and flips the runtime gates accordingly.
+ObsConfig configure_from_cli(const CliArgs& args);
+
+/// Writes the requested artifacts (Chrome trace and/or run report); logs a
+/// warning and returns false if any write fails.
+bool write_artifacts(const ObsConfig& config);
+
+}  // namespace mf::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace mf::obs {
+namespace {
+
+// Chrome trace "pid" used for threads with no simulated rank bound (the
+// driver / SCF host thread). Large enough to never collide with a rank.
+constexpr std::int32_t kHostPid = 1000000;
+
+std::int32_t event_pid(const TraceEvent& e) {
+  return e.rank < 0 ? kHostPid : e.rank;
+}
+
+void append_format(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf, static_cast<std::size_t>(n) < sizeof(buf)
+                        ? static_cast<std::size_t>(n)
+                        : sizeof(buf) - 1);
+  }
+}
+
+// Snapshot of every buffer's published prefix, taken under the registry
+// lock so the buffer vector cannot be reallocated mid-read.
+struct Snapshot {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+Snapshot snapshot_events() {
+  Snapshot snap;
+  detail::TraceRegistry& reg = detail::TraceRegistry::instance();
+  MutexLock lock(reg.mutex);
+  for (const auto& buffer : reg.buffers) {
+    const std::size_t n = buffer->size();  // acquire: publication edge
+    for (std::size_t i = 0; i < n; ++i) {
+      snap.events.push_back(buffer->at(i));
+    }
+    snap.dropped += buffer->dropped();
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::uint64_t trace_event_count() {
+  detail::TraceRegistry& reg = detail::TraceRegistry::instance();
+  MutexLock lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : reg.buffers) {
+    total += buffer->size();
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped_count() {
+  detail::TraceRegistry& reg = detail::TraceRegistry::instance();
+  MutexLock lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : reg.buffers) {
+    total += buffer->dropped();
+  }
+  return total;
+}
+
+std::string chrome_trace_json() {
+  const Snapshot snap = snapshot_events();
+
+  std::string out;
+  out.reserve(snap.events.size() * 96 + 1024);
+  out += "{\"traceEvents\":[";
+
+  // Process-name metadata so Perfetto labels each simulated rank.
+  std::vector<std::int32_t> pids;
+  for (const TraceEvent& e : snap.events) {
+    const std::int32_t pid = event_pid(e);
+    bool seen = false;
+    for (const std::int32_t p : pids) {
+      if (p == pid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      pids.push_back(pid);
+    }
+  }
+  bool first = true;
+  for (const std::int32_t pid : pids) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    append_format(out,
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRId32
+                  ",\"tid\":0,\"args\":{\"name\":\"",
+                  pid);
+    if (pid == kHostPid) {
+      out += "host";
+    } else {
+      append_format(out, "rank %" PRId32, pid);
+    }
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : snap.events) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    if (e.dur_ns >= 0) {
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      append_format(out,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f"
+                    ",\"dur\":%.3f,\"pid\":%" PRId32 ",\"tid\":%" PRIu32 "}",
+                    e.name, e.category, ts_us, dur_us, event_pid(e), e.tid);
+    } else {
+      append_format(out,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f"
+                    ",\"s\":\"t\",\"pid\":%" PRId32 ",\"tid\":%" PRIu32 "}",
+                    e.name, e.category, ts_us, event_pid(e), e.tid);
+    }
+  }
+
+  out += "],\"otherData\":{\"tool\":\"minifock\",\"dropped_events\":";
+  append_format(out, "%" PRIu64, snap.dropped);
+  out += "}}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (written != json.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace mf::obs

@@ -1,0 +1,303 @@
+#pragma once
+// Tracing layer: per-thread span recording with Chrome-trace export.
+//
+// Model
+// -----
+// An *event* is a (category, name) pair with a steady-clock timestamp; a
+// *span* additionally has a duration and is emitted by the RAII guard
+// behind MF_TRACE_SPAN on scope exit. Every event captures the calling
+// thread's id and the simulated rank bound to it (util/thread_id.h), so the
+// exporter can render simulated ranks as Chrome-trace *processes* and the
+// paper's phases (prefetch / compute / flush / steal) as nested spans on a
+// per-rank timeline — the view the Xeon Phi HF and HONPAS papers use to
+// diagnose load imbalance.
+//
+// Hot path
+// --------
+// Emission is lock-free: each thread owns a fixed-capacity buffer (default
+// 1 << 16 events) registered once in a global registry; recording an event
+// is a bounds check, a slot write, and one release store of the count. On
+// overflow the event is counted as dropped, never resized — tracing must
+// not perturb the timing it measures. When tracing is disabled (the
+// default) MF_TRACE_SPAN costs a single atomic load and branch; compiled
+// out (-DMINIFOCK_TRACING=OFF => MF_TRACING=0) it costs nothing. The
+// emission path is header-inline so low-level layers (util/thread_pool)
+// can emit spans without a link dependency on mf_obs; only the exporter
+// lives in trace.cpp.
+//
+// Concurrency contract
+// --------------------
+// emit() is called only by the buffer's owning thread; the exporter reads
+// slots below the release-published count, so concurrent export observes a
+// consistent prefix. reset_trace() and set_trace_buffer_capacity() require
+// quiescence (no thread concurrently emitting); the builders satisfy this
+// by joining their rank threads before export, and the TSan lane stresses
+// the concurrent-emission path.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_id.h"
+
+#ifndef MF_TRACING
+#define MF_TRACING 1
+#endif
+
+namespace mf::obs {
+
+struct TraceEvent {
+  std::int64_t ts_ns = 0;    // steady-clock ns since the trace epoch
+  std::int64_t dur_ns = -1;  // span duration; -1 marks an instant event
+  const char* category = "";  // static-lifetime strings only
+  const char* name = "";
+  std::int32_t rank = -1;  // simulated rank, -1 = host/setup thread
+  std::uint32_t tid = 0;   // mf::this_thread_id()
+};
+
+namespace detail {
+
+// Runtime gate checked (acquire) on every span/instant site. Enabling uses
+// release so a thread that sees the gate also sees the configured capacity.
+// lint: unguarded(on/off gate; release on enable pairs with site acquires)
+inline std::atomic<bool> g_trace_enabled{false};
+
+// Capacity for buffers created after the last set_trace_buffer_capacity().
+// lint: unguarded(published before enabling; see g_trace_enabled)
+inline std::atomic<std::size_t> g_trace_capacity{std::size_t{1} << 16};
+
+// Fixed-capacity event buffer owned by one thread. The owner is the only
+// writer: it fills slot count_ and then publishes with a release store, so
+// a reader that acquires count_ sees complete events in [0, count_).
+class ThreadTraceBuffer {
+ public:
+  explicit ThreadTraceBuffer(std::size_t capacity) : events_(capacity) {}
+
+  void emit(const TraceEvent& event) {
+    // relaxed-ok: count_ is written only by this thread; the release store
+    // below is the publication edge for readers.
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= events_.size()) {
+      // relaxed-ok: independent overflow statistic, read after quiescence.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = event;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
+  const TraceEvent& at(std::size_t i) const { return events_[i]; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  // lint: unguarded(single-writer cursor; release publishes filled slots)
+  std::atomic<std::size_t> count_{0};
+  // lint: unguarded(overflow statistic, monotone counter)
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Registry of all thread buffers. Registration locks; emission does not.
+// Buffers live until reset_trace() so events survive thread exit (rank
+// threads are joined before export).
+struct TraceRegistry {
+  Mutex mutex;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers
+      MF_GUARDED_BY(mutex);
+  // Generation counter: reset_trace() bumps it, invalidating the pointers
+  // threads cache in their thread_local slot. A stale read only causes a
+  // harmless re-register under the lock.
+  // lint: unguarded(monotone generation stamp)
+  std::atomic<std::uint64_t> generation{1};
+
+  static TraceRegistry& instance() {
+    // Leaked: buffers must outlive any emitting thread.
+    static TraceRegistry* r = new TraceRegistry();
+    return *r;
+  }
+};
+
+inline std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+inline ThreadTraceBuffer& this_thread_buffer() {
+  struct Slot {
+    ThreadTraceBuffer* buffer = nullptr;
+    std::uint64_t generation = 0;
+  };
+  thread_local Slot slot;
+  TraceRegistry& reg = TraceRegistry::instance();
+  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  if (slot.buffer == nullptr || slot.generation != gen) {
+    auto buffer = std::make_unique<ThreadTraceBuffer>(
+        g_trace_capacity.load(std::memory_order_acquire));
+    ThreadTraceBuffer* raw = buffer.get();
+    {
+      MutexLock lock(reg.mutex);
+      reg.buffers.push_back(std::move(buffer));
+    }
+    slot.buffer = raw;
+    slot.generation = gen;
+  }
+  return *slot.buffer;
+}
+
+}  // namespace detail
+
+/// Global runtime gate. Enabling mid-run is allowed; disabling while
+/// threads emit is allowed (they stop at the next gate check).
+inline bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_acquire);
+}
+inline void set_tracing_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_release);
+}
+
+/// Capacity (events) of each per-thread buffer created afterwards.
+/// Existing buffers keep their capacity.
+inline void set_trace_buffer_capacity(std::size_t capacity) {
+  detail::g_trace_capacity.store(capacity == 0 ? 1 : capacity,
+                                 std::memory_order_release);
+}
+
+/// Drops all recorded events and buffers. Requires quiescence.
+inline void reset_trace() {
+  detail::TraceRegistry& reg = detail::TraceRegistry::instance();
+  MutexLock lock(reg.mutex);
+  reg.buffers.clear();
+  reg.generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// ns since the steady-clock trace epoch (first use in the process).
+inline std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - detail::trace_epoch())
+      .count();
+}
+
+/// Record one event into the calling thread's buffer, stamping the calling
+/// thread's id and simulated rank (no enabled() check — the macros gate).
+inline void trace_emit(const TraceEvent& event) {
+  TraceEvent e = event;
+  e.rank = this_thread_rank();
+  e.tid = this_thread_id();
+  detail::this_thread_buffer().emit(e);
+}
+
+/// Instant event helper used by MF_TRACE_INSTANT.
+inline void trace_instant(const char* category, const char* name) {
+  TraceEvent e;
+  e.ts_ns = trace_now_ns();
+  e.dur_ns = -1;
+  e.category = category;
+  e.name = name;
+  trace_emit(e);
+}
+
+/// Totals across all thread buffers (recorded / dropped-on-overflow).
+std::uint64_t trace_event_count();
+std::uint64_t trace_dropped_count();
+
+/// Serialize everything recorded so far as Chrome trace-event JSON
+/// (https://ui.perfetto.dev opens it directly): one Chrome "process" per
+/// simulated rank plus a "host" process for unranked threads, spans as
+/// "X" events, instants as "i" events, and a metadata entry carrying the
+/// dropped-event count.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// RAII span: captures the start time on construction when tracing is
+/// enabled, emits one complete span event on destruction. The inactive
+/// default constructor supports sampled spans (trace every Nth task).
+class SpanGuard {
+ public:
+  SpanGuard() = default;
+  SpanGuard(const char* category, const char* name) {
+#if MF_TRACING
+    if (tracing_enabled()) {
+      category_ = category;
+      name_ = name;
+      start_ns_ = trace_now_ns();
+    }
+#else
+    (void)category;
+    (void)name;
+#endif
+  }
+
+  ~SpanGuard() {
+#if MF_TRACING
+    if (category_ != nullptr) {
+      TraceEvent e;
+      e.ts_ns = start_ns_;
+      e.dur_ns = trace_now_ns() - start_ns_;
+      e.category = category_;
+      e.name = name_;
+      trace_emit(e);
+    }
+#endif
+  }
+
+  SpanGuard(SpanGuard&& other) noexcept
+      : start_ns_(other.start_ns_),
+        category_(other.category_),
+        name_(other.name_) {
+    other.category_ = nullptr;
+  }
+  SpanGuard& operator=(SpanGuard&& other) noexcept {
+    if (this != &other) {
+      start_ns_ = other.start_ns_;
+      category_ = other.category_;
+      name_ = other.name_;
+      other.category_ = nullptr;
+    }
+    return *this;
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  std::int64_t start_ns_ = 0;
+  const char* category_ = nullptr;  // nullptr = inactive guard
+  const char* name_ = nullptr;
+};
+
+}  // namespace mf::obs
+
+#define MF_OBS_CONCAT_INNER(a, b) a##b
+#define MF_OBS_CONCAT(a, b) MF_OBS_CONCAT_INNER(a, b)
+
+#if MF_TRACING
+/// Scoped span: records [entry, scope exit) under (category, name).
+/// Category "phase" is reserved for the paper's builder phase discipline
+/// (prefetch / compute / flush / steal) and is checked by tools/lint.
+#define MF_TRACE_SPAN(category, name) \
+  ::mf::obs::SpanGuard MF_OBS_CONCAT(mf_trace_span_, __LINE__)(category, name)
+/// Zero-duration marker (e.g. one successful steal).
+#define MF_TRACE_INSTANT(category, name)        \
+  do {                                          \
+    if (::mf::obs::tracing_enabled()) {         \
+      ::mf::obs::trace_instant(category, name); \
+    }                                           \
+  } while (0)
+#else
+#define MF_TRACE_SPAN(category, name) \
+  do {                                \
+  } while (0)
+#define MF_TRACE_INSTANT(category, name) \
+  do {                                   \
+  } while (0)
+#endif

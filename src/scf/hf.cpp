@@ -6,6 +6,8 @@
 #include "eri/one_electron.h"
 #include "linalg/eigen.h"
 #include "linalg/purification.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -128,6 +130,7 @@ void HartreeFock::set_fock_builder(FockBuilderFn builder) {
 
 Matrix HartreeFock::build_density(const Matrix& f, ScfIterationInfo& info,
                                   std::vector<double>* orbital_energies) const {
+  MF_TRACE_SPAN("scf", "build_density");
   WallTimer timer;
   // F' = X^T F X (Algorithm 1 line 7).
   Matrix fx, fp;
@@ -155,6 +158,7 @@ Matrix HartreeFock::build_density(const Matrix& f, ScfIterationInfo& info,
 }
 
 ScfResult HartreeFock::run() {
+  MF_TRACE_SPAN("scf", "scf_run");
   ScfResult result;
   result.nuclear_repulsion = basis_.molecule().nuclear_repulsion();
 
@@ -167,12 +171,22 @@ ScfResult HartreeFock::run() {
   Matrix f;
 
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    MF_TRACE_SPAN("scf", "iteration");
     ScfIterationInfo info;
     info.iteration = iter;
 
     WallTimer fock_timer;
-    f = fock_builder_(d, h_);
+    {
+      MF_TRACE_SPAN("scf", "fock_build");
+      f = fock_builder_(d, h_);
+    }
     info.fock_seconds = fock_timer.seconds();
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry& mreg = obs::MetricsRegistry::instance();
+      mreg.counter("scf.iterations").add(1);
+      mreg.histogram("scf.fock_build.duration_ns")
+          .record_ns(static_cast<std::int64_t>(info.fock_seconds * 1e9));
+    }
 
     const double e_elec = electronic_energy(d, h_, f);
     const double energy = e_elec + result.nuclear_repulsion;
@@ -207,6 +221,12 @@ ScfResult HartreeFock::run() {
       break;
     }
     prev_energy = energy;
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& mreg = obs::MetricsRegistry::instance();
+    mreg.gauge("scf.energy").set(result.energy);
+    mreg.gauge("scf.converged").set(result.converged ? 1.0 : 0.0);
   }
 
   result.fock = std::move(f);

@@ -31,4 +31,11 @@ class CliArgs {
 /// True if env var MINIFOCK_FULL=1 or --full was given: run paper-size inputs.
 bool full_scale_requested(const CliArgs& args);
 
+/// Flag names for the observability artifacts, shared by every bench and
+/// example so the spelling is uniform: --trace-out=PATH writes a Chrome
+/// trace-event JSON (open in https://ui.perfetto.dev), --metrics-out=PATH
+/// writes the machine-readable run report. Parsed via obs/obs_cli.h.
+inline constexpr const char* kTraceOutFlag = "trace-out";
+inline constexpr const char* kMetricsOutFlag = "metrics-out";
+
 }  // namespace mf

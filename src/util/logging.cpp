@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 
 #include "util/mutex.h"
+#include "util/thread_id.h"
 
 namespace mf {
 
@@ -30,10 +32,36 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
-void log_emit(LogLevel level, const std::string& msg) {
-  MutexLock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);  // _r variant: thread-safe
+
+  char prefix[64];
+  const int rank = this_thread_rank();
+  if (rank >= 0) {
+    std::snprintf(prefix, sizeof(prefix),
+                  "[%02d:%02d:%02d.%03ld] [%s] [t%u r%d] ", tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000,
+                  level_name(level), this_thread_id(), rank);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03ld] [%s] [t%u] ",
+                  tm.tm_hour, tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000,
+                  level_name(level), this_thread_id());
+  }
+  return std::string(prefix) + msg;
 }
+
+void log_emit(LogLevel level, const std::string& msg) {
+  const std::string line = format_log_line(level, msg);
+  // The single locked fprintf is the thread-safety contract: one complete
+  // line per call, never interleaved.
+  MutexLock lock(g_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace detail
 
 }  // namespace mf

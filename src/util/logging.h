@@ -1,6 +1,12 @@
 #pragma once
 // Minimal leveled logger writing to stderr.
 //
+// Every line is prefixed with a wall-clock timestamp (UTC, ms precision),
+// the level tag, and the emitting thread id plus its simulated rank when
+// one is bound (util/thread_id.h):
+//
+//   [12:34:56.789] [WARN] [t3 r2] message
+//
 // The library itself logs nothing at Info by default; benches and examples
 // raise the level. Thread-safe: each message is formatted into a single
 // string and written with one call.
@@ -18,6 +24,9 @@ LogLevel log_level();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
+/// The full line written for `msg` (minus the trailing newline), stamping
+/// the current time and the calling thread's id/rank. Exposed for tests.
+std::string format_log_line(LogLevel level, const std::string& msg);
 }
 
 #define MF_LOG(level, stream_expr)                          \

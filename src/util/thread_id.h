@@ -1,0 +1,57 @@
+#pragma once
+// Per-thread identity shared by the logging sink and the observability
+// layer (src/obs): a small monotone id for every OS thread that asks, and
+// an optional *simulated rank* bound to the current thread while it acts
+// as one rank of the distributed run.
+//
+// Both live here in util (not in obs) so logging can prefix "[tNN rR]"
+// without depending on the tracing layer.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mf {
+
+namespace detail {
+// Monotone source for thread ids. Handing out ids is not a synchronization
+// protocol between threads, just uniqueness.
+// lint: unguarded(monotone id dispenser; fetch_add is the whole protocol)
+inline std::atomic<std::uint32_t> g_next_thread_id{0};
+
+inline std::uint32_t& this_thread_id_slot() {
+  thread_local std::uint32_t id = g_next_thread_id.fetch_add(1) + 1;
+  return id;
+}
+
+inline int& this_thread_rank_slot() {
+  thread_local int rank = -1;
+  return rank;
+}
+}  // namespace detail
+
+/// Small dense id for the calling thread (1, 2, 3, ... in first-use order;
+/// stable for the thread's lifetime).
+inline std::uint32_t this_thread_id() { return detail::this_thread_id_slot(); }
+
+/// Simulated rank currently bound to this thread, or -1 when the thread is
+/// not executing as a rank (setup code, tests, the main thread).
+inline int this_thread_rank() { return detail::this_thread_rank_slot(); }
+
+/// RAII binding of a simulated rank to the current thread. The builders'
+/// per-rank entry functions open one of these so every trace event and log
+/// line emitted inside carries the rank.
+class ThreadRankScope {
+ public:
+  explicit ThreadRankScope(int rank) : saved_(detail::this_thread_rank_slot()) {
+    detail::this_thread_rank_slot() = rank;
+  }
+  ~ThreadRankScope() { detail::this_thread_rank_slot() = saved_; }
+
+  ThreadRankScope(const ThreadRankScope&) = delete;
+  ThreadRankScope& operator=(const ThreadRankScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace mf

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <atomic>
 
+// Only the header-inline emission path of obs/trace.h is used here, so
+// mf_util keeps zero link dependencies (mf_obs links mf_util, not vice
+// versa).
+#include "obs/trace.h"
+
 namespace mf {
 
 ThreadPool::ThreadPool(std::size_t nthreads) {
@@ -61,6 +66,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+  MF_TRACE_SPAN("pool", "parallel_for");
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t n = end - begin;

@@ -1,14 +1,9 @@
 #pragma once
-// Wall-clock timing utilities.
-//
-// WallTimer measures elapsed wall time with steady_clock. Stopwatch
-// accumulates named intervals, which the benches use to report per-phase
-// timing breakdowns.
+// Wall-clock timing: WallTimer measures elapsed wall time with
+// steady_clock. (Per-phase timing breakdowns live in the obs layer —
+// obs/trace.h spans and obs/metrics.h histograms — not here.)
 
 #include <chrono>
-#include <cstdint>
-#include <map>
-#include <string>
 
 namespace mf {
 
@@ -31,23 +26,6 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
-};
-
-/// Accumulates elapsed time into named buckets.
-class Stopwatch {
- public:
-  /// Start (or restart) timing the named phase.
-  void start(const std::string& name);
-  /// Stop the named phase and add the elapsed time to its bucket.
-  void stop(const std::string& name);
-  /// Total accumulated seconds for a phase (0 if never timed).
-  double total(const std::string& name) const;
-  /// All buckets, for reporting.
-  const std::map<std::string, double>& totals() const { return totals_; }
-
- private:
-  std::map<std::string, double> totals_;
-  std::map<std::string, std::chrono::steady_clock::time_point> open_;
 };
 
 }  // namespace mf

@@ -1,0 +1,492 @@
+// Tests for the observability layer (src/obs): span recording, overflow
+// drop accounting, histogram bin edges, JSON validity of both artifacts
+// (parsed back with a minimal JSON reader), and the contract that the run
+// report's comm counters equal the builders' CommStats totals.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/shell_reorder.h"
+#include "core/symmetry.h"
+#include "eri/one_electron.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/thread_id.h"
+
+namespace mf {
+namespace {
+
+// ---- Minimal recursive-descent JSON reader (test-only) -----------------
+// Just enough to round-trip what the obs layer emits: objects, arrays,
+// strings without escapes, numbers, booleans, null.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      static const Json null_value;
+      ADD_FAILURE() << "missing key: " << key;
+      return null_value;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(Json& out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = Json::Type::kString;
+      return string(out.string);
+    }
+    if (c == 't') {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type = Json::Type::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return false;  // obs output never escapes
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.type = Json::Type::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool array(Json& out) {
+    out.type = Json::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object(Json& out) {
+    out.type = Json::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      Json element;
+      if (!value(element)) return false;
+      out.object.emplace(std::move(key), std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Json parse_json_or_fail(const std::string& text) {
+  Json doc;
+  EXPECT_TRUE(JsonParser(text).parse(doc)) << "invalid JSON: " << text;
+  return doc;
+}
+
+// Fresh trace state for each test (tests may share a process).
+void fresh_trace(std::size_t capacity = std::size_t{1} << 16) {
+  obs::set_tracing_enabled(false);
+  obs::set_trace_buffer_capacity(capacity);
+  obs::reset_trace();
+  obs::set_tracing_enabled(true);
+}
+
+// ---- Tracing -----------------------------------------------------------
+
+TEST(Trace, SpanAndInstantAreRecorded) {
+  fresh_trace();
+  {
+    MF_TRACE_SPAN("test", "outer");
+    MF_TRACE_INSTANT("test", "tick");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+}
+
+TEST(Trace, DisabledGateRecordsNothing) {
+  fresh_trace();
+  obs::set_tracing_enabled(false);
+  {
+    MF_TRACE_SPAN("test", "invisible");
+    MF_TRACE_INSTANT("test", "invisible");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, InactiveSpanGuardEmitsNothing) {
+  fresh_trace();
+  { obs::SpanGuard inactive; }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, ConcurrentEmissionCountsEveryEvent) {
+  fresh_trace();
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      ThreadRankScope rank(t);
+      for (int i = 0; i < kEvents; ++i) {
+        MF_TRACE_SPAN("test", "work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(),
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+}
+
+TEST(Trace, OverflowIsCountedNotResized) {
+  fresh_trace(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    MF_TRACE_INSTANT("test", "tick");
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 8u);
+  EXPECT_EQ(obs::trace_dropped_count(), 12u);
+
+  const Json doc = parse_json_or_fail(obs::chrome_trace_json());
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").number, 12.0);
+}
+
+TEST(Trace, ChromeJsonParsesBackWithRankProcesses) {
+  fresh_trace();
+  std::thread rank_thread([] {
+    ThreadRankScope rank(3);
+    MF_TRACE_SPAN("phase", "compute");
+    MF_TRACE_INSTANT("steal", "steal");
+  });
+  rank_thread.join();
+  MF_TRACE_INSTANT("host", "setup");  // no rank bound: host process
+  obs::set_tracing_enabled(false);
+
+  const Json doc = parse_json_or_fail(obs::chrome_trace_json());
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.type, Json::Type::kArray);
+
+  bool saw_rank3_meta = false, saw_host_meta = false;
+  bool saw_span = false, saw_instant = false;
+  for (const Json& e : events.array) {
+    const std::string ph = e.at("ph").string;
+    if (ph == "M") {
+      const std::string name = e.at("args").at("name").string;
+      if (name == "rank 3") saw_rank3_meta = true;
+      if (name == "host") saw_host_meta = true;
+    } else if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.at("name").string, "compute");
+      EXPECT_EQ(e.at("cat").string, "phase");
+      EXPECT_EQ(e.at("pid").number, 3.0);
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "i" && e.at("cat").string == "steal") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("pid").number, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_rank3_meta);
+  EXPECT_TRUE(saw_host_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+// ---- Metrics -----------------------------------------------------------
+
+TEST(Metrics, HistogramBinEdges) {
+  // Bin 0 holds exactly 0; bin k >= 1 holds [2^(k-1), 2^k).
+  EXPECT_EQ(obs::Histogram::bin_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bin_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bin_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bin_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bin_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bin_index(1023), 10u);
+  EXPECT_EQ(obs::Histogram::bin_index(1024), 11u);
+  EXPECT_EQ(obs::Histogram::bin_index(~std::uint64_t{0}),
+            obs::Histogram::kBins - 1);
+
+  for (std::size_t i = 1; i + 1 < obs::Histogram::kBins; ++i) {
+    // Every bin's edges are consistent with bin_index at both boundaries.
+    EXPECT_EQ(obs::Histogram::bin_index(obs::Histogram::bin_lo(i)), i);
+    EXPECT_EQ(obs::Histogram::bin_index(obs::Histogram::bin_hi(i) - 1), i);
+    EXPECT_EQ(obs::Histogram::bin_index(obs::Histogram::bin_hi(i)), i + 1);
+    EXPECT_EQ(obs::Histogram::bin_hi(i), obs::Histogram::bin_lo(i + 1));
+  }
+
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.bin_count(0), 1u);  // the 0 sample
+  EXPECT_EQ(h.bin_count(1), 1u);  // the 1 sample
+  EXPECT_EQ(h.bin_count(3), 2u);  // 5 is in [4, 8)
+  h.record_ns(-5);                // clamps to 0
+  EXPECT_EQ(h.bin_count(0), 2u);
+}
+
+TEST(Metrics, RegistryJsonParsesBack) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("test.calls").add(41);
+  reg.counter("test.calls").add(1);
+  reg.gauge("test.ratio").set(1.5);
+  reg.histogram("test.bytes").record(6);
+  reg.histogram("test.bytes").record(800);
+  reg.set_label("molecule", "C2H6");
+
+  const Json doc = parse_json_or_fail(reg.json());
+  EXPECT_EQ(doc.at("schema").string, "minifock-run-report/v1");
+  EXPECT_EQ(doc.at("labels").at("molecule").string, "C2H6");
+  EXPECT_EQ(doc.at("counters").at("test.calls").number, 42.0);
+  EXPECT_EQ(doc.at("gauges").at("test.ratio").number, 1.5);
+
+  const Json& hist = doc.at("histograms").at("test.bytes");
+  EXPECT_EQ(hist.at("count").number, 2.0);
+  EXPECT_EQ(hist.at("sum").number, 806.0);
+  EXPECT_EQ(hist.at("min").number, 6.0);
+  EXPECT_EQ(hist.at("max").number, 800.0);
+  // Sparse bins: exactly the two populated ones, with power-of-two edges.
+  const Json& bins = hist.at("bins");
+  ASSERT_EQ(bins.array.size(), 2u);
+  EXPECT_EQ(bins.array[0].at("lo").number, 4.0);   // 6 in [4, 8)
+  EXPECT_EQ(bins.array[0].at("hi").number, 8.0);
+  EXPECT_EQ(bins.array[0].at("count").number, 1.0);
+  EXPECT_EQ(bins.array[1].at("lo").number, 512.0);  // 800 in [512, 1024)
+  EXPECT_EQ(bins.array[1].at("count").number, 1.0);
+
+  reg.reset();
+  const Json empty = parse_json_or_fail(reg.json());
+  EXPECT_FALSE(empty.at("counters").has("test.calls") &&
+               empty.at("counters").at("test.calls").number != 0.0);
+}
+
+TEST(Metrics, InstrumentAddressesSurviveReset) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::Counter& c = reg.counter("test.stable");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // zeroed, not destroyed
+  c.add(3);
+  EXPECT_EQ(&c, &reg.counter("test.stable"));
+  EXPECT_EQ(c.value(), 3u);
+  reg.reset();
+}
+
+// ---- End-to-end over a real GTFock build -------------------------------
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+struct BuilderRun {
+  BuilderRun() {
+    const Molecule mol = linear_alkane(3);
+    basis = std::make_unique<Basis>(apply_reordering(
+        Basis(mol, BasisLibrary::builtin("sto-3g")), {}));
+    screening = std::make_unique<ScreeningData>(
+        *basis, ScreeningOptions{1e-11, 1e-20, {}});
+    GtFockOptions opts;
+    opts.nprocs = 4;
+    GtFockBuilder builder(*basis, *screening, opts);
+    const Matrix h = core_hamiltonian(*basis);
+    const Matrix d = random_density(basis->num_functions(), 99);
+    result = builder.build(d, h);
+  }
+
+  std::unique_ptr<Basis> basis;
+  std::unique_ptr<ScreeningData> screening;
+  GtFockResult result;
+};
+
+TEST(ObsEndToEnd, RunReportCommCountersEqualCommStatsTotals) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::set_metrics_enabled(true);
+  const BuilderRun run;
+  obs::set_metrics_enabled(false);
+
+  CommStats totals;
+  for (const auto& r : run.result.ranks) totals += r.comm;
+
+  const Json doc = parse_json_or_fail(reg.json());
+  const Json& counters = doc.at("counters");
+  EXPECT_EQ(counters.at("gtfock.comm.get_calls").number,
+            static_cast<double>(totals.get_calls));
+  EXPECT_EQ(counters.at("gtfock.comm.put_calls").number,
+            static_cast<double>(totals.put_calls));
+  EXPECT_EQ(counters.at("gtfock.comm.acc_calls").number,
+            static_cast<double>(totals.acc_calls));
+  EXPECT_EQ(counters.at("gtfock.comm.rmw_calls").number,
+            static_cast<double>(totals.rmw_calls));
+  EXPECT_EQ(counters.at("gtfock.comm.get_bytes").number,
+            static_cast<double>(totals.get_bytes));
+  EXPECT_EQ(counters.at("gtfock.comm.put_bytes").number,
+            static_cast<double>(totals.put_bytes));
+  EXPECT_EQ(counters.at("gtfock.comm.acc_bytes").number,
+            static_cast<double>(totals.acc_bytes));
+  EXPECT_EQ(counters.at("gtfock.comm.remote_calls").number,
+            static_cast<double>(totals.remote_calls));
+  EXPECT_EQ(counters.at("gtfock.comm.remote_bytes").number,
+            static_cast<double>(totals.remote_bytes));
+
+  // The funnel also carried the scheduler-side counts.
+  std::uint64_t owned = 0, stolen = 0;
+  for (const auto& r : run.result.ranks) {
+    owned += r.tasks_owned;
+    stolen += r.tasks_stolen;
+  }
+  EXPECT_EQ(counters.at("gtfock.tasks_owned").number,
+            static_cast<double>(owned));
+  EXPECT_EQ(counters.at("gtfock.tasks_stolen").number,
+            static_cast<double>(stolen));
+  EXPECT_EQ(doc.at("labels").at("gtfock.grid").string, "2x2");
+  reg.reset();
+}
+
+TEST(ObsEndToEnd, GtFockBuildEmitsPhaseSpansForEveryRank) {
+  fresh_trace();
+  const BuilderRun run;
+  obs::set_tracing_enabled(false);
+
+  const Json doc = parse_json_or_fail(obs::chrome_trace_json());
+  // phase spans prefetch/compute/flush must appear for each of the 4 ranks.
+  std::map<std::string, std::map<double, int>> phase_ranks;
+  for (const Json& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "X" && e.at("cat").string == "phase") {
+      phase_ranks[e.at("name").string][e.at("pid").number]++;
+    }
+  }
+  for (const char* phase : {"prefetch", "compute", "flush"}) {
+    EXPECT_EQ(phase_ranks[phase].size(), 4u) << "phase " << phase;
+  }
+}
+
+}  // namespace
+}  // namespace mf

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "util/cli.h"
+#include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_id.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -64,15 +66,41 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
-TEST(Stopwatch, AccumulatesNamedPhases) {
-  Stopwatch sw;
-  sw.start("a");
-  sw.stop("a");
-  sw.start("a");
-  sw.stop("a");
-  EXPECT_GE(sw.total("a"), 0.0);
-  EXPECT_EQ(sw.total("missing"), 0.0);
-  EXPECT_EQ(sw.totals().size(), 1u);
+TEST(Logging, FormatsTimestampLevelAndThreadId) {
+  const std::string line =
+      detail::format_log_line(LogLevel::kWarn, "hello world");
+  // "[HH:MM:SS.mmm] [WARN] [t<id>] hello world"
+  ASSERT_GE(line.size(), 14u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[3], ':');
+  EXPECT_EQ(line[6], ':');
+  EXPECT_EQ(line[9], '.');
+  EXPECT_EQ(line[13], ']');
+  EXPECT_NE(line.find("[WARN] [t"), std::string::npos);
+  EXPECT_NE(line.find("hello world"), std::string::npos);
+  // No rank bound on the test thread: no " r" field.
+  EXPECT_EQ(line.find(" r"), std::string::npos);
+}
+
+TEST(Logging, FormatsBoundRank) {
+  ThreadRankScope scope(7);
+  const std::string line = detail::format_log_line(LogLevel::kInfo, "msg");
+  EXPECT_NE(line.find(" r7] msg"), std::string::npos);
+}
+
+TEST(ThreadId, RankScopeBindsAndRestores) {
+  EXPECT_EQ(this_thread_rank(), -1);
+  {
+    ThreadRankScope outer(3);
+    EXPECT_EQ(this_thread_rank(), 3);
+    {
+      ThreadRankScope inner(5);
+      EXPECT_EQ(this_thread_rank(), 5);
+    }
+    EXPECT_EQ(this_thread_rank(), 3);
+  }
+  EXPECT_EQ(this_thread_rank(), -1);
+  EXPECT_GE(this_thread_id(), 1u);
 }
 
 TEST(Cli, ParsesFlagsAndValues) {

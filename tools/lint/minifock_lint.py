@@ -27,8 +27,12 @@ relaxed-order      memory_order_relaxed needs a `relaxed-ok:` justification
                    wants; the comment forces the argument to be written.
 phase-markers      Fock-builder entry points carry the paper's phase
                    discipline (prefetch -> compute -> flush) as explicit
-                   `phase: <name>` markers, so the structure Algorithm 4
-                   depends on survives refactors.
+                   `phase: <name>` comment markers, so the structure
+                   Algorithm 4 depends on survives refactors. Builder entry
+                   points that run on live threads must ALSO carry the
+                   runtime counterpart: an MF_TRACE_SPAN("phase", "<name>")
+                   span (obs/trace.h) per marker, so the Chrome trace shows
+                   the same phases the comments promise.
 tu-coverage        Every .cpp under src/ appears in compile_commands.json:
                    a TU that is not compiled is a TU the clang-tidy and
                    thread-safety lanes silently skip.
@@ -64,23 +68,31 @@ ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<|_)")
 RELAXED_RE = re.compile(r"memory_order_relaxed")
 RELAXED_OK_RE = re.compile(r"relaxed-ok:")
 PHASE_MARKER_RE = re.compile(r"phase:\s*(\w+)")
+PHASE_SPAN_RE = re.compile(r'MF_TRACE_SPAN\(\s*"phase"\s*,\s*"(\w+)"\s*\)')
 
 # Entry points that must carry phase markers. "ordered" demands the first
 # occurrences appear in the listed sequence (the threaded builder really is
 # prefetch-then-compute-then-flush per rank); the discrete-event simulator
-# interleaves charging, so only presence is required there.
+# interleaves charging, so only presence is required there. "require_spans"
+# additionally demands an MF_TRACE_SPAN("phase", "<name>") per marker —
+# the threaded builders run on live threads, so their phase discipline must
+# be visible in the Chrome trace, not just in comments. The simulator stays
+# comment-only (its "phases" are charge bookkeeping, not wall time).
 PHASE_RULES = {
     "src/core/fock_builder.cpp": {
         "markers": ["prefetch", "compute", "flush"],
         "ordered": True,
+        "require_spans": True,
     },
     "src/core/gtfock_sim.cpp": {
         "markers": ["prefetch", "compute", "flush"],
         "ordered": False,
+        "require_spans": False,
     },
     "src/baseline/nwchem_fock.cpp": {
         "markers": ["compute", "flush"],
         "ordered": True,
+        "require_spans": True,
     },
 }
 
@@ -130,11 +142,16 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                                  "`relaxed-ok:` justification comment"))
     rule = PHASE_RULES.get(rel)
     if rule is not None:
-        first = {}
+        first = {}   # earliest marker of either kind, for ordering
+        spans = {}   # earliest MF_TRACE_SPAN("phase", ...) occurrence
         for i, raw in enumerate(lines):
             m = PHASE_MARKER_RE.search(raw)
             if m and m.group(1) not in first:
                 first[m.group(1)] = i + 1
+            m = PHASE_SPAN_RE.search(raw)
+            if m:
+                first.setdefault(m.group(1), i + 1)
+                spans.setdefault(m.group(1), i + 1)
         missing = [p for p in rule["markers"] if p not in first]
         if missing:
             findings.append((rel, 1, "phase-markers",
@@ -147,6 +164,14 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                 findings.append((rel, positions[0], "phase-markers",
                                  "phase markers out of order; expected "
                                  f"{rule['markers']}"))
+        if rule.get("require_spans"):
+            unspanned = [p for p in rule["markers"] if p not in spans]
+            if unspanned:
+                findings.append((rel, 1, "phase-markers",
+                                 f"phase(s) {unspanned} lack an "
+                                 'MF_TRACE_SPAN("phase", "<name>") span; the '
+                                 "builder's phases must be visible in the "
+                                 "Chrome trace, not just in comments"))
     return findings
 
 
@@ -230,6 +255,32 @@ def self_test() -> int:
     stripped = lint_file("src/core/fock_builder.cpp", "int x;\n")
     if not any(f[2] == "phase-markers" for f in stripped):
         print("self-test FAILED: phase-markers did not fire on empty builder")
+        ok = False
+    # Phase rule: comment markers alone are not enough where spans are
+    # required — the Chrome trace must show the same phases.
+    comments_only = ("// phase: prefetch\n"
+                     "// phase: compute\n"
+                     "// phase: flush\n")
+    unspanned = lint_file("src/core/fock_builder.cpp", comments_only)
+    if not any(f[2] == "phase-markers" and "MF_TRACE_SPAN" in f[3]
+               for f in unspanned):
+        print("self-test FAILED: phase-markers did not demand trace spans "
+              "on a comments-only builder")
+        ok = False
+    # ...but comments + spans together pass, and the simulator stays
+    # comment-only.
+    spanned = comments_only.replace(
+        "// phase: prefetch",
+        '// phase: prefetch\nMF_TRACE_SPAN("phase", "prefetch");').replace(
+        "// phase: compute",
+        '// phase: compute\nMF_TRACE_SPAN("phase", "compute");').replace(
+        "// phase: flush",
+        '// phase: flush\nMF_TRACE_SPAN("phase", "flush");')
+    if lint_file("src/core/fock_builder.cpp", spanned):
+        print("self-test FAILED: spanned builder snippet was flagged")
+        ok = False
+    if lint_file("src/core/gtfock_sim.cpp", comments_only):
+        print("self-test FAILED: comment-only simulator snippet was flagged")
         ok = False
     # tu-coverage: a compile_commands.json that misses a TU must be flagged.
     with tempfile.TemporaryDirectory() as tmp:

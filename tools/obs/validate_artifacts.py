@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate minifock observability artifacts against their schemas.
+
+Two artifact kinds:
+
+  --trace FILE    Chrome trace-event JSON written by --trace-out. Checked
+                  against the subset of the trace-event format minifock
+                  emits: an object with "traceEvents" (list of "M"/"X"/"i"
+                  events with the required per-phase fields) and "otherData"
+                  carrying the dropped-event counter.
+
+  --report FILE   Run report written by --metrics-out. Checked against the
+                  "minifock-run-report/v1" schema: counters are non-negative
+                  integers, gauges are numbers, histograms are internally
+                  consistent (bin counts sum to "count", bins are disjoint
+                  ascending ranges, min <= max when count > 0).
+
+Optional cross-checks used by the CI smoke step:
+
+  --expect-ranks N        The trace must contain prefetch/compute/flush
+                          phase spans for every simulated rank 0..N-1 (the
+                          paper's per-rank phase discipline, Algorithm 4).
+  --require-counter NAME  The report must contain this counter (repeatable).
+
+Stdlib only — no jsonschema dependency. Exits non-zero with a list of
+violations on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+TRACE_PHASES = ("prefetch", "compute", "flush")
+REPORT_SCHEMA = "minifock-run-report/v1"
+
+
+def _is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v) -> bool:
+    return _is_int(v) or isinstance(v, float)
+
+
+def validate_trace(data, expect_ranks: int | None) -> list[str]:
+    errors = []
+    if not isinstance(data, dict):
+        return ["trace: top level must be an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ['trace: missing "traceEvents" list']
+    other = data.get("otherData")
+    if not isinstance(other, dict):
+        errors.append('trace: missing "otherData" object')
+    else:
+        if other.get("tool") != "minifock":
+            errors.append('trace: otherData.tool != "minifock"')
+        if not _is_int(other.get("dropped_events")) or \
+                other["dropped_events"] < 0:
+            errors.append("trace: otherData.dropped_events must be a "
+                          "non-negative integer")
+
+    phase_spans = {}  # pid -> set of phase names seen as "X" spans
+    for i, ev in enumerate(events):
+        where = f"trace: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i"):
+            errors.append(f'{where}: unexpected ph {ph!r}')
+            continue
+        if not isinstance(ev.get("name"), str) or not _is_int(ev.get("pid")):
+            errors.append(f"{where}: needs string name and integer pid")
+            continue
+        if ph == "M":
+            if ev["name"] != "process_name" or \
+                    not isinstance(ev.get("args", {}).get("name"), str):
+                errors.append(f"{where}: metadata must be process_name "
+                              "with args.name")
+            continue
+        # Non-metadata events: timestamped, categorized, on a thread.
+        if not isinstance(ev.get("cat"), str) or not _is_int(ev.get("tid")):
+            errors.append(f"{where}: needs string cat and integer tid")
+        if not _is_num(ev.get("ts")) or ev["ts"] < 0:
+            errors.append(f"{where}: needs non-negative ts")
+        if ph == "X":
+            if not _is_num(ev.get("dur")) or ev["dur"] < 0:
+                errors.append(f"{where}: X event needs non-negative dur")
+            if ev.get("cat") == "phase":
+                phase_spans.setdefault(ev["pid"], set()).add(ev["name"])
+        elif ph == "i":
+            if ev.get("s") != "t":
+                errors.append(f'{where}: instant needs scope "s": "t"')
+
+    if expect_ranks is not None:
+        for rank in range(expect_ranks):
+            missing = [p for p in TRACE_PHASES
+                       if p not in phase_spans.get(rank, set())]
+            if missing:
+                errors.append(f"trace: rank {rank} lacks phase span(s) "
+                              f"{missing}")
+    return errors
+
+
+def validate_report(data, required_counters: list[str]) -> list[str]:
+    errors = []
+    if not isinstance(data, dict):
+        return ["report: top level must be an object"]
+    if data.get("schema") != REPORT_SCHEMA:
+        errors.append(f'report: schema != "{REPORT_SCHEMA}" '
+                      f"(got {data.get('schema')!r})")
+    for section in ("labels", "counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            errors.append(f'report: missing "{section}" object')
+            return errors
+
+    for k, v in data["labels"].items():
+        if not isinstance(v, str):
+            errors.append(f"report: label {k!r} must be a string")
+    for k, v in data["counters"].items():
+        if not _is_int(v) or v < 0:
+            errors.append(f"report: counter {k!r} must be a non-negative "
+                          "integer")
+    for k, v in data["gauges"].items():
+        if not _is_num(v):
+            errors.append(f"report: gauge {k!r} must be a number")
+
+    for name, h in data["histograms"].items():
+        where = f"report: histogram {name!r}"
+        if not isinstance(h, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not all(_is_num(h.get(f)) for f in ("count", "sum", "min", "max")):
+            errors.append(f"{where}: needs numeric count/sum/min/max")
+            continue
+        bins = h.get("bins")
+        if not isinstance(bins, list):
+            errors.append(f"{where}: needs a bins list")
+            continue
+        total = 0
+        prev_hi = -1
+        for b in bins:
+            if not isinstance(b, dict) or \
+                    not all(_is_num(b.get(f)) for f in ("lo", "hi", "count")):
+                errors.append(f"{where}: bin needs numeric lo/hi/count")
+                break
+            if not b["lo"] < b["hi"]:
+                errors.append(f"{where}: bin lo must be < hi")
+            if b["lo"] < prev_hi:
+                errors.append(f"{where}: bins must be ascending and disjoint")
+            prev_hi = b["hi"]
+            total += b["count"]
+        else:
+            if total != h["count"]:
+                errors.append(f"{where}: bin counts sum to {total}, "
+                              f"count says {h['count']}")
+        if h["count"] > 0 and h["min"] > h["max"]:
+            errors.append(f"{where}: min > max with count > 0")
+
+    for name in required_counters:
+        if name not in data["counters"]:
+            errors.append(f"report: required counter {name!r} missing")
+    return errors
+
+
+def _load(path: pathlib.Path, errors: list[str]):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: {e}")
+        return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", type=pathlib.Path,
+                    help="Chrome trace JSON from --trace-out")
+    ap.add_argument("--report", type=pathlib.Path,
+                    help="run report JSON from --metrics-out")
+    ap.add_argument("--expect-ranks", type=int, default=None,
+                    help="require phase spans for ranks 0..N-1 in the trace")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="NAME", help="counter that must be in the report")
+    args = ap.parse_args()
+    if args.trace is None and args.report is None:
+        ap.error("nothing to validate; pass --trace and/or --report")
+
+    errors: list[str] = []
+    if args.trace is not None:
+        data = _load(args.trace, errors)
+        if data is not None:
+            errors.extend(validate_trace(data, args.expect_ranks))
+    if args.report is not None:
+        data = _load(args.report, errors)
+        if data is not None:
+            errors.extend(validate_report(data, args.require_counter))
+
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"validate_artifacts: {len(errors)} violation(s)")
+        return 1
+    print("validate_artifacts: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
