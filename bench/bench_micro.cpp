@@ -26,6 +26,7 @@
 #include "eri/one_electron.h"
 #include "eri/screening.h"
 #include "eri/shell_pair.h"
+#include "fault/fault.h"
 #include "linalg/matrix.h"
 #include "linalg/purification.h"
 #include "obs/trace.h"
@@ -127,6 +128,42 @@ void BM_TraceSpanDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceSpanDisabled);
+
+// The fault-injection overhead contract (DESIGN.md, "Fault injection &
+// chaos testing"): with no FaultPlan installed, an injection site plus a
+// retry wrapper around the hot quartet kernel must cost < 2% vs the bare
+// BM_EriQuartetPair — the same contract the tracing layer honors.
+void BM_EriQuartetPairFaultOff(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  fault::clear();  // no plan installed: sites are one load + branch
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const ShellPairData bra(bench_shell(l, 1.3, {0, 0, 0}),
+                          bench_shell(l, 0.9, {0.5, 0.4, 0}), thr);
+  const ShellPairData ket(bench_shell(l, 1.1, {0, 0.8, 0.3}),
+                          bench_shell(l, 0.7, {0.6, 0, 0.9}), thr);
+  for (auto _ : state) {
+    fault::with_retry(fault::OpClass::kGet, 0, [&] {
+      fault::inject(fault::OpClass::kGet, 0);
+      benchmark::DoNotOptimize(engine.compute(bra, ket).data());
+    });
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriQuartetPairFaultOff)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+// The raw cost of one inactive injection site — one acquire load and a
+// branch. This is the per-call-site floor in GlobalArray::get/put/acc and
+// GlobalCounter::fetch_add when no plan is installed.
+void BM_FaultProbeDisabled(benchmark::State& state) {
+  fault::clear();
+  for (auto _ : state) {
+    fault::inject(fault::OpClass::kGet, 0);
+    fault::dispatch_delay();
+  }
+}
+BENCHMARK(BM_FaultProbeDisabled);
 
 Shell deep_s_shell(const Vec3& at) {
   // cc-pVDZ-like deep contraction: the common worst case for s shells.

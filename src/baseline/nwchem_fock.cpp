@@ -7,6 +7,7 @@
 #include "core/fock_update.h"
 #include "core/symmetry.h"
 #include "eri/shell_pair.h"
+#include "fault/fault.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
 #include "obs/metrics.h"
@@ -117,8 +118,12 @@ class AtomBlockCtx {
     for (const auto& [key, block] : w_) {
       const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
       const std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
-      w_ga_.acc(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
-                atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+      // Each acc is retried as a unit (injection fires before the transfer
+      // touches the target), so a flushed block lands exactly once.
+      fault::with_retry(fault::OpClass::kAcc, rank_, [&] {
+        w_ga_.acc(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
+                  atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+      });
     }
     w_.clear();
     d_.clear();
@@ -134,8 +139,10 @@ class AtomBlockCtx {
     auto it = d_.find(key);
     if (it != d_.end()) return it->second;
     std::vector<double> block(atom_nf_[a] * atom_nf_[b]);
-    d_ga_.get(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
-              atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+    fault::with_retry(fault::OpClass::kGet, rank_, [&] {
+      d_ga_.get(rank_, atom_offset_[a], atom_offset_[a] + atom_nf_[a],
+                atom_offset_[b], atom_offset_[b] + atom_nf_[b], block.data());
+    });
     return d_.emplace(key, std::move(block)).first->second;
   }
 
@@ -244,7 +251,12 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     // executing the tasks whose ids it claims from the centralized counter.
     // (No prefetch phase: NWChem's baseline fetches D blocks on demand, and
     // each task's F updates are flushed as soon as the task completes.)
-    long task = counter.fetch_add(rank, 1);
+    // Task claims retry like data ops: an injected NGA_Read_inc failure
+    // fires before the increment, so the retried claim receives the same
+    // task id the first attempt would have — no task is lost or skipped.
+    long task = 0;
+    fault::with_retry(fault::OpClass::kRmw, rank,
+                      [&] { task = counter.fetch_add(rank, 1); });
     ++stats.get_task_calls;
     for_each_nwchem_task(natoms, atoms_, [&](const NwchemTask& t) {
       if (static_cast<long>(t.id) != task) return;
@@ -263,7 +275,8 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
         ctx.flush();
       }
       ++stats.tasks_executed;
-      task = counter.fetch_add(rank, 1);
+      fault::with_retry(fault::OpClass::kRmw, rank,
+                        [&] { task = counter.fetch_add(rank, 1); });
       ++stats.get_task_calls;
     });
 

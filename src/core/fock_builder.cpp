@@ -9,6 +9,7 @@
 #include "core/fock_update.h"
 #include "core/symmetry.h"
 #include "eri/shell_pair.h"
+#include "fault/fault.h"
 #include "ga/comm_stats.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
@@ -217,7 +218,12 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
                                    ? basis_.shell_offset(crun.second)
                                    : basis_.num_functions();
         std::vector<double> buf((r1 - r0) * (c1 - c0));
-        d_ga.get(rank, r0, r1, c0, c1, buf.data());
+        // Injected transient get failures retry with capped backoff; an
+        // exhausted budget re-issues the get fault-free (owner-direct
+        // fallback) — faults perturb timing, never the fetched data.
+        fault::with_retry(fault::OpClass::kGet, rank, [&] {
+          d_ga.get(rank, r0, r1, c0, c1, buf.data());
+        });
         for (std::size_t r = 0; r < r1 - r0; ++r) {
           for (std::size_t c = 0; c < c1 - c0; ++c) {
             out[(row_off + r) * fp.num_functions + (col_off + c)] =
@@ -251,7 +257,12 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
                 w[(row_off + r) * fp.num_functions + (col_off + c)];
           }
         }
-        w_ga.acc(rank, r0, r1, c0, c1, buf.data());
+        // Accumulates must not be dropped or doubled: injection happens
+        // before the transfer touches the target block, so a retried acc
+        // applies exactly once.
+        fault::with_retry(fault::OpClass::kAcc, rank, [&] {
+          w_ga.acc(rank, r0, r1, c0, c1, buf.data());
+        });
         col_off += c1 - c0;
       }
       row_off += r1 - r0;
@@ -368,8 +379,14 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             ++stats.steal_probes;
             stats.comm.record('r', sizeof(long), true);
             WallTimer steal_timer;
-            std::vector<Task> stolen =
-                queues[victim].steal(options_.steal_fraction);
+            std::vector<Task> stolen;
+            // A raid whose retry budget is exhausted is simply skipped this
+            // scan: the thief degrades to probing the next victim rather
+            // than blocking, and the victim's own queue drain is untouched.
+            fault::try_with_retry(fault::OpClass::kSteal, rank, [&] {
+              fault::inject(fault::OpClass::kSteal, rank);
+              stolen = queues[victim].steal(options_.steal_fraction);
+            });
             if (stolen.empty()) continue;
             found_work = true;
             ++stats.steal_victims;
@@ -410,7 +427,13 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
               ++stats.steal_probes;
               stats.comm.record('r', sizeof(long), true);
               WallTimer resteal_timer;
-              stolen = queues[victim].steal(options_.steal_fraction);
+              stolen.clear();
+              // Exhaustion here ends the raid on this victim (stolen stays
+              // empty); the outer scan resumes with other victims.
+              fault::try_with_retry(fault::OpClass::kSteal, rank, [&] {
+                fault::inject(fault::OpClass::kSteal, rank);
+                stolen = queues[victim].steal(options_.steal_fraction);
+              });
               if (stolen.empty()) break;
               MF_TRACE_INSTANT("steal", "steal");
               if (steal_hist != nullptr) {

@@ -1,0 +1,76 @@
+#include "fault/fault.h"
+
+#include "obs/metrics.h"
+
+namespace mf::fault {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kGet:
+      return "get";
+    case OpClass::kPut:
+      return "put";
+    case OpClass::kAcc:
+      return "acc";
+    case OpClass::kRmw:
+      return "rmw";
+    case OpClass::kSteal:
+      return "steal";
+    case OpClass::kDispatch:
+      return "dispatch";
+  }
+  return "unknown";
+}
+
+void install(const FaultPlan& plan) {
+  detail::PlanState& st = detail::plan_state();
+  // Quiescence is the caller's contract: no thread is inside an injection
+  // site, so writing the plan and counters unsynchronized is safe; the
+  // release store below is the publication edge.
+  st.plan = plan;
+  st.reset_counters();
+  detail::g_fault_active.store(true, std::memory_order_release);
+}
+
+namespace {
+
+void publish(const char* kind,
+             const std::array<std::uint64_t, kNumOpClasses>& values) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    if (values[c] == 0) continue;  // an all-quiet run stays fault.*-free
+    reg.counter(std::string("fault.") +
+                op_class_name(static_cast<OpClass>(c)) + "." + kind)
+        .add(values[c]);
+  }
+}
+
+}  // namespace
+
+void clear() {
+  if (!active()) return;
+  detail::g_fault_active.store(false, std::memory_order_release);
+  detail::PlanState& st = detail::plan_state();
+  st.plan.observer = nullptr;  // drop test hooks (may capture test state)
+  const FaultStats s = stats();
+  publish("injected", s.injected);
+  publish("delays", s.delays);
+  publish("retries", s.retries);
+  publish("exhausted", s.exhausted);
+  publish("fallbacks", s.fallbacks);
+}
+
+FaultStats stats() {
+  detail::PlanState& st = detail::plan_state();
+  FaultStats s;
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    s.injected[c] = st.injected[c].load();
+    s.delays[c] = st.delays[c].load();
+    s.retries[c] = st.retries[c].load();
+    s.exhausted[c] = st.exhausted[c].load();
+    s.fallbacks[c] = st.fallbacks[c].load();
+  }
+  return s;
+}
+
+}  // namespace mf::fault

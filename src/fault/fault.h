@@ -1,0 +1,350 @@
+#pragma once
+// Deterministic fault injection for the simulated comm stack.
+//
+// The paper's claim (Sections III-C..III-F) is that the decentralized
+// design — 2D task grid + prefetch + work stealing — stays correct and
+// balanced when processes run at wildly different speeds. The rest of this
+// repo only ever exercises the happy path where every GlobalArray::get/acc
+// and GlobalCounter::fetch_add succeeds instantly. This layer turns the
+// simulated comm substrate into a robustness testbed: a seeded FaultPlan is
+// installed process-wide and consulted from injection points in
+// GlobalArray::get/put/acc, GlobalCounter::fetch_add, the work-stealing
+// steal path, and ThreadPool task dispatch. A consultation can
+//   * add latency (a busy wait, scaled per rank by a straggler multiplier),
+//   * fail transiently (a CommError the caller retries with bounded
+//     exponential backoff, falling back to a fault-free "owner-direct"
+//     re-issue of the operation when the budget is exhausted).
+//
+// Determinism contract
+// --------------------
+// The decision for the k-th consultation of operation class c by rank r is
+// a pure function of (plan.seed, r, c, k) — SplitMix64 over a per-(rank,
+// class) stream. Two runs with identical per-rank operation schedules
+// therefore inject *identical* faults and end with identical fault
+// counters; a failing chaos schedule is reproduced from its seed alone.
+// Scheduling freedom (who wins a steal race) changes per-rank operation
+// counts, so exact counter replay holds for deterministic schedules
+// (work stealing disabled, or a single rank); the chaos suite pins both
+// the replay equality and, separately, correctness under full
+// nondeterminism.
+//
+// Hot path
+// --------
+// With no plan installed every injection site costs one acquire load and a
+// branch — the same contract as tracing (< 2% on t_int, audited by
+// bench_micro's BM_EriQuartetPairFaultOff). The header is
+// link-dependency-free on the inject path (mirroring obs/trace.h) so
+// util/thread_pool can consult the plan without mf_util depending on
+// mf_fault; only install/clear/publish live in fault.cpp.
+//
+// Thread safety: the plan is immutable while active; install()/clear()
+// require quiescence (no thread concurrently inside an injection site),
+// which the builders satisfy by installing before spawning rank threads
+// and clearing after joining them. All mutable state is atomics with
+// documented protocols — no locks on the injection path.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mf::fault {
+
+/// Operation classes with independent rules and decision streams.
+enum class OpClass : int {
+  kGet = 0,   // GlobalArray::get
+  kPut,       // GlobalArray::put
+  kAcc,       // GlobalArray::acc
+  kRmw,       // GlobalCounter::fetch_add (NGA_Read_inc)
+  kSteal,     // work-stealing queue raid (probe + take)
+  kDispatch,  // ThreadPool task dispatch (delay only, never fails)
+};
+inline constexpr std::size_t kNumOpClasses = 6;
+
+const char* op_class_name(OpClass c);
+
+/// Transient communication failure surfaced by an injection site. Callers
+/// retry with a bounded budget (enforced by tools/lint's bounded-retry
+/// rule) and degrade gracefully on exhaustion.
+class CommError : public std::runtime_error {
+ public:
+  CommError(OpClass op, std::size_t rank)
+      : std::runtime_error(std::string("injected transient failure: ") +
+                           op_class_name(op) + " on rank " +
+                           std::to_string(rank)),
+        op_(op),
+        rank_(rank) {}
+
+  OpClass op() const { return op_; }
+  std::size_t rank() const { return rank_; }
+
+ private:
+  OpClass op_;
+  std::size_t rank_;
+};
+
+/// Per-operation-class rule. Probabilities are evaluated on independent
+/// draws: an operation can be delayed, failed, both, or neither.
+struct OpRule {
+  double fail_prob = 0.0;   // P(throw CommError) per consultation
+  double delay_prob = 0.0;  // P(injected latency) per consultation
+  std::uint64_t delay_ns = 0;  // busy-wait when the delay draw fires
+};
+
+/// A complete seeded fault schedule. Value-semantic: installing copies it.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::array<OpRule, kNumOpClasses> rules{};
+
+  /// Per-rank multiplier on injected delay_ns (empty = 1.0 for all ranks):
+  /// the paper's "wildly different process speeds" knob. Ranks beyond the
+  /// vector use 1.0.
+  std::vector<double> straggler;
+
+  /// Retries a caller may spend per logical operation after the first
+  /// attempt; exhaustion triggers the fallback path.
+  std::uint32_t retry_budget = 3;
+  /// First retry backoff; doubles per retry. 0 = immediate re-issue.
+  std::uint64_t backoff_base_ns = 0;
+
+  /// Test-only observation hook, called on every consultation before the
+  /// draws (never under bypass). Lets tests gate a rank on a condition —
+  /// barrier/latch-style synchronization instead of wall-clock sleeps.
+  /// Must be thread-safe; keep it cheap.
+  std::function<void(OpClass, std::size_t rank)> observer;
+
+  OpRule& rule(OpClass c) { return rules[static_cast<std::size_t>(c)]; }
+  const OpRule& rule(OpClass c) const {
+    return rules[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Snapshot of the per-class fault counters (copied from atomics; exact
+/// after quiescence, which clear() guarantees).
+struct FaultStats {
+  std::array<std::uint64_t, kNumOpClasses> injected{};   // thrown CommErrors
+  std::array<std::uint64_t, kNumOpClasses> delays{};     // latency injections
+  std::array<std::uint64_t, kNumOpClasses> retries{};    // caught + retried
+  std::array<std::uint64_t, kNumOpClasses> exhausted{};  // budgets spent
+  std::array<std::uint64_t, kNumOpClasses> fallbacks{};  // owner-direct runs
+
+  std::uint64_t total_injected() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : injected) t += v;
+    return t;
+  }
+};
+
+namespace detail {
+
+/// Decision streams are per (rank, class); ranks at or beyond kMaxRanks
+/// share the last slot (simulated grids are far smaller).
+inline constexpr std::size_t kMaxRanks = 256;
+
+/// SplitMix64 finalizer: the stateless mix underlying every decision draw.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from a mixed draw.
+inline double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct PlanState {
+  FaultPlan plan;
+  // Per-(rank, class) consultation counters: the stream positions. Each
+  // rank is driven by one thread in the builders, but stress tests may
+  // drive a rank from several, so the increment is atomic.
+  // lint: unguarded(monotone stream cursors; fetch_add is the protocol)
+  std::array<std::array<std::atomic<std::uint64_t>, kNumOpClasses>, kMaxRanks>
+      seq{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> injected{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> delays{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> retries{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> exhausted{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> fallbacks{};
+
+  void reset_counters() {
+    for (auto& per_rank : seq) {
+      for (auto& c : per_rank) c.store(0);
+    }
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      injected[c].store(0);
+      delays[c].store(0);
+      retries[c].store(0);
+      exhausted[c].store(0);
+      fallbacks[c].store(0);
+    }
+  }
+};
+
+/// The single process-wide plan slot, leaked so injection sites racing a
+/// process teardown never touch a destroyed object (same pattern as the
+/// trace registry). The gate below is the only published/consulted flag.
+inline PlanState& plan_state() {
+  static PlanState* s = new PlanState();
+  return *s;
+}
+
+/// install() publishes with release after filling plan_state(); injection
+/// sites acquire-load it, so a site that sees the gate sees the plan.
+/// lint: unguarded(on/off gate; release on install pairs with site acquires)
+inline std::atomic<bool> g_fault_active{false};
+
+/// Recovery-channel depth: >0 suppresses injection on this thread, so the
+/// fallback re-issue of an exhausted operation always succeeds.
+inline thread_local int t_bypass_depth = 0;
+
+/// Deterministic busy wait. Spinning (not sleeping) keeps sub-millisecond
+/// injected latencies meaningful and avoids scheduler jitter in the chaos
+/// suite's timing-free assertions.
+inline void spin_for_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// One consultation: observer, delay draw, fail draw. Returns whether the
+/// operation must fail. `allow_fail` is false on the dispatch path.
+inline bool consult(OpClass c, std::size_t rank, bool allow_fail) {
+  PlanState& st = plan_state();
+  const std::size_t ci = static_cast<std::size_t>(c);
+  const OpRule& rule = st.plan.rules[ci];
+  if (st.plan.observer) st.plan.observer(c, rank);
+  if (rule.fail_prob <= 0.0 && rule.delay_prob <= 0.0) return false;
+  const std::size_t slot = rank < kMaxRanks ? rank : kMaxRanks - 1;
+  const std::uint64_t k = st.seq[slot][ci].fetch_add(1);
+  // Stream seed mixes (plan seed, rank, class); position k selects the
+  // draw. Pure function of (seed, rank, class, k) — the determinism
+  // contract in the header comment.
+  const std::uint64_t stream =
+      mix64(st.plan.seed ^ (static_cast<std::uint64_t>(slot) << 32) ^
+            static_cast<std::uint64_t>(ci));
+  const std::uint64_t h = mix64(stream + (k + 1) * 0x9e3779b97f4a7c15ULL);
+  if (rule.delay_prob > 0.0 && to_unit(h) < rule.delay_prob) {
+    double mult = 1.0;
+    if (rank < st.plan.straggler.size()) mult = st.plan.straggler[rank];
+    st.delays[ci].fetch_add(1);
+    MF_TRACE_INSTANT("fault", "delay");
+    spin_for_ns(
+        static_cast<std::uint64_t>(static_cast<double>(rule.delay_ns) * mult));
+  }
+  if (!allow_fail || rule.fail_prob <= 0.0) return false;
+  return to_unit(mix64(h ^ 0xd1b54a32d192ed03ULL)) < rule.fail_prob;
+}
+
+}  // namespace detail
+
+/// True while a plan is installed. The cost of a cold injection site.
+inline bool active() {
+  return detail::g_fault_active.load(std::memory_order_acquire);
+}
+
+/// Installs `plan` process-wide and zeroes the fault counters. Requires
+/// quiescence (no thread inside an injection site).
+void install(const FaultPlan& plan);
+
+/// Uninstalls the plan, publishing the fault counters to the obs metrics
+/// registry ("fault.<class>.<kind>" counters in the run report; zero
+/// counts are skipped, so an all-quiet run stays clean). Requires
+/// quiescence. No-op when nothing is installed.
+void clear();
+
+/// Snapshot of the counters accumulated since the last install().
+FaultStats stats();
+
+/// Consults the plan for one operation by `rank`: applies any injected
+/// delay inline and throws CommError on an injected transient failure.
+/// No-op (one load + branch) without a plan or under a BypassGuard.
+inline void inject(OpClass c, std::size_t rank) {
+  if (!active() || detail::t_bypass_depth > 0) return;
+  if (detail::consult(c, rank, /*allow_fail=*/true)) {
+    detail::plan_state().injected[static_cast<std::size_t>(c)].fetch_add(1);
+    MF_TRACE_INSTANT("fault", "inject");
+    throw CommError(c, rank);
+  }
+}
+
+/// Delay-only consultation for ThreadPool dispatch (worker threads carry
+/// no rank; the dispatch stream is global).
+inline void dispatch_delay() {
+  if (!active() || detail::t_bypass_depth > 0) return;
+  detail::consult(OpClass::kDispatch, 0, /*allow_fail=*/false);
+}
+
+/// RAII suppression of injection on this thread: the recovery channel the
+/// fallback path uses to re-issue an exhausted operation fault-free (the
+/// "owner-direct" transfer a real runtime would fall back to).
+class BypassGuard {
+ public:
+  BypassGuard() { ++detail::t_bypass_depth; }
+  ~BypassGuard() { --detail::t_bypass_depth; }
+  BypassGuard(const BypassGuard&) = delete;
+  BypassGuard& operator=(const BypassGuard&) = delete;
+};
+
+/// Runs `fn` with the plan's bounded retry budget: on CommError, backs off
+/// (exponential, from backoff_base_ns) and retries. Returns true when `fn`
+/// completed; false when the budget was exhausted (the caller degrades —
+/// e.g. a thief skips the victim this scan). Without a plan, runs `fn`
+/// once with zero overhead.
+template <typename Fn>
+bool try_with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
+  if (!active()) {
+    fn();
+    return true;
+  }
+  detail::PlanState& st = detail::plan_state();
+  const std::uint32_t budget = st.plan.retry_budget;
+  const std::size_t ci = static_cast<std::size_t>(c);
+  std::uint64_t backoff = st.plan.backoff_base_ns;
+  // Bounded by the plan's retry budget — the contract tools/lint's
+  // bounded-retry rule enforces on every CommError retry loop.
+  for (std::uint32_t attempt = 0; attempt <= budget; ++attempt) {
+    try {
+      fn();
+      return true;
+    } catch (const CommError&) {
+      if (attempt == budget) break;
+      st.retries[ci].fetch_add(1);
+      MF_TRACE_INSTANT("fault", "retry");
+      detail::spin_for_ns(backoff);
+      backoff *= 2;
+    }
+  }
+  st.exhausted[ci].fetch_add(1);
+  MF_TRACE_INSTANT("fault", "exhausted");
+  return false;
+}
+
+/// try_with_retry, then the graceful-degradation contract for data
+/// operations: an exhausted budget falls back to re-issuing `fn` once with
+/// injection bypassed (the owner-direct path), which always succeeds —
+/// faults perturb timing, never the result.
+template <typename Fn>
+void with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
+  if (try_with_retry(c, rank, fn)) return;
+  detail::plan_state().fallbacks[static_cast<std::size_t>(c)].fetch_add(1);
+  MF_TRACE_INSTANT("fault", "fallback");
+  BypassGuard bypass;
+  fn();
+}
+
+}  // namespace mf::fault

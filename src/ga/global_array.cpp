@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -96,6 +97,9 @@ void GlobalArray::for_each_intersection(std::size_t r0, std::size_t r1,
 
 void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, double* out) {
+  // Fault consultation precedes any transfer: an injected failure means
+  // the one-sided op never happened, so callers can re-issue it whole.
+  fault::inject(fault::OpClass::kGet, caller);
   const std::size_t ld = c1 - c0;
   for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
                                             std::size_t br0, std::size_t br1,
@@ -121,6 +125,7 @@ void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
 
 void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, const double* in) {
+  fault::inject(fault::OpClass::kPut, caller);
   const std::size_t ld = c1 - c0;
   for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
                                             std::size_t br0, std::size_t br1,
@@ -143,6 +148,7 @@ void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
 void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, const double* in,
                       double alpha) {
+  fault::inject(fault::OpClass::kAcc, caller);
   const std::size_t ld = c1 - c0;
   for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
                                             std::size_t br0, std::size_t br1,
@@ -229,6 +235,10 @@ GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
     : owner_(owner_rank), value_(initial), stats_(nranks) {}
 
 long GlobalCounter::fetch_add(std::size_t caller, long delta) {
+  // Before the metrics record and the increment: an injected failure
+  // leaves the counter untouched, so a retried NGA_Read_inc claims the
+  // same task it would have claimed on the first attempt.
+  fault::inject(fault::OpClass::kRmw, caller);
   record_op_metrics('r', sizeof(long));
   MutexLock lock(mutex_);
   const long old = value_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 
-// Only the header-inline emission path of obs/trace.h is used here, so
-// mf_util keeps zero link dependencies (mf_obs links mf_util, not vice
-// versa).
+// Only the header-inline emission path of obs/trace.h — and likewise the
+// header-inline consultation path of fault/fault.h — is used here, so
+// mf_util keeps zero link dependencies (mf_obs and mf_fault link mf_util,
+// not vice versa).
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace mf {
@@ -54,6 +56,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    // Delay-only fault consultation: a straggling dispatch models a slow
+    // worker; dispatch never fails (the task was already dequeued).
+    fault::dispatch_delay();
     task();
     {
       MutexLock lock(mutex_);

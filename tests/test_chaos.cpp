@@ -1,0 +1,442 @@
+// Chaos/differential suite for the deterministic fault-injection layer
+// (src/fault/). The paper's central claim is that the decentralized design
+// stays correct when processes run at wildly different speeds; here the
+// simulated comm stack actively misbehaves — seeded delays, transient
+// CommError failures, straggler ranks — and both builders must still match
+// the serial oracle to 1e-10 on every schedule. Faults may perturb timing
+// and communication counts, never the Fock matrix.
+//
+// The Release lane runs the full matrix (>= 50 seeded schedules); the TSan
+// lane runs a reduced matrix of the same tests so the retry/fallback paths
+// are also race-hunted. Any failing schedule is reproducible from the seed
+// printed in its failure message alone (see README "Testing").
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/nwchem_fock.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/fock_serial.h"
+#include "core/shell_reorder.h"
+#include "eri/one_electron.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MF_CHAOS_TSAN 1
+#endif
+#if !defined(MF_CHAOS_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MF_CHAOS_TSAN 1
+#endif
+#endif
+#ifndef MF_CHAOS_TSAN
+#define MF_CHAOS_TSAN 0
+#endif
+
+namespace mf {
+namespace {
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+struct Fixture {
+  explicit Fixture(Molecule mol)
+      : basis(apply_reordering(Basis(mol, BasisLibrary::builtin("sto-3g")),
+                               {ReorderScheme::kCells, 5.0, 1})),
+        screening(basis, {1e-11, 1e-20, {}}),
+        h(core_hamiltonian(basis)),
+        d(random_density(basis.num_functions(), 77)),
+        reference(fock_serial(basis, screening, d, h)) {}
+
+  Basis basis;
+  ScreeningData screening;
+  Matrix h;
+  Matrix d;
+  Matrix reference;
+};
+
+const Fixture& fixture() {
+  // One oracle for the whole matrix: the schedules vary, the chemistry
+  // doesn't. Leaked so no destructor ordering races gtest teardown.
+  static const Fixture* fx = new Fixture(water_cluster(2, 5));
+  return *fx;
+}
+
+// A named fault intensity. "mild" exercises the retry path; "harsh" drives
+// budgets to exhaustion so the fallback path runs too.
+struct Intensity {
+  const char* name;
+  fault::FaultPlan plan;  // seed filled in per schedule
+};
+
+std::vector<Intensity> intensities() {
+  std::vector<Intensity> out(2);
+
+  out[0].name = "mild";
+  fault::FaultPlan& mild = out[0].plan;
+  for (fault::OpClass c : {fault::OpClass::kGet, fault::OpClass::kAcc,
+                           fault::OpClass::kRmw, fault::OpClass::kSteal}) {
+    mild.rule(c) = {0.05, 0.05, 2000};
+  }
+  mild.rule(fault::OpClass::kDispatch) = {0.0, 0.2, 2000};
+  mild.retry_budget = 3;
+  mild.backoff_base_ns = 500;
+
+  out[1].name = "harsh";
+  fault::FaultPlan& harsh = out[1].plan;
+  for (fault::OpClass c : {fault::OpClass::kGet, fault::OpClass::kAcc,
+                           fault::OpClass::kRmw, fault::OpClass::kSteal}) {
+    harsh.rule(c) = {0.30, 0.20, 5000};
+  }
+  harsh.rule(fault::OpClass::kDispatch) = {0.0, 0.3, 5000};
+  harsh.straggler = {1.0, 4.0, 1.0, 8.0};  // ranks 1 and 3 run slow
+  harsh.retry_budget = 2;  // exhaustion + fallback happen routinely
+  harsh.backoff_base_ns = 500;
+
+  return out;
+}
+
+std::vector<std::uint64_t> seeds() {
+  std::vector<std::uint64_t> out;
+  const std::size_t n = MF_CHAOS_TSAN ? 2 : 7;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(0x5eedULL + 1000 * i);
+  return out;
+}
+
+// One chaos schedule: install plan(seed), build, clear, check the oracle.
+// Returns the stats accumulated while the plan was active.
+template <typename BuildFn>
+fault::FaultStats run_schedule(const fault::FaultPlan& plan,
+                               std::uint64_t seed, const std::string& what,
+                               BuildFn&& build) {
+  fault::FaultPlan seeded = plan;
+  seeded.seed = seed;
+  fault::install(seeded);
+  const Matrix fock = build();
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_LT(max_abs_diff(fock, fixture().reference), 1e-10) << what;
+  return stats;
+}
+
+std::string schedule_name(const char* builder, const char* intensity,
+                          std::uint64_t seed, const std::string& config) {
+  return std::string(builder) + " " + config + " intensity=" + intensity +
+         " seed=" + std::to_string(seed);
+}
+
+TEST(Chaos, GtFockMatrixOfSeedsIntensitiesAndGrids) {
+  const Fixture& fx = fixture();
+  const std::pair<std::size_t, std::size_t> grids[] = {{1, 2}, {2, 2}};
+  std::size_t schedules = 0;
+  std::uint64_t injected = 0;
+  for (const Intensity& in : intensities()) {
+    for (std::uint64_t seed : seeds()) {
+      for (const auto& [rows, cols] : grids) {
+        GtFockOptions opts;
+        opts.grid = ProcessGrid(rows, cols);
+        opts.steal_fraction = 0.5;
+        const std::string what = schedule_name(
+            "gtfock", in.name, seed,
+            std::to_string(rows) + "x" + std::to_string(cols));
+        const fault::FaultStats stats =
+            run_schedule(in.plan, seed, what, [&] {
+              GtFockBuilder builder(fx.basis, fx.screening, opts);
+              return builder.build(fx.d, fx.h).fock;
+            });
+        injected += stats.total_injected();
+        ++schedules;
+      }
+    }
+  }
+  // The matrix actually injected faults (it is not vacuously green).
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(schedules, intensities().size() * seeds().size() * 2);
+}
+
+TEST(Chaos, NwchemMatrixOfSeedsIntensitiesAndRanks) {
+  const Fixture& fx = fixture();
+  std::size_t schedules = 0;
+  std::uint64_t injected = 0;
+  for (const Intensity& in : intensities()) {
+    for (std::uint64_t seed : seeds()) {
+      for (std::size_t nprocs : {2, 4}) {
+        NwchemOptions opts;
+        opts.nprocs = nprocs;
+        const std::string what = schedule_name("nwchem", in.name, seed,
+                                               "p=" + std::to_string(nprocs));
+        const fault::FaultStats stats =
+            run_schedule(in.plan, seed, what, [&] {
+              NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+              return builder.build(fx.d, fx.h).fock;
+            });
+        injected += stats.total_injected();
+        ++schedules;
+      }
+    }
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(schedules, intensities().size() * seeds().size() * 2);
+}
+
+TEST(Chaos, ReleaseMatrixCoversAtLeastFiftySchedules) {
+  // Acceptance floor: the two matrix tests above run >= 50 seeded
+  // schedules in Release (the TSan lane runs the reduced matrix).
+  const std::size_t total = intensities().size() * seeds().size() * 2 * 2;
+  if (MF_CHAOS_TSAN) {
+    GTEST_SKIP() << "reduced matrix under TSan (" << total << " schedules)";
+  }
+  EXPECT_GE(total, 50u);
+}
+
+TEST(Chaos, SameSeedReplayProducesIdenticalCounters) {
+  // The determinism contract (fault.h): with a deterministic per-rank
+  // operation schedule, a replayed seed injects identical faults. Work
+  // stealing is disabled so every rank's op sequence is schedule-free; the
+  // harsh plan still drives retries, exhaustion and fallbacks.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan = intensities()[1].plan;
+  plan.seed = 0xfeedULL;
+
+  auto one_run = [&] {
+    GtFockOptions opts;
+    opts.grid = ProcessGrid(2, 2);
+    opts.work_stealing = false;
+    fault::install(plan);
+    GtFockBuilder builder(fx.basis, fx.screening, opts);
+    const Matrix fock = builder.build(fx.d, fx.h).fock;
+    const fault::FaultStats stats = fault::stats();
+    fault::clear();
+    return std::make_pair(fock, stats);
+  };
+
+  const auto [fock1, s1] = one_run();
+  const auto [fock2, s2] = one_run();
+  EXPECT_GT(s1.total_injected(), 0u);
+  for (std::size_t c = 0; c < fault::kNumOpClasses; ++c) {
+    EXPECT_EQ(s1.injected[c], s2.injected[c]) << "class " << c;
+    EXPECT_EQ(s1.delays[c], s2.delays[c]) << "class " << c;
+    EXPECT_EQ(s1.retries[c], s2.retries[c]) << "class " << c;
+    EXPECT_EQ(s1.exhausted[c], s2.exhausted[c]) << "class " << c;
+    EXPECT_EQ(s1.fallbacks[c], s2.fallbacks[c]) << "class " << c;
+  }
+  // The counters are the replay contract; the Fock matrices can differ by
+  // FP reassociation (cross-rank acc flush order is scheduler-dependent
+  // even without stealing) but both stay within oracle tolerance.
+  EXPECT_LT(max_abs_diff(fock1, fock2), 1e-12);
+  EXPECT_LT(max_abs_diff(fock1, fx.reference), 1e-10);
+}
+
+TEST(Chaos, NwchemSingleRankReplayIsDeterministic) {
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan = intensities()[1].plan;
+  plan.seed = 0xabcdULL;
+
+  auto one_run = [&] {
+    NwchemOptions opts;
+    opts.nprocs = 1;
+    fault::install(plan);
+    NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+    const Matrix fock = builder.build(fx.d, fx.h).fock;
+    const fault::FaultStats stats = fault::stats();
+    fault::clear();
+    return std::make_pair(fock, stats);
+  };
+
+  const auto [fock1, s1] = one_run();
+  const auto [fock2, s2] = one_run();
+  EXPECT_GT(s1.total_injected(), 0u);
+  for (std::size_t c = 0; c < fault::kNumOpClasses; ++c) {
+    EXPECT_EQ(s1.injected[c], s2.injected[c]) << "class " << c;
+    EXPECT_EQ(s1.retries[c], s2.retries[c]) << "class " << c;
+    EXPECT_EQ(s1.fallbacks[c], s2.fallbacks[c]) << "class " << c;
+  }
+  EXPECT_EQ(max_abs_diff(fock1, fock2), 0.0);
+}
+
+TEST(Chaos, ExhaustedBudgetsFallBackAndStayCorrect) {
+  // fail_prob = 1 on every data class: every first attempt and every retry
+  // fails, so every operation exhausts its budget and completes through
+  // the bypassed owner-direct fallback. The build must still be exact.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.retry_budget = 1;
+  for (fault::OpClass c : {fault::OpClass::kGet, fault::OpClass::kAcc,
+                           fault::OpClass::kRmw, fault::OpClass::kSteal}) {
+    plan.rule(c).fail_prob = 1.0;
+  }
+
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  fault::install(plan);
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix fock = builder.build(fx.d, fx.h).fock;
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+
+  EXPECT_LT(max_abs_diff(fock, fx.reference), 1e-10);
+  const std::size_t get = static_cast<std::size_t>(fault::OpClass::kGet);
+  const std::size_t acc = static_cast<std::size_t>(fault::OpClass::kAcc);
+  EXPECT_GT(stats.exhausted[get], 0u);
+  EXPECT_GT(stats.exhausted[acc], 0u);
+  // Every exhaustion burned exactly retry_budget retries and ended in
+  // exactly one fallback re-issue.
+  EXPECT_EQ(stats.retries[get], stats.exhausted[get] * plan.retry_budget);
+  EXPECT_EQ(stats.fallbacks[get], stats.exhausted[get]);
+  EXPECT_EQ(stats.fallbacks[acc], stats.exhausted[acc]);
+}
+
+TEST(Chaos, ClearPublishesCountersToMetricsRegistry) {
+  const Fixture& fx = fixture();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.rule(fault::OpClass::kGet) = {1.0, 0.0, 0};
+  plan.retry_budget = 1;
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.nprocs = 2;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix fock = builder.build(fx.d, fx.h).fock;
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+
+  EXPECT_LT(max_abs_diff(fock, fx.reference), 1e-10);
+  EXPECT_GT(stats.total_injected(), 0u);
+  const std::size_t get = static_cast<std::size_t>(fault::OpClass::kGet);
+  EXPECT_EQ(reg.counter("fault.get.injected").value(), stats.injected[get]);
+  EXPECT_EQ(reg.counter("fault.get.retries").value(), stats.retries[get]);
+  EXPECT_EQ(reg.counter("fault.get.fallbacks").value(), stats.fallbacks[get]);
+  reg.reset();
+}
+
+TEST(Chaos, NoPlanMeansNoFaultCountsInRunReport) {
+  // Acceptance: with no FaultPlan installed the run report contains zero
+  // fault.* counts — injection sites must leave no trace at rest.
+  // (Registry instruments are never destroyed, so earlier tests may have
+  // materialized fault.* keys; the claim is that every one reads 0 and
+  // that a plan-free build touches no fault counter at all.)
+  const Fixture& fx = fixture();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  const fault::FaultStats before = fault::stats();
+  obs::set_metrics_enabled(true);
+  GtFockOptions opts;
+  opts.nprocs = 2;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix fock = builder.build(fx.d, fx.h).fock;
+  obs::set_metrics_enabled(false);
+  EXPECT_LT(max_abs_diff(fock, fx.reference), 1e-10);
+  const fault::FaultStats after = fault::stats();
+  for (std::size_t c = 0; c < fault::kNumOpClasses; ++c) {
+    EXPECT_EQ(before.injected[c], after.injected[c]) << "class " << c;
+    EXPECT_EQ(before.delays[c], after.delays[c]) << "class " << c;
+  }
+  for (const char* kind :
+       {"injected", "delays", "retries", "exhausted", "fallbacks"}) {
+    for (std::size_t c = 0; c < fault::kNumOpClasses; ++c) {
+      const std::string name =
+          std::string("fault.") +
+          fault::op_class_name(static_cast<fault::OpClass>(c)) + "." + kind;
+      EXPECT_EQ(reg.counter(name).value(), 0u) << name;
+    }
+  }
+  reg.reset();
+}
+
+TEST(Chaos, StragglerDelaysSlowARankWithoutChangingResults) {
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 99;
+  plan.rule(fault::OpClass::kGet) = {0.0, 1.0, 1000};
+  plan.rule(fault::OpClass::kAcc) = {0.0, 1.0, 1000};
+  plan.straggler = {1.0, 50.0};  // rank 1 is a 50x straggler
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(1, 2);
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix fock = builder.build(fx.d, fx.h).fock;
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_LT(max_abs_diff(fock, fx.reference), 1e-10);
+  const std::size_t get = static_cast<std::size_t>(fault::OpClass::kGet);
+  EXPECT_GT(stats.delays[get], 0u);
+  EXPECT_EQ(stats.total_injected(), 0u);  // delays only, no failures
+}
+
+TEST(Chaos, ThreadPoolDispatchDelayFires) {
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.rule(fault::OpClass::kDispatch) = {0.0, 1.0, 100};
+  fault::install(plan);
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_EQ(ran.load(), 32);
+  const std::size_t d = static_cast<std::size_t>(fault::OpClass::kDispatch);
+  EXPECT_EQ(stats.delays[d], 32u);
+}
+
+TEST(Chaos, ObserverHookSeesEveryConsultation) {
+  // The observer is the synchronization hook the deflaked stress tests use
+  // to gate ranks on each other's progress; it must fire on every consult,
+  // including ones that inject nothing.
+  const Fixture& fx = fixture();
+  auto counts =
+      std::make_shared<std::array<std::atomic<std::uint64_t>,
+                                  fault::kNumOpClasses>>();
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.observer = [counts](fault::OpClass c, std::size_t) {
+    (*counts)[static_cast<std::size_t>(c)].fetch_add(1);
+  };
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(1, 2);
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const Matrix fock = builder.build(fx.d, fx.h).fock;
+  fault::clear();
+  EXPECT_LT(max_abs_diff(fock, fx.reference), 1e-10);
+  EXPECT_GT((*counts)[static_cast<std::size_t>(fault::OpClass::kGet)].load(),
+            0u);
+  EXPECT_GT((*counts)[static_cast<std::size_t>(fault::OpClass::kAcc)].load(),
+            0u);
+}
+
+TEST(Chaos, CommErrorCarriesOpClassAndRank) {
+  const fault::CommError err(fault::OpClass::kGet, 3);
+  EXPECT_EQ(err.op(), fault::OpClass::kGet);
+  EXPECT_EQ(err.rank(), 3u);
+  EXPECT_NE(std::string(err.what()).find("get"), std::string::npos);
+  EXPECT_NE(std::string(err.what()).find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mf

@@ -42,6 +42,48 @@ TEST(Scf, WaterCcPvdzInKnownRange) {
   EXPECT_NEAR(r.energy, -76.027, 0.05);
 }
 
+// Golden-value regressions: converged RHF totals locked to what this
+// implementation produces under tight convergence, asserted to 1e-8 so
+// ERI/builder refactors cannot silently drift energies. (The literature-
+// range tests above pin absolute correctness; these pin stability.) If a
+// deliberate numerics change moves them, re-derive with energy_tolerance
+// 1e-12 / density_tolerance 1e-9 and update the constants.
+ScfOptions golden_options() {
+  ScfOptions opts;
+  opts.energy_tolerance = 1e-12;
+  opts.density_tolerance = 1e-9;
+  opts.max_iterations = 200;
+  return opts;
+}
+
+TEST(Scf, GoldenH2Sto3g) {
+  const Basis basis(h2(1.4), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis, golden_options());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -1.116714325063, 1e-8);
+}
+
+TEST(Scf, GoldenWaterSto3g) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis, golden_options());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -74.962928236471, 1e-8);
+}
+
+TEST(Scf, GoldenMethaneSto3g) {
+  const Basis basis(methane(), BasisLibrary::builtin("sto-3g"));
+  const ScfResult r = run_hf(basis, golden_options());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -39.726743335632, 1e-8);
+}
+
+TEST(Scf, GoldenWater631g) {
+  const Basis basis(water(), BasisLibrary::builtin("6-31g"));
+  const ScfResult r = run_hf(basis, golden_options());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -75.983997477163, 1e-8);
+}
+
 TEST(Scf, BiggerBasisIsVariationallyLower) {
   const Molecule mol = water();
   const ScfResult small = run_hf(Basis(mol, BasisLibrary::builtin("sto-3g")));

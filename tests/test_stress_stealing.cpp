@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -25,12 +26,35 @@
 #include "core/shell_reorder.h"
 #include "core/symmetry.h"
 #include "eri/one_electron.h"
+#include "fault/fault.h"
 #include "ga/distribution.h"
 #include "ga/global_array.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MF_STRESS_TSAN 1
+#endif
+#if !defined(MF_STRESS_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MF_STRESS_TSAN 1
+#endif
+#endif
+#ifndef MF_STRESS_TSAN
+#define MF_STRESS_TSAN 0
+#endif
 
 namespace mf {
 namespace {
+
+// TSan instrumentation costs ~10x; the sanitizer lane runs fewer
+// repetitions of the same assertions so the suite cannot time out. The
+// interleaving coverage it loses to fewer reps it regains from TSan's
+// scheduler perturbation.
+constexpr int stress_reps(int release_reps, int tsan_reps) {
+  return MF_STRESS_TSAN ? tsan_reps : release_reps;
+}
 
 Matrix random_density(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -112,7 +136,7 @@ TEST(StressStealing, RepeatedRunsStayCorrectUnderContention) {
   GtFockOptions opts;
   opts.grid = ProcessGrid(3, 3);
   opts.steal_fraction = 0.5;
-  for (int run = 0; run < 8; ++run) {
+  for (int run = 0; run < stress_reps(8, 4); ++run) {
     const std::string what = "run " + std::to_string(run);
     run_checked(fx, opts, what.c_str());
   }
@@ -140,7 +164,7 @@ TEST(StressStealing, TinyBlocksManyThieves) {
   Fixture fx(h2(), "sto-3g", 1e-12);
   GtFockOptions opts;
   opts.grid = ProcessGrid(3, 3);
-  for (int run = 0; run < 25; ++run) {
+  for (int run = 0; run < stress_reps(25, 8); ++run) {
     const std::string what = "run " + std::to_string(run);
     run_checked(fx, opts, what.c_str());
   }
@@ -153,7 +177,7 @@ TEST(StressStealing, FullQueueRaidsWithFractionOne) {
   GtFockOptions opts;
   opts.grid = ProcessGrid(4, 4);
   opts.steal_fraction = 1.0;
-  for (int run = 0; run < 6; ++run) {
+  for (int run = 0; run < stress_reps(6, 3); ++run) {
     const std::string what = "run " + std::to_string(run);
     run_checked(fx, opts, what.c_str());
   }
@@ -183,7 +207,7 @@ TEST(StressStealing, GlobalArrayGetAccOverlap) {
   GlobalArray ga(gtfock_distribution(basis, grid));
   const std::size_t rows = ga.rows(), cols = ga.cols();
 
-  const int sweeps = 40;
+  const int sweeps = stress_reps(40, 15);
   std::vector<double> ones(rows * cols, 1.0);
   std::vector<std::thread> threads;
   for (std::size_t w = 0; w < 2; ++w) {
@@ -213,6 +237,59 @@ TEST(StressStealing, GlobalArrayGetAccOverlap) {
   // Per-caller call accounting survived the contention.
   EXPECT_EQ(ga.stats()[2].get_calls, ga.stats()[3].get_calls);
   EXPECT_GT(ga.stats()[0].acc_calls, 0u);
+}
+
+TEST(StressStealing, ObserverGateGuaranteesStealsAreExercised) {
+  // Deflaked non-vacuity check: the other stress tests rely on scheduler
+  // luck for steals to actually happen, so under an unlucky (or TSan-
+  // serialized) schedule their steal-path assertions can pass vacuously.
+  // Here the fault layer's observer hook is used as a pure synchronization
+  // gate (no failures, no delays, no wall-clock): the victim rank blocks
+  // inside its first prefetch consultation until the thief has reached its
+  // first steal consultation, at which point the victim's queue is still
+  // fully populated — so the fraction-1.0 raid finds work. The outer loop
+  // is a bounded counter-based fallback for the residual window between
+  // the thief's consultation and its queue lock; in practice attempt 0
+  // steals.
+  Fixture fx(water_cluster(2, 7));
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(1, 2);
+  opts.steal_fraction = 1.0;
+
+  struct Gate {
+    Mutex mutex;
+    CondVar cv;
+    bool victim_started MF_GUARDED_BY(mutex) = false;
+    bool thief_arrived MF_GUARDED_BY(mutex) = false;
+  };
+
+  std::uint64_t stolen = 0;
+  const int max_attempts = 20;
+  for (int attempt = 0; attempt < max_attempts && stolen == 0; ++attempt) {
+    auto gate = std::make_shared<Gate>();
+    fault::FaultPlan plan;  // all probabilities zero: observer-only
+    plan.seed = 1;
+    plan.observer = [gate](fault::OpClass c, std::size_t rank) {
+      MutexLock lock(gate->mutex);
+      if (c == fault::OpClass::kSteal && rank == 1) {
+        gate->thief_arrived = true;
+        gate->cv.notify_all();
+      } else if (c == fault::OpClass::kGet && rank == 0 &&
+                 !gate->victim_started) {
+        gate->victim_started = true;
+        // Rank 1 always reaches a steal consultation: its own queue
+        // drains while rank 0 is parked here, and the steal scan probes
+        // rank 0 unconditionally — so this wait cannot deadlock.
+        while (!gate->thief_arrived) gate->cv.wait(gate->mutex);
+      }
+    };
+    fault::install(plan);
+    const GtFockResult result =
+        run_checked(fx, opts, ("gated attempt " + std::to_string(attempt)).c_str());
+    fault::clear();
+    for (const auto& r : result.ranks) stolen += r.tasks_stolen;
+  }
+  EXPECT_GT(stolen, 0u);
 }
 
 TEST(StressStealing, StealingDisabledMatchesLedgerExactly) {

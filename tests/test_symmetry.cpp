@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "core/symmetry.h"
+#include "util/rng.h"
 
 namespace mf {
 namespace {
@@ -95,6 +98,61 @@ TEST(Symmetry, DegeneracyEqualsOrbitSize) {
         }
       }
     }
+  }
+}
+
+// Property-based sweep over randomized grid sizes: the partitioning
+// property the whole scheduler rests on. A task (M,N) claims quartet
+// (M,P,N,Q) iff unique_quartet passes; over the full task grid every
+// 8-fold symmetry class must be claimed exactly once, only live
+// (symmetry_check-canonical) tasks may claim anything, and the number of
+// live tasks must match the closed-form live_task_count.
+TEST(Symmetry, PropertyRandomizedGridsClaimEveryQuartetExactlyOnce) {
+  Rng rng(2026);
+  std::vector<std::size_t> sizes = {1, 2, 64};  // boundaries of [1, 64]
+  while (sizes.size() < 9) {
+    sizes.push_back(1 + static_cast<std::size_t>(rng.uniform_int(64)));
+  }
+  for (const std::size_t n : sizes) {
+    std::uint64_t live = 0;
+    for (std::size_t m = 0; m < n; ++m) {
+      for (std::size_t nn = 0; nn < n; ++nn) {
+        if (symmetry_check(m, nn)) ++live;
+      }
+    }
+    EXPECT_EQ(live, live_task_count(n)) << "nshells=" << n;
+
+    // claims[k] counts how often the class with canonical key k was
+    // claimed; a flat index keeps the n=64 case (16.7M quartets) cheap.
+    std::vector<std::uint8_t> claims(n * n * n * n, 0);
+    std::uint64_t dead_claims = 0;
+    for (std::size_t m = 0; m < n; ++m) {
+      for (std::size_t nn = 0; nn < n; ++nn) {
+        const bool live_task = symmetry_check(m, nn);
+        for (std::size_t p = 0; p < n; ++p) {
+          for (std::size_t q = 0; q < n; ++q) {
+            if (!unique_quartet(m, p, nn, q)) continue;
+            if (!live_task) {
+              ++dead_claims;
+              continue;
+            }
+            const std::array<std::size_t, 4> k = class_key(m, p, nn, q);
+            ++claims[((k[0] * n + k[1]) * n + k[2]) * n + k[3]];
+          }
+        }
+      }
+    }
+    EXPECT_EQ(dead_claims, 0u) << "nshells=" << n;
+
+    std::uint64_t classes = 0;
+    std::uint64_t multiply_claimed = 0;
+    for (const std::uint8_t c : claims) {
+      if (c > 0) ++classes;
+      if (c > 1) ++multiply_claimed;
+    }
+    EXPECT_EQ(multiply_claimed, 0u) << "nshells=" << n;
+    const std::uint64_t npairs = n * (n + 1) / 2;
+    EXPECT_EQ(classes, npairs * (npairs + 1) / 2) << "nshells=" << n;
   }
 }
 

@@ -33,6 +33,14 @@ phase-markers      Fock-builder entry points carry the paper's phase
                    runtime counterpart: an MF_TRACE_SPAN("phase", "<name>")
                    span (obs/trace.h) per marker, so the Chrome trace shows
                    the same phases the comments promise.
+bounded-retry      Every `catch (... CommError ...)` retry site sits inside
+                   a visibly bounded loop: a `for` header naming both the
+                   attempt counter and its budget within the preceding
+                   lines (the fault layer's with_retry shape). Unbounded
+                   `while (true)`/`for (;;)` retries around injected comm
+                   failures would hang the chaos lane instead of exercising
+                   the exhaustion/fallback path. Waivable per site with
+                   `lint: bounded-retry(<reason>)`.
 tu-coverage        Every .cpp under src/ appears in compile_commands.json:
                    a TU that is not compiled is a TU the clang-tidy and
                    thread-safety lanes silently skip.
@@ -69,6 +77,12 @@ RELAXED_RE = re.compile(r"memory_order_relaxed")
 RELAXED_OK_RE = re.compile(r"relaxed-ok:")
 PHASE_MARKER_RE = re.compile(r"phase:\s*(\w+)")
 PHASE_SPAN_RE = re.compile(r'MF_TRACE_SPAN\(\s*"phase"\s*,\s*"(\w+)"\s*\)')
+COMM_ERROR_CATCH_RE = re.compile(r"catch\s*\([^)]*\bCommError\b")
+# A bounded retry loop header: the attempt counter is compared against a
+# budget/retry bound inside one for-header (fault.h's with_retry shape).
+BOUNDED_RETRY_FOR_RE = re.compile(
+    r"for\s*\([^)]*\battempt\b[^)]*(?:budget|retr|attempts)[^)]*\)")
+BOUNDED_RETRY_WAIVER_RE = re.compile(r"lint:\s*bounded-retry\(([^)]+)\)")
 
 # Entry points that must carry phase markers. "ordered" demands the first
 # occurrences appear in the listed sequence (the threaded builder really is
@@ -140,6 +154,17 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                 findings.append((rel, i + 1, "relaxed-order",
                                  "memory_order_relaxed without a "
                                  "`relaxed-ok:` justification comment"))
+        if COMM_ERROR_CATCH_RE.search(code):
+            lo = max(0, i - 15)
+            window = "\n".join(lines[lo:i + 1])
+            if not (BOUNDED_RETRY_FOR_RE.search(window)
+                    or BOUNDED_RETRY_WAIVER_RE.search(window)):
+                findings.append((rel, i + 1, "bounded-retry",
+                                 "CommError caught outside a visibly bounded "
+                                 "retry loop (`for (... attempt ... budget "
+                                 "...)`); unbounded retries would hang under "
+                                 "injected faults — bound the loop or waive "
+                                 "with `lint: bounded-retry(<reason>)`"))
     rule = PHASE_RULES.get(rel)
     if rule is not None:
         first = {}   # earliest marker of either kind, for ordering
@@ -237,6 +262,43 @@ struct Good {
 """
 
 
+SELF_TEST_RETRY_BAD = """\
+void f() {
+  for (;;) {
+    try {
+      op();
+      break;
+    } catch (const fault::CommError&) {
+    }
+  }
+}
+"""
+
+SELF_TEST_RETRY_GOOD = """\
+bool f(unsigned budget) {
+  for (unsigned attempt = 0; attempt <= budget; ++attempt) {
+    try {
+      op();
+      return true;
+    } catch (const fault::CommError&) {
+    }
+  }
+  return false;
+}
+bool g() {
+  // lint: bounded-retry(caller enforces a deadline on this loop)
+  while (keep_going()) {
+    try {
+      op();
+      return true;
+    } catch (const fault::CommError&) {
+    }
+  }
+  return false;
+}
+"""
+
+
 def self_test() -> int:
     bad = lint_file("src/fake/bad.h", SELF_TEST_BAD)
     bad_rules = {f[2] for f in bad}
@@ -281,6 +343,17 @@ def self_test() -> int:
         ok = False
     if lint_file("src/core/gtfock_sim.cpp", comments_only):
         print("self-test FAILED: comment-only simulator snippet was flagged")
+        ok = False
+    # bounded-retry: an unbounded CommError retry loop must be flagged; the
+    # budgeted for-loop and the waived while-loop must both pass.
+    retry_bad = lint_file("src/fake/retry_bad.cpp", SELF_TEST_RETRY_BAD)
+    if not any(f[2] == "bounded-retry" for f in retry_bad):
+        print("self-test FAILED: bounded-retry did not fire on for(;;) retry")
+        ok = False
+    retry_good = lint_file("src/fake/retry_good.cpp", SELF_TEST_RETRY_GOOD)
+    if any(f[2] == "bounded-retry" for f in retry_good):
+        print("self-test FAILED: bounded-retry flagged budgeted/waived loops: "
+              f"{retry_good}")
         ok = False
     # tu-coverage: a compile_commands.json that misses a TU must be flagged.
     with tempfile.TemporaryDirectory() as tmp:
