@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +23,7 @@
 #include "chem/molecule_builders.h"
 #include "core/symmetry.h"
 #include "eri/boys.h"
+#include "eri/eri_batch.h"
 #include "eri/eri_engine.h"
 #include "eri/one_electron.h"
 #include "eri/screening.h"
@@ -94,6 +96,34 @@ void BM_EriQuartetPair(benchmark::State& state) {
       static_cast<std::int64_t>(engine.integrals_computed()));
 }
 BENCHMARK(BM_EriQuartetPair)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
+
+// The batched path on the same bra with a span of 16 kets per class —
+// the shape the Fock task loops hand the engine. Items processed counts
+// integrals, so per-integral throughput is directly comparable to the
+// two benchmarks above.
+void BM_EriBatch(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const ShellPairData bra(bench_shell(l, 1.3, {0, 0, 0}),
+                          bench_shell(l, 0.9, {0.5, 0.4, 0}), thr);
+  constexpr std::size_t kNket = 16;
+  std::vector<ShellPairData> kets;
+  std::vector<const ShellPairData*> ptrs;
+  for (std::size_t i = 0; i < kNket; ++i) {
+    const double off = 0.15 * static_cast<double>(i);
+    kets.emplace_back(bench_shell(l, 1.1, {0, 0.8 + off, 0.3}),
+                      bench_shell(l, 0.7, {0.6, off, 0.9}), thr);
+  }
+  for (const ShellPairData& k : kets) ptrs.push_back(&k);
+  for (auto _ : state) {
+    engine.compute_batch(bra, ptrs.data(), ptrs.size());
+    benchmark::DoNotOptimize(engine.batch_sph(0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(engine.integrals_computed()));
+}
+BENCHMARK(BM_EriBatch)->Arg(0)->Arg(1)->Arg(2)->ArgName("l");
 
 // The observability overhead contract (DESIGN.md, "Observability"): with
 // the runtime gate off, a span + instant around the hot quartet kernel
@@ -253,6 +283,7 @@ BENCHMARK(BM_McWeenyStep)->Arg(128);
 // ---------------------------------------------------------------------------
 
 struct TintRow {
+  const char* path = "";  // "legacy" | "pair" | "batched"
   bool pair_cache = false;
   double seconds = 0.0;
   double t_int_us = 0.0;
@@ -335,18 +366,64 @@ int emit_tint_json() {
     }
     return best;
   };
+  // The batched path sees the same quartets regrouped the way the Fock task
+  // loops deliver them: one bra pair, its kets bucketed per angular-momentum
+  // class. The stable sort by bra is enumeration-order preprocessing (the
+  // task loops get this grouping for free); the KetBatcher fill and class
+  // dispatch are part of the timed per-quartet cost.
+  std::vector<Quartet> by_bra = quartets;
+  std::stable_sort(by_bra.begin(), by_bra.end(),
+                   [](const Quartet& a, const Quartet& b) {
+                     return a.m != b.m ? a.m < b.m : a.k_mp < b.k_mp;
+                   });
+  auto time_batched = [&] {
+    KetBatcher batcher;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer timer;
+      std::size_t b = 0;
+      while (b < by_bra.size()) {
+        std::size_t e = b;
+        while (e < by_bra.size() && by_bra[e].m == by_bra[b].m &&
+               by_bra[e].k_mp == by_bra[b].k_mp) {
+          ++e;
+        }
+        const ShellPairData& bra = list.pair_at(by_bra[b].m, by_bra[b].k_mp);
+        batcher.clear();
+        for (std::size_t i = b; i < e; ++i) {
+          batcher.add(&list.pair_at(by_bra[i].n, by_bra[i].k_nq), 0);
+        }
+        batcher.for_each_class([&](const ShellPairData* const* kets,
+                                   const std::uint32_t*, std::size_t nk) {
+          engine.compute_batch(bra, kets, nk);
+          sink += engine.batch_sph(0)[0];
+        });
+        b = e;
+      }
+      best = std::min(best, timer.seconds());
+    }
+    return best;
+  };
 
   const double nq = static_cast<double>(quartets.size());
-  TintRow off, on;
+  TintRow off, on, batched;
+  off.path = "legacy";
   off.pair_cache = false;
   off.seconds = time_legacy();
   off.t_int_us = off.seconds / nq * 1e6;
   off.quartets_per_s = nq / off.seconds;
+  on.path = "pair";
   on.pair_cache = true;
   on.seconds = time_pair();
   on.t_int_us = on.seconds / nq * 1e6;
   on.quartets_per_s = nq / on.seconds;
+  batched.path = "batched";
+  batched.pair_cache = true;
+  batched.seconds = time_batched();
+  batched.t_int_us = batched.seconds / nq * 1e6;
+  batched.quartets_per_s = nq / batched.seconds;
   const double speedup = off.t_int_us / on.t_int_us;
+  const double speedup_batched = on.t_int_us / batched.t_int_us;
 
   const char* env = std::getenv("MINIFOCK_TINT_JSON");
   const std::string path = env != nullptr ? env : "BENCH_tint.json";
@@ -360,24 +437,27 @@ int emit_tint_json() {
   std::fprintf(f, "  \"tau\": %.3e,\n", screening.tau());
   std::fprintf(f, "  \"quartets\": %zu,\n", quartets.size());
   std::fprintf(f, "  \"results\": [\n");
-  for (const TintRow* row : {&off, &on}) {
+  const TintRow* rows[] = {&off, &on, &batched};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const TintRow* row = rows[i];
     std::fprintf(f,
-                 "    {\"pair_cache\": %s, \"seconds\": %.6e, "
-                 "\"t_int_us\": %.6f, \"quartets_per_s\": %.1f}%s\n",
-                 row->pair_cache ? "true" : "false", row->seconds,
-                 row->t_int_us, row->quartets_per_s,
-                 row->pair_cache ? "" : ",");
+                 "    {\"path\": \"%s\", \"pair_cache\": %s, "
+                 "\"seconds\": %.6e, \"t_int_us\": %.6f, "
+                 "\"quartets_per_s\": %.1f}%s\n",
+                 row->path, row->pair_cache ? "true" : "false", row->seconds,
+                 row->t_int_us, row->quartets_per_s, i + 1 < 3 ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_t_int\": %.4f\n", speedup);
+  std::fprintf(f, "  \"speedup_t_int\": %.4f,\n", speedup);
+  std::fprintf(f, "  \"speedup_batched\": %.4f\n", speedup_batched);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
   std::printf(
-      "t_int (%s, %zu quartets): legacy %.3f us, pair cache %.3f us, "
-      "speedup %.2fx -> %s\n",
+      "t_int (%s, %zu quartets): legacy %.3f us, pair cache %.3f us "
+      "(%.2fx), batched %.3f us (%.2fx vs pair) -> %s\n",
       workload.c_str(), quartets.size(), off.t_int_us, on.t_int_us, speedup,
-      path.c_str());
+      batched.t_int_us, speedup_batched, path.c_str());
   // Keep the accumulated integrals observable so the timed loops cannot
   // be discarded.
   if (sink == -1.0) std::printf("%f\n", sink);

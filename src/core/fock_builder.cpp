@@ -6,8 +6,10 @@
 #include <thread>
 #include <utility>
 
+#include "core/fock_task.h"
 #include "core/fock_update.h"
 #include "core/symmetry.h"
+#include "eri/eri_batch.h"
 #include "eri/shell_pair.h"
 #include "fault/fault.h"
 #include "ga/comm_stats.h"
@@ -303,42 +305,31 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
 
     EriEngine engine(options_.eri);
     // The pair list is immutable and shared read-only by every rank thread;
-    // the resolvers (transient fallback for cache-restored screenings) are
-    // engine-local.
+    // the bra resolver and ket batcher (transient fallback for
+    // cache-restored screenings) are engine-local.
     const ShellPairList* pair_list =
         screening_.has_pairs() ? &screening_.pairs() : nullptr;
     PairResolver bra_pairs(basis_, pair_list,
                            options_.eri.primitive_threshold);
-    PairResolver ket_pairs(basis_, pair_list,
-                           options_.eri.primitive_threshold);
+    KetBatcher batcher;
 
     auto dotask = [&](const Task& task, const BlockFootprint& fp,
                       const double* d_buf, double* w_buf) {
       // Algorithm 3 with the loop order inverted to iterate only over the
-      // significant sets.
+      // significant sets, batched per bra pair and ket class.
       const std::size_t m = task.m, n = task.n;
       // Queues are populated with canonical tasks only; this guard is
       // defense-in-depth against a future caller enqueuing the dead half.
       if (!symmetry_check(m, n)) return;
       LocalCtx ctx{d_buf, w_buf, fp.func_local.data(), fp.num_functions};
-      const auto& phi_m = screening_.significant_set(m);
-      const auto& phi_n = screening_.significant_set(n);
-      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
-        const std::uint32_t pp = phi_m[kp];
-        if (!symmetry_check(m, pp)) continue;
-        const double pv_mp = screening_.pair_value(m, pp);
-        // Bra pair (M, P) hoisted out of the ket loop.
-        const ShellPairData& bra = bra_pairs.at(m, kp, pp);
-        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
-          const std::uint32_t qq = phi_n[kq];
-          if (!unique_quartet(m, pp, n, qq)) continue;
-          if (pv_mp * screening_.pair_value(n, qq) < screening_.tau()) continue;
-          const std::vector<double>& eri =
-              engine.compute(bra, ket_pairs.at(n, kq, qq));
-          apply_quartet_update(basis_, m, pp, n, qq, eri,
-                               quartet_degeneracy(m, pp, n, qq), ctx);
-        }
-      }
+      run_task_batched(
+          basis_, screening_, pair_list, options_.eri.primitive_threshold, m,
+          n, bra_pairs, batcher, engine,
+          [&](std::size_t mm, std::size_t pp, std::size_t nn, std::size_t qq,
+              const double* eri, std::size_t eri_size) {
+            apply_quartet_update(basis_, mm, pp, nn, qq, eri, eri_size,
+                                 quartet_degeneracy(mm, pp, nn, qq), ctx);
+          });
     };
 
     // phase: compute — drain the local queue (Algorithm 4 lines 5-8).

@@ -1,7 +1,9 @@
 #include "core/fock_serial.h"
 
+#include "core/fock_task.h"
 #include "core/fock_update.h"
 #include "core/symmetry.h"
+#include "eri/eri_batch.h"
 #include "eri/shell_pair.h"
 #include "util/timer.h"
 
@@ -65,31 +67,22 @@ Matrix fock_serial(const Basis& basis, const ScreeningData& screening,
   const ShellPairList* pair_list =
       screening.has_pairs() ? &screening.pairs() : nullptr;
   PairResolver bra_pairs(basis, pair_list, eri_options.primitive_threshold);
-  PairResolver ket_pairs(basis, pair_list, eri_options.primitive_threshold);
+  KetBatcher batcher;
 
   // The paper's enumeration: tasks (M,:|N,:) over the full shell grid,
-  // quartets (M P | N Q) kept when unique and unscreened.
+  // quartets (M P | N Q) kept when unique and unscreened; the ket side of
+  // each bra pair runs through the class-batched engine path.
   for (std::size_t m = 0; m < nshell; ++m) {
-    const auto& phi_m = screening.significant_set(m);
     for (std::size_t n = 0; n < nshell; ++n) {
       if (!symmetry_check(m, n) && m != n) continue;  // fast skip: see below
-      const auto& phi_n = screening.significant_set(n);
-      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
-        const std::uint32_t p = phi_m[kp];
-        if (!symmetry_check(m, p)) continue;
-        const double pv_mp = screening.pair_value(m, p);
-        // The bra pair (M, P) is invariant across the whole ket loop.
-        const ShellPairData& bra = bra_pairs.at(m, kp, p);
-        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
-          const std::uint32_t q = phi_n[kq];
-          if (!unique_quartet(m, p, n, q)) continue;
-          if (pv_mp * screening.pair_value(n, q) < screening.tau()) continue;
-          const std::vector<double>& eri =
-              engine.compute(bra, ket_pairs.at(n, kq, q));
-          apply_quartet_update(basis, m, p, n, q, eri,
-                               quartet_degeneracy(m, p, n, q), ctx);
-        }
-      }
+      run_task_batched(
+          basis, screening, pair_list, eri_options.primitive_threshold, m, n,
+          bra_pairs, batcher, engine,
+          [&](std::size_t mm, std::size_t pp, std::size_t nn, std::size_t qq,
+              const double* eri, std::size_t eri_size) {
+            apply_quartet_update(basis, mm, pp, nn, qq, eri, eri_size,
+                                 quartet_degeneracy(mm, pp, nn, qq), ctx);
+          });
     }
   }
 

@@ -14,7 +14,11 @@
 #include <vector>
 
 #include "chem/basis_set.h"
+#include "core/symmetry.h"
+#include "eri/eri_batch.h"
+#include "eri/eri_engine.h"
 #include "eri/screening.h"
+#include "eri/shell_pair.h"
 #include "ga/distribution.h"
 
 namespace mf {
@@ -70,5 +74,55 @@ std::uint64_t task_quartet_count(const ScreeningData& screening, std::size_t m,
 /// the simulator charges (times t_int).
 double task_integral_count(const Basis& basis, const ScreeningData& screening,
                            std::size_t m, std::size_t n);
+
+/// Runs one task (M,: | N,:) through the batched ERI path: for each
+/// surviving bra pair (M, P), the unscreened unique kets (N, Q) are grouped
+/// by angular-momentum class in `batcher`, each class span goes through
+/// EriEngine::compute_batch, and `apply` is invoked once per quartet as
+/// apply(m, p, n, q, eri, eri_size) with `eri` the spherical block (valid
+/// until the next engine call). Quartet survival — symmetry_check,
+/// unique_quartet, the Schwarz product test — is bitwise identical to the
+/// per-quartet loops this replaces; only the ERI evaluation is batched.
+/// Shared by fock_serial and the threaded GTFock builder so the two hot
+/// paths cannot drift. When `pair_list` is null (screening restored from a
+/// cache without a basis) pairs are built transiently; the batcher owns the
+/// ket pairs then, which is why it, not a PairResolver, collects them.
+template <typename Apply>
+void run_task_batched(const Basis& basis, const ScreeningData& screening,
+                      const ShellPairList* pair_list,
+                      double primitive_threshold, std::size_t m, std::size_t n,
+                      PairResolver& bra_pairs, KetBatcher& batcher,
+                      EriEngine& engine, Apply&& apply) {
+  const auto& phi_m = screening.significant_set(m);
+  const auto& phi_n = screening.significant_set(n);
+  for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+    const std::uint32_t p = phi_m[kp];
+    if (!symmetry_check(m, p)) continue;
+    const double pv_mp = screening.pair_value(m, p);
+    // The bra pair (M, P) is invariant across the whole ket loop.
+    const ShellPairData& bra = bra_pairs.at(m, kp, p);
+    batcher.clear();
+    for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+      const std::uint32_t q = phi_n[kq];
+      if (!unique_quartet(m, p, n, q)) continue;
+      if (pv_mp * screening.pair_value(n, q) < screening.tau()) continue;
+      if (pair_list != nullptr) {
+        batcher.add(&pair_list->pair_at(n, kq), q);
+      } else {
+        batcher.emplace(basis.shell(n), basis.shell(q), primitive_threshold,
+                        q);
+      }
+    }
+    batcher.for_each_class([&](const ShellPairData* const* kets,
+                               const std::uint32_t* tags, std::size_t nk) {
+      engine.compute_batch(bra, kets, nk);
+      for (std::size_t i = 0; i < nk; ++i) {
+        apply(m, static_cast<std::size_t>(p), n,
+              static_cast<std::size_t>(tags[i]), engine.batch_sph(i),
+              engine.batch_sph_size());
+      }
+    });
+  }
+}
 
 }  // namespace mf

@@ -17,6 +17,7 @@
 // indices), and the NWChem baseline (fetched blocks + GA accumulate).
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "chem/basis_set.h"
@@ -34,18 +35,19 @@ struct DenseFockContext {
 };
 
 /// Applies one canonical quartet (M P | N Q). `eri` is the spherical block
-/// with shape [|M|][|P|][|N|][|Q|]; deg is quartet_degeneracy(). Ctx must
-/// provide at(i,j) (density read) and add(i,j,v) (W accumulate) for global
-/// function indices.
+/// with shape [|M|][|P|][|N|][|Q|] of eri_size elements (the batched engine
+/// hands out raw spans into its batch buffer); deg is quartet_degeneracy().
+/// Ctx must provide at(i,j) (density read) and add(i,j,v) (W accumulate)
+/// for global function indices.
 template <typename Ctx>
 void apply_quartet_update(const Basis& basis, std::size_t m, std::size_t p,
-                          std::size_t n, std::size_t q,
-                          const std::vector<double>& eri, int deg, Ctx&& ctx) {
+                          std::size_t n, std::size_t q, const double* eri,
+                          std::size_t eri_size, int deg, Ctx&& ctx) {
   const std::size_t om = basis.shell_offset(m), nm = basis.shell_size(m);
   const std::size_t op = basis.shell_offset(p), np = basis.shell_size(p);
   const std::size_t on = basis.shell_offset(n), nn = basis.shell_size(n);
   const std::size_t oq = basis.shell_offset(q), nq = basis.shell_size(q);
-  MF_CHECK(eri.size() == nm * np * nn * nq);
+  MF_CHECK(eri_size == nm * np * nn * nq);
   const double scale = static_cast<double>(deg);
 
   std::size_t idx = 0;
@@ -71,6 +73,15 @@ void apply_quartet_update(const Basis& basis, std::size_t m, std::size_t p,
       }
     }
   }
+}
+
+/// Vector convenience overload (single-quartet engine paths and tests).
+template <typename Ctx>
+void apply_quartet_update(const Basis& basis, std::size_t m, std::size_t p,
+                          std::size_t n, std::size_t q,
+                          const std::vector<double>& eri, int deg, Ctx&& ctx) {
+  apply_quartet_update(basis, m, p, n, q, eri.data(), eri.size(), deg,
+                       std::forward<Ctx>(ctx));
 }
 
 /// F = H + 1/4 (W + W^T).

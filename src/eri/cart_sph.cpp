@@ -59,22 +59,42 @@ void renormalize_cart_quartet(int la, int lb, int lc, int ld, double* block) {
 
 namespace {
 
+// Applies T (rows x cols) to the leading index of an [cols x rest] block,
+// writing a [rows x rest] block to dst (no aliasing).
+void transform_leading_into(const double* in, const std::vector<double>& t,
+                            std::size_t rows, std::size_t cols,
+                            std::size_t rest, double* dst) {
+  for (std::size_t r = 0; r < rows * rest; ++r) dst[r] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double w = t[r * cols + c];
+      if (w == 0.0) continue;
+      const double* src = in + c * rest;
+      double* out = dst + r * rest;
+      for (std::size_t k = 0; k < rest; ++k) out[k] += w * src[k];
+    }
+  }
+}
+
 // Applies T (rows x cols) to the leading index of an [n0 x rest] block.
 std::vector<double> transform_leading(const std::vector<double>& in,
                                       const std::vector<double>& t,
                                       std::size_t rows, std::size_t cols,
                                       std::size_t rest) {
   std::vector<double> out(rows * rest, 0.0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      const double w = t[r * cols + c];
-      if (w == 0.0) continue;
-      const double* src = in.data() + c * rest;
-      double* dst = out.data() + r * rest;
-      for (std::size_t k = 0; k < rest; ++k) dst[k] += w * src[k];
+  transform_leading_into(in.data(), t, rows, cols, rest, out.data());
+  return out;
+}
+
+// Cyclic rotation: given block with shape [d0 x d1 x ... x dn-1], move the
+// leading axis to the end, writing to dst (no aliasing).
+void rotate_axes_into(const double* in, std::size_t d0, std::size_t rest,
+                      double* dst) {
+  for (std::size_t i = 0; i < d0; ++i) {
+    for (std::size_t k = 0; k < rest; ++k) {
+      dst[k * d0 + i] = in[i * rest + k];
     }
   }
-  return out;
 }
 
 // Cyclic rotation: given block with shape [d0 x d1 x ... x dn-1], move the
@@ -82,11 +102,7 @@ std::vector<double> transform_leading(const std::vector<double>& in,
 std::vector<double> rotate_axes(const std::vector<double>& in, std::size_t d0,
                                 std::size_t rest) {
   std::vector<double> out(in.size());
-  for (std::size_t i = 0; i < d0; ++i) {
-    for (std::size_t k = 0; k < rest; ++k) {
-      out[k * d0 + i] = in[i * rest + k];
-    }
-  }
+  rotate_axes_into(in.data(), d0, rest, out.data());
   return out;
 }
 
@@ -114,6 +130,41 @@ std::vector<double> quartet_to_spherical(int la, int lb, int lc, int ld,
     dims[3] = nsph;
   }
   return cur;
+}
+
+void quartet_to_spherical_into(int la, int lb, int lc, int ld,
+                               const double* cart, double* out,
+                               std::vector<double>& scratch) {
+  const int ls[4] = {la, lb, lc, ld};
+  std::size_t dims[4] = {cartesian_count(la), cartesian_count(lb),
+                         cartesian_count(lc), cartesian_count(ld)};
+  const std::size_t cart_size = dims[0] * dims[1] * dims[2] * dims[3];
+  // Two ping-pong halves sized for the largest intermediate (every
+  // intermediate is <= the Cartesian block size since nsph <= ncart).
+  scratch.resize(2 * cart_size);
+  // Fixed roles so no round reads and writes the same buffer: transforms
+  // read cart-or-rot and write tr; rotations read tr and write rot (or the
+  // caller's out on the last round).
+  double* tr = scratch.data();
+  double* rot = scratch.data() + cart_size;
+  const double* cur = cart;
+  // Same four-round scheme as quartet_to_spherical: transform the leading
+  // index, rotate it to the back.
+  for (int axis = 0; axis < 4; ++axis) {
+    const int l = ls[axis];
+    const std::size_t ncart = dims[0];
+    const std::size_t nsph = spherical_count(l);
+    std::size_t rest = 1;
+    for (int k = 1; k < 4; ++k) rest *= dims[k];
+    transform_leading_into(cur, spherical_transform(l), nsph, ncart, rest, tr);
+    double* rotated = (axis == 3) ? out : rot;
+    rotate_axes_into(tr, nsph, rest, rotated);
+    cur = rotated;
+    dims[0] = dims[1];
+    dims[1] = dims[2];
+    dims[2] = dims[3];
+    dims[3] = nsph;
+  }
 }
 
 std::vector<double> pair_to_spherical(int la, int lb,

@@ -30,6 +30,15 @@ void renormalize_cart_quartet(int la, int lb, int lc, int ld, double* block);
 std::vector<double> quartet_to_spherical(int la, int lb, int lc, int ld,
                                          const std::vector<double>& cart);
 
+/// Allocation-free variant for the batched hot path: writes the
+/// [sa x sb x sc x sd] block to `out` (which must not alias `cart`),
+/// ping-ponging through caller-owned `scratch` that is grown once and
+/// reused across quartets. For all-l<=1 quartets the transform is the
+/// identity and this degenerates to a copy — callers should skip it there.
+void quartet_to_spherical_into(int la, int lb, int lc, int ld,
+                               const double* cart, double* out,
+                               std::vector<double>& scratch);
+
 /// Same for a one-electron pair block [na x nb] -> [sa x sb].
 std::vector<double> pair_to_spherical(int la, int lb,
                                       const std::vector<double>& cart);

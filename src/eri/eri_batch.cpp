@@ -1,0 +1,349 @@
+// Batched class-specialized McMurchie-Davidson ERI kernels.
+//
+// One call handles the quartets (bra | ket_i) for a span of ket pairs that
+// all share an angular-momentum class, so everything that depends only on
+// the class or on one side's primitives is computed once per batch:
+//
+//   Ebra[ab, (t,u,v)]      per bra primitive pair  [nab x nhb]
+//   Eket[(tau,nu,phi), cd] per ket primitive pair  [nhk x ncd], sign folded
+//   ridx                   R-gather index table    [nhb x nhk]
+//   renorm                 component norm factors  [nab x ncd]
+//
+// The per-primitive-quartet work is then: one HermiteR evaluation, one
+// gather of the R matrix, and two small dense matmuls
+//
+//   cart_i += pref * Ebra * Rmat * Eket
+//
+// through linalg's simd-annotated small_gemm. The contraction is
+// mathematically identical to EriEngine::contract_prim_quartet — E values
+// with t > i+j are exact zeros in the HermiteE tables, so summing over the
+// full Hermite rectangle adds nothing — and the (bra prim outer, ket prim
+// inner) loop order matches the pair path, so any drift against it is pure
+// floating-point reassociation inside the matmuls.
+//
+// Classes with every l <= 1 dispatch through a compile-time table to fully
+// unrolled fixed-dimension instantiations of the same kernel; ssss
+// additionally collapses to a direct Boys F_0 evaluation with no HermiteR
+// or matmul at all. For those classes the Cartesian renormalization factors
+// are all 1 and the spherical transform is the identity, so the spherical
+// output aliases the Cartesian buffer.
+
+#include "eri/eri_batch.h"
+
+#include <cmath>
+
+#include "eri/boys.h"
+#include "eri/cart_sph.h"
+#include "eri/eri_engine.h"
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace mf {
+
+namespace {
+
+/// Fills out with one [nab x nhb] matrix per bra primitive pair:
+/// Ebra[ab, h] = E_{h.lx}^{ax bx} E_{h.ly}^{ay by} E_{h.lz}^{az bz}.
+void build_bra_matrices(const ShellPairData& bra, int la, int lb,
+                        std::vector<double>& out) {
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& hb = hermite_orders(la + lb);
+  const std::size_t nab = ca.size() * cb.size();
+  const std::size_t nhb = hb.size();
+  out.resize(bra.prims().size() * nab * nhb);
+  double* dst = out.data();
+  for (const PrimPair& bp : bra.prims()) {
+    for (const auto& compa : ca) {
+      for (const auto& compb : cb) {
+        for (const auto& h : hb) {
+          *dst++ = bp.ex(h.lx, compa.lx, compb.lx) *
+                   bp.ey(h.ly, compa.ly, compb.ly) *
+                   bp.ez(h.lz, compa.lz, compb.lz);
+        }
+      }
+    }
+  }
+}
+
+/// Fills the ket-side SoA primitive arrays, the per-primitive [nhk x ncd]
+/// Eket matrices (with the (-1)^{tau+nu+phi} sign folded in), and the
+/// per-ket prefix offsets.
+void build_ket_batch(const ShellPairData* const* kets, std::size_t nket,
+                     int lc, int ld, EriBatchScratch& s) {
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  const auto& hk = hermite_orders(lc + ld);
+  const std::size_t ncd = cc.size() * cd.size();
+  const std::size_t nhk = hk.size();
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nket; ++i) total += kets[i]->prims().size();
+  s.ket_p.resize(total);
+  s.ket_coef.resize(total);
+  s.ket_cx.resize(total);
+  s.ket_cy.resize(total);
+  s.ket_cz.resize(total);
+  s.ket_begin.resize(nket + 1);
+  s.eket.resize(total * nhk * ncd);
+
+  std::size_t j = 0;
+  double* dst = s.eket.data();
+  for (std::size_t i = 0; i < nket; ++i) {
+    s.ket_begin[i] = j;
+    for (const PrimPair& kp : kets[i]->prims()) {
+      s.ket_p[j] = kp.p;
+      s.ket_coef[j] = kp.coef;
+      s.ket_cx[j] = kp.center.x;
+      s.ket_cy[j] = kp.center.y;
+      s.ket_cz[j] = kp.center.z;
+      ++j;
+      for (const auto& h : hk) {
+        const double sign = ((h.lx + h.ly + h.lz) & 1) ? -1.0 : 1.0;
+        for (const auto& compc : cc) {
+          for (const auto& compd : cd) {
+            *dst++ = sign * kp.ex(h.lx, compc.lx, compd.lx) *
+                     kp.ey(h.ly, compc.ly, compd.ly) *
+                     kp.ez(h.lz, compc.lz, compd.lz);
+          }
+        }
+      }
+    }
+  }
+  s.ket_begin[nket] = j;
+}
+
+/// Gather table: ridx[hb * nhk + hk] is the flat offset of
+/// R_{t+tau, u+nu, v+phi} in HermiteR's n=0 layer of stride ltot+1.
+void build_ridx(int lbra, int lket, std::vector<int>& ridx) {
+  const auto& hb = hermite_orders(lbra);
+  const auto& hk = hermite_orders(lket);
+  const int stride = lbra + lket + 1;
+  ridx.resize(hb.size() * hk.size());
+  int* dst = ridx.data();
+  for (const auto& b : hb) {
+    for (const auto& k : hk) {
+      *dst++ = ((b.lx + k.lx) * stride + (b.ly + k.ly)) * stride +
+               (b.lz + k.lz);
+    }
+  }
+}
+
+/// Per-element Cartesian renormalization factors for one quartet class,
+/// built once per batch instead of once per quartet (the per-element
+/// component_norm_ratio calls cost four sqrts each).
+void build_renorm_factors(int la, int lb, int lc, int ld,
+                          std::vector<double>& f) {
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  f.resize(ca.size() * cb.size() * cc.size() * cd.size());
+  std::size_t idx = 0;
+  for (const auto& a : ca) {
+    const double fa = component_norm_ratio(la, a);
+    for (const auto& b : cb) {
+      const double fab = fa * component_norm_ratio(lb, b);
+      for (const auto& c : cc) {
+        const double fabc = fab * component_norm_ratio(lc, c);
+        for (const auto& d : cd) {
+          f[idx++] = fabc * component_norm_ratio(ld, d);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <int CLA, int CLB, int CLC, int CLD>
+void EriEngine::batch_kernel(const ShellPairData& bra,
+                             const ShellPairData* const* kets,
+                             std::size_t nket) {
+  // With non-negative template arguments every dimension below is a
+  // compile-time constant and the matmuls fully unroll.
+  const int la = CLA >= 0 ? CLA : bra.la();
+  const int lb = CLB >= 0 ? CLB : bra.lb();
+  const int lc = CLC >= 0 ? CLC : kets[0]->la();
+  const int ld = CLD >= 0 ? CLD : kets[0]->lb();
+  const int lbra = la + lb;
+  const int lket = lc + ld;
+  const int ltot = lbra + lket;
+  const std::size_t nab = cartesian_count(la) * cartesian_count(lb);
+  const std::size_t ncd = cartesian_count(lc) * cartesian_count(ld);
+  const std::size_t nhb = hermite_count(lbra);
+  const std::size_t nhk = hermite_count(lket);
+
+  EriBatchScratch& s = *batch_;
+  build_bra_matrices(bra, la, lb, s.ebra);
+  build_ket_batch(kets, nket, lc, ld, s);
+  s.cart.assign(nket * nab * ncd, 0.0);
+
+  const std::size_t nbp = bra.prims().size();
+  if constexpr (CLA == 0 && CLB == 0 && CLC == 0 && CLD == 0) {
+    // (ss|ss): the E matrices are the 1x1 overlap decays and R collapses to
+    // Boys F_0 — no HermiteR machinery, no matmul.
+    for (std::size_t bi = 0; bi < nbp; ++bi) {
+      const PrimPair& bp = bra.prims()[bi];
+      const double bval = bp.coef * s.ebra[bi];
+      const double px = bp.center.x, py = bp.center.y, pz = bp.center.z;
+      for (std::size_t i = 0; i < nket; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = s.ket_begin[i]; j < s.ket_begin[i + 1]; ++j) {
+          const double psum = bp.p + s.ket_p[j];
+          const double dx = px - s.ket_cx[j];
+          const double dy = py - s.ket_cy[j];
+          const double dz = pz - s.ket_cz[j];
+          const double alpha = bp.p * s.ket_p[j] / psum;
+          double f0;
+          boys(0, alpha * (dx * dx + dy * dy + dz * dz), &f0);
+          acc += s.ket_coef[j] / std::sqrt(psum) * s.eket[j] * f0;
+        }
+        s.cart[i] += bval * acc;
+      }
+    }
+    return;
+  }
+
+  build_ridx(lbra, lket, s.ridx);
+  s.t1.resize(nhb * ncd);
+
+  // Per (bra primitive, ket pair): accumulate the contracted ket in
+  // bra-Hermite space, H[(t,u,v), cd] = sum_j pref_j R_j Eket_j, with the
+  // R gather fused into the matmul's A access; then fold the bra E matrix
+  // once per contracted ket instead of once per ket primitive. For deeply
+  // contracted kets this removes the nab-sized matmul from the innermost
+  // loop entirely.
+  for (std::size_t bi = 0; bi < nbp; ++bi) {
+    const PrimPair& bp = bra.prims()[bi];
+    const double* ebp = s.ebra.data() + bi * nab * nhb;
+    for (std::size_t i = 0; i < nket; ++i) {
+      const std::size_t jb = s.ket_begin[i], je = s.ket_begin[i + 1];
+      if (jb == je) continue;
+      double* h = s.t1.data();
+      for (std::size_t t = 0; t < nhb * ncd; ++t) h[t] = 0.0;
+      for (std::size_t j = jb; j < je; ++j) {
+        const double psum = bp.p + s.ket_p[j];
+        const double alpha = bp.p * s.ket_p[j] / psum;
+        rints_.compute(ltot, alpha,
+                       Vec3{bp.center.x - s.ket_cx[j],
+                            bp.center.y - s.ket_cy[j],
+                            bp.center.z - s.ket_cz[j]});
+        const double pref = bp.coef * s.ket_coef[j] / std::sqrt(psum);
+        const double* rdat = rints_.data();
+        const double* eket_j = s.eket.data() + j * nhk * ncd;
+        for (std::size_t hb = 0; hb < nhb; ++hb) {
+          double* hrow = h + hb * ncd;
+          const int* idx = s.ridx.data() + hb * nhk;
+          for (std::size_t kk = 0; kk < nhk; ++kk) {
+            const double w = pref * rdat[idx[kk]];
+            const double* brow = eket_j + kk * ncd;
+#pragma omp simd
+            for (std::size_t cd = 0; cd < ncd; ++cd) hrow[cd] += w * brow[cd];
+          }
+        }
+      }
+      small_gemm_acc(nab, ncd, nhb, 1.0, ebp, h,
+                     s.cart.data() + i * nab * ncd);
+    }
+  }
+}
+
+void EriEngine::compute_batch_cartesian(const ShellPairData& bra,
+                                        const ShellPairData* const* kets,
+                                        std::size_t nket) {
+  batch_sph_ptr_ = nullptr;
+  batch_sph_stride_ = 0;
+  if (nket == 0) {
+    batch_cart_ptr_ = nullptr;
+    batch_cart_stride_ = 0;
+    return;
+  }
+  if (batch_ == nullptr) batch_ = std::make_unique<EriBatchScratch>();
+
+  const int la = bra.la(), lb = bra.lb();
+  const int lc = kets[0]->la(), ld = kets[0]->lb();
+  MF_CHECK(la <= kMaxAm && lb <= kMaxAm && lc <= kMaxAm && ld <= kMaxAm);
+  for (std::size_t i = 1; i < nket; ++i) {
+    MF_CHECK(kets[i]->la() == lc && kets[i]->lb() == ld);
+  }
+
+  if (la <= 1 && lb <= 1 && lc <= 1 && ld <= 1) {
+    // Compile-time specialized kernels for the all-s/p classes, which
+    // dominate every workload in this repo.
+    using Kernel = void (EriEngine::*)(const ShellPairData&,
+                                       const ShellPairData* const*,
+                                       std::size_t);
+    static constexpr Kernel kSpKernels[16] = {
+        &EriEngine::batch_kernel<0, 0, 0, 0>,
+        &EriEngine::batch_kernel<0, 0, 0, 1>,
+        &EriEngine::batch_kernel<0, 0, 1, 0>,
+        &EriEngine::batch_kernel<0, 0, 1, 1>,
+        &EriEngine::batch_kernel<0, 1, 0, 0>,
+        &EriEngine::batch_kernel<0, 1, 0, 1>,
+        &EriEngine::batch_kernel<0, 1, 1, 0>,
+        &EriEngine::batch_kernel<0, 1, 1, 1>,
+        &EriEngine::batch_kernel<1, 0, 0, 0>,
+        &EriEngine::batch_kernel<1, 0, 0, 1>,
+        &EriEngine::batch_kernel<1, 0, 1, 0>,
+        &EriEngine::batch_kernel<1, 0, 1, 1>,
+        &EriEngine::batch_kernel<1, 1, 0, 0>,
+        &EriEngine::batch_kernel<1, 1, 0, 1>,
+        &EriEngine::batch_kernel<1, 1, 1, 0>,
+        &EriEngine::batch_kernel<1, 1, 1, 1>,
+    };
+    (this->*kSpKernels[((la * 2 + lb) * 2 + lc) * 2 + ld])(bra, kets, nket);
+  } else {
+    batch_kernel<-1, -1, -1, -1>(bra, kets, nket);
+  }
+
+  EriBatchScratch& s = *batch_;
+  const std::size_t block = cartesian_count(la) * cartesian_count(lb) *
+                            cartesian_count(lc) * cartesian_count(ld);
+  if (!(la <= 1 && lb <= 1 && lc <= 1 && ld <= 1)) {
+    // All component norm ratios are 1 for l <= 1; only higher classes pay
+    // for renormalization, with the factor table built once per batch.
+    build_renorm_factors(la, lb, lc, ld, s.renorm);
+    const double* f = s.renorm.data();
+    for (std::size_t i = 0; i < nket; ++i) {
+      double* cart_i = s.cart.data() + i * block;
+#pragma omp simd
+      for (std::size_t k = 0; k < block; ++k) cart_i[k] *= f[k];
+    }
+  }
+
+  batch_cart_ptr_ = s.cart.data();
+  batch_cart_stride_ = block;
+  quartets_ += nket;
+  integrals_ += nket * block;
+  prim_quartets_ += bra.prims().size() * s.ket_begin[nket];
+}
+
+void EriEngine::compute_batch(const ShellPairData& bra,
+                              const ShellPairData* const* kets,
+                              std::size_t nket) {
+  compute_batch_cartesian(bra, kets, nket);
+  if (nket == 0) return;
+  const int la = bra.la(), lb = bra.lb();
+  const int lc = kets[0]->la(), ld = kets[0]->lb();
+  if (la <= 1 && lb <= 1 && lc <= 1 && ld <= 1) {
+    // s/p spherical transform is the identity: spherical output aliases
+    // the Cartesian buffer.
+    batch_sph_ptr_ = batch_cart_ptr_;
+    batch_sph_stride_ = batch_cart_stride_;
+    return;
+  }
+  EriBatchScratch& s = *batch_;
+  const std::size_t nsph = spherical_count(la) * spherical_count(lb) *
+                           spherical_count(lc) * spherical_count(ld);
+  s.sph.resize(nket * nsph);
+  for (std::size_t i = 0; i < nket; ++i) {
+    quartet_to_spherical_into(la, lb, lc, ld,
+                              batch_cart_ptr_ + i * batch_cart_stride_,
+                              s.sph.data() + i * nsph, s.sph_scratch);
+  }
+  batch_sph_ptr_ = s.sph.data();
+  batch_sph_stride_ = nsph;
+}
+
+}  // namespace mf

@@ -1,0 +1,120 @@
+#pragma once
+// Class-batched ERI support: the scratch buffers behind
+// EriEngine::compute_batch and the KetBatcher that groups a bra pair's
+// surviving ket pairs by (la, lb) angular-momentum class.
+//
+// The paper's task shape (M,: | N,:) hands the engine one bra pair and a
+// whole ket loop, so per-batch work — bra/ket Hermite E contraction
+// matrices, SoA primitive arrays, the R-gather index table, renorm factor
+// tables — amortizes over every quartet that shares the class. The hot
+// primitive loop then runs over contiguous arrays, and the Hermite ->
+// Cartesian contraction becomes two small dense matmuls per primitive
+// quartet (see eri/eri_batch.cpp for the kernels).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "chem/shell.h"
+#include "eri/hermite.h"
+#include "eri/shell_pair.h"
+
+namespace mf {
+
+/// Reusable scratch for the batched path, owned by EriEngine and grown to
+/// the largest batch seen. One instance per engine (per thread).
+struct EriBatchScratch {
+  /// Per bra primitive pair: the row-major [nab x nhb] matrix
+  /// Ebra[ab, (t,u,v)] = E_t^{ax bx} E_u^{ay by} E_v^{az bz}.
+  std::vector<double> ebra;
+  /// Per ket primitive pair: the row-major [nhk x ncd] matrix
+  /// Eket[(tau,nu,phi), cd] with the (-1)^{tau+nu+phi} Hermite derivative
+  /// sign folded in.
+  std::vector<double> eket;
+  /// SoA over every ket primitive pair of the batch, in ket order.
+  std::vector<double> ket_p, ket_coef, ket_cx, ket_cy, ket_cz;
+  /// Prefix offsets into the SoA arrays: ket i owns [ket_begin[i],
+  /// ket_begin[i+1]).
+  std::vector<std::size_t> ket_begin;
+  /// Gather table [nhb x nhk]: flat index of R_{t+tau, u+nu, v+phi} in the
+  /// HermiteR n=0 layer.
+  std::vector<int> ridx;
+  std::vector<double> t1;  // ket-contracted bra-Hermite block [nhb x ncd]
+  /// Outputs: cart is [nket][nab*ncd], sph is [nket][nsph] (aliases cart
+  /// for all-s/p classes, where the spherical transform is the identity).
+  std::vector<double> cart;
+  std::vector<double> sph;
+  std::vector<double> sph_scratch;   // quartet_to_spherical_into ping-pong
+  std::vector<double> renorm;        // per-element factors [nab*ncd]
+};
+
+/// Groups ket pairs by angular-momentum class so EriEngine::compute_batch
+/// sees homogeneous spans. Each ket carries a caller tag (the shell index Q
+/// in the Fock loops) that rides along to the per-quartet callback.
+///
+/// Pairs resolved from a ShellPairList are added by pointer (the list is
+/// pointer-stable and outlives the batch); transient pairs built on the
+/// spot are owned here in a deque, which keeps every element's address
+/// stable across growth — a PairResolver-style single scratch slot would
+/// invalidate earlier pointers as the batch fills.
+class KetBatcher {
+ public:
+  static constexpr int kNumClasses = (kMaxAm + 1) * (kMaxAm + 1);
+
+  /// Drops all buckets and owned transient pairs. Call once per bra pair.
+  void clear() {
+    for (int cls : active_) {
+      buckets_[cls].kets.clear();
+      buckets_[cls].tags.clear();
+    }
+    active_.clear();
+    owned_.clear();
+  }
+
+  /// Adds a pointer-stable ket pair (from a ShellPairList).
+  void add(const ShellPairData* ket, std::uint32_t tag) {
+    const int cls = ket->la() * (kMaxAm + 1) + ket->lb();
+    Bucket& b = buckets_[cls];
+    if (b.kets.empty()) active_.push_back(cls);
+    b.kets.push_back(ket);
+    b.tags.push_back(tag);
+  }
+
+  /// Builds and owns a transient ket pair (no ShellPairList available).
+  void emplace(const Shell& c, const Shell& d, double primitive_threshold,
+               std::uint32_t tag) {
+    owned_.emplace_back(c, d, primitive_threshold);
+    add(&owned_.back(), tag);
+  }
+
+  bool empty() const { return active_.empty(); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (int cls : active_) n += buckets_[cls].kets.size();
+    return n;
+  }
+
+  /// Invokes f(kets, tags, count) once per non-empty class, in first-seen
+  /// order. `kets` is a span of count pair pointers sharing one (la, lb).
+  template <typename F>
+  void for_each_class(F&& f) const {
+    for (int cls : active_) {
+      const Bucket& b = buckets_[cls];
+      f(b.kets.data(), b.tags.data(), b.kets.size());
+    }
+  }
+
+ private:
+  struct Bucket {
+    std::vector<const ShellPairData*> kets;
+    std::vector<std::uint32_t> tags;
+  };
+  std::array<Bucket, kNumClasses> buckets_;
+  std::vector<int> active_;               // non-empty bucket indices
+  std::deque<ShellPairData> owned_;       // pointer-stable transient pairs
+};
+
+}  // namespace mf

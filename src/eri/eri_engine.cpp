@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "eri/cart_sph.h"
+#include "eri/eri_batch.h"  // completes EriBatchScratch for the unique_ptr
 #include "eri/shell_pair.h"
 #include "util/check.h"
 #include "util/constants.h"
@@ -11,11 +12,81 @@
 namespace mf {
 
 EriEngine::EriEngine(EriEngineOptions options) : options_(options) {}
+EriEngine::~EriEngine() = default;
+EriEngine::EriEngine(EriEngine&&) noexcept = default;
+EriEngine& EriEngine::operator=(EriEngine&&) noexcept = default;
 
 void EriEngine::reset_counters() {
   quartets_ = 0;
   integrals_ = 0;
   prim_quartets_ = 0;
+}
+
+void EriEngine::contract_prim_quartet(int la, int lb, int lc, int ld,
+                                      double pref, const HermiteE& bx,
+                                      const HermiteE& by, const HermiteE& bz,
+                                      const HermiteE& kx, const HermiteE& ky,
+                                      const HermiteE& kz) {
+  const auto& ca = cartesian_components(la);
+  const auto& cb = cartesian_components(lb);
+  const auto& cc = cartesian_components(lc);
+  const auto& cd = cartesian_components(ld);
+  const std::size_t ncd = cc.size() * cd.size();
+  const int lbra = la + lb;
+  const std::size_t bra_stride = static_cast<std::size_t>(lbra + 1);
+
+  // Step 1: ket contraction. For every bra Hermite order (t,u,v)
+  // and ket component pair, fold the ket E coefficients into R.
+  for (int t = 0; t <= lbra; ++t) {
+    for (int u = 0; u + t <= lbra; ++u) {
+      for (int v = 0; v + t + u <= lbra; ++v) {
+        double* row =
+            inner_.data() + ((t * bra_stride + u) * bra_stride + v) * ncd;
+        std::size_t cd_idx = 0;
+        for (const auto& compc : cc) {
+          for (const auto& compd : cd) {
+            double acc = 0.0;
+            for (int tau = 0; tau <= compc.lx + compd.lx; ++tau) {
+              const double extau = kx(tau, compc.lx, compd.lx);
+              for (int nu = 0; nu <= compc.ly + compd.ly; ++nu) {
+                const double eynu = ky(nu, compc.ly, compd.ly);
+                for (int phi = 0; phi <= compc.lz + compd.lz; ++phi) {
+                  const double sign = ((tau + nu + phi) & 1) ? -1.0 : 1.0;
+                  acc += sign * extau * eynu * kz(phi, compc.lz, compd.lz) *
+                         rints_(t + tau, u + nu, v + phi);
+                }
+              }
+            }
+            row[cd_idx++] = acc;
+          }
+        }
+      }
+    }
+  }
+
+  // Step 2: bra contraction into the Cartesian output block.
+  std::size_t ab_idx = 0;
+  for (const auto& compa : ca) {
+    for (const auto& compb : cb) {
+      double* out_row = cart_.data() + ab_idx * ncd;
+      for (int t = 0; t <= compa.lx + compb.lx; ++t) {
+        const double ext = bx(t, compa.lx, compb.lx);
+        for (int u = 0; u <= compa.ly + compb.ly; ++u) {
+          const double eyu = by(u, compa.ly, compb.ly);
+          const double exy = ext * eyu;
+          for (int v = 0; v <= compa.lz + compb.lz; ++v) {
+            const double w = pref * exy * bz(v, compa.lz, compb.lz);
+            const double* in_row =
+                inner_.data() + ((t * bra_stride + u) * bra_stride + v) * ncd;
+            for (std::size_t k = 0; k < ncd; ++k) {
+              out_row[k] += w * in_row[k];
+            }
+          }
+        }
+      }
+      ++ab_idx;
+    }
+  }
 }
 
 const std::vector<double>& EriEngine::compute_cartesian(
@@ -47,61 +118,8 @@ const std::vector<double>& EriEngine::compute_cartesian(
       rints_.compute(ltot, alpha, bp.center - kp.center);
       // bp.coef * kp.coef carries 2 pi^{5/2} cab ccd / (p q).
       const double pref = bp.coef * kp.coef / std::sqrt(psum);
-
-      // Step 1: ket contraction. For every bra Hermite order (t,u,v)
-      // and ket component pair, fold the ket E coefficients into R.
-      for (int t = 0; t <= lbra; ++t) {
-        for (int u = 0; u + t <= lbra; ++u) {
-          for (int v = 0; v + t + u <= lbra; ++v) {
-            double* row =
-                inner_.data() + ((t * bra_stride + u) * bra_stride + v) * ncd;
-            std::size_t cd_idx = 0;
-            for (const auto& compc : cc) {
-              for (const auto& compd : cd) {
-                double acc = 0.0;
-                for (int tau = 0; tau <= compc.lx + compd.lx; ++tau) {
-                  const double extau = kp.ex(tau, compc.lx, compd.lx);
-                  for (int nu = 0; nu <= compc.ly + compd.ly; ++nu) {
-                    const double eynu = kp.ey(nu, compc.ly, compd.ly);
-                    for (int phi = 0; phi <= compc.lz + compd.lz; ++phi) {
-                      const double sign = ((tau + nu + phi) & 1) ? -1.0 : 1.0;
-                      acc += sign * extau * eynu *
-                             kp.ez(phi, compc.lz, compd.lz) *
-                             rints_(t + tau, u + nu, v + phi);
-                    }
-                  }
-                }
-                row[cd_idx++] = acc;
-              }
-            }
-          }
-        }
-      }
-
-      // Step 2: bra contraction into the Cartesian output block.
-      std::size_t ab_idx = 0;
-      for (const auto& compa : ca) {
-        for (const auto& compb : cb) {
-          double* out_row = cart_.data() + ab_idx * ncd;
-          for (int t = 0; t <= compa.lx + compb.lx; ++t) {
-            const double ext = bp.ex(t, compa.lx, compb.lx);
-            for (int u = 0; u <= compa.ly + compb.ly; ++u) {
-              const double eyu = bp.ey(u, compa.ly, compb.ly);
-              const double exy = ext * eyu;
-              for (int v = 0; v <= compa.lz + compb.lz; ++v) {
-                const double w = pref * exy * bp.ez(v, compa.lz, compb.lz);
-                const double* in_row =
-                    inner_.data() +
-                    ((t * bra_stride + u) * bra_stride + v) * ncd;
-                for (std::size_t k = 0; k < ncd; ++k) {
-                  out_row[k] += w * in_row[k];
-                }
-              }
-            }
-          }
-          ++ab_idx;
-        }
-      }
+      contract_prim_quartet(la, lb, lc, ld, pref, bp.ex, bp.ey, bp.ez, kp.ex,
+                            kp.ey, kp.ez);
     }
   }
 
@@ -155,20 +173,35 @@ const std::vector<double>& EriEngine::compute_cartesian_legacy(
   const int lket = lc + ld;
   const int ltot = lbra + lket;
 
-  // Hoist the ket screening exponentials: |c_k c_l| exp(-mu CD^2) depends
-  // only on the ket primitive pair, not on the bra primitives it used to be
-  // recomputed under.
-  std::vector<double> ket_screen;
-  if (options_.primitive_threshold > 0.0) {
-    ket_screen.reserve(sc.nprim() * sd.nprim());
-    for (std::size_t kp = 0; kp < sc.nprim(); ++kp) {
-      const double c = sc.exponents[kp];
-      for (std::size_t lp = 0; lp < sd.nprim(); ++lp) {
-        const double d = sd.exponents[lp];
-        ket_screen.push_back(
-            std::abs(sc.coefficients[kp] * sd.coefficients[lp]) *
-            std::exp(-c * d / (c + d) * cd2));
+  // Hoist everything that depends only on the ket primitive pair — the
+  // screening exponential, the Gaussian-product center qctr, and the three
+  // HermiteE tables — out of the bra primitive loop it used to be rebuilt
+  // under. Same arithmetic in the same accumulation order, computed once
+  // per ket pair instead of once per surviving bra pair.
+  struct KetPrim {
+    double q;
+    double ccd;
+    Vec3 qctr;
+    HermiteE ex, ey, ez;
+  };
+  std::vector<KetPrim> ket_prims;
+  ket_prims.reserve(sc.nprim() * sd.nprim());
+  for (std::size_t kp = 0; kp < sc.nprim(); ++kp) {
+    const double c = sc.exponents[kp];
+    for (std::size_t lp = 0; lp < sd.nprim(); ++lp) {
+      const double d = sd.exponents[lp];
+      const double q = c + d;
+      const double ccd = sc.coefficients[kp] * sd.coefficients[lp];
+      if (options_.primitive_threshold > 0.0 &&
+          std::abs(ccd) * std::exp(-c * d / q * cd2) <
+              options_.primitive_threshold) {
+        continue;
       }
+      ket_prims.push_back({q, ccd,
+                           (sc.center * c + sd.center * d) * (1.0 / q),
+                           HermiteE(lc, ld, c, d, cdv.x),
+                           HermiteE(lc, ld, c, d, cdv.y),
+                           HermiteE(lc, ld, c, d, cdv.z)});
     }
   }
 
@@ -193,85 +226,15 @@ const std::vector<double>& EriEngine::compute_cartesian_legacy(
       const HermiteE ey1(la, lb, a, b, ab.y);
       const HermiteE ez1(la, lb, a, b, ab.z);
 
-      for (std::size_t kp = 0; kp < sc.nprim(); ++kp) {
-        const double c = sc.exponents[kp];
-        for (std::size_t lp = 0; lp < sd.nprim(); ++lp) {
-          const double d = sd.exponents[lp];
-          const double q = c + d;
-          const double ccd = sc.coefficients[kp] * sd.coefficients[lp];
-          if (options_.primitive_threshold > 0.0 &&
-              ket_screen[kp * sd.nprim() + lp] < options_.primitive_threshold) {
-            continue;
-          }
-          ++prim_quartets_;
-          const Vec3 qctr = (sc.center * c + sd.center * d) * (1.0 / q);
-          const HermiteE ex2(lc, ld, c, d, cdv.x);
-          const HermiteE ey2(lc, ld, c, d, cdv.y);
-          const HermiteE ez2(lc, ld, c, d, cdv.z);
-
-          const double alpha = p * q / (p + q);
-          rints_.compute(ltot, alpha, pctr - qctr);
-          const double pref =
-              kTwoPiPow52 / (p * q * std::sqrt(p + q)) * cab * ccd;
-
-          // Step 1: ket contraction. For every bra Hermite order (t,u,v)
-          // and ket component pair, fold the ket E coefficients into R.
-          for (int t = 0; t <= lbra; ++t) {
-            for (int u = 0; u + t <= lbra; ++u) {
-              for (int v = 0; v + t + u <= lbra; ++v) {
-                double* row =
-                    inner_.data() +
-                    ((t * bra_stride + u) * bra_stride + v) * ncd;
-                std::size_t cd_idx = 0;
-                for (const auto& compc : cc) {
-                  for (const auto& compd : cd) {
-                    double acc = 0.0;
-                    for (int tau = 0; tau <= compc.lx + compd.lx; ++tau) {
-                      const double extau = ex2(tau, compc.lx, compd.lx);
-                      for (int nu = 0; nu <= compc.ly + compd.ly; ++nu) {
-                        const double eynu = ey2(nu, compc.ly, compd.ly);
-                        for (int phi = 0; phi <= compc.lz + compd.lz; ++phi) {
-                          const double sign =
-                              ((tau + nu + phi) & 1) ? -1.0 : 1.0;
-                          acc += sign * extau * eynu *
-                                 ez2(phi, compc.lz, compd.lz) *
-                                 rints_(t + tau, u + nu, v + phi);
-                        }
-                      }
-                    }
-                    row[cd_idx++] = acc;
-                  }
-                }
-              }
-            }
-          }
-
-          // Step 2: bra contraction into the Cartesian output block.
-          std::size_t ab_idx = 0;
-          for (const auto& compa : ca) {
-            for (const auto& compb : cb) {
-              double* out_row = cart_.data() + ab_idx * ncd;
-              for (int t = 0; t <= compa.lx + compb.lx; ++t) {
-                const double ext = ex1(t, compa.lx, compb.lx);
-                for (int u = 0; u <= compa.ly + compb.ly; ++u) {
-                  const double eyu = ey1(u, compa.ly, compb.ly);
-                  const double exy = ext * eyu;
-                  for (int v = 0; v <= compa.lz + compb.lz; ++v) {
-                    const double w =
-                        pref * exy * ez1(v, compa.lz, compb.lz);
-                    const double* in_row =
-                        inner_.data() +
-                        ((t * bra_stride + u) * bra_stride + v) * ncd;
-                    for (std::size_t k = 0; k < ncd; ++k) {
-                      out_row[k] += w * in_row[k];
-                    }
-                  }
-                }
-              }
-              ++ab_idx;
-            }
-          }
-        }
+      for (const KetPrim& kq : ket_prims) {
+        ++prim_quartets_;
+        const double q = kq.q;
+        const double alpha = p * q / (p + q);
+        rints_.compute(ltot, alpha, pctr - kq.qctr);
+        const double pref =
+            kTwoPiPow52 / (p * q * std::sqrt(p + q)) * cab * kq.ccd;
+        contract_prim_quartet(la, lb, lc, ld, pref, ex1, ey1, ez1, kq.ex,
+                              kq.ey, kq.ez);
       }
     }
   }

@@ -19,6 +19,7 @@
 // read-only and may be shared between engines.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "chem/shell.h"
@@ -27,6 +28,7 @@
 namespace mf {
 
 class ShellPairData;
+struct EriBatchScratch;
 
 struct EriEngineOptions {
   /// Primitive-pair neglect threshold: a bra (or ket) primitive pair is
@@ -41,10 +43,40 @@ struct EriEngineOptions {
 class EriEngine {
  public:
   explicit EriEngine(EriEngineOptions options = {});
+  ~EriEngine();
+  EriEngine(EriEngine&&) noexcept;
+  EriEngine& operator=(EriEngine&&) noexcept;
+
+  /// Batched hot path (eri/eri_batch.cpp): the quartets (bra | ket_i) for a
+  /// span of ket pairs that all share one (lc, ld) angular-momentum class.
+  /// Per-batch setup (bra/ket Hermite E matrices, SoA primitive arrays) is
+  /// amortized over the whole span, the primitive contractions run as small
+  /// dense matmuls (linalg small_gemm), and all-s/p classes dispatch to
+  /// fully unrolled fixed-angular-momentum kernels. Results are read with
+  /// batch_sph(i) — shape [sph(a)][sph(b)][sph(c)][sph(d)], stride
+  /// batch_sph_size() — and stay valid until the next compute call.
+  void compute_batch(const ShellPairData& bra,
+                     const ShellPairData* const* kets, std::size_t nket);
+  const double* batch_sph(std::size_t i) const {
+    return batch_sph_ptr_ + i * batch_sph_stride_;
+  }
+  std::size_t batch_sph_size() const { return batch_sph_stride_; }
+
+  /// Cartesian variant (normalized components), read with batch_cart(i) of
+  /// stride batch_cart_size(). Exposed for the differential tests, which
+  /// compare it against the legacy oracle through kMaxAm.
+  void compute_batch_cartesian(const ShellPairData& bra,
+                               const ShellPairData* const* kets,
+                               std::size_t nket);
+  const double* batch_cart(std::size_t i) const {
+    return batch_cart_ptr_ + i * batch_cart_stride_;
+  }
+  std::size_t batch_cart_size() const { return batch_cart_stride_; }
 
   /// Spherical ERIs for the quartet (bra | ket) from precomputed pair data;
   /// the returned buffer has shape [sph(a)][sph(b)][sph(c)][sph(d)] and is
-  /// valid until the next call. This is the hot path.
+  /// valid until the next call. Kept as the single-quartet differential
+  /// oracle for the batched path (and for callers without batchable kets).
   const std::vector<double>& compute(const ShellPairData& bra,
                                      const ShellPairData& ket);
 
@@ -91,11 +123,29 @@ class EriEngine {
  private:
   double schwarz_from_spherical(int la, int lb);
 
+  /// The shared Step 1/Step 2 contraction of one primitive quartet (ket
+  /// Hermite fold, then bra fold into cart_), used by both the pair path
+  /// and the legacy oracle so a fix in one cannot silently miss the other.
+  /// rints_ must hold the quartet's R table; E tables are passed per side.
+  void contract_prim_quartet(int la, int lb, int lc, int ld, double pref,
+                             const HermiteE& bx, const HermiteE& by,
+                             const HermiteE& bz, const HermiteE& kx,
+                             const HermiteE& ky, const HermiteE& kz);
+
+  template <int CLA, int CLB, int CLC, int CLD>
+  void batch_kernel(const ShellPairData& bra, const ShellPairData* const* kets,
+                    std::size_t nket);
+
   EriEngineOptions options_;
   std::vector<double> cart_;
   std::vector<double> sph_;
   HermiteR rints_;
   std::vector<double> inner_;  // Hermite intermediate, see .cpp
+  std::unique_ptr<EriBatchScratch> batch_;  // lazily built, see eri_batch.cpp
+  const double* batch_sph_ptr_ = nullptr;
+  std::size_t batch_sph_stride_ = 0;
+  const double* batch_cart_ptr_ = nullptr;
+  std::size_t batch_cart_stride_ = 0;
   std::uint64_t quartets_ = 0;
   std::uint64_t integrals_ = 0;
   std::uint64_t prim_quartets_ = 0;

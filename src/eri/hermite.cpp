@@ -23,6 +23,25 @@ const std::vector<CartComponent>& cartesian_components(int l) {
   return tables[l];
 }
 
+const std::vector<CartComponent>& hermite_orders(int l) {
+  MF_CHECK(l >= 0 && l <= 2 * kMaxAm);
+  static const auto tables = [] {
+    std::array<std::vector<CartComponent>, 2 * kMaxAm + 1> tbl;
+    for (int lm = 0; lm <= 2 * kMaxAm; ++lm) {
+      for (int t = 0; t <= lm; ++t) {
+        for (int u = 0; u + t <= lm; ++u) {
+          for (int v = 0; v + t + u <= lm; ++v) {
+            tbl[lm].push_back({t, u, v});
+          }
+        }
+      }
+      MF_CHECK(tbl[lm].size() == hermite_count(lm));
+    }
+    return tbl;
+  }();
+  return tables[l];
+}
+
 HermiteE::HermiteE(int imax, int jmax, double a, double b, double ab) {
   const double p = a + b;
   const double mu = a * b / p;
@@ -66,8 +85,12 @@ void HermiteR::compute(int ltot, double alpha, const Vec3& pq) {
   stride_ = ltot + 1;
   const std::size_t layer =
       static_cast<std::size_t>(stride_) * stride_ * stride_;
-  r_.assign(static_cast<std::size_t>(ltot + 1) * layer, 0.0);
-  work_.clear();
+  // No zero-fill: the recursion below writes every slot (n, t, u, v) with
+  // n + t + u + v <= ltot, which covers every slot it or operator() (n = 0,
+  // t + u + v <= ltot) ever reads. Zeroing the full 4D cube cost more than
+  // the recursion itself for high ltot, on every primitive quartet.
+  const std::size_t need = static_cast<std::size_t>(ltot + 1) * layer;
+  if (r_.size() < need) r_.resize(need);
 
   auto at = [this, layer](int n, int t, int u, int v) -> double& {
     return r_[n * layer +

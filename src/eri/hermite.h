@@ -25,6 +25,16 @@ struct CartComponent {
 /// ly descending (s: 1; p: x,y,z; d: xx,xy,xz,yy,yz,zz; ...).
 const std::vector<CartComponent>& cartesian_components(int l);
 
+/// Number of Hermite orders (t,u,v) with t+u+v <= l: the row/column
+/// dimension of the batched contraction matrices (eri/eri_batch.h).
+constexpr std::size_t hermite_count(int l) {
+  return static_cast<std::size_t>(l + 1) * (l + 2) * (l + 3) / 6;
+}
+
+/// Fixed enumeration of the Hermite orders (t,u,v), t+u+v <= l, ordered
+/// t-major. Supports l through 2*kMaxAm (a full bra or ket pair).
+const std::vector<CartComponent>& hermite_orders(int l);
+
 /// 1D Hermite expansion coefficients for a primitive pair in one dimension.
 /// Computes E_t^{i,j} for 0 <= i <= imax, 0 <= j <= jmax, 0 <= t <= i+j with
 /// E_0^{0,0} = exp(-mu * AB^2) folded in (mu = a*b/(a+b)).
@@ -54,6 +64,11 @@ class HermiteR {
   double operator()(int t, int u, int v) const {
     return r_[(static_cast<std::size_t>(t) * stride_ + u) * stride_ + v];
   }
+
+  /// Raw n=0 layer and its stride, for gather-style access by the batched
+  /// contraction kernels: element (t,u,v) lives at (t*stride+u)*stride+v.
+  const double* data() const { return r_.data(); }
+  int stride() const { return stride_; }
 
  private:
   int stride_ = 0;

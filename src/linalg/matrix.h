@@ -67,6 +67,42 @@ class Matrix {
 void gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           double alpha, double beta, Matrix& c);
 
+/// C[m x n] = A[m x k] * B[k x n] over raw row-major buffers. Header-inline
+/// micro-GEMM for the tiny fixed-shape products on the ERI hot path (the
+/// Hermite->Cartesian contractions, eri/eri_batch.cpp), where Matrix
+/// wrappers would cost an allocation per primitive quartet. The inner loop
+/// is simd-annotated; with compile-time trip counts it fully unrolls.
+inline void small_gemm(std::size_t m, std::size_t n, std::size_t k,
+                       const double* a, const double* b, double* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    const double* arow = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double w = arow[kk];
+      const double* brow = b + kk * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += w * brow[j];
+    }
+  }
+}
+
+/// C[m x n] += alpha * A[m x k] * B[k x n], same contract as small_gemm.
+inline void small_gemm_acc(std::size_t m, std::size_t n, std::size_t k,
+                           double alpha, const double* a, const double* b,
+                           double* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    const double* arow = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double w = alpha * arow[kk];
+      const double* brow = b + kk * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += w * brow[j];
+    }
+  }
+}
+
 /// Convenience: returns A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
 

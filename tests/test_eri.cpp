@@ -5,6 +5,7 @@
 #include "chem/basis_set.h"
 #include "chem/molecule_builders.h"
 #include "eri/eri_engine.h"
+#include "eri/shell_pair.h"
 
 namespace mf {
 namespace {
@@ -168,6 +169,47 @@ TEST(Eri, CountersTrackWork) {
   EXPECT_EQ(engine.integrals_computed(), 1u);
   EXPECT_EQ(engine.primitive_quartets_computed(), 16u);
   engine.reset_counters();
+  EXPECT_EQ(engine.shell_quartets_computed(), 0u);
+}
+
+// The batched ssss fast path (direct Boys F_0, no Hermite machinery) must
+// hit the same closed forms as the scalar path.
+TEST(Eri, BatchedSsssClosedForms) {
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const double a = 0.9, b = 1.4, r = 2.3;
+  const Shell s1 = make_shell(0, {0, 0, 0}, {a}, {1.0});
+  const Shell s2 = make_shell(0, {0, 0, r}, {b}, {1.0});
+  const ShellPairData bra(s1, s1, thr);
+  const ShellPairData same(s1, s1, thr), sep(s2, s2, thr);
+  const ShellPairData* kets[2] = {&same, &sep};
+  engine.compute_batch(bra, kets, 2);
+  ASSERT_EQ(engine.batch_sph_size(), 1u);
+  // (s1 s1 | s1 s1) = 2 sqrt(a/pi); (s1 s1 | s2 s2) = erf(sqrt(mu) r)/r.
+  EXPECT_NEAR(engine.batch_sph(0)[0], 2.0 * std::sqrt(a / kPi), 1e-12);
+  const double p = 2.0 * a, q = 2.0 * b;
+  const double mu = p * q / (p + q);
+  EXPECT_NEAR(engine.batch_sph(1)[0], std::erf(std::sqrt(mu) * r) / r, 1e-12);
+}
+
+// Batched counters: one compute_batch call over n kets counts n quartets,
+// n * nab * ncd integrals, and (bra prims) * (total ket prims) primitive
+// quartets — same accounting as n single-quartet calls.
+TEST(Eri, BatchedCountersTrackWork) {
+  EriEngine engine;
+  const double thr = 0.0;  // keep every primitive pair for exact counts
+  const Shell s = make_shell(0, {0, 0, 0}, {1.0, 2.0}, {0.5, 0.5});
+  const Shell p = make_shell(1, {0.4, 0, 0}, {0.8}, {1.0});
+  const ShellPairData bra(s, s, thr);   // 4 primitive pairs
+  const ShellPairData k0(p, s, thr);    // 2 primitive pairs
+  const ShellPairData k1(p, s, thr);
+  const ShellPairData* kets[2] = {&k0, &k1};
+  engine.compute_batch(bra, kets, 2);
+  EXPECT_EQ(engine.shell_quartets_computed(), 2u);
+  EXPECT_EQ(engine.integrals_computed(), 2u * 3u);  // [1][1][3][1] each
+  EXPECT_EQ(engine.primitive_quartets_computed(), 4u * 4u);
+  engine.reset_counters();
+  engine.compute_batch(bra, kets, 0);
   EXPECT_EQ(engine.shell_quartets_computed(), 0u);
 }
 

@@ -13,6 +13,7 @@
 #include "chem/molecule_builders.h"
 #include "core/fock_serial.h"
 #include "core/symmetry.h"
+#include "eri/eri_batch.h"
 #include "eri/eri_engine.h"
 #include "eri/screening.h"
 #include "eri/shell_pair.h"
@@ -230,6 +231,261 @@ TEST(ShellPair, SharedListAcrossThreadsMatchesSerial) {
 
   for (std::size_t i = 0; i < quartets.size(); ++i) {
     EXPECT_EQ(results[i % nthreads][i], reference[i]) << "quartet " << i;
+  }
+}
+
+// The batched path must reproduce the seed quartet loop for every
+// angular-momentum class through kMaxAm — exhaustive over all (la,lb,lc,ld),
+// two kets per batch so the per-batch amortization is exercised.
+TEST(ShellPair, BatchedMatchesLegacyAllClasses) {
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  for (int la = 0; la <= kMaxAm; ++la) {
+    for (int lb = 0; lb <= kMaxAm; ++lb) {
+      for (int lc = 0; lc <= kMaxAm; ++lc) {
+        for (int ld = 0; ld <= kMaxAm; ++ld) {
+          const Shell a = make_shell(la, {0.0, 0.0, 0.0}, {1.3}, {1.0});
+          const Shell b = make_shell(lb, {0.5, 0.4, 0.0}, {0.9}, {1.0});
+          const Shell c0 = make_shell(lc, {0.0, 0.8, 0.3}, {1.1}, {1.0});
+          const Shell d0 = make_shell(ld, {0.6, 0.0, 0.9}, {0.7}, {1.0});
+          const Shell c1 = make_shell(lc, {-0.3, 0.2, 0.5}, {0.8}, {1.0});
+          const Shell d1 = make_shell(ld, {0.1, -0.6, 0.4}, {1.4}, {1.0});
+
+          const ShellPairData bra(a, b, thr);
+          const ShellPairData ket0(c0, d0, thr), ket1(c1, d1, thr);
+          const ShellPairData* kets[2] = {&ket0, &ket1};
+          engine.compute_batch_cartesian(bra, kets, 2);
+
+          const Shell* cs[2] = {&c0, &c1};
+          const Shell* ds[2] = {&d0, &d1};
+          for (int i = 0; i < 2; ++i) {
+            const std::vector<double> legacy =
+                engine.compute_cartesian_legacy(a, b, *cs[i], *ds[i]);
+            // compute_cartesian_legacy reuses the engine's batch-invariant
+            // scratch but not the batch buffer, so batch_cart stays valid.
+            ASSERT_EQ(legacy.size(), engine.batch_cart_size());
+            double scale = 1.0;
+            for (double v : legacy) scale = std::max(scale, std::abs(v));
+            const double* batched = engine.batch_cart(i);
+            for (std::size_t k = 0; k < legacy.size(); ++k) {
+              ASSERT_NEAR(batched[k], legacy[k], 1e-12 * scale)
+                  << "la=" << la << " lb=" << lb << " lc=" << lc
+                  << " ld=" << ld << " ket=" << i << " k=" << k;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Batch sizes 1, odd, and larger-than-typical must all agree with the
+// single-quartet pair path on randomized contracted shells, spherical
+// output (this covers the per-class dispatcher and the renormalization /
+// spherical stages of the batch).
+TEST(ShellPair, BatchedMatchesPairAcrossBatchSizes) {
+  Rng rng(515);
+  EriEngine batch_engine;
+  EriEngine ref_engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  for (const std::size_t nket : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{64}}) {
+    for (const auto& cls : {std::pair<int, int>{0, 0}, {1, 0}, {1, 1},
+                            {2, 1}, {2, 2}}) {
+      const Shell a = random_shell(rng, static_cast<int>(rng.uniform_int(3)));
+      const Shell b = random_shell(rng, static_cast<int>(rng.uniform_int(2)));
+      const ShellPairData bra(a, b, thr);
+      std::vector<ShellPairData> kets;
+      std::vector<const ShellPairData*> ptrs;
+      std::vector<std::pair<Shell, Shell>> ket_shells;
+      for (std::size_t i = 0; i < nket; ++i) {
+        ket_shells.emplace_back(random_shell(rng, cls.first),
+                                random_shell(rng, cls.second));
+      }
+      for (const auto& [c, d] : ket_shells) kets.emplace_back(c, d, thr);
+      for (const ShellPairData& k : kets) ptrs.push_back(&k);
+
+      batch_engine.compute_batch(bra, ptrs.data(), ptrs.size());
+      for (std::size_t i = 0; i < nket; ++i) {
+        const std::vector<double>& ref = ref_engine.compute(bra, kets[i]);
+        ASSERT_EQ(ref.size(), batch_engine.batch_sph_size());
+        double scale = 1.0;
+        for (double v : ref) scale = std::max(scale, std::abs(v));
+        const double* got = batch_engine.batch_sph(i);
+        for (std::size_t k = 0; k < ref.size(); ++k) {
+          ASSERT_NEAR(got[k], ref[k], 1e-12 * scale)
+              << "nket=" << nket << " class=(" << cls.first << ","
+              << cls.second << ") ket=" << i << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+// Degenerate batches: zero kets, kets whose primitive pairs were all
+// screened away, and a bra with no surviving primitives must produce
+// empty/zero output rather than stale or uninitialized values.
+TEST(ShellPair, BatchedHandlesEmptyAndFullyScreenedInputs) {
+  EriEngine engine;
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const Shell s0 = make_shell(0, {0, 0, 0}, {1.0}, {1.0});
+  Shell far = s0;
+  far.center = {60.0, 0.0, 0.0};  // exp(-mu * 3600) underflows any threshold
+  const ShellPairData bra(s0, s0, thr);
+
+  // nket == 0: valid call, empty result.
+  engine.compute_batch(bra, nullptr, 0);
+  EXPECT_EQ(engine.batch_sph_size(), 0u);
+
+  // Every ket primitive pair screened out -> exact zero block.
+  const ShellPairData screened(s0, far, thr);
+  ASSERT_TRUE(screened.prims().empty());
+  const ShellPairData* kets[1] = {&screened};
+  engine.compute_batch(bra, kets, 1);
+  ASSERT_EQ(engine.batch_sph_size(), 1u);
+  EXPECT_EQ(engine.batch_sph(0)[0], 0.0);
+
+  // Bra with no surviving primitives -> zero blocks for every ket.
+  const ShellPairData live(s0, s0, thr);
+  const ShellPairData* kets2[2] = {&live, &live};
+  engine.compute_batch(screened, kets2, 2);
+  ASSERT_EQ(engine.batch_sph_size(), 1u);
+  EXPECT_EQ(engine.batch_sph(0)[0], 0.0);
+  EXPECT_EQ(engine.batch_sph(1)[0], 0.0);
+}
+
+// KetBatcher must bucket by (la, lb) class preserving insertion order and
+// tags, and its owned transient pairs must stay pointer-stable as the
+// batch grows (the deque contract the Fock fallback path relies on).
+TEST(ShellPair, KetBatcherGroupsByClassWithStablePointers) {
+  const double thr = EriEngineOptions{}.primitive_threshold;
+  const Shell s = make_shell(0, {0, 0, 0}, {1.0}, {1.0});
+  const Shell p = make_shell(1, {0.3, 0, 0}, {0.8}, {1.0});
+  const ShellPairData ss(s, s, thr), sp(s, p, thr), ps(p, s, thr);
+
+  KetBatcher batcher;
+  EXPECT_TRUE(batcher.empty());
+  batcher.add(&ss, 10);
+  batcher.add(&sp, 11);
+  batcher.add(&ss, 12);
+  batcher.add(&ps, 13);
+  batcher.add(&sp, 14);
+  EXPECT_EQ(batcher.size(), 5u);
+
+  std::vector<std::vector<std::uint32_t>> tag_groups;
+  batcher.for_each_class([&](const ShellPairData* const* kets,
+                             const std::uint32_t* tags, std::size_t nk) {
+    for (std::size_t i = 1; i < nk; ++i) {
+      EXPECT_EQ(kets[i]->la(), kets[0]->la());
+      EXPECT_EQ(kets[i]->lb(), kets[0]->lb());
+    }
+    tag_groups.emplace_back(tags, tags + nk);
+  });
+  // First-seen class order: (0,0) then (0,1) then (1,0).
+  ASSERT_EQ(tag_groups.size(), 3u);
+  EXPECT_EQ(tag_groups[0], (std::vector<std::uint32_t>{10, 12}));
+  EXPECT_EQ(tag_groups[1], (std::vector<std::uint32_t>{11, 14}));
+  EXPECT_EQ(tag_groups[2], (std::vector<std::uint32_t>{13}));
+
+  // Transient pairs: collect addresses across many emplaces, then verify
+  // every stored pointer still dereferences to the right class.
+  batcher.clear();
+  EXPECT_TRUE(batcher.empty());
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    batcher.emplace(i % 2 == 0 ? s : p, s, thr, i);
+  }
+  EXPECT_EQ(batcher.size(), 100u);
+  std::size_t seen = 0;
+  batcher.for_each_class([&](const ShellPairData* const* kets,
+                             const std::uint32_t* tags, std::size_t nk) {
+    for (std::size_t i = 0; i < nk; ++i) {
+      EXPECT_EQ(kets[i]->la(), tags[i] % 2 == 0 ? 0 : 1);
+      ++seen;
+    }
+  });
+  EXPECT_EQ(seen, 100u);
+}
+
+// The batched path over one shared read-only ShellPairList from several
+// threads must be bit-identical to a serial batched run — the TSan-lane
+// workload for the batch layer (per-thread engines and batchers, shared
+// pair data).
+TEST(ShellPair, SharedListBatchedAcrossThreadsMatchesSerial) {
+  const Basis basis(water(), BasisLibrary::builtin("sto-3g"));
+  const ScreeningData sd(basis, {});
+  const ShellPairList& list = sd.pairs();
+  const std::size_t ns = basis.num_shells();
+
+  // Bra-pair work units: (m, k_mp) with the surviving ket list attached.
+  struct BraUnit {
+    std::size_t m, k_mp;
+    std::vector<std::pair<std::size_t, std::size_t>> kets;  // (n, k_nq)
+  };
+  std::vector<BraUnit> units;
+  for (std::size_t m = 0; m < ns; ++m) {
+    const auto& phi_m = sd.significant_set(m);
+    for (std::size_t n = 0; n < ns; ++n) {
+      if (!symmetry_check(m, n)) continue;
+      const auto& phi_n = sd.significant_set(n);
+      for (std::size_t kp = 0; kp < phi_m.size(); ++kp) {
+        if (!symmetry_check(m, phi_m[kp])) continue;
+        BraUnit u{m, kp, {}};
+        for (std::size_t kq = 0; kq < phi_n.size(); ++kq) {
+          if (!unique_quartet(m, phi_m[kp], n, phi_n[kq])) continue;
+          u.kets.emplace_back(n, kq);
+        }
+        if (!u.kets.empty()) units.push_back(std::move(u));
+      }
+    }
+  }
+  ASSERT_FALSE(units.empty());
+
+  auto run_unit = [&list](EriEngine& engine, KetBatcher& batcher,
+                          const BraUnit& u, std::vector<double>& out) {
+    const ShellPairData& bra = list.pair_at(u.m, u.k_mp);
+    batcher.clear();
+    for (const auto& [n, kq] : u.kets) {
+      batcher.add(&list.pair_at(n, kq), 0);
+    }
+    batcher.for_each_class([&](const ShellPairData* const* kets,
+                               const std::uint32_t*, std::size_t nk) {
+      engine.compute_batch(bra, kets, nk);
+      for (std::size_t i = 0; i < nk; ++i) {
+        out.push_back(engine.batch_sph(i)[0]);
+      }
+    });
+  };
+
+  std::vector<std::vector<double>> reference(units.size());
+  {
+    EriEngine engine;
+    KetBatcher batcher;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      run_unit(engine, batcher, units[i], reference[i]);
+    }
+  }
+
+  const std::size_t nthreads = 4;
+  std::vector<std::vector<std::vector<double>>> results(nthreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      EriEngine engine;
+      KetBatcher batcher;
+      results[t].resize(units.size());
+      for (std::size_t i = t; i < units.size(); i += nthreads) {
+        run_unit(engine, batcher, units[i], results[t][i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    ASSERT_EQ(results[i % nthreads][i].size(), reference[i].size());
+    for (std::size_t k = 0; k < reference[i].size(); ++k) {
+      EXPECT_EQ(results[i % nthreads][i][k], reference[i][k])
+          << "unit " << i << " quartet " << k;
+    }
   }
 }
 

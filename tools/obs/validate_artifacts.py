@@ -15,12 +15,21 @@ Two artifact kinds:
                   consistent (bin counts sum to "count", bins are disjoint
                   ascending ranges, min <= max when count > 0).
 
+  --tint FILE     t_int benchmark JSON written by bench_micro
+                  (BENCH_tint.json). Must contain one result row per ERI
+                  path ("legacy", "pair", "batched") with positive timing
+                  fields, plus the "speedup_t_int" (legacy vs pair) and
+                  "speedup_batched" (pair vs batched) ratios.
+
 Optional cross-checks used by the CI smoke step:
 
   --expect-ranks N        The trace must contain prefetch/compute/flush
                           phase spans for every simulated rank 0..N-1 (the
                           paper's per-rank phase discipline, Algorithm 4).
   --require-counter NAME  The report must contain this counter (repeatable).
+  --min-batched-speedup X The tint file's "speedup_batched" must be >= X
+                          (the perf regression gate on the batched ERI
+                          kernels).
 
 Stdlib only — no jsonschema dependency. Exits non-zero with a list of
 violations on failure.
@@ -167,6 +176,54 @@ def validate_report(data, required_counters: list[str]) -> list[str]:
     return errors
 
 
+TINT_PATHS = ("legacy", "pair", "batched")
+
+
+def validate_tint(data, min_batched_speedup: float | None) -> list[str]:
+    errors = []
+    if not isinstance(data, dict):
+        return ["tint: top level must be an object"]
+    if not isinstance(data.get("workload"), str):
+        errors.append('tint: missing string "workload"')
+    if not _is_int(data.get("quartets")) or data.get("quartets", 0) <= 0:
+        errors.append('tint: "quartets" must be a positive integer')
+    rows = data.get("results")
+    if not isinstance(rows, list):
+        return errors + ['tint: missing "results" list']
+    by_path = {}
+    for i, row in enumerate(rows):
+        where = f"tint: results[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        path = row.get("path")
+        if path not in TINT_PATHS:
+            errors.append(f'{where}: "path" must be one of {TINT_PATHS}, '
+                          f"got {path!r}")
+            continue
+        if path in by_path:
+            errors.append(f'{where}: duplicate path {path!r}')
+        by_path[path] = row
+        for field in ("seconds", "t_int_us", "quartets_per_s"):
+            if not _is_num(row.get(field)) or row[field] <= 0.0:
+                errors.append(f'{where}: "{field}" must be a positive number')
+        if not isinstance(row.get("pair_cache"), bool):
+            errors.append(f'{where}: "pair_cache" must be a boolean')
+    for path in TINT_PATHS:
+        if path not in by_path:
+            errors.append(f'tint: no result row for path "{path}"')
+    for field in ("speedup_t_int", "speedup_batched"):
+        if not _is_num(data.get(field)) or data[field] <= 0.0:
+            errors.append(f'tint: "{field}" must be a positive number')
+    if min_batched_speedup is not None and _is_num(data.get("speedup_batched")):
+        got = data["speedup_batched"]
+        if got < min_batched_speedup:
+            errors.append(f"tint: speedup_batched {got:.3f} is below the "
+                          f"gate {min_batched_speedup:.3f} — the batched ERI "
+                          "kernels regressed relative to the pair path")
+    return errors
+
+
 def _load(path: pathlib.Path, errors: list[str]):
     try:
         return json.loads(path.read_text(encoding="utf-8"))
@@ -181,13 +238,17 @@ def main() -> int:
                     help="Chrome trace JSON from --trace-out")
     ap.add_argument("--report", type=pathlib.Path,
                     help="run report JSON from --metrics-out")
+    ap.add_argument("--tint", type=pathlib.Path,
+                    help="t_int benchmark JSON (BENCH_tint.json)")
     ap.add_argument("--expect-ranks", type=int, default=None,
                     help="require phase spans for ranks 0..N-1 in the trace")
     ap.add_argument("--require-counter", action="append", default=[],
                     metavar="NAME", help="counter that must be in the report")
+    ap.add_argument("--min-batched-speedup", type=float, default=None,
+                    metavar="X", help="require tint speedup_batched >= X")
     args = ap.parse_args()
-    if args.trace is None and args.report is None:
-        ap.error("nothing to validate; pass --trace and/or --report")
+    if args.trace is None and args.report is None and args.tint is None:
+        ap.error("nothing to validate; pass --trace, --report, and/or --tint")
 
     errors: list[str] = []
     if args.trace is not None:
@@ -198,6 +259,10 @@ def main() -> int:
         data = _load(args.report, errors)
         if data is not None:
             errors.extend(validate_report(data, args.require_counter))
+    if args.tint is not None:
+        data = _load(args.tint, errors)
+        if data is not None:
+            errors.extend(validate_tint(data, args.min_batched_speedup))
 
     for e in errors:
         print(e)
