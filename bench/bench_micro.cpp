@@ -8,8 +8,10 @@
 // After the registered benchmarks run, main() always measures t_int on a
 // small water-cluster workload with the shell-pair cache on and off and
 // writes the result to BENCH_tint.json (override the path with
-// MINIFOCK_TINT_JSON). CI runs this binary with a match-nothing
-// --benchmark_filter purely for that JSON smoke artifact.
+// MINIFOCK_TINT_JSON), then profiles one GTFock build per registered
+// transport backend into BENCH_comm.json (MINIFOCK_COMM_JSON). CI runs
+// this binary with a match-nothing --benchmark_filter purely for those
+// JSON smoke artifacts.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +23,9 @@
 
 #include "chem/basis_set.h"
 #include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/fock_serial.h"
+#include "core/shell_reorder.h"
 #include "core/symmetry.h"
 #include "eri/boys.h"
 #include "eri/eri_batch.h"
@@ -29,6 +34,7 @@
 #include "eri/screening.h"
 #include "eri/shell_pair.h"
 #include "fault/fault.h"
+#include "ga/global_array.h"
 #include "linalg/matrix.h"
 #include "linalg/purification.h"
 #include "obs/trace.h"
@@ -464,6 +470,113 @@ int emit_tint_json() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_comm.json: one GTFock build per registered transport backend.
+// ---------------------------------------------------------------------------
+
+// Every backend runs the identical build (work stealing off, so the
+// prefetch/flush schedule and the per-rank rmw count are deterministic and
+// must agree across backends exactly), verifies against the serial oracle,
+// and reports its comm profile; SimTransport additionally reports the
+// virtual comm seconds its dsim model booked. CI gates the artifact with
+// tools/obs/validate_artifacts.py --comm.
+int emit_comm_json() {
+  const std::string workload = "water_cluster(2)/sto-3g";
+  const Basis basis = apply_reordering(
+      Basis(water_cluster(2, 5), BasisLibrary::builtin("sto-3g")),
+      {ReorderScheme::kCells, 5.0, 1});
+  ScreeningOptions sopts;
+  sopts.tau = 1e-11;
+  const ScreeningData screening(basis, sopts);
+  const Matrix h = core_hamiltonian(basis);
+
+  Rng rng(77);
+  const std::size_t n = basis.num_functions();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  const Matrix reference = fock_serial(basis, screening, d, h);
+
+  struct CommRow {
+    const char* name = "";
+    double avg_comm_calls = 0.0;
+    double avg_comm_mb = 0.0;
+    std::uint64_t total_rmw = 0;
+    double sim_comm_seconds = 0.0;
+    double max_abs_err = 0.0;
+  };
+  const ProcessGrid grid(2, 2);
+  std::vector<CommRow> rows;
+  for (TransportKind kind : registered_transport_kinds()) {
+    GtFockOptions opts;
+    opts.grid = grid;
+    opts.work_stealing = false;
+    opts.transport.kind = kind;
+    GtFockBuilder builder(basis, screening, opts);
+    const GtFockResult res = builder.build(d, h);
+
+    CommRow row;
+    row.name = transport_kind_name(kind);
+    const CommSummary sum = res.comm_summary();
+    row.avg_comm_calls = sum.avg_calls;
+    row.avg_comm_mb = to_megabytes(sum.avg_bytes);
+    for (const GtFockRankStats& s : res.ranks) row.total_rmw += s.comm.rmw_calls;
+    row.sim_comm_seconds = res.max_sim_comm_seconds();
+    row.max_abs_err = max_abs_diff(res.fock, reference);
+
+    // NGA_Read_inc drill: the stealing-free build above issues no counter
+    // rmw, so exercise the fetch-and-add path directly — 64 increments per
+    // rank against a rank-0 counter, the shape of the paper's centralized
+    // scheduler traffic. Deterministic, hence identical across backends.
+    const auto transport = make_transport(opts.transport, grid.size());
+    GlobalCounter counter(/*owner_rank=*/0, grid.size(), 0, transport);
+    for (std::size_t r = 0; r < grid.size(); ++r) {
+      for (int k = 0; k < 64; ++k) counter.fetch_add(r, 1);
+    }
+    for (const CommStats& cs : counter.stats()) row.total_rmw += cs.rmw_calls;
+    rows.push_back(row);
+  }
+
+  const char* env = std::getenv("MINIFOCK_COMM_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_comm.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", workload.c_str());
+  std::fprintf(f, "  \"ranks\": %zu,\n", grid.size());
+  std::fprintf(f, "  \"grid\": \"%zux%zu\",\n", grid.rows(), grid.cols());
+  std::fprintf(f, "  \"backends\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CommRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"avg_comm_calls\": %.1f, "
+                 "\"avg_comm_mb\": %.6f, \"total_rmw\": %llu, "
+                 "\"sim_comm_seconds\": %.9e, \"max_abs_err\": %.3e}%s\n",
+                 row.name, row.avg_comm_calls, row.avg_comm_mb,
+                 static_cast<unsigned long long>(row.total_rmw),
+                 row.sim_comm_seconds, row.max_abs_err,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  for (const CommRow& row : rows) {
+    std::printf(
+        "comm (%s, %s): %.0f calls, %.3f MB per rank (avg), %llu rmw, "
+        "sim %.3e s, |err| %.2e\n",
+        workload.c_str(), row.name, row.avg_comm_calls, row.avg_comm_mb,
+        static_cast<unsigned long long>(row.total_rmw), row.sim_comm_seconds,
+        row.max_abs_err);
+  }
+  std::printf("-> %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -471,5 +584,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return emit_tint_json();
+  const int tint_rc = emit_tint_json();
+  const int comm_rc = emit_comm_json();
+  return tint_rc != 0 ? tint_rc : comm_rc;
 }

@@ -1,15 +1,18 @@
 // Distributed Fock matrix construction on simulated ranks.
 //
-//   $ ./examples/parallel_fock [n_carbons] [nprocs] \
+//   $ ./examples/parallel_fock [n_carbons] [nprocs] [--transport=sim]
 //         [--trace-out=trace.json] [--metrics-out=report.json]
 //
 // Builds one Fock matrix for a linear alkane three ways — the serial
 // reference, the paper's GTFock algorithm (static 2D partition + prefetch +
 // work stealing) on `nprocs` simulated ranks, and the NWChem-style baseline
 // — verifies they agree to machine precision, and prints the per-rank
-// instrumentation the paper's evaluation is built on. With --trace-out the
-// run also writes a Chrome trace (open in https://ui.perfetto.dev); with
-// --metrics-out, the machine-readable run report.
+// instrumentation the paper's evaluation is built on. --transport selects
+// the comm backend ("threaded" default; "sim" additionally books dsim
+// virtual time per transfer and prints the simulated comm seconds). With
+// --trace-out the run also writes a Chrome trace (open in
+// https://ui.perfetto.dev); with --metrics-out, the machine-readable run
+// report.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +30,10 @@
 
 int main(int argc, char** argv) {
   using namespace mf;
-  const CliArgs args(argc, argv, obs::with_cli_flags());
+  const CliArgs args(argc, argv, obs::with_cli_flags({"transport"}));
   const obs::ObsConfig obs_cfg = obs::configure_from_cli(args);
+  const TransportKind transport_kind =
+      transport_kind_from_string(args.get("transport", "threaded"));
   const auto& pos = args.positional();
   const std::size_t n_carbons =
       !pos.empty() ? static_cast<std::size_t>(std::atol(pos[0].c_str())) : 6;
@@ -62,10 +67,12 @@ int main(int argc, char** argv) {
 
   GtFockOptions gopts;
   gopts.nprocs = nprocs;
+  gopts.transport.kind = transport_kind;
   GtFockBuilder gtfock(basis, screening, gopts);
   const GtFockResult gres = gtfock.build(scf.density, h);
-  std::printf("\nGTFock build on %zu ranks (grid %zux%zu):\n", nprocs,
-              gopts.resolved_grid().rows(), gopts.resolved_grid().cols());
+  std::printf("\nGTFock build on %zu ranks (grid %zux%zu, transport %s):\n",
+              nprocs, gopts.resolved_grid().rows(),
+              gopts.resolved_grid().cols(), transport_kind_name(transport_kind));
   std::printf("  max |F_gtfock - F_serial| = %.2e\n",
               max_abs_diff(gres.fock, f_serial));
   std::printf("  load balance l = %.4f | avg steal victims s = %.2f\n",
@@ -73,6 +80,10 @@ int main(int argc, char** argv) {
   const CommSummary gsum = gres.comm_summary();
   std::printf("  comm: %.0f calls, %.2f MB per rank (avg)\n", gsum.avg_calls,
               to_megabytes(gsum.avg_bytes));
+  if (transport_kind == TransportKind::kSim) {
+    std::printf("  simulated comm time: %.3f ms (max over ranks)\n",
+                gres.max_sim_comm_seconds() * 1e3);
+  }
   for (std::size_t r = 0; r < gres.ranks.size(); ++r) {
     const GtFockRankStats& s = gres.ranks[r];
     std::printf(
@@ -89,6 +100,7 @@ int main(int argc, char** argv) {
   const ScfResult scf_atom = hf_atom.run();
   NwchemOptions nopts;
   nopts.nprocs = nprocs;
+  nopts.transport.kind = transport_kind;
   NwchemFockBuilder nwchem(atom_basis, atom_screening_data, nopts);
   const NwchemResult nres = nwchem.build(scf_atom.density, h_atom);
   const Matrix f_atom = fock_serial(atom_basis, atom_screening_data,
@@ -102,6 +114,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nres.scheduler_accesses));
   std::printf("  comm: %.0f calls, %.2f MB per rank (avg)\n", nsum.avg_calls,
               to_megabytes(nsum.avg_bytes));
+  if (transport_kind == TransportKind::kSim) {
+    std::printf("  simulated comm time: %.3f ms (max over ranks)\n",
+                nres.max_sim_comm_seconds() * 1e3);
+  }
   std::printf("\ncall ratio (NWChem/GTFock): %.1fx\n",
               nsum.avg_calls / gsum.avg_calls);
   return obs::write_artifacts(obs_cfg) ? 0 : 1;

@@ -72,6 +72,12 @@ double NwchemResult::load_balance() const {
   return avg > 0.0 ? max_total_seconds() / avg : 1.0;
 }
 
+double NwchemResult::max_sim_comm_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s = std::max(s, r.sim_comm_seconds);
+  return s;
+}
+
 CommSummary NwchemResult::comm_summary() const {
   std::vector<CommStats> per_rank;
   per_rank.reserve(ranks.size());
@@ -174,10 +180,15 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
   const std::size_t natoms = basis_.molecule().size();
   const Distribution2D dist = nwchem_distribution(basis_, p);
 
-  GlobalArray d_ga(dist);
-  GlobalArray w_ga(dist);
+  // One transport for D, W, and the scheduler counter: a timed backend then
+  // books data transfers AND the centralized counter's serialization onto
+  // the same per-rank virtual clocks (the Section II-F bottleneck).
+  std::shared_ptr<Transport> transport = make_transport(options_.transport, p);
+  GlobalArray d_ga(dist, transport);
+  GlobalArray w_ga(dist, transport);
   d_ga.from_matrix(density);
   d_ga.reset_stats();
+  transport->reset_time();
 
   // Atom-block geometry in function space.
   std::vector<std::size_t> atom_offset(natoms), atom_nf(natoms);
@@ -194,7 +205,7 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     }
   }
 
-  GlobalCounter counter(/*owner_rank=*/0, p);
+  GlobalCounter counter(/*owner_rank=*/0, p, /*initial=*/0, transport);
   NwchemResult result;
   result.ranks.resize(p);
   result.total_tasks = nwchem_task_count(natoms, atoms_);
@@ -298,6 +309,7 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
     result.ranks[r].comm += w_stats[r];
     result.ranks[r].comm += counter_stats[r];
     result.scheduler_accesses += counter_stats[r].rmw_calls;
+    result.ranks[r].sim_comm_seconds = transport->comm_time(r);
   }
 
   // Funnel per-rank stats into the run report, mirroring the GTFock path so
@@ -315,6 +327,8 @@ NwchemResult NwchemFockBuilder::build(const Matrix& density,
       rank_total.record_ns(static_cast<std::int64_t>(r.total_seconds * 1e9));
     }
     mreg.gauge("nwchem.load_balance").set(result.load_balance());
+    mreg.gauge("nwchem.sim_comm_seconds").set(result.max_sim_comm_seconds());
+    mreg.set_label("nwchem.transport", transport->name());
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

@@ -20,6 +20,7 @@
 #include "eri/eri_engine.h"
 #include "eri/screening.h"
 #include "ga/comm_stats.h"
+#include "ga/transport.h"
 #include "linalg/matrix.h"
 
 namespace mf {
@@ -27,6 +28,9 @@ namespace mf {
 struct NwchemOptions {
   std::size_t nprocs = 4;
   EriEngineOptions eri;
+  /// Comm backend (ga/transport.h); kSim adds dsim virtual-time accounting
+  /// on top of the real data movement.
+  TransportOptions transport;
 };
 
 struct NwchemRankStats {
@@ -37,6 +41,8 @@ struct NwchemRankStats {
   std::uint64_t integrals_computed = 0;
   double total_seconds = 0.0;
   double compute_seconds = 0.0;
+  /// Virtual comm time booked by the transport backend (0 under kThreaded).
+  double sim_comm_seconds = 0.0;
   CommStats comm;
 };
 
@@ -51,6 +57,8 @@ struct NwchemResult {
   double max_total_seconds() const;
   double avg_compute_seconds() const;
   double avg_overhead_seconds() const;
+  /// Largest per-rank simulated comm time (nonzero only under kSim).
+  double max_sim_comm_seconds() const;
   CommSummary comm_summary() const;
 };
 

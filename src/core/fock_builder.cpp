@@ -147,6 +147,12 @@ double GtFockResult::avg_steal_victims() const {
   return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
 }
 
+double GtFockResult::max_sim_comm_seconds() const {
+  double s = 0.0;
+  for (const auto& r : ranks) s = std::max(s, r.sim_comm_seconds);
+  return s;
+}
+
 CommSummary GtFockResult::comm_summary() const {
   std::vector<CommStats> per_rank;
   per_rank.reserve(ranks.size());
@@ -170,10 +176,14 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   const std::size_t nshells = basis_.num_shells();
   const Distribution2D dist = gtfock_distribution(basis_, grid);
 
-  GlobalArray d_ga(dist);
-  GlobalArray w_ga(dist);
+  // D and W share one transport so a timed backend books every transfer of
+  // the build onto one set of per-rank virtual clocks.
+  std::shared_ptr<Transport> transport = make_transport(options_.transport, p);
+  GlobalArray d_ga(dist, transport);
+  GlobalArray w_ga(dist, transport);
   d_ga.from_matrix(density);
   d_ga.reset_stats();  // scatter is setup, not algorithm communication
+  transport->reset_time();
 
   MF_THROW_IF(nshells > 0xffffffffULL,
               "GtFock: shell count exceeds 32-bit task encoding");
@@ -369,6 +379,9 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             if (victim == rank) continue;
             ++stats.steal_probes;
             stats.comm.record('r', sizeof(long), true);
+            // The probe is a modeled remote atomic on the victim's queue;
+            // book it on a timed backend like any other rmw.
+            transport->charge_rmw(rank, victim);
             WallTimer steal_timer;
             std::vector<Task> stolen;
             // A raid whose retry budget is exhausted is simply skipped this
@@ -396,6 +409,8 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
             // NOLINTNEXTLINE(performance-unnecessary-copy-initialization)
             std::vector<double> d_copy = vb.d_local;
             stats.comm.record('g', d_copy.size() * sizeof(double), true);
+            transport->charge_transfer(rank, victim,
+                                       d_copy.size() * sizeof(double));
             std::vector<double> w_steal(d_copy.size(), 0.0);
 
             // Execute the stolen block, then keep stealing from the same
@@ -417,6 +432,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
               }
               ++stats.steal_probes;
               stats.comm.record('r', sizeof(long), true);
+              transport->charge_rmw(rank, victim);
               WallTimer resteal_timer;
               stolen.clear();
               // Exhaustion here ends the raid on this victim (stolen stays
@@ -470,6 +486,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     result.ranks[r].comm += d_stats[r];
     result.ranks[r].comm += w_stats[r];
     result.ranks[r].queue_atomic_ops = queues[r].atomic_ops_snapshot();
+    result.ranks[r].sim_comm_seconds = transport->comm_time(r);
   }
 
   // Funnel the per-rank stats into the run report. The "gtfock.comm.*"
@@ -491,6 +508,8 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     }
     mreg.gauge("gtfock.load_balance").set(result.load_balance());
     mreg.gauge("gtfock.avg_steal_victims").set(result.avg_steal_victims());
+    mreg.gauge("gtfock.sim_comm_seconds").set(result.max_sim_comm_seconds());
+    mreg.set_label("gtfock.transport", transport->name());
     mreg.set_label("gtfock.grid", std::to_string(grid.rows()) + "x" +
                                       std::to_string(grid.cols()));
   }

@@ -27,6 +27,7 @@
 #include "eri/screening.h"
 #include "ga/comm_stats.h"
 #include "ga/process_grid.h"
+#include "ga/transport.h"
 #include "linalg/matrix.h"
 
 namespace mf {
@@ -40,6 +41,10 @@ struct GtFockOptions {
   /// Fraction of the victim's remaining queue taken per steal (at least 1).
   double steal_fraction = 0.5;
   EriEngineOptions eri;
+  /// Comm backend (ga/transport.h). kSim fuses the build's real data
+  /// movement with dsim virtual time, so the result carries nonzero
+  /// sim_comm_seconds while the Fock matrix stays numerically exact.
+  TransportOptions transport;
 
   ProcessGrid resolved_grid() const {
     return grid.has_value() ? *grid : ProcessGrid::squarest(nprocs);
@@ -59,6 +64,10 @@ struct GtFockRankStats {
   double compute_seconds = 0.0;   // T_comp: inside dotask
   double prefetch_seconds = 0.0;
   double flush_seconds = 0.0;
+  /// Virtual comm time booked by the transport backend for this rank
+  /// (0 under ThreadedTransport; the dsim α–β + congestion cost under
+  /// SimTransport).
+  double sim_comm_seconds = 0.0;
   CommStats comm;                 // D gets + F accs + queue rmw by this rank
 };
 
@@ -74,6 +83,8 @@ struct GtFockResult {
   /// Average parallel overhead T_ov = T_fock - T_comp (Figure 2).
   double avg_overhead_seconds() const;
   double avg_steal_victims() const;
+  /// Largest per-rank simulated comm time (nonzero only under kSim).
+  double max_sim_comm_seconds() const;
   CommSummary comm_summary() const;
 };
 

@@ -20,6 +20,7 @@ struct RankState {
   std::uint64_t prefetch_bytes = 0;
   std::uint64_t prefetch_calls = 0;
   SimResource queue_resource;
+  SimResource link_resource;  // outbound D-copy serialization (congestion)
 
   // Which original owners' D buffers this rank has copied (one copy per
   // distinct victim; the matching F buffer is flushed at completion).
@@ -244,8 +245,21 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
         // Remote probe of the victim queue (a remote atomic on its node).
         ++rep.steal_probes;
         ++result.ranks[victim].queue_atomic_ops;
-        now = state[victim].queue_resource.acquire(now + net.rmw_latency,
-                                                   net.rmw_service);
+        SimTime arrival = now + net.rmw_latency;
+        if (options.model_congestion) {
+          // Congestion avoidance: a probe that finds the victim's queue
+          // busy backs off base, 2*base, ... (capped) for a bounded number
+          // of attempts before queueing unconditionally.
+          const SimResource& q = state[victim].queue_resource;
+          for (std::uint32_t attempt = 0;
+               attempt < net.rmw_backoff_attempts &&
+               q.available_at() > arrival;
+               ++attempt) {
+            arrival += net.backoff_delay(attempt);
+            ++rep.rmw_backoffs;
+          }
+        }
+        now = state[victim].queue_resource.acquire(arrival, net.rmw_service);
         RankState& vs = state[victim];
         if (vs.queue.size() < min_steal) {
           ++st.scans_without_work;
@@ -273,7 +287,18 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
             ++rep.steal_victims;
             ++rep.comm_calls;
             rep.comm_bytes += state[owner].prefetch_bytes;
-            now += net.transfer_seconds(state[owner].prefetch_bytes);
+            if (options.model_congestion) {
+              // The copy occupies the owner's link for its serialization
+              // slice: concurrent thieves of one hot owner queue up.
+              const std::uint64_t bytes = state[owner].prefetch_bytes;
+              const SimTime start = std::max(
+                  now, state[owner].link_resource.available_at());
+              state[owner].link_resource.acquire(
+                  start, net.link_occupancy_seconds(bytes));
+              now = start + net.transfer_seconds(bytes);
+            } else {
+              now += net.transfer_seconds(state[owner].prefetch_bytes);
+            }
           }
         }
         st.phase = RankState::Phase::kOwnTasks;

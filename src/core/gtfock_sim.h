@@ -11,9 +11,12 @@
 // behind Tables III, IV, VI, VII, VIII and Figure 2 at 12..3888 cores.
 //
 // Fidelity notes: probes and steals are serialized through per-queue
-// resources in event order; the only approximation vs a real machine is
-// that transfers do not contend for link bandwidth (the paper's model in
-// Section III-G makes the same assumption).
+// resources in event order. By default transfers do not contend for link
+// bandwidth (the paper's model in Section III-G makes the same assumption);
+// set model_congestion to serialize steal-path D copies on the victim's
+// link and to pay capped exponential backoff on contended queue probes —
+// the same congestion model SimTransport (ga/transport.h) applies to the
+// functional builder.
 
 #include <cstdint>
 #include <optional>
@@ -38,6 +41,12 @@ struct GtFockSimOptions {
   /// paper's measured s = 3.8 implies the same restraint). 0 = adaptive:
   /// min(8, initial block size / 8).
   std::size_t min_steal_queue = 0;
+  /// Opt-in congestion model (NetworkModel's link_occupancy / rmw_backoff_*
+  /// knobs): steal-path D copies serialize on the victim's link, and a
+  /// probe that finds the victim's queue busy backs off exponentially
+  /// (capped) before queueing. Off by default so existing simulated results
+  /// stay bit-identical.
+  bool model_congestion = false;
 
   std::size_t num_processes() const {
     const std::size_t per = static_cast<std::size_t>(machine.cores_per_node);
@@ -55,6 +64,8 @@ struct SimRankReport {
   std::uint64_t queue_atomic_ops = 0;  // ops on this rank's queue
   std::uint64_t comm_calls = 0;
   std::uint64_t comm_bytes = 0;
+  /// Backoff waits taken on contended probes (model_congestion only).
+  std::uint64_t rmw_backoffs = 0;
 };
 
 struct GtFockSimResult {

@@ -7,10 +7,13 @@
 // (core/gtfock_sim, baseline/nwchem_sim) run their event loop on exactly
 // one thread, so EventQueue carries no internal locking by design — adding
 // a mutex here would serialize nothing and cost determinism-audit clarity.
-// If a parallel driver ever shares one EventQueue across threads it must
-// add external synchronization AND thread-safety annotations (see
-// util/thread_annotations.h); tools/lint flags unannotated mutex/atomic
-// members to keep that decision explicit.
+// Debug builds enforce the contract at runtime: the first thread to
+// schedule()/pop() claims the queue and any later touch from a different
+// thread fails fast via SingleOwnerCheck (dsim/network.h) instead of
+// corrupting virtual time. If a parallel driver ever shares one EventQueue
+// across threads it must add external synchronization AND thread-safety
+// annotations (see util/thread_annotations.h); tools/lint flags unannotated
+// mutex/atomic members to keep that decision explicit.
 
 #include <cstdint>
 #include <queue>
@@ -29,6 +32,7 @@ struct SimEvent {
 class EventQueue {
  public:
   void schedule(SimTime time, std::uint32_t rank) {
+    owner_check_.check();
     heap_.push(SimEvent{time, next_seq_++, rank});
   }
 
@@ -36,6 +40,7 @@ class EventQueue {
   std::size_t size() const { return heap_.size(); }
 
   SimEvent pop() {
+    owner_check_.check();
     SimEvent e = heap_.top();
     heap_.pop();
     return e;
@@ -50,6 +55,7 @@ class EventQueue {
   };
   std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  SingleOwnerCheck owner_check_;
 };
 
 }  // namespace mf

@@ -8,7 +8,11 @@
 // centralized-scheduler bottleneck of Section II-F/IV-C.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <thread>
+
+#include "util/check.h"
 
 namespace mf {
 
@@ -26,9 +30,93 @@ struct NetworkModel {
   /// Node-local atomic (GTFock's task queues live on their own node).
   SimTime local_rmw_service = 0.1e-6;
 
+  // --- Congestion extension (per-link queueing + rmw backoff) ---
+  /// Fraction of a transfer's wire time during which it occupies the owner's
+  /// link exclusively. Concurrent transfers landing on one owner serialize
+  /// for this slice of their duration, so a hot rank's link becomes a queue
+  /// instead of infinitely parallel wires. 1.0 = fully serialized link;
+  /// the α–β cost itself is unchanged.
+  double link_occupancy = 1.0;
+  /// Capped exponential backoff applied by a caller that finds the owner's
+  /// rmw service queue busy (the ARMCI shmem congestion-avoidance shape):
+  /// wait base, 2*base, 4*base, ... capped, for at most
+  /// `rmw_backoff_attempts` probes before queueing unconditionally.
+  SimTime rmw_backoff_base = 0.5e-6;
+  SimTime rmw_backoff_cap = 8.0e-6;
+  std::uint32_t rmw_backoff_attempts = 4;
+
   SimTime transfer_seconds(std::uint64_t bytes) const {
     return latency + static_cast<double>(bytes) / bandwidth;
   }
+
+  /// Link-serialization slice of a transfer of `bytes` at its owner.
+  SimTime link_occupancy_seconds(std::uint64_t bytes) const {
+    return link_occupancy * (static_cast<double>(bytes) / bandwidth);
+  }
+
+  /// Backoff delay before probe `attempt` (0-based): base * 2^attempt,
+  /// capped.
+  SimTime backoff_delay(std::uint32_t attempt) const {
+    SimTime d = rmw_backoff_base;
+    for (std::uint32_t i = 0; i < attempt && d < rmw_backoff_cap; ++i) {
+      d = std::min(d * 2.0, rmw_backoff_cap);
+    }
+    return std::min(d, rmw_backoff_cap);
+  }
+};
+
+/// Debug-only enforcement of the single-owner no-lock contract documented on
+/// EventQueue and SimResource: the first thread to touch the object claims
+/// it, and any later touch from a different thread fails fast (MF_CHECK)
+/// instead of silently corrupting virtual time. Compiles to nothing under
+/// NDEBUG. Components that intentionally share a resource under their own
+/// external lock (e.g. SimTransport) call disable() once at setup.
+class SingleOwnerCheck {
+ public:
+  SingleOwnerCheck() = default;
+  /// Copying a checked object resets the ownership claim (the copy lives
+  /// wherever it was copied to) but preserves an explicit disable().
+  SingleOwnerCheck(const SingleOwnerCheck& other)
+      : disabled_(other.disabled_) {}
+  SingleOwnerCheck& operator=(const SingleOwnerCheck& other) {
+    disabled_ = other.disabled_;
+#ifndef NDEBUG
+    // relaxed-ok: only the claim marker is reset; there is no data whose
+    // visibility this store orders.
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+    return *this;
+  }
+
+  void check() const {
+#ifndef NDEBUG
+    if (disabled_) return;
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    // relaxed-ok: the CAS claims ownership exactly once; the check compares
+    // thread ids only and orders no data accesses — any real sharing bug it
+    // catches is reported by the MF_CHECK below, not hidden by ordering.
+    if (!owner_.compare_exchange_strong(
+            expected, self, std::memory_order_relaxed)) {  // relaxed-ok: ^
+      MF_CHECK_MSG(expected == self,
+                   "dsim single-owner contract violated: object touched from "
+                   "a second thread without external synchronization (see "
+                   "dsim/event_queue.h); call set_externally_synchronized() "
+                   "if a lock really does guard this object");
+    }
+#endif
+  }
+
+  void disable() { disabled_ = true; }
+
+ private:
+#ifndef NDEBUG
+  // Debug-only ownership claim made via relaxed CAS; this member IS the
+  // synchronization audit and guards no data itself.
+  // lint: unguarded(claim-only CAS marker, audits rather than guards data)
+  mutable std::atomic<std::thread::id> owner_{};
+#endif
+  bool disabled_ = false;
 };
 
 /// A serially reusable resource (an atomic counter's owner, a task queue):
@@ -37,22 +125,37 @@ struct NetworkModel {
 /// Concurrency contract: single-owner, like EventQueue — it models
 /// serialization in *virtual* time and is only ever touched from the one
 /// simulator thread, so it is deliberately unsynchronized (and must stay
-/// behind a single event loop; see dsim/event_queue.h).
+/// behind a single event loop; see dsim/event_queue.h). Debug builds
+/// enforce the contract: a second thread touching the resource trips
+/// SingleOwnerCheck unless set_externally_synchronized() was called (for
+/// holders like SimTransport that guard the resource with their own mutex).
 class SimResource {
  public:
   /// Request `service` seconds of exclusive use starting no earlier than
   /// `now`; returns the completion time.
   SimTime acquire(SimTime now, SimTime service) {
+    owner_check_.check();
     const SimTime start = std::max(now, available_at_);
     available_at_ = start + service;
     return available_at_;
   }
 
-  SimTime available_at() const { return available_at_; }
-  void reset() { available_at_ = 0.0; }
+  SimTime available_at() const {
+    owner_check_.check();
+    return available_at_;
+  }
+  void reset() {
+    owner_check_.check();
+    available_at_ = 0.0;
+  }
+
+  /// Opt out of the single-owner assertion: the holder synchronizes access
+  /// with its own lock (must be called before any cross-thread use).
+  void set_externally_synchronized() { owner_check_.disable(); }
 
  private:
   SimTime available_at_ = 0.0;
+  SingleOwnerCheck owner_check_;
 };
 
 /// Machine description used by the scaling benches.

@@ -65,6 +65,33 @@ CommSummary summarize(const std::vector<CommStats>& per_rank) {
 
 double to_megabytes(double bytes) { return bytes / 1.0e6; }
 
+StatsRecorder::StatsRecorder(std::size_t nranks) : slots_(nranks) {}
+
+void StatsRecorder::record(std::size_t caller, char kind, std::uint64_t bytes,
+                           bool remote) {
+  MF_CHECK(caller < slots_.size());
+  Slot& slot = slots_[caller];
+  MutexLock lock(slot.mutex);
+  slot.stats.record(kind, bytes, remote);
+}
+
+std::vector<CommStats> StatsRecorder::snapshot() const {
+  std::vector<CommStats> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    MutexLock lock(slot.mutex);
+    out.push_back(slot.stats);
+  }
+  return out;
+}
+
+void StatsRecorder::reset() {
+  for (Slot& slot : slots_) {
+    MutexLock lock(slot.mutex);
+    slot.stats = CommStats{};
+  }
+}
+
 void record_to_metrics(const CommStats& stats, const std::string& prefix) {
   if (!obs::metrics_enabled()) return;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();

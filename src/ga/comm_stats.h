@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace mf {
 
 struct CommStats {
@@ -43,6 +46,32 @@ CommSummary summarize(const std::vector<CommStats>& per_rank);
 
 /// Megabytes with the paper's convention (1 MB = 1e6 bytes).
 double to_megabytes(double bytes);
+
+/// Thread-safe per-caller-rank CommStats recording, shared by GlobalArray,
+/// GlobalCounter, and the transport shim (ga/transport.h). One lock per
+/// caller slot: simulated ranks are threads, and stress tests may drive the
+/// same rank from several OS threads at once, so each slot serializes
+/// independently and a snapshot copies every slot under its own lock (each
+/// slot is internally consistent; cross-rank skew is possible mid-phase, as
+/// on a real machine).
+class StatsRecorder {
+ public:
+  explicit StatsRecorder(std::size_t nranks);
+
+  void record(std::size_t caller, char kind, std::uint64_t bytes, bool remote);
+
+  /// Per-rank snapshot (size() entries), each copied under its slot lock.
+  std::vector<CommStats> snapshot() const;
+  void reset();
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable Mutex mutex;
+    CommStats stats MF_GUARDED_BY(mutex);
+  };
+  std::vector<Slot> slots_;
+};
 
 /// Funnel one CommStats block into the metrics registry as counters named
 /// "<prefix>.get_calls", "<prefix>.get_bytes", ... (obs/metrics.h). Adding

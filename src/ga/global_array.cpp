@@ -1,260 +1,63 @@
 #include "ga/global_array.h"
 
-#include <algorithm>
-
-#include "fault/fault.h"
-#include "obs/metrics.h"
-#include "util/check.h"
-
 namespace mf {
 namespace {
 
-// Per-op byte distributions for the run report. Registry instruments have
-// stable addresses for the process lifetime, so the name lookup happens
-// once per kind and recording is lock-free after that.
-void record_op_metrics(char kind, std::uint64_t bytes) {
-  if (!obs::metrics_enabled()) return;
-  switch (kind) {
-    case 'g': {
-      static obs::Histogram& h =
-          obs::MetricsRegistry::instance().histogram("ga.get.bytes");
-      h.record(bytes);
-      break;
-    }
-    case 'p': {
-      static obs::Histogram& h =
-          obs::MetricsRegistry::instance().histogram("ga.put.bytes");
-      h.record(bytes);
-      break;
-    }
-    case 'a': {
-      static obs::Histogram& h =
-          obs::MetricsRegistry::instance().histogram("ga.acc.bytes");
-      h.record(bytes);
-      break;
-    }
-    case 'r': {
-      static obs::Counter& c =
-          obs::MetricsRegistry::instance().counter("ga.rmw_ops");
-      c.add(1);
-      break;
-    }
-    default:
-      break;
-  }
+std::shared_ptr<Transport> default_transport(
+    std::shared_ptr<Transport> transport, std::size_t nranks) {
+  if (transport) return transport;
+  return make_transport(TransportOptions{}, nranks);
 }
 
 }  // namespace
 
-GlobalArray::GlobalArray(Distribution2D dist)
-    : dist_(std::move(dist)), stats_(dist_.grid().size()) {
-  const ProcessGrid& grid = dist_.grid();
-  blocks_.resize(grid.size());
-  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
-    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
-      auto block = std::make_unique<Block>();
-      {
-        MutexLock lock(block->mutex);
-        block->data.assign(dist_.rows().size(pi) * dist_.cols().size(pj), 0.0);
-      }
-      blocks_[grid.rank_of(pi, pj)] = std::move(block);
-    }
-  }
-}
-
-void GlobalArray::record(std::size_t caller, char kind, std::uint64_t bytes,
-                         bool remote) {
-  record_op_metrics(kind, bytes);
-  StatsSlot& slot = stats_[caller];
-  MutexLock lock(slot.mutex);
-  slot.stats.record(kind, bytes, remote);
-}
-
-template <typename Fn>
-void GlobalArray::for_each_intersection(std::size_t r0, std::size_t r1,
-                                        std::size_t c0, std::size_t c1,
-                                        Fn&& fn) {
-  MF_CHECK(r0 <= r1 && r1 <= rows() && c0 <= c1 && c1 <= cols());
-  if (r0 == r1 || c0 == c1) return;
-  const Partition1D& rp = dist_.rows();
-  const Partition1D& cp = dist_.cols();
-  const std::size_t pi0 = rp.part_of(r0), pi1 = rp.part_of(r1 - 1);
-  const std::size_t pj0 = cp.part_of(c0), pj1 = cp.part_of(c1 - 1);
-  for (std::size_t pi = pi0; pi <= pi1; ++pi) {
-    if (rp.size(pi) == 0) continue;
-    const std::size_t br0 = std::max(r0, rp.begin(pi));
-    const std::size_t br1 = std::min(r1, rp.end(pi));
-    if (br0 >= br1) continue;
-    for (std::size_t pj = pj0; pj <= pj1; ++pj) {
-      if (cp.size(pj) == 0) continue;
-      const std::size_t bc0 = std::max(c0, cp.begin(pj));
-      const std::size_t bc1 = std::min(c1, cp.end(pj));
-      if (bc0 >= bc1) continue;
-      fn(pi, pj, br0, br1, bc0, bc1);
-    }
-  }
+GlobalArray::GlobalArray(Distribution2D dist,
+                         std::shared_ptr<Transport> transport)
+    : transport_(
+          default_transport(std::move(transport), dist.grid().size())) {
+  array_ = transport_->create_array(std::move(dist));
 }
 
 void GlobalArray::get(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, double* out) {
-  // Fault consultation precedes any transfer: an injected failure means
-  // the one-sided op never happened, so callers can re-issue it whole.
-  fault::inject(fault::OpClass::kGet, caller);
-  const std::size_t ld = c1 - c0;
-  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
-                                            std::size_t br0, std::size_t br1,
-                                            std::size_t bc0, std::size_t bc1) {
-    const std::size_t rank = dist_.grid().rank_of(pi, pj);
-    Block& block = *blocks_[rank];
-    const std::size_t bld = dist_.cols().size(pj);
-    // Gets serialize on the block mutex like put/acc: a get overlapping a
-    // concurrent acc must observe either the pre- or post-accumulate block,
-    // never a torn element (and never a TSan-visible data race).
-    MutexLock lock(block.mutex);
-    for (std::size_t r = br0; r < br1; ++r) {
-      const double* src = block.data.data() +
-                          (r - dist_.rows().begin(pi)) * bld +
-                          (bc0 - dist_.cols().begin(pj));
-      double* dst = out + (r - r0) * ld + (bc0 - c0);
-      std::copy(src, src + (bc1 - bc0), dst);
-    }
-    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    record(caller, 'g', bytes, rank != caller);
-  });
+  transport_->get(*array_, caller, Rect{r0, r1, c0, c1}, out);
 }
 
 void GlobalArray::put(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, const double* in) {
-  fault::inject(fault::OpClass::kPut, caller);
-  const std::size_t ld = c1 - c0;
-  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
-                                            std::size_t br0, std::size_t br1,
-                                            std::size_t bc0, std::size_t bc1) {
-    const std::size_t rank = dist_.grid().rank_of(pi, pj);
-    Block& block = *blocks_[rank];
-    const std::size_t bld = dist_.cols().size(pj);
-    MutexLock lock(block.mutex);
-    for (std::size_t r = br0; r < br1; ++r) {
-      const double* src = in + (r - r0) * ld + (bc0 - c0);
-      double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
-                    (bc0 - dist_.cols().begin(pj));
-      std::copy(src, src + (bc1 - bc0), dst);
-    }
-    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    record(caller, 'p', bytes, rank != caller);
-  });
+  transport_->put(*array_, caller, Rect{r0, r1, c0, c1}, in);
 }
 
 void GlobalArray::acc(std::size_t caller, std::size_t r0, std::size_t r1,
                       std::size_t c0, std::size_t c1, const double* in,
                       double alpha) {
-  fault::inject(fault::OpClass::kAcc, caller);
-  const std::size_t ld = c1 - c0;
-  for_each_intersection(r0, r1, c0, c1, [&](std::size_t pi, std::size_t pj,
-                                            std::size_t br0, std::size_t br1,
-                                            std::size_t bc0, std::size_t bc1) {
-    const std::size_t rank = dist_.grid().rank_of(pi, pj);
-    Block& block = *blocks_[rank];
-    const std::size_t bld = dist_.cols().size(pj);
-    MutexLock lock(block.mutex);
-    for (std::size_t r = br0; r < br1; ++r) {
-      const double* src = in + (r - r0) * ld + (bc0 - c0);
-      double* dst = block.data.data() + (r - dist_.rows().begin(pi)) * bld +
-                    (bc0 - dist_.cols().begin(pj));
-      for (std::size_t c = 0; c < bc1 - bc0; ++c) dst[c] += alpha * src[c];
-    }
-    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
-    record(caller, 'a', bytes, rank != caller);
-  });
+  transport_->acc(*array_, caller, Rect{r0, r1, c0, c1}, in, alpha);
 }
 
-void GlobalArray::fill(double value) {
-  for (auto& block : blocks_) {
-    MutexLock lock(block->mutex);
-    std::fill(block->data.begin(), block->data.end(), value);
-  }
-}
+void GlobalArray::fill(double value) { array_->fill(value); }
 
-Matrix GlobalArray::to_matrix() const {
-  Matrix m(rows(), cols());
-  const ProcessGrid& grid = dist_.grid();
-  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
-    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
-      const Block& block = *blocks_[grid.rank_of(pi, pj)];
-      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
-      MutexLock lock(block.mutex);
-      for (std::size_t r = 0; r < nr; ++r) {
-        for (std::size_t c = 0; c < nc; ++c) {
-          m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c) =
-              block.data[r * nc + c];
-        }
-      }
-    }
-  }
-  return m;
-}
+Matrix GlobalArray::to_matrix() const { return array_->to_matrix(); }
 
-void GlobalArray::from_matrix(const Matrix& m) {
-  MF_THROW_IF(m.rows() != rows() || m.cols() != cols(),
-              "from_matrix: shape mismatch");
-  const ProcessGrid& grid = dist_.grid();
-  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
-    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
-      Block& block = *blocks_[grid.rank_of(pi, pj)];
-      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
-      MutexLock lock(block.mutex);
-      for (std::size_t r = 0; r < nr; ++r) {
-        for (std::size_t c = 0; c < nc; ++c) {
-          block.data[r * nc + c] =
-              m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c);
-        }
-      }
-    }
-  }
-}
+void GlobalArray::from_matrix(const Matrix& m) { array_->from_matrix(m); }
 
-std::vector<CommStats> GlobalArray::stats() const {
-  std::vector<CommStats> out;
-  out.reserve(stats_.size());
-  for (const StatsSlot& slot : stats_) {
-    MutexLock lock(slot.mutex);
-    out.push_back(slot.stats);
-  }
-  return out;
-}
+std::vector<CommStats> GlobalArray::stats() const { return array_->stats(); }
 
-void GlobalArray::reset_stats() {
-  for (StatsSlot& slot : stats_) {
-    MutexLock lock(slot.mutex);
-    slot.stats = CommStats{};
-  }
-}
+void GlobalArray::reset_stats() { array_->reset_stats(); }
 
 GlobalCounter::GlobalCounter(std::size_t owner_rank, std::size_t nranks,
-                             long initial)
-    : owner_(owner_rank), value_(initial), stats_(nranks) {}
+                             long initial,
+                             std::shared_ptr<Transport> transport)
+    : transport_(default_transport(std::move(transport), nranks)),
+      counter_(transport_->create_counter(owner_rank, initial)) {}
 
 long GlobalCounter::fetch_add(std::size_t caller, long delta) {
-  // Before the metrics record and the increment: an injected failure
-  // leaves the counter untouched, so a retried NGA_Read_inc claims the
-  // same task it would have claimed on the first attempt.
-  fault::inject(fault::OpClass::kRmw, caller);
-  record_op_metrics('r', sizeof(long));
-  MutexLock lock(mutex_);
-  const long old = value_;
-  value_ += delta;
-  stats_[caller].record('r', sizeof(long), caller != owner_);
-  return old;
+  return transport_->rmw(*counter_, caller, delta);
 }
 
-long GlobalCounter::load() const {
-  MutexLock lock(mutex_);
-  return value_;
-}
+long GlobalCounter::load() const { return counter_->load(); }
 
 std::vector<CommStats> GlobalCounter::stats() const {
-  MutexLock lock(mutex_);
-  return stats_;
+  return counter_->stats();
 }
 
 }  // namespace mf

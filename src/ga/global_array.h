@@ -3,20 +3,26 @@
 //
 // The paper phrases all communication through Global Arrays [23]: one-sided
 // Get/Put/Accumulate on a matrix distributed over ranks, plus atomic
-// read-modify-write counters (NGA_Read_inc) for task queues. This substrate
-// reproduces those semantics inside one OS process: each simulated rank owns
-// one block of the matrix; any rank may Get/Put/Acc any rectangle. Every
-// operation is instrumented per calling rank (one transfer per owner block
-// touched, which is how GA issues them) so Tables VI/VII can be measured
-// rather than estimated.
+// read-modify-write counters (NGA_Read_inc) for task queues. GlobalArray
+// and GlobalCounter keep that caller-facing API, but since the transport
+// refactor they are thin views over the pluggable ARMCI-style layer in
+// ga/transport.h: storage lives in TransportArray/TransportCounter, and
+// every operation routes through an mf::Transport backend, which owns data
+// movement, fault injection, obs metrics, and per-caller CommStats (one
+// transfer per owner block touched, which is how GA issues them, so Tables
+// VI/VII can be measured rather than estimated).
+//
+// Constructed without an explicit transport, both classes build a private
+// ThreadedTransport — bit-identical to the pre-transport in-process
+// behavior. Pass a shared transport (make_transport) to select a backend
+// (e.g. SimTransport for dsim virtual-time accounting) and to let several
+// arrays/counters share one timed network.
 //
 // Thread safety: every Get/Put/Acc serializes on the mutex of each block it
 // touches (GA guarantees atomic accumulate; gets overlapping a concurrent
-// acc see a per-block-consistent snapshot, never torn elements). Block data
-// and per-rank counters are MF_GUARDED_BY their mutexes, so a Clang build
-// rejects any unlocked access at compile time. Phase discipline
-// (prefetch -> compute -> flush) remains the caller's job for *algorithmic*
-// correctness, exactly as in the real code.
+// acc see a per-block-consistent snapshot, never torn elements). Phase
+// discipline (prefetch -> compute -> flush) remains the caller's job for
+// *algorithmic* correctness, exactly as in the real code.
 
 #include <cstdint>
 #include <memory>
@@ -24,19 +30,19 @@
 
 #include "ga/comm_stats.h"
 #include "ga/distribution.h"
+#include "ga/transport.h"
 #include "linalg/matrix.h"
-#include "util/mutex.h"
-#include "util/thread_annotations.h"
 
 namespace mf {
 
 class GlobalArray {
  public:
-  explicit GlobalArray(Distribution2D dist);
+  explicit GlobalArray(Distribution2D dist,
+                       std::shared_ptr<Transport> transport = nullptr);
 
-  const Distribution2D& distribution() const { return dist_; }
-  std::size_t rows() const { return dist_.rows().total(); }
-  std::size_t cols() const { return dist_.cols().total(); }
+  const Distribution2D& distribution() const { return array_->distribution(); }
+  std::size_t rows() const { return array_->rows(); }
+  std::size_t cols() const { return array_->cols(); }
 
   /// One-sided get of rows [r0,r1) x cols [c0,c1) into `out` (row-major,
   /// leading dimension c1-c0). `caller` is the requesting rank.
@@ -62,34 +68,17 @@ class GlobalArray {
   /// Each slot is copied under its own lock, so the call is safe while
   /// other ranks are still communicating (each slot is internally
   /// consistent; cross-rank skew is possible mid-phase, as on a real
-  /// machine). Replaces the old mutable_stats() escape hatch, which handed
-  /// out the vector with no synchronization contract.
+  /// machine).
   std::vector<CommStats> stats() const;
   void reset_stats();
 
+  /// The backend this array communicates through.
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
+
  private:
-  struct Block {
-    mutable Mutex mutex;
-    std::vector<double> data MF_GUARDED_BY(mutex);  // row-major block
-  };
-
-  /// Per-rank counter slot. One lock per caller rank: simulated ranks are
-  /// threads, and stress tests may drive the same rank from several OS
-  /// threads at once.
-  struct StatsSlot {
-    mutable Mutex mutex;
-    CommStats stats MF_GUARDED_BY(mutex);
-  };
-
-  template <typename Fn>
-  void for_each_intersection(std::size_t r0, std::size_t r1, std::size_t c0,
-                             std::size_t c1, Fn&& fn);
-
-  void record(std::size_t caller, char kind, std::uint64_t bytes, bool remote);
-
-  Distribution2D dist_;
-  std::vector<std::unique_ptr<Block>> blocks_;  // grid row-major
-  std::vector<StatsSlot> stats_;
+  std::shared_ptr<Transport> transport_;
+  std::unique_ptr<TransportArray> array_;
 };
 
 /// Atomic global counter owned by one rank, modeling NGA_Read_inc /
@@ -98,21 +87,20 @@ class GlobalArray {
 class GlobalCounter {
  public:
   explicit GlobalCounter(std::size_t owner_rank, std::size_t nranks,
-                         long initial = 0);
+                         long initial = 0,
+                         std::shared_ptr<Transport> transport = nullptr);
 
   /// Atomically returns the current value and adds `delta`.
-  long fetch_add(std::size_t caller, long delta = 1) MF_EXCLUDES(mutex_);
+  long fetch_add(std::size_t caller, long delta = 1);
 
-  long load() const MF_EXCLUDES(mutex_);
+  long load() const;
 
   /// Snapshot of the per-rank counters, copied under the lock.
-  std::vector<CommStats> stats() const MF_EXCLUDES(mutex_);
+  std::vector<CommStats> stats() const;
 
  private:
-  std::size_t owner_;
-  mutable Mutex mutex_;
-  long value_ MF_GUARDED_BY(mutex_);
-  std::vector<CommStats> stats_ MF_GUARDED_BY(mutex_);
+  std::shared_ptr<Transport> transport_;
+  std::unique_ptr<TransportCounter> counter_;
 };
 
 }  // namespace mf

@@ -1,0 +1,340 @@
+#include "ga/transport.h"
+
+#include <stdexcept>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace mf {
+namespace {
+
+// Per-op byte distributions for the run report. Registry instruments have
+// stable addresses for the process lifetime, so the name lookup happens
+// once per kind and recording is lock-free after that.
+void record_op_metrics(char kind, std::uint64_t bytes) {
+  if (!obs::metrics_enabled()) return;
+  switch (kind) {
+    case 'g': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.get.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'p': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.put.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'a': {
+      static obs::Histogram& h =
+          obs::MetricsRegistry::instance().histogram("ga.acc.bytes");
+      h.record(bytes);
+      break;
+    }
+    case 'r': {
+      static obs::Counter& c =
+          obs::MetricsRegistry::instance().counter("ga.rmw_ops");
+      c.add(1);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TransportArray / TransportCounter: backend-independent storage.
+
+TransportArray::TransportArray(Distribution2D dist)
+    : dist_(std::move(dist)), recorder_(dist_.grid().size()) {
+  const ProcessGrid& grid = dist_.grid();
+  blocks_.resize(grid.size());
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      auto block = std::make_unique<Block>();
+      {
+        MutexLock lock(block->mutex);
+        block->data.assign(dist_.rows().size(pi) * dist_.cols().size(pj), 0.0);
+      }
+      blocks_[grid.rank_of(pi, pj)] = std::move(block);
+    }
+  }
+}
+
+TransportArray::Block& TransportArray::block_at(std::size_t rank) {
+  MF_CHECK(rank < blocks_.size());
+  return *blocks_[rank];
+}
+
+const TransportArray::Block& TransportArray::block_at(std::size_t rank) const {
+  MF_CHECK(rank < blocks_.size());
+  return *blocks_[rank];
+}
+
+void TransportArray::fill(double value) {
+  for (auto& block : blocks_) {
+    MutexLock lock(block->mutex);
+    std::fill(block->data.begin(), block->data.end(), value);
+  }
+}
+
+Matrix TransportArray::to_matrix() const {
+  Matrix m(rows(), cols());
+  const ProcessGrid& grid = dist_.grid();
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      const Block& block = *blocks_[grid.rank_of(pi, pj)];
+      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      MutexLock lock(block.mutex);
+      for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c) {
+          m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c) =
+              block.data[r * nc + c];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+void TransportArray::from_matrix(const Matrix& m) {
+  MF_THROW_IF(m.rows() != rows() || m.cols() != cols(),
+              "from_matrix: shape mismatch");
+  const ProcessGrid& grid = dist_.grid();
+  for (std::size_t pi = 0; pi < grid.rows(); ++pi) {
+    for (std::size_t pj = 0; pj < grid.cols(); ++pj) {
+      Block& block = *blocks_[grid.rank_of(pi, pj)];
+      const std::size_t nr = dist_.rows().size(pi), nc = dist_.cols().size(pj);
+      MutexLock lock(block.mutex);
+      for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c) {
+          block.data[r * nc + c] =
+              m(dist_.rows().begin(pi) + r, dist_.cols().begin(pj) + c);
+        }
+      }
+    }
+  }
+}
+
+TransportCounter::TransportCounter(std::size_t owner_rank, std::size_t nranks,
+                                   long initial)
+    : owner_(owner_rank), value_(initial), recorder_(nranks) {}
+
+long TransportCounter::load() const {
+  MutexLock lock(mutex_);
+  return value_;
+}
+
+long TransportCounter::apply_delta(long delta) {
+  MutexLock lock(mutex_);
+  const long old = value_;
+  value_ += delta;
+  return old;
+}
+
+// --------------------------------------------------------------------------
+// Backend registry / naming.
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kThreaded:
+      return "threaded";
+    case TransportKind::kSim:
+      return "sim";
+  }
+  return "unknown";
+}
+
+TransportKind transport_kind_from_string(const std::string& name) {
+  for (TransportKind kind : registered_transport_kinds()) {
+    if (name == transport_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown transport backend \"" + name +
+                              "\" (expected \"threaded\" or \"sim\")");
+}
+
+std::vector<TransportKind> registered_transport_kinds() {
+  return {TransportKind::kThreaded, TransportKind::kSim};
+}
+
+// --------------------------------------------------------------------------
+// Transport: the recording shim. Fault consultation precedes any transfer
+// (an injected failure means the one-sided op never happened, so callers
+// re-issue it whole); per-block stats record after each block's data moved,
+// in the same order as the pre-transport GlobalArray.
+
+std::unique_ptr<TransportArray> Transport::create_array(
+    Distribution2D dist) const {
+  MF_CHECK_MSG(dist.grid().size() == nranks_,
+               "transport built for " << nranks_ << " ranks cannot serve a "
+               << dist.grid().size() << "-rank distribution");
+  return std::make_unique<TransportArray>(std::move(dist));
+}
+
+std::unique_ptr<TransportCounter> Transport::create_counter(
+    std::size_t owner_rank, long initial) const {
+  MF_CHECK(owner_rank < nranks_);
+  return std::make_unique<TransportCounter>(owner_rank, nranks_, initial);
+}
+
+void Transport::get(TransportArray& a, std::size_t caller, const Rect& rect,
+                    double* out) {
+  fault::inject(fault::OpClass::kGet, caller);
+  do_get(a, caller, rect, out);
+}
+
+void Transport::put(TransportArray& a, std::size_t caller, const Rect& rect,
+                    const double* in) {
+  fault::inject(fault::OpClass::kPut, caller);
+  do_put(a, caller, rect, in);
+}
+
+void Transport::acc(TransportArray& a, std::size_t caller, const Rect& rect,
+                    const double* in, double alpha) {
+  fault::inject(fault::OpClass::kAcc, caller);
+  do_acc(a, caller, rect, in, alpha);
+}
+
+long Transport::rmw(TransportCounter& c, std::size_t caller, long delta) {
+  // Before the metrics record and the increment: an injected failure leaves
+  // the counter untouched, so a retried NGA_Read_inc claims the same task
+  // it would have claimed on the first attempt.
+  fault::inject(fault::OpClass::kRmw, caller);
+  record_op_metrics('r', sizeof(long));
+  const long old = do_rmw(c, caller, delta);
+  c.recorder().record(caller, 'r', sizeof(long), caller != c.owner());
+  return old;
+}
+
+SimTime Transport::comm_time(std::size_t /*rank*/) const { return 0.0; }
+
+void Transport::charge_transfer(std::size_t /*caller*/, std::size_t /*owner*/,
+                                std::uint64_t /*bytes*/) {}
+
+void Transport::charge_rmw(std::size_t /*caller*/, std::size_t /*owner*/) {}
+
+void Transport::record_block_op(TransportArray& a, std::size_t caller,
+                                char kind, std::uint64_t bytes, bool remote) {
+  record_op_metrics(kind, bytes);
+  a.recorder().record(caller, kind, bytes, remote);
+}
+
+// --------------------------------------------------------------------------
+// ThreadedTransport: mutex-per-block data movement, one transfer (and one
+// stats entry) per owner block touched — how GA issues them.
+
+void ThreadedTransport::do_get(TransportArray& a, std::size_t caller,
+                               const Rect& rect, double* out) {
+  const Distribution2D& dist = a.distribution();
+  const std::size_t ld = rect.cols();
+  a.for_each_intersection(rect, [&](std::size_t pi, std::size_t pj,
+                                    std::size_t br0, std::size_t br1,
+                                    std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist.grid().rank_of(pi, pj);
+    TransportArray::Block& block = a.block_at(rank);
+    const std::size_t bld = dist.cols().size(pj);
+    // Gets serialize on the block mutex like put/acc: a get overlapping a
+    // concurrent acc must observe either the pre- or post-accumulate block,
+    // never a torn element (and never a TSan-visible data race).
+    {
+      MutexLock lock(block.mutex);
+      for (std::size_t r = br0; r < br1; ++r) {
+        const double* src = block.data.data() +
+                            (r - dist.rows().begin(pi)) * bld +
+                            (bc0 - dist.cols().begin(pj));
+        double* dst = out + (r - rect.r0) * ld + (bc0 - rect.c0);
+        std::copy(src, src + (bc1 - bc0), dst);
+      }
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    record_block_op(a, caller, 'g', bytes, rank != caller);
+    on_block_op(caller, rank, 'g', bytes);
+  });
+}
+
+void ThreadedTransport::do_put(TransportArray& a, std::size_t caller,
+                               const Rect& rect, const double* in) {
+  const Distribution2D& dist = a.distribution();
+  const std::size_t ld = rect.cols();
+  a.for_each_intersection(rect, [&](std::size_t pi, std::size_t pj,
+                                    std::size_t br0, std::size_t br1,
+                                    std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist.grid().rank_of(pi, pj);
+    TransportArray::Block& block = a.block_at(rank);
+    const std::size_t bld = dist.cols().size(pj);
+    {
+      MutexLock lock(block.mutex);
+      for (std::size_t r = br0; r < br1; ++r) {
+        const double* src = in + (r - rect.r0) * ld + (bc0 - rect.c0);
+        double* dst = block.data.data() + (r - dist.rows().begin(pi)) * bld +
+                      (bc0 - dist.cols().begin(pj));
+        std::copy(src, src + (bc1 - bc0), dst);
+      }
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    record_block_op(a, caller, 'p', bytes, rank != caller);
+    on_block_op(caller, rank, 'p', bytes);
+  });
+}
+
+void ThreadedTransport::do_acc(TransportArray& a, std::size_t caller,
+                               const Rect& rect, const double* in,
+                               double alpha) {
+  const Distribution2D& dist = a.distribution();
+  const std::size_t ld = rect.cols();
+  a.for_each_intersection(rect, [&](std::size_t pi, std::size_t pj,
+                                    std::size_t br0, std::size_t br1,
+                                    std::size_t bc0, std::size_t bc1) {
+    const std::size_t rank = dist.grid().rank_of(pi, pj);
+    TransportArray::Block& block = a.block_at(rank);
+    const std::size_t bld = dist.cols().size(pj);
+    {
+      MutexLock lock(block.mutex);
+      for (std::size_t r = br0; r < br1; ++r) {
+        const double* src = in + (r - rect.r0) * ld + (bc0 - rect.c0);
+        double* dst = block.data.data() + (r - dist.rows().begin(pi)) * bld +
+                      (bc0 - dist.cols().begin(pj));
+        for (std::size_t c = 0; c < bc1 - bc0; ++c) dst[c] += alpha * src[c];
+      }
+    }
+    const std::uint64_t bytes = (br1 - br0) * (bc1 - bc0) * sizeof(double);
+    record_block_op(a, caller, 'a', bytes, rank != caller);
+    on_block_op(caller, rank, 'a', bytes);
+  });
+}
+
+long ThreadedTransport::do_rmw(TransportCounter& c, std::size_t caller,
+                               long delta) {
+  const long old = c.apply_delta(delta);
+  on_rmw(caller, c.owner());
+  return old;
+}
+
+void ThreadedTransport::on_block_op(std::size_t /*caller*/,
+                                    std::size_t /*owner*/, char /*kind*/,
+                                    std::uint64_t /*bytes*/) {}
+
+void ThreadedTransport::on_rmw(std::size_t /*caller*/,
+                               std::size_t /*owner*/) {}
+
+// --------------------------------------------------------------------------
+// Factory.
+
+std::shared_ptr<Transport> make_transport(const TransportOptions& options,
+                                          std::size_t nranks) {
+  MF_CHECK(nranks > 0);
+  switch (options.kind) {
+    case TransportKind::kThreaded:
+      return std::make_shared<ThreadedTransport>(nranks);
+    case TransportKind::kSim:
+      return std::make_shared<SimTransport>(nranks, options.machine);
+  }
+  MF_CHECK_MSG(false, "unhandled TransportKind");
+  return nullptr;
+}
+
+}  // namespace mf

@@ -1,0 +1,314 @@
+#pragma once
+// ARMCI-style pluggable transport under the Global-Arrays substrate.
+//
+// The paper phrases every communication step through GA's one-sided
+// Get/Put/Accumulate and NGA_Read_inc; real ARMCI ships exactly one such
+// API over several transports (src-mpi, src-openib, src-dmapp, src-gemini).
+// This header is the same structure in miniature: a narrow mf::Transport
+// interface — one-sided get/put/acc on rectangles plus rmw fetch-and-add —
+// with backends selected behind one factory:
+//
+//   ThreadedTransport  today's in-process mutex-per-block semantics,
+//                      bit-identical to the pre-refactor GlobalArray.
+//   SimTransport       fuses real data movement with dsim virtual time:
+//                      every op both mutates the block AND books the
+//                      NetworkModel α–β cost plus SimResource serialization
+//                      at the owner (per-link queueing, capped exponential
+//                      backoff on contended rmw), so a timed simulated run
+//                      also produces a numerically verifiable Fock matrix.
+//
+// Fault injection (src/fault) and obs metrics live in ONE recording shim on
+// this boundary — the non-virtual public get/put/acc/rmw entry points —
+// so every backend (a real MPI one later) inherits chaos testing, the
+// ga.*.bytes histograms, and per-rank CommStats for free, in exactly the
+// order the pre-refactor code established: fault consultation precedes any
+// transfer; stats record per owner block touched.
+//
+// GlobalArray / GlobalCounter (ga/global_array.h) are thin views over this
+// layer. Backend code reaches raw storage through TransportArray::block_at
+// and TransportCounter::apply_delta; tools/lint forbids those calls outside
+// src/ga/transport* so no caller can bypass the shim.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsim/network.h"
+#include "ga/comm_stats.h"
+#include "ga/distribution.h"
+#include "linalg/matrix.h"
+#include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mf {
+
+/// Half-open rectangle [r0,r1) x [c0,c1) in global matrix coordinates.
+struct Rect {
+  std::size_t r0 = 0, r1 = 0, c0 = 0, c1 = 0;
+
+  std::size_t rows() const { return r1 - r0; }
+  std::size_t cols() const { return c1 - c0; }
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(rows()) * cols() * sizeof(double);
+  }
+};
+
+/// Backend-independent distributed storage: one block per owner rank, each
+/// guarded by its own mutex (GA guarantees atomic accumulate; gets
+/// overlapping a concurrent acc see a per-block-consistent snapshot, never
+/// torn elements), plus the per-caller CommStats recorder the transport
+/// shim writes through.
+class TransportArray {
+ public:
+  struct Block {
+    mutable Mutex mutex;
+    std::vector<double> data MF_GUARDED_BY(mutex);  // row-major block
+  };
+
+  explicit TransportArray(Distribution2D dist);
+
+  const Distribution2D& distribution() const { return dist_; }
+  std::size_t rows() const { return dist_.rows().total(); }
+  std::size_t cols() const { return dist_.cols().total(); }
+
+  /// Raw owner-block access for transport implementations ONLY (tools/lint
+  /// rejects calls outside src/ga/transport*).
+  Block& block_at(std::size_t rank);
+  const Block& block_at(std::size_t rank) const;
+
+  /// Visit every (owner block, sub-rectangle) intersection of `rect`, in
+  /// grid row-major owner order — the per-block decomposition GA uses when
+  /// issuing one transfer per owner touched. fn(pi, pj, br0, br1, bc0, bc1).
+  template <typename Fn>
+  void for_each_intersection(const Rect& rect, Fn&& fn) const;
+
+  // Whole-array maintenance (verification / small problems only). These are
+  // owner-side initialization, not one-sided communication: no faults, no
+  // stats, exactly as before the transport refactor.
+  void fill(double value);
+  Matrix to_matrix() const;
+  void from_matrix(const Matrix& m);
+
+  std::vector<CommStats> stats() const { return recorder_.snapshot(); }
+  void reset_stats() { recorder_.reset(); }
+  StatsRecorder& recorder() { return recorder_; }
+
+ private:
+  Distribution2D dist_;
+  std::vector<std::unique_ptr<Block>> blocks_;  // grid row-major
+  StatsRecorder recorder_;
+};
+
+template <typename Fn>
+void TransportArray::for_each_intersection(const Rect& rect, Fn&& fn) const {
+  MF_CHECK(rect.r0 <= rect.r1 && rect.r1 <= rows() && rect.c0 <= rect.c1 &&
+           rect.c1 <= cols());
+  if (rect.r0 == rect.r1 || rect.c0 == rect.c1) return;
+  const Partition1D& rp = dist_.rows();
+  const Partition1D& cp = dist_.cols();
+  const std::size_t pi0 = rp.part_of(rect.r0), pi1 = rp.part_of(rect.r1 - 1);
+  const std::size_t pj0 = cp.part_of(rect.c0), pj1 = cp.part_of(rect.c1 - 1);
+  for (std::size_t pi = pi0; pi <= pi1; ++pi) {
+    if (rp.size(pi) == 0) continue;
+    const std::size_t br0 = std::max(rect.r0, rp.begin(pi));
+    const std::size_t br1 = std::min(rect.r1, rp.end(pi));
+    if (br0 >= br1) continue;
+    for (std::size_t pj = pj0; pj <= pj1; ++pj) {
+      if (cp.size(pj) == 0) continue;
+      const std::size_t bc0 = std::max(rect.c0, cp.begin(pj));
+      const std::size_t bc1 = std::min(rect.c1, cp.end(pj));
+      if (bc0 >= bc1) continue;
+      fn(pi, pj, br0, br1, bc0, bc1);
+    }
+  }
+}
+
+/// Backend-independent counter storage (NGA_Read_inc / ARMCI_Rmw target):
+/// one value owned by one rank, plus the per-caller stats recorder.
+class TransportCounter {
+ public:
+  TransportCounter(std::size_t owner_rank, std::size_t nranks, long initial);
+
+  std::size_t owner() const { return owner_; }
+  long load() const MF_EXCLUDES(mutex_);
+
+  /// Raw atomic apply for transport implementations ONLY (tools/lint
+  /// rejects calls outside src/ga/transport*). Returns the pre-add value.
+  long apply_delta(long delta) MF_EXCLUDES(mutex_);
+
+  std::vector<CommStats> stats() const { return recorder_.snapshot(); }
+  StatsRecorder& recorder() { return recorder_; }
+
+ private:
+  std::size_t owner_;
+  mutable Mutex mutex_;
+  long value_ MF_GUARDED_BY(mutex_);
+  StatsRecorder recorder_;
+};
+
+enum class TransportKind {
+  kThreaded,  // in-process, wall-clock only (default)
+  kSim,       // threaded data movement + dsim virtual-time accounting
+};
+
+const char* transport_kind_name(TransportKind kind);
+/// Parses "threaded"/"sim"; throws std::invalid_argument on anything else.
+TransportKind transport_kind_from_string(const std::string& name);
+/// Every backend the factory can build — conformance tests parameterize
+/// over this list, so a new backend is covered the day it registers.
+std::vector<TransportKind> registered_transport_kinds();
+
+struct TransportOptions {
+  TransportKind kind = TransportKind::kThreaded;
+  /// Machine/network model used by SimTransport (ignored by kThreaded).
+  MachineParams machine;
+};
+
+/// The narrow ARMCI-style interface. Public get/put/acc/rmw are the
+/// recording shim: fault injection + obs metrics + per-caller CommStats
+/// around the backend's do_* data movement. Backends override only the
+/// protected hooks, so chaos testing and observability are inherited, never
+/// re-implemented.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  const char* name() const { return transport_kind_name(kind()); }
+  std::size_t nranks() const { return nranks_; }
+
+  std::unique_ptr<TransportArray> create_array(Distribution2D dist) const;
+  std::unique_ptr<TransportCounter> create_counter(std::size_t owner_rank,
+                                                   long initial = 0) const;
+
+  /// One-sided get of `rect` into `out` (row-major, leading dimension
+  /// rect.cols()). Fault consultation precedes any transfer: an injected
+  /// failure means the one-sided op never happened, so callers can re-issue
+  /// it whole.
+  void get(TransportArray& a, std::size_t caller, const Rect& rect,
+           double* out);
+  /// One-sided put.
+  void put(TransportArray& a, std::size_t caller, const Rect& rect,
+           const double* in);
+  /// One-sided atomic accumulate: A[r,c] += alpha * in[...].
+  void acc(TransportArray& a, std::size_t caller, const Rect& rect,
+           const double* in, double alpha = 1.0);
+  /// Atomic fetch-and-add; returns the pre-add value.
+  long rmw(TransportCounter& c, std::size_t caller, long delta);
+
+  /// Virtual comm time accrued by `rank` (seconds). Zero for backends with
+  /// no time model.
+  virtual SimTime comm_time(std::size_t rank) const;
+  virtual void reset_time() {}
+
+  /// Book time for data movement performed outside the transport proper
+  /// (e.g. the steal path's direct victim-queue probe / D-block copy, which
+  /// the threaded builder accounts as comm without routing through a
+  /// GlobalArray). No data moves here; backends without a time model ignore
+  /// these.
+  virtual void charge_transfer(std::size_t caller, std::size_t owner,
+                               std::uint64_t bytes);
+  virtual void charge_rmw(std::size_t caller, std::size_t owner);
+
+ protected:
+  explicit Transport(std::size_t nranks) : nranks_(nranks) {}
+
+  // Backend data movement. The shim has already consulted the fault plan;
+  // implementations must record one stats entry per owner block touched via
+  // record_block_op (which also feeds the ga.*.bytes histograms).
+  virtual void do_get(TransportArray& a, std::size_t caller, const Rect& rect,
+                      double* out) = 0;
+  virtual void do_put(TransportArray& a, std::size_t caller, const Rect& rect,
+                      const double* in) = 0;
+  virtual void do_acc(TransportArray& a, std::size_t caller, const Rect& rect,
+                      const double* in, double alpha) = 0;
+  virtual long do_rmw(TransportCounter& c, std::size_t caller, long delta) = 0;
+
+  /// Shared per-block recording: obs histogram + per-caller CommStats.
+  static void record_block_op(TransportArray& a, std::size_t caller, char kind,
+                              std::uint64_t bytes, bool remote);
+
+ private:
+  std::size_t nranks_;
+};
+
+/// Today's in-process backend: every op serializes on the mutex of each
+/// owner block it touches; data movement is bit-identical to the
+/// pre-transport GlobalArray. Also the base of SimTransport, which reuses
+/// the data movement unchanged and only overrides the accounting hooks —
+/// making "same answer, plus virtual time" structural rather than hoped.
+class ThreadedTransport : public Transport {
+ public:
+  explicit ThreadedTransport(std::size_t nranks) : Transport(nranks) {}
+  TransportKind kind() const override { return TransportKind::kThreaded; }
+
+ protected:
+  void do_get(TransportArray& a, std::size_t caller, const Rect& rect,
+              double* out) override;
+  void do_put(TransportArray& a, std::size_t caller, const Rect& rect,
+              const double* in) override;
+  void do_acc(TransportArray& a, std::size_t caller, const Rect& rect,
+              const double* in, double alpha) override;
+  long do_rmw(TransportCounter& c, std::size_t caller, long delta) override;
+
+  /// Accounting hooks, called once per owner block touched (after the data
+  /// moved) and once per rmw. No-ops here; SimTransport books virtual time.
+  virtual void on_block_op(std::size_t caller, std::size_t owner, char kind,
+                           std::uint64_t bytes);
+  virtual void on_rmw(std::size_t caller, std::size_t owner);
+};
+
+/// Timed backend: ThreadedTransport's data movement plus dsim accounting.
+/// Per-caller virtual clocks advance by the NetworkModel α–β cost of every
+/// transfer; each transfer also occupies the owner's link (SimResource) for
+/// its serialization slice, and contended rmw pays capped exponential
+/// backoff before queueing at the owner's service resource — the
+/// congestion model the scale campaign needs, now attached to real data.
+class SimTransport final : public ThreadedTransport {
+ public:
+  SimTransport(std::size_t nranks, MachineParams machine);
+
+  TransportKind kind() const override { return TransportKind::kSim; }
+  SimTime comm_time(std::size_t rank) const override MF_EXCLUDES(mutex_);
+  void reset_time() override MF_EXCLUDES(mutex_);
+  void charge_transfer(std::size_t caller, std::size_t owner,
+                       std::uint64_t bytes) override MF_EXCLUDES(mutex_);
+  void charge_rmw(std::size_t caller, std::size_t owner) override
+      MF_EXCLUDES(mutex_);
+
+  const MachineParams& machine() const { return machine_; }
+  /// Number of backoff waits taken on contended rmw (congestion telemetry).
+  std::uint64_t rmw_backoffs() const MF_EXCLUDES(mutex_);
+
+ protected:
+  void on_block_op(std::size_t caller, std::size_t owner, char kind,
+                   std::uint64_t bytes) override MF_EXCLUDES(mutex_);
+  void on_rmw(std::size_t caller, std::size_t owner) override
+      MF_EXCLUDES(mutex_);
+
+ private:
+  void book_transfer(std::size_t caller, std::size_t owner,
+                     std::uint64_t bytes) MF_REQUIRES(mutex_);
+  void book_rmw(std::size_t caller, std::size_t owner) MF_REQUIRES(mutex_);
+
+  MachineParams machine_;
+  /// One lock for the whole time model: virtual clocks and queueing state
+  /// are updated together per op, and the contention being modeled is
+  /// *simulated*, not host-level. The SimResources opt out of the dsim
+  /// single-owner assertion because this mutex is their synchronization.
+  mutable Mutex mutex_;
+  std::vector<SimTime> clock_ MF_GUARDED_BY(mutex_);        // per caller rank
+  std::vector<SimResource> link_ MF_GUARDED_BY(mutex_);     // per owner rank
+  std::vector<SimResource> rmw_queue_ MF_GUARDED_BY(mutex_);  // per owner
+  std::uint64_t rmw_backoffs_ MF_GUARDED_BY(mutex_) = 0;
+};
+
+/// Factory: the one place backends are constructed. `nranks` must match the
+/// process-grid size of every array the transport will serve.
+std::shared_ptr<Transport> make_transport(const TransportOptions& options,
+                                          std::size_t nranks);
+
+}  // namespace mf

@@ -1,0 +1,105 @@
+#include "ga/transport.h"
+
+// SimTransport: the backend that fuses functional GA with dsim virtual
+// time. Data movement is inherited from ThreadedTransport bit-for-bit; this
+// file only books time. Per-caller clocks advance by the NetworkModel α–β
+// cost of each transfer; the owner's link is a SimResource that serializes
+// concurrent arrivals for their occupancy slice (per-link queueing), and a
+// contended fetch-and-add pays capped exponential backoff before queueing
+// at the owner's rmw service resource — the congestion behavior ported from
+// ARMCI's shmem congestion-avoidance path into the α–β model.
+//
+// Virtual-time ordering is decided by the host-thread interleaving of the
+// underlying data ops (which thread reaches the accounting hook first gets
+// the earlier queue slot), so simulated times vary run-to-run the same way
+// wall-clock times do; the *data* result stays exact regardless.
+
+namespace mf {
+
+SimTransport::SimTransport(std::size_t nranks, MachineParams machine)
+    : ThreadedTransport(nranks),
+      machine_(std::move(machine)),
+      clock_(nranks),
+      link_(nranks),
+      rmw_queue_(nranks) {
+  MutexLock lock(mutex_);
+  for (SimResource& r : link_) r.set_externally_synchronized();
+  for (SimResource& r : rmw_queue_) r.set_externally_synchronized();
+}
+
+SimTime SimTransport::comm_time(std::size_t rank) const {
+  MutexLock lock(mutex_);
+  MF_CHECK(rank < clock_.size());
+  return clock_[rank];
+}
+
+void SimTransport::reset_time() {
+  MutexLock lock(mutex_);
+  for (SimTime& t : clock_) t = 0.0;
+  for (SimResource& r : link_) r.reset();
+  for (SimResource& r : rmw_queue_) r.reset();
+  rmw_backoffs_ = 0;
+}
+
+std::uint64_t SimTransport::rmw_backoffs() const {
+  MutexLock lock(mutex_);
+  return rmw_backoffs_;
+}
+
+void SimTransport::charge_transfer(std::size_t caller, std::size_t owner,
+                                   std::uint64_t bytes) {
+  MutexLock lock(mutex_);
+  book_transfer(caller, owner, bytes);
+}
+
+void SimTransport::charge_rmw(std::size_t caller, std::size_t owner) {
+  MutexLock lock(mutex_);
+  book_rmw(caller, owner);
+}
+
+void SimTransport::on_block_op(std::size_t caller, std::size_t owner,
+                               char /*kind*/, std::uint64_t bytes) {
+  MutexLock lock(mutex_);
+  book_transfer(caller, owner, bytes);
+}
+
+void SimTransport::on_rmw(std::size_t caller, std::size_t owner) {
+  MutexLock lock(mutex_);
+  book_rmw(caller, owner);
+}
+
+void SimTransport::book_transfer(std::size_t caller, std::size_t owner,
+                                 std::uint64_t bytes) {
+  MF_CHECK(caller < clock_.size() && owner < link_.size());
+  const NetworkModel& net = machine_.network;
+  // The transfer starts when the caller issues it AND the owner's link has
+  // drained earlier arrivals' occupancy slices; the caller then waits the
+  // full α–β wire time from that start.
+  const SimTime start = std::max(clock_[caller], link_[owner].available_at());
+  link_[owner].acquire(start, net.link_occupancy_seconds(bytes));
+  clock_[caller] = start + net.transfer_seconds(bytes);
+}
+
+void SimTransport::book_rmw(std::size_t caller, std::size_t owner) {
+  MF_CHECK(caller < clock_.size() && owner < rmw_queue_.size());
+  const NetworkModel& net = machine_.network;
+  const bool local = caller == owner;
+  const SimTime service = local ? net.local_rmw_service : net.rmw_service;
+  SimTime now = clock_[caller] + (local ? 0.0 : net.rmw_latency);
+  SimResource& q = rmw_queue_[owner];
+  // Congestion avoidance: a caller that finds the owner's service queue
+  // busy backs off base, 2*base, ... (capped) for a bounded number of
+  // probes, then queues unconditionally. Remote callers only — a local
+  // fetch-and-add never contends with itself over the wire.
+  if (!local) {
+    for (std::uint32_t attempt = 0;
+         attempt < net.rmw_backoff_attempts && q.available_at() > now;
+         ++attempt) {
+      now += net.backoff_delay(attempt);
+      ++rmw_backoffs_;
+    }
+  }
+  clock_[caller] = q.acquire(now, service);
+}
+
+}  // namespace mf

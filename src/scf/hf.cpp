@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <deque>
+#include <memory>
 
 #include "eri/one_electron.h"
 #include "linalg/eigen.h"
@@ -126,6 +127,17 @@ HartreeFock::HartreeFock(const Basis& basis, ScfOptions options)
 
 void HartreeFock::set_fock_builder(FockBuilderFn builder) {
   fock_builder_ = std::move(builder);
+}
+
+void HartreeFock::use_gtfock(GtFockOptions options) {
+  // The builder is stateless between calls and thread-safe for repeated
+  // builds, so one instance serves every SCF iteration; shared_ptr keeps it
+  // alive inside the std::function.
+  auto builder = std::make_shared<GtFockBuilder>(basis_, screening_,
+                                                 std::move(options));
+  fock_builder_ = [builder](const Matrix& d, const Matrix& h) {
+    return builder->build(d, h).fock;
+  };
 }
 
 Matrix HartreeFock::build_density(const Matrix& f, ScfIterationInfo& info,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "chem/basis_set.h"
+#include "core/fock_builder.h"
 #include "core/fock_serial.h"
 #include "eri/screening.h"
 #include "linalg/matrix.h"
@@ -75,6 +76,12 @@ class HartreeFock {
 
   /// Replace the Fock construction step (keeps everything else).
   void set_fock_builder(FockBuilderFn builder);
+
+  /// Convenience: run the SCF loop over the parallel GTFock builder.
+  /// `options.transport` selects the comm backend — with kSim every
+  /// iteration's Fock build is timed on the simulated network while the
+  /// converged energy stays identical to the serial path.
+  void use_gtfock(GtFockOptions options);
 
   ScfResult run();
 

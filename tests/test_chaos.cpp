@@ -28,6 +28,7 @@
 #include "core/shell_reorder.h"
 #include "eri/one_electron.h"
 #include "fault/fault.h"
+#include "ga/transport.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -204,6 +205,35 @@ TEST(Chaos, ReleaseMatrixCoversAtLeastFiftySchedules) {
     GTEST_SKIP() << "reduced matrix under TSan (" << total << " schedules)";
   }
   EXPECT_GE(total, 50u);
+}
+
+TEST(Chaos, SimTransportGtFockSlice) {
+  // A slice of the chaos matrix re-run over the timed SimTransport backend
+  // (ga/transport.h): the fault shim sits on the transport boundary, so the
+  // same seeded schedules must inject, the builder must still match the
+  // serial oracle to 1e-10, and the run must book nonzero simulated comm
+  // time — chaos and virtual-time accounting compose.
+  const Fixture& fx = fixture();
+  std::uint64_t injected = 0;
+  for (const Intensity& in : intensities()) {
+    for (std::uint64_t seed : {std::uint64_t{0x5eed}, std::uint64_t{0x91ed}}) {
+      GtFockOptions opts;
+      opts.grid = ProcessGrid(2, 2);
+      opts.transport.kind = TransportKind::kSim;
+      double sim_seconds = 0.0;
+      const std::string what =
+          schedule_name("gtfock-sim", in.name, seed, "2x2");
+      const fault::FaultStats stats = run_schedule(in.plan, seed, what, [&] {
+        GtFockBuilder builder(fx.basis, fx.screening, opts);
+        GtFockResult res = builder.build(fx.d, fx.h);
+        sim_seconds = res.max_sim_comm_seconds();
+        return res.fock;
+      });
+      injected += stats.total_injected();
+      EXPECT_GT(sim_seconds, 0.0) << what;
+    }
+  }
+  EXPECT_GT(injected, 0u);
 }
 
 TEST(Chaos, SameSeedReplayProducesIdenticalCounters) {

@@ -1,0 +1,487 @@
+// Conformance suite for the pluggable ARMCI-style transport layer
+// (ga/transport.h). Every registered backend must implement identical
+// one-sided semantics — rectangle get/put/acc vs a serial oracle, atomic
+// accumulate under concurrency, serialized rmw fetch-and-add, exact
+// per-caller stats accounting, and fault injection at the shim — so the
+// whole suite is parameterized over registered_transport_kinds(): a new
+// backend is covered the day it registers with the factory.
+//
+// SimTransport additionally books dsim virtual time; the timed tests check
+// that data movement stays bit-identical to ThreadedTransport while the
+// per-rank clocks, link queueing, and rmw backoff advance. The final smoke
+// slice runs a full GTFock build over SimTransport and demands both the
+// serial-oracle answer (1e-10) and nonzero simulated comm time — the
+// "timed run is also numerically verifiable" acceptance criterion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baseline/nwchem_fock.h"
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/fock_builder.h"
+#include "core/fock_serial.h"
+#include "core/shell_reorder.h"
+#include "eri/one_electron.h"
+#include "fault/fault.h"
+#include "ga/distribution.h"
+#include "ga/transport.h"
+#include "util/rng.h"
+
+namespace mf {
+namespace {
+
+Distribution2D even_dist(std::size_t n, std::size_t pr, std::size_t pc) {
+  return Distribution2D(ProcessGrid(pr, pc), Partition1D::even(n, pr),
+                        Partition1D::even(n, pc));
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+class TransportConformance : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  std::shared_ptr<Transport> make(std::size_t nranks) const {
+    TransportOptions opts;
+    opts.kind = GetParam();
+    return make_transport(opts, nranks);
+  }
+};
+
+TEST_P(TransportConformance, FactoryReportsKindAndName) {
+  const auto t = make(4);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind(), GetParam());
+  EXPECT_EQ(t->nranks(), 4u);
+  EXPECT_STREQ(t->name(), transport_kind_name(GetParam()));
+  EXPECT_EQ(transport_kind_from_string(t->name()), GetParam());
+}
+
+TEST_P(TransportConformance, PutGetRoundTripMatchesSerialOracle) {
+  const std::size_t n = 9;  // uneven blocks: 9 over 2 parts -> 5 + 4
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(0.0);
+
+  // Serial oracle: the same writes applied to a plain matrix.
+  Matrix oracle(n, n);
+  const Matrix src = random_matrix(n, n, 123);
+
+  // A mix of rectangles: single-block, block-spanning, single element, and
+  // the full array — issued from different caller ranks.
+  const Rect rects[] = {
+      {0, 3, 0, 3}, {2, 7, 1, 8}, {4, 5, 4, 5}, {0, n, 0, n}, {5, 9, 0, 9}};
+  std::size_t caller = 0;
+  for (const Rect& r : rects) {
+    std::vector<double> buf(r.rows() * r.cols());
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      for (std::size_t j = 0; j < r.cols(); ++j) {
+        buf[i * r.cols() + j] = src(r.r0 + i, r.c0 + j);
+        oracle(r.r0 + i, r.c0 + j) = src(r.r0 + i, r.c0 + j);
+      }
+    }
+    t->put(*a, caller, r, buf.data());
+    caller = (caller + 1) % t->nranks();
+  }
+  EXPECT_EQ(max_abs_diff(a->to_matrix(), oracle), 0.0);
+
+  // Every rectangle reads back exactly what the oracle holds.
+  for (const Rect& r : rects) {
+    std::vector<double> buf(r.rows() * r.cols(), -1.0);
+    t->get(*a, caller, r, buf.data());
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      for (std::size_t j = 0; j < r.cols(); ++j) {
+        EXPECT_EQ(buf[i * r.cols() + j], oracle(r.r0 + i, r.c0 + j));
+      }
+    }
+    caller = (caller + 1) % t->nranks();
+  }
+}
+
+TEST_P(TransportConformance, AccAccumulatesWithAlphaAcrossBlocks) {
+  const std::size_t n = 8;
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(1.0);
+
+  Matrix oracle(n, n);
+  for (std::size_t k = 0; k < n * n; ++k) oracle.data()[k] = 1.0;
+
+  const Matrix src = random_matrix(n, n, 321);
+  const Rect r{1, 7, 2, 8};  // spans all four owner blocks
+  std::vector<double> buf(r.rows() * r.cols());
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j)
+      buf[i * r.cols() + j] = src(r.r0 + i, r.c0 + j);
+
+  t->acc(*a, /*caller=*/1, r, buf.data(), 2.5);
+  t->acc(*a, /*caller=*/2, r, buf.data());  // default alpha = 1.0
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j)
+      oracle(r.r0 + i, r.c0 + j) += 3.5 * buf[i * r.cols() + j];
+
+  EXPECT_LT(max_abs_diff(a->to_matrix(), oracle), 1e-15);
+}
+
+TEST_P(TransportConformance, ConcurrentAccThenGetSeesConsistentSnapshots) {
+  // GA's atomic-accumulate guarantee: a get overlapping concurrent accs of
+  // a uniform delta over one owner block must see every element at the same
+  // accumulation stage — block-consistent snapshots, never torn elements.
+  const std::size_t n = 16;
+  const auto t = make(1);  // one owner block: the whole array
+  auto a = t->create_array(even_dist(n, 1, 1));
+  a->fill(0.0);
+
+  const std::size_t kAccs = 64;
+  const Rect whole{0, n, 0, n};
+  std::vector<double> ones(n * n, 1.0);
+
+  std::thread writer([&] {
+    for (std::size_t k = 0; k < kAccs; ++k) {
+      t->acc(*a, 0, whole, ones.data());
+    }
+  });
+  bool torn = false;
+  for (int reads = 0; reads < 200 && !torn; ++reads) {
+    std::vector<double> snap(n * n, -1.0);
+    t->get(*a, 0, whole, snap.data());
+    for (std::size_t k = 1; k < snap.size(); ++k) {
+      if (snap[k] != snap[0]) torn = true;
+    }
+  }
+  writer.join();
+  EXPECT_FALSE(torn);
+  const Matrix settled = a->to_matrix();
+  for (std::size_t k = 0; k < n * n; ++k) {
+    EXPECT_EQ(settled.data()[k], static_cast<double>(kAccs));
+  }
+}
+
+TEST_P(TransportConformance, RmwFetchAndAddSerializesToAPermutation) {
+  const std::size_t nranks = 4;
+  const std::size_t per_rank = 50;
+  const auto t = make(nranks);
+  auto c = t->create_counter(/*owner_rank=*/0, /*initial=*/0);
+
+  std::vector<std::vector<long>> seen(nranks);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      for (std::size_t k = 0; k < per_rank; ++k) {
+        seen[r].push_back(t->rmw(*c, r, 1));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Returned pre-add values form a permutation of 0..N-1: every ticket was
+  // handed out exactly once — the serialization contract of NGA_Read_inc.
+  std::vector<long> all;
+  for (const auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), nranks * per_rank);
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    EXPECT_EQ(all[k], static_cast<long>(k));
+  }
+  EXPECT_EQ(c->load(), static_cast<long>(nranks * per_rank));
+  // Per caller the tickets are strictly increasing (program order holds).
+  for (const auto& v : seen) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  }
+}
+
+TEST_P(TransportConformance, StatsAccountExactlyPerBlockAndClassifyRemote) {
+  const std::size_t n = 8;  // 2x2 grid, 4x4 blocks of 128 bytes each
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(0.0);
+
+  // One full-array get from caller 0 touches all 4 owner blocks: 4 calls,
+  // 512 bytes, of which 3 calls / 384 bytes are remote (caller 0 owns block
+  // (0,0); grid ranks are row-major).
+  std::vector<double> buf(n * n);
+  t->get(*a, 0, {0, n, 0, n}, buf.data());
+  // A single-block put from its own owner (rank 3 owns rows 4..8 x cols
+  // 4..8) is one purely local call.
+  t->put(*a, 3, {4, 8, 4, 8}, buf.data());
+
+  const std::vector<CommStats> s = a->stats();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0].get_calls, 4u);
+  EXPECT_EQ(s[0].get_bytes, 512u);
+  EXPECT_EQ(s[0].remote_calls, 3u);
+  EXPECT_EQ(s[0].remote_bytes, 384u);
+  EXPECT_EQ(s[3].put_calls, 1u);
+  EXPECT_EQ(s[3].put_bytes, 128u);
+  EXPECT_EQ(s[3].remote_calls, 0u);
+  EXPECT_EQ(s[1].total_calls(), 0u);
+  EXPECT_EQ(s[2].total_calls(), 0u);
+
+  a->reset_stats();
+  for (const CommStats& cs : a->stats()) EXPECT_EQ(cs.total_calls(), 0u);
+
+  // Counter rmw: remote iff caller != owner.
+  auto c = t->create_counter(/*owner_rank=*/1);
+  t->rmw(*c, 1, 5);
+  t->rmw(*c, 2, 5);
+  const std::vector<CommStats> cstats = c->stats();
+  ASSERT_EQ(cstats.size(), 4u);
+  EXPECT_EQ(cstats[1].rmw_calls, 1u);
+  EXPECT_EQ(cstats[1].remote_calls, 0u);
+  EXPECT_EQ(cstats[2].rmw_calls, 1u);
+  EXPECT_EQ(cstats[2].remote_calls, 1u);
+}
+
+TEST_P(TransportConformance, FaultInjectionFiresAtTheShim) {
+  // Fault consultation precedes any transfer: with fail_prob = 1 on gets,
+  // the shim throws CommError and the array is untouched — every backend
+  // inherits the chaos layer without implementing anything.
+  const std::size_t n = 4;
+  const auto t = make(1);
+  auto a = t->create_array(even_dist(n, 1, 1));
+  a->fill(7.0);
+
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.rule(fault::OpClass::kGet).fail_prob = 1.0;
+  plan.rule(fault::OpClass::kRmw).fail_prob = 1.0;
+  fault::install(plan);
+  std::vector<double> buf(n * n, 0.0);
+  EXPECT_THROW(t->get(*a, 0, {0, n, 0, n}, buf.data()), fault::CommError);
+  auto c = t->create_counter(0, 10);
+  EXPECT_THROW(t->rmw(*c, 0, 1), fault::CommError);
+  fault::clear();
+
+  // The failed ops never happened: no stats recorded, no data moved.
+  EXPECT_EQ(a->stats()[0].total_calls(), 0u);
+  EXPECT_EQ(c->load(), 10l);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+  t->get(*a, 0, {0, n, 0, n}, buf.data());  // works again once cleared
+  for (double v : buf) EXPECT_EQ(v, 7.0);
+}
+
+TEST_P(TransportConformance, CommTimeContract) {
+  // Backends without a time model report zero always; SimTransport books
+  // strictly positive, monotonically growing virtual time per caller.
+  const std::size_t n = 8;
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(0.0);
+
+  std::vector<double> buf(n * n, 1.0);
+  t->put(*a, 0, {0, n, 0, n}, buf.data());
+  const SimTime after_put = t->comm_time(0);
+  t->get(*a, 0, {0, n, 0, n}, buf.data());
+  const SimTime after_get = t->comm_time(0);
+
+  if (GetParam() == TransportKind::kThreaded) {
+    EXPECT_EQ(after_put, 0.0);
+    EXPECT_EQ(after_get, 0.0);
+  } else {
+    EXPECT_GT(after_put, 0.0);
+    EXPECT_GT(after_get, after_put);
+    EXPECT_EQ(t->comm_time(1), 0.0);  // rank 1 issued nothing
+    t->reset_time();
+    EXPECT_EQ(t->comm_time(0), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TransportConformance,
+    ::testing::ValuesIn(registered_transport_kinds()),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return std::string(transport_kind_name(info.param));
+    });
+
+// ---- SimTransport-specific timing semantics ----------------------------
+
+std::shared_ptr<SimTransport> make_sim(std::size_t nranks) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  return std::static_pointer_cast<SimTransport>(make_transport(opts, nranks));
+}
+
+TEST(SimTransport, DataMovementIsBitIdenticalToThreaded) {
+  const std::size_t n = 9;
+  TransportOptions topts;  // kThreaded default
+  const auto threaded = make_transport(topts, 4);
+  const auto sim = make_sim(4);
+  auto at = threaded->create_array(even_dist(n, 2, 2));
+  auto as = sim->create_array(even_dist(n, 2, 2));
+  at->fill(0.5);
+  as->fill(0.5);
+
+  const Matrix src = random_matrix(n, n, 777);
+  const Rect r{1, 8, 0, 9};
+  std::vector<double> buf(r.rows() * r.cols());
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j)
+      buf[i * r.cols() + j] = src(r.r0 + i, r.c0 + j);
+
+  for (Transport* t : {threaded.get(), static_cast<Transport*>(sim.get())}) {
+    TransportArray& a = (t == threaded.get()) ? *at : *as;
+    t->put(a, 0, r, buf.data());
+    t->acc(a, 1, r, buf.data(), 0.25);
+    t->acc(a, 2, r, buf.data(), -1.5);
+  }
+  EXPECT_EQ(max_abs_diff(at->to_matrix(), as->to_matrix()), 0.0);
+  EXPECT_GT(sim->comm_time(0), 0.0);  // ...while the sim also booked time
+}
+
+TEST(SimTransport, TransferCostFollowsAlphaBetaModel) {
+  const auto sim = make_sim(2);
+  const NetworkModel& net = sim->machine().network;
+  const std::size_t n = 8;
+  auto a = sim->create_array(even_dist(n, 1, 2));
+  a->fill(0.0);
+
+  // One single-block transfer: exactly latency + bytes/bandwidth.
+  std::vector<double> buf(n * 4, 0.0);
+  sim->put(*a, 0, {0, n, 0, 4}, buf.data());
+  const std::uint64_t bytes = n * 4 * sizeof(double);
+  EXPECT_NEAR(sim->comm_time(0), net.transfer_seconds(bytes), 1e-15);
+  EXPECT_EQ(sim->comm_time(1), 0.0);
+}
+
+TEST(SimTransport, ContendedOwnerLinkSerializesTransfers) {
+  // Two callers land transfers on the same owner: the second's clock must
+  // include waiting for the first's link-occupancy slice.
+  const auto sim = make_sim(2);
+  const NetworkModel& net = sim->machine().network;
+  const std::size_t n = 8;
+  auto a = sim->create_array(even_dist(n, 1, 2));
+  a->fill(0.0);
+
+  const Rect left{0, n, 0, 4};  // owner 0's block
+  std::vector<double> buf(n * 4, 1.0);
+  const std::uint64_t bytes = left.bytes();
+  sim->put(*a, 1, left, buf.data());  // remote: occupies owner 0's link
+  sim->put(*a, 0, left, buf.data());  // local data, same contended link
+  const SimTime uncontended = net.transfer_seconds(bytes);
+  EXPECT_NEAR(sim->comm_time(1), uncontended, 1e-15);
+  // Caller 0 started at virtual 0 but the link was busy until the first
+  // transfer's occupancy slice ended.
+  EXPECT_NEAR(sim->comm_time(0),
+              net.link_occupancy_seconds(bytes) + uncontended, 1e-15);
+}
+
+TEST(SimTransport, ContendedRmwPaysCappedBackoff) {
+  const auto sim = make_sim(4);
+  auto c = sim->create_counter(/*owner_rank=*/0);
+  EXPECT_EQ(sim->rmw_backoffs(), 0u);
+
+  // Remote rmw from three callers in quick succession: the later ones find
+  // the owner's service queue busy and back off before queueing.
+  for (std::size_t r = 1; r < 4; ++r) sim->rmw(*c, r, 1);
+  EXPECT_GT(sim->rmw_backoffs(), 0u);
+  EXPECT_EQ(c->load(), 3l);
+
+  // A local rmw pays the local service time only — no latency, no backoff.
+  sim->reset_time();
+  EXPECT_EQ(sim->rmw_backoffs(), 0u);
+  sim->rmw(*c, 0, 1);
+  EXPECT_EQ(sim->rmw_backoffs(), 0u);
+  EXPECT_NEAR(sim->comm_time(0), sim->machine().network.local_rmw_service,
+              1e-15);
+}
+
+TEST(SimTransport, ChargeHooksBookOutOfBandComm) {
+  // The steal path copies D and probes victim queues outside the transport;
+  // charge_transfer/charge_rmw book that time onto the same clocks.
+  const auto sim = make_sim(2);
+  const NetworkModel& net = sim->machine().network;
+  sim->charge_transfer(/*caller=*/0, /*owner=*/1, 1000);
+  EXPECT_NEAR(sim->comm_time(0), net.transfer_seconds(1000), 1e-15);
+  sim->charge_rmw(/*caller=*/0, /*owner=*/1);
+  EXPECT_GT(sim->comm_time(0), net.transfer_seconds(1000));
+
+  // The threaded backend ignores the charge hooks entirely.
+  TransportOptions topts;
+  const auto threaded = make_transport(topts, 2);
+  threaded->charge_transfer(0, 1, 1000);
+  threaded->charge_rmw(0, 1);
+  EXPECT_EQ(threaded->comm_time(0), 0.0);
+}
+
+// ---- Tier-1 smoke slice: timed GTFock build stays numerically exact ----
+
+Matrix random_density(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = rng.uniform(-0.5, 0.5);
+  symmetrize(d);
+  return d;
+}
+
+struct SmokeFixture {
+  SmokeFixture()
+      : basis(apply_reordering(
+            Basis(water_cluster(2, 5), BasisLibrary::builtin("sto-3g")),
+            {ReorderScheme::kCells, 5.0, 1})),
+        screening(basis, {1e-11, 1e-20, {}}),
+        h(core_hamiltonian(basis)),
+        d(random_density(basis.num_functions(), 77)),
+        reference(fock_serial(basis, screening, d, h)) {}
+
+  Basis basis;
+  ScreeningData screening;
+  Matrix h;
+  Matrix d;
+  Matrix reference;
+};
+
+const SmokeFixture& smoke() {
+  static const SmokeFixture* fx = new SmokeFixture();
+  return *fx;
+}
+
+TEST(SimTransportSmoke, GtFockBuildMatchesOracleWithNonzeroSimTime) {
+  const SmokeFixture& fx = smoke();
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  opts.transport.kind = TransportKind::kSim;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult res = builder.build(fx.d, fx.h);
+
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_GT(res.max_sim_comm_seconds(), 0.0);
+  for (const GtFockRankStats& s : res.ranks) {
+    EXPECT_GT(s.sim_comm_seconds, 0.0) << "every rank moved data";
+  }
+}
+
+TEST(SimTransportSmoke, ThreadedBuildReportsZeroSimTime) {
+  const SmokeFixture& fx = smoke();
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);  // default transport: kThreaded
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult res = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_EQ(res.max_sim_comm_seconds(), 0.0);
+}
+
+TEST(SimTransportSmoke, NwchemBuildMatchesOracleWithNonzeroSimTime) {
+  const SmokeFixture& fx = smoke();
+  NwchemOptions opts;
+  opts.nprocs = 4;
+  opts.transport.kind = TransportKind::kSim;
+  NwchemFockBuilder builder(fx.basis, fx.screening, opts);
+  const NwchemResult res = builder.build(fx.d, fx.h);
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_GT(res.max_sim_comm_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mf

@@ -41,6 +41,13 @@ bounded-retry      Every `catch (... CommError ...)` retry site sits inside
                    failures would hang the chaos lane instead of exercising
                    the exhaustion/fallback path. Waivable per site with
                    `lint: bounded-retry(<reason>)`.
+transport-boundary No TransportArray::block_at / TransportCounter::apply_delta
+                   calls outside the transport implementations
+                   (src/ga/transport*). Those are the raw-storage escape
+                   hatches of the ARMCI-style transport layer; a caller
+                   using them bypasses the recording shim — fault
+                   injection, obs metrics, and per-rank CommStats — that
+                   every one-sided op must pass through.
 tu-coverage        Every .cpp under src/ appears in compile_commands.json:
                    a TU that is not compiled is a TU the clang-tidy and
                    thread-safety lanes silently skip.
@@ -83,6 +90,10 @@ COMM_ERROR_CATCH_RE = re.compile(r"catch\s*\([^)]*\bCommError\b")
 BOUNDED_RETRY_FOR_RE = re.compile(
     r"for\s*\([^)]*\battempt\b[^)]*(?:budget|retr|attempts)[^)]*\)")
 BOUNDED_RETRY_WAIVER_RE = re.compile(r"lint:\s*bounded-retry\(([^)]+)\)")
+# Transport raw-storage escape hatches (ga/transport.h) and the files that
+# may legitimately call them: the transport interface + backends.
+TRANSPORT_FILE_RE = re.compile(r"^src/ga/transport[^/]*$")
+TRANSPORT_ACCESS_RE = re.compile(r"\b(?:block_at|apply_delta)\s*\(")
 
 # Entry points that must carry phase markers. "ordered" demands the first
 # occurrences appear in the listed sequence (the threaded builder really is
@@ -154,6 +165,13 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                 findings.append((rel, i + 1, "relaxed-order",
                                  "memory_order_relaxed without a "
                                  "`relaxed-ok:` justification comment"))
+        if TRANSPORT_ACCESS_RE.search(code) and \
+                not TRANSPORT_FILE_RE.match(rel):
+            findings.append((rel, i + 1, "transport-boundary",
+                             "raw transport storage access (block_at/"
+                             "apply_delta) outside src/ga/transport*; go "
+                             "through Transport::get/put/acc/rmw so the op "
+                             "passes the fault/obs/stats recording shim"))
         if COMM_ERROR_CATCH_RE.search(code):
             lo = max(0, i - 15)
             window = "\n".join(lines[lo:i + 1])
@@ -354,6 +372,26 @@ def self_test() -> int:
     if any(f[2] == "bounded-retry" for f in retry_good):
         print("self-test FAILED: bounded-retry flagged budgeted/waived loops: "
               f"{retry_good}")
+        ok = False
+    # transport-boundary: raw block/counter storage access outside the
+    # transport implementations must be flagged; the backends themselves
+    # are free to use it.
+    access = "void f(mf::TransportArray& a) { a.block_at(0); }\n"
+    outside = lint_file("src/core/x.cpp", access)
+    if not any(f[2] == "transport-boundary" for f in outside):
+        print("self-test FAILED: transport-boundary did not fire on "
+              "block_at outside src/ga/transport*")
+        ok = False
+    delta = "long g(mf::TransportCounter& c) { return c.apply_delta(1); }\n"
+    if not any(f[2] == "transport-boundary"
+               for f in lint_file("src/ga/global_array.cpp", delta)):
+        print("self-test FAILED: transport-boundary did not fire on "
+              "apply_delta in the thin-view layer")
+        ok = False
+    inside = lint_file("src/ga/transport_sim.cpp", access + delta)
+    if any(f[2] == "transport-boundary" for f in inside):
+        print("self-test FAILED: transport-boundary flagged a backend file: "
+              f"{inside}")
         ok = False
     # tu-coverage: a compile_commands.json that misses a TU must be flagged.
     with tempfile.TemporaryDirectory() as tmp:

@@ -21,6 +21,15 @@ Two artifact kinds:
                   fields, plus the "speedup_t_int" (legacy vs pair) and
                   "speedup_batched" (pair vs batched) ratios.
 
+  --comm FILE     Transport comm profile JSON written by bench_micro
+                  (BENCH_comm.json). Must contain exactly one backend row
+                  per registered transport ("threaded", "sim"), each
+                  matching the serial oracle to 1e-10; the comm profile
+                  (calls, megabytes, rmw count) must be identical across
+                  backends — same data movement, different accounting — and
+                  only the "sim" backend may (and must) book nonzero
+                  simulated comm seconds.
+
 Optional cross-checks used by the CI smoke step:
 
   --expect-ranks N        The trace must contain prefetch/compute/flush
@@ -224,6 +233,72 @@ def validate_tint(data, min_batched_speedup: float | None) -> list[str]:
     return errors
 
 
+COMM_BACKENDS = ("threaded", "sim")
+COMM_ORACLE_TOL = 1e-10
+COMM_EQUALITY_RTOL = 1e-12
+
+
+def validate_comm(data) -> list[str]:
+    errors = []
+    if not isinstance(data, dict):
+        return ["comm: top level must be an object"]
+    if not isinstance(data.get("workload"), str):
+        errors.append('comm: missing string "workload"')
+    if not _is_int(data.get("ranks")) or data.get("ranks", 0) <= 0:
+        errors.append('comm: "ranks" must be a positive integer')
+    if not isinstance(data.get("grid"), str):
+        errors.append('comm: missing string "grid"')
+    rows = data.get("backends")
+    if not isinstance(rows, list):
+        return errors + ['comm: missing "backends" list']
+    by_name = {}
+    for i, row in enumerate(rows):
+        where = f"comm: backends[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = row.get("name")
+        if name not in COMM_BACKENDS:
+            errors.append(f'{where}: "name" must be one of {COMM_BACKENDS}, '
+                          f"got {name!r}")
+            continue
+        if name in by_name:
+            errors.append(f"{where}: duplicate backend {name!r}")
+        by_name[name] = row
+        for field in ("avg_comm_calls", "avg_comm_mb"):
+            if not _is_num(row.get(field)) or row[field] <= 0.0:
+                errors.append(f'{where}: "{field}" must be a positive number')
+        if not _is_int(row.get("total_rmw")) or row["total_rmw"] <= 0:
+            errors.append(f'{where}: "total_rmw" must be a positive integer')
+        if not _is_num(row.get("sim_comm_seconds")) or \
+                row["sim_comm_seconds"] < 0.0:
+            errors.append(f'{where}: "sim_comm_seconds" must be a '
+                          "non-negative number")
+        err = row.get("max_abs_err")
+        if not _is_num(err):
+            errors.append(f'{where}: "max_abs_err" must be a number')
+        elif err > COMM_ORACLE_TOL:
+            errors.append(f'{where}: max_abs_err {err:.3e} exceeds the '
+                          f"serial-oracle tolerance {COMM_ORACLE_TOL:.0e}")
+    for name in COMM_BACKENDS:
+        if name not in by_name:
+            errors.append(f'comm: no backend row for "{name}"')
+    if len(errors) == 0:
+        # The time model is the only permitted difference between backends.
+        if by_name["threaded"]["sim_comm_seconds"] != 0.0:
+            errors.append("comm: threaded backend booked simulated time")
+        if by_name["sim"]["sim_comm_seconds"] <= 0.0:
+            errors.append("comm: sim backend booked no simulated time")
+        for field in ("avg_comm_calls", "avg_comm_mb", "total_rmw"):
+            a = by_name["threaded"][field]
+            b = by_name["sim"][field]
+            if abs(a - b) > COMM_EQUALITY_RTOL * max(abs(a), abs(b), 1.0):
+                errors.append(f'comm: "{field}" differs across backends '
+                              f"({a!r} vs {b!r}) — transports moved "
+                              "different data")
+    return errors
+
+
 def _load(path: pathlib.Path, errors: list[str]):
     try:
         return json.loads(path.read_text(encoding="utf-8"))
@@ -240,6 +315,8 @@ def main() -> int:
                     help="run report JSON from --metrics-out")
     ap.add_argument("--tint", type=pathlib.Path,
                     help="t_int benchmark JSON (BENCH_tint.json)")
+    ap.add_argument("--comm", type=pathlib.Path,
+                    help="transport comm profile JSON (BENCH_comm.json)")
     ap.add_argument("--expect-ranks", type=int, default=None,
                     help="require phase spans for ranks 0..N-1 in the trace")
     ap.add_argument("--require-counter", action="append", default=[],
@@ -247,8 +324,10 @@ def main() -> int:
     ap.add_argument("--min-batched-speedup", type=float, default=None,
                     metavar="X", help="require tint speedup_batched >= X")
     args = ap.parse_args()
-    if args.trace is None and args.report is None and args.tint is None:
-        ap.error("nothing to validate; pass --trace, --report, and/or --tint")
+    if args.trace is None and args.report is None and args.tint is None \
+            and args.comm is None:
+        ap.error("nothing to validate; pass --trace, --report, --tint, "
+                 "and/or --comm")
 
     errors: list[str] = []
     if args.trace is not None:
@@ -263,6 +342,10 @@ def main() -> int:
         data = _load(args.tint, errors)
         if data is not None:
             errors.extend(validate_tint(data, args.min_batched_speedup))
+    if args.comm is not None:
+        data = _load(args.comm, errors)
+        if data is not None:
+            errors.extend(validate_comm(data))
 
     for e in errors:
         print(e)
