@@ -121,6 +121,7 @@ class AtomBlockCtx {
   /// Accumulate all local W blocks into the distributed array and clear the
   /// task-local caches.
   void flush() {
+    // det-ok(each atom-pair block accs a disjoint rectangle of W, so hash order never changes which summands meet in one element)
     for (const auto& [key, block] : w_) {
       const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
       const std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);

@@ -109,6 +109,7 @@ void run_task_batched(const Basis& basis, const ScreeningData& screening,
       if (pair_list != nullptr) {
         batcher.add(&pair_list->pair_at(n, kq), q);
       } else {
+        // hot-ok(cold fallback: builds transient ket pairs only when no shell-pair list exists, e.g. cache-restored screenings)
         batcher.emplace(basis.shell(n), basis.shell(q), primitive_threshold,
                         q);
       }

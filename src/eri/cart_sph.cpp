@@ -141,6 +141,7 @@ void quartet_to_spherical_into(int la, int lb, int lc, int ld,
   const std::size_t cart_size = dims[0] * dims[1] * dims[2] * dims[3];
   // Two ping-pong halves sized for the largest intermediate (every
   // intermediate is <= the Cartesian block size since nsph <= ncart).
+  // hot-ok(amortized: grows to the high-water class size, then reuses capacity)
   scratch.resize(2 * cart_size);
   // Fixed roles so no round reads and writes the same buffer: transforms
   // read cart-or-rot and write tr; rotations read tr and write rot (or the

@@ -51,6 +51,7 @@ void build_bra_matrices(const ShellPairData& bra, int la, int lb,
   const auto& hb = hermite_orders(la + lb);
   const std::size_t nab = ca.size() * cb.size();
   const std::size_t nhb = hb.size();
+  // hot-ok(amortized: grows to the high-water bra size, then reuses capacity)
   out.resize(bra.prims().size() * nab * nhb);
   double* dst = out.data();
   for (const PrimPair& bp : bra.prims()) {
@@ -69,6 +70,7 @@ void build_bra_matrices(const ShellPairData& bra, int la, int lb,
 /// Fills the ket-side SoA primitive arrays, the per-primitive [nhk x ncd]
 /// Eket matrices (with the (-1)^{tau+nu+phi} sign folded in), and the
 /// per-ket prefix offsets.
+// hot-ok(amortized: every resize below tracks the high-water batch size and reuses capacity on later batches)
 void build_ket_batch(const ShellPairData* const* kets, std::size_t nket,
                      int lc, int ld, EriBatchScratch& s) {
   const auto& cc = cartesian_components(lc);
@@ -119,6 +121,7 @@ void build_ridx(int lbra, int lket, std::vector<int>& ridx) {
   const auto& hb = hermite_orders(lbra);
   const auto& hk = hermite_orders(lket);
   const int stride = lbra + lket + 1;
+  // hot-ok(memo fill: runs once per (lbra, lket) class per engine, via ridx_for)
   ridx.resize(hb.size() * hk.size());
   int* dst = ridx.data();
   for (const auto& b : hb) {
@@ -129,15 +132,24 @@ void build_ridx(int lbra, int lket, std::vector<int>& ridx) {
   }
 }
 
-/// Per-element Cartesian renormalization factors for one quartet class,
-/// built once per batch instead of once per quartet (the per-element
-/// component_norm_ratio calls cost four sqrts each).
+/// Memoized gather table for one (lbra, lket): built on first use, then a
+/// plain array lookup for every later batch of the class.
+const std::vector<int>& ridx_for(int lbra, int lket, EriBatchScratch& s) {
+  std::vector<int>& r = s.ridx_memo[lbra * EriBatchScratch::kNumLtot + lket];
+  if (r.empty()) build_ridx(lbra, lket, r);
+  return r;
+}
+
+/// Per-element Cartesian renormalization factors for one quartet class
+/// (the per-element component_norm_ratio calls cost four sqrts each, so
+/// this fills the class's memo slot once and every batch reuses it).
 void build_renorm_factors(int la, int lb, int lc, int ld,
                           std::vector<double>& f) {
   const auto& ca = cartesian_components(la);
   const auto& cb = cartesian_components(lb);
   const auto& cc = cartesian_components(lc);
   const auto& cd = cartesian_components(ld);
+  // hot-ok(memo fill: runs once per (la,lb,lc,ld) class per engine, via renorm_for)
   f.resize(ca.size() * cb.size() * cc.size() * cd.size());
   std::size_t idx = 0;
   for (const auto& a : ca) {
@@ -152,6 +164,17 @@ void build_renorm_factors(int la, int lb, int lc, int ld,
       }
     }
   }
+}
+
+/// Memoized renormalization factors for one (la, lb, lc, ld).
+const std::vector<double>& renorm_for(int la, int lb, int lc, int ld,
+                                      EriBatchScratch& s) {
+  const int key = ((la * (kMaxAm + 1) + lb) * (kMaxAm + 1) + lc) *
+                      (kMaxAm + 1) +
+                  ld;
+  std::vector<double>& f = s.renorm_memo[key];
+  if (f.empty()) build_renorm_factors(la, lb, lc, ld, f);
+  return f;
 }
 
 }  // namespace
@@ -177,6 +200,7 @@ void EriEngine::batch_kernel(const ShellPairData& bra,
   EriBatchScratch& s = *batch_;
   build_bra_matrices(bra, la, lb, s.ebra);
   build_ket_batch(kets, nket, lc, ld, s);
+  // hot-ok(amortized: assign reuses capacity past the high-water batch size)
   s.cart.assign(nket * nab * ncd, 0.0);
 
   const std::size_t nbp = bra.prims().size();
@@ -205,7 +229,8 @@ void EriEngine::batch_kernel(const ShellPairData& bra,
     return;
   }
 
-  build_ridx(lbra, lket, s.ridx);
+  const std::vector<int>& ridx = ridx_for(lbra, lket, s);
+  // hot-ok(amortized: grows to the high-water class size, then reuses capacity)
   s.t1.resize(nhb * ncd);
 
   // Per (bra primitive, ket pair): accumulate the contracted ket in
@@ -234,7 +259,7 @@ void EriEngine::batch_kernel(const ShellPairData& bra,
         const double* eket_j = s.eket.data() + j * nhk * ncd;
         for (std::size_t hb = 0; hb < nhb; ++hb) {
           double* hrow = h + hb * ncd;
-          const int* idx = s.ridx.data() + hb * nhk;
+          const int* idx = ridx.data() + hb * nhk;
           for (std::size_t kk = 0; kk < nhk; ++kk) {
             const double w = pref * rdat[idx[kk]];
             const double* brow = eket_j + kk * ncd;
@@ -259,6 +284,7 @@ void EriEngine::compute_batch_cartesian(const ShellPairData& bra,
     batch_cart_stride_ = 0;
     return;
   }
+  // hot-ok(one-time lazy init of the per-engine scratch block)
   if (batch_ == nullptr) batch_ = std::make_unique<EriBatchScratch>();
 
   const int la = bra.la(), lb = bra.lb();
@@ -302,9 +328,8 @@ void EriEngine::compute_batch_cartesian(const ShellPairData& bra,
                             cartesian_count(lc) * cartesian_count(ld);
   if (!(la <= 1 && lb <= 1 && lc <= 1 && ld <= 1)) {
     // All component norm ratios are 1 for l <= 1; only higher classes pay
-    // for renormalization, with the factor table built once per batch.
-    build_renorm_factors(la, lb, lc, ld, s.renorm);
-    const double* f = s.renorm.data();
+    // for renormalization, with the factor table memoized per class.
+    const double* f = renorm_for(la, lb, lc, ld, s).data();
     for (std::size_t i = 0; i < nket; ++i) {
       double* cart_i = s.cart.data() + i * block;
 #pragma omp simd
@@ -336,6 +361,7 @@ void EriEngine::compute_batch(const ShellPairData& bra,
   EriBatchScratch& s = *batch_;
   const std::size_t nsph = spherical_count(la) * spherical_count(lb) *
                            spherical_count(lc) * spherical_count(ld);
+  // hot-ok(amortized: grows to the high-water batch size, then reuses capacity)
   s.sph.resize(nket * nsph);
   for (std::size_t i = 0; i < nket; ++i) {
     quartet_to_spherical_into(la, lb, lc, ld,

@@ -38,16 +38,26 @@ struct EriBatchScratch {
   /// Prefix offsets into the SoA arrays: ket i owns [ket_begin[i],
   /// ket_begin[i+1]).
   std::vector<std::size_t> ket_begin;
-  /// Gather table [nhb x nhk]: flat index of R_{t+tau, u+nu, v+phi} in the
-  /// HermiteR n=0 layer.
-  std::vector<int> ridx;
   std::vector<double> t1;  // ket-contracted bra-Hermite block [nhb x ncd]
   /// Outputs: cart is [nket][nab*ncd], sph is [nket][nsph] (aliases cart
   /// for all-s/p classes, where the spherical transform is the identity).
   std::vector<double> cart;
   std::vector<double> sph;
   std::vector<double> sph_scratch;   // quartet_to_spherical_into ping-pong
-  std::vector<double> renorm;        // per-element factors [nab*ncd]
+
+  /// Memoized per-class tables. Both depend only on angular momenta, never
+  /// on the primitives, so they are filled on first use and reused by every
+  /// later batch of the same class — the rebuild-per-batch they replace was
+  /// the last O(class size) work left in the batched hot loop.
+  static constexpr int kNumLtot = 2 * kMaxAm + 1;
+  /// R-gather tables [nhb x nhk] keyed by (lbra, lket): flat index of
+  /// R_{t+tau, u+nu, v+phi} in the HermiteR n=0 layer.
+  std::array<std::vector<int>, kNumLtot * kNumLtot> ridx_memo;
+  /// Cartesian renormalization factor tables [nab*ncd] keyed by
+  /// (la, lb, lc, ld).
+  std::array<std::vector<double>,
+             (kMaxAm + 1) * (kMaxAm + 1) * (kMaxAm + 1) * (kMaxAm + 1)>
+      renorm_memo;
 };
 
 /// Groups ket pairs by angular-momentum class so EriEngine::compute_batch
@@ -77,6 +87,7 @@ class KetBatcher {
   void add(const ShellPairData* ket, std::uint32_t tag) {
     const int cls = ket->la() * (kMaxAm + 1) + ket->lb();
     Bucket& b = buckets_[cls];
+    // hot-ok(bucket vectors grow to the high-water ket count once; clear() keeps capacity, so steady-state batches append into reserved storage)
     if (b.kets.empty()) active_.push_back(cls);
     b.kets.push_back(ket);
     b.tags.push_back(tag);
@@ -85,6 +96,7 @@ class KetBatcher {
   /// Builds and owns a transient ket pair (no ShellPairList available).
   void emplace(const Shell& c, const Shell& d, double primitive_threshold,
                std::uint32_t tag) {
+    // hot-ok(cold fallback: only kets with no pair-list backing land here, i.e. cache-restored screenings; pair-list workloads never reach it)
     owned_.emplace_back(c, d, primitive_threshold);
     add(&owned_.back(), tag);
   }

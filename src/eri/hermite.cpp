@@ -9,6 +9,7 @@ namespace mf {
 
 const std::vector<CartComponent>& cartesian_components(int l) {
   MF_CHECK(l >= 0 && l <= kMaxAm);
+  // hot-ok(one-time magic-static table init; steady state is an array lookup)
   static const auto tables = [] {
     std::array<std::vector<CartComponent>, kMaxAm + 1> t;
     for (int am = 0; am <= kMaxAm; ++am) {
@@ -25,6 +26,7 @@ const std::vector<CartComponent>& cartesian_components(int l) {
 
 const std::vector<CartComponent>& hermite_orders(int l) {
   MF_CHECK(l >= 0 && l <= 2 * kMaxAm);
+  // hot-ok(one-time magic-static table init; steady state is an array lookup)
   static const auto tables = [] {
     std::array<std::vector<CartComponent>, 2 * kMaxAm + 1> tbl;
     for (int lm = 0; lm <= 2 * kMaxAm; ++lm) {
@@ -90,6 +92,7 @@ void HermiteR::compute(int ltot, double alpha, const Vec3& pq) {
   // t + u + v <= ltot) ever reads. Zeroing the full 4D cube cost more than
   // the recursion itself for high ltot, on every primitive quartet.
   const std::size_t need = static_cast<std::size_t>(ltot + 1) * layer;
+  // hot-ok(amortized: grows monotonically to the largest ltot seen, then never reallocates)
   if (r_.size() < need) r_.resize(need);
 
   auto at = [this, layer](int n, int t, int u, int v) -> double& {

@@ -110,6 +110,7 @@ class PairResolver {
   /// stays valid until the next at() call on this resolver.
   const ShellPairData& at(std::size_t m, std::size_t k, std::size_t n) {
     if (list_ != nullptr) return list_->pair_at(m, k);
+    // hot-ok(cold fallback: rebuilds the pair in-place only when no shell-pair list exists, e.g. cache-restored screenings)
     scratch_.emplace(basis_.shell(m), basis_.shell(n), primitive_threshold_);
     return *scratch_;
   }

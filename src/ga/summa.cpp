@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "fault/fault.h"
 #include "util/check.h"
 
 namespace mf {
@@ -32,8 +33,14 @@ void summa_multiply(GlobalArray& a, GlobalArray& b, GlobalArray& c,
       // SUMMA step: row panel of A (my rows), column panel of B (my cols).
       a_panel.resize(nr * kw);
       b_panel.resize(kw * nc);
-      a.get(rank, r0, r1, k0, k1, a_panel.data());
-      b.get(rank, k0, k1, c0, c1, b_panel.data());
+      // Panel fetches retry like every other one-sided op: an injected
+      // failure fires before the transfer, so a retried get is idempotent.
+      fault::with_retry(fault::OpClass::kGet, rank, [&] {
+        a.get(rank, r0, r1, k0, k1, a_panel.data());
+      });
+      fault::with_retry(fault::OpClass::kGet, rank, [&] {
+        b.get(rank, k0, k1, c0, c1, b_panel.data());
+      });
       for (std::size_t i = 0; i < nr; ++i) {
         for (std::size_t k = 0; k < kw; ++k) {
           const double aik = a_panel[i * kw + k];
@@ -44,7 +51,11 @@ void summa_multiply(GlobalArray& a, GlobalArray& b, GlobalArray& c,
         }
       }
     }
-    c.put(rank, r0, r1, c0, c1, c_local.data());
+    // The single owner-block put writes a rank-exclusive rectangle, so a
+    // retry after a failed attempt lands the same bytes exactly once.
+    fault::with_retry(fault::OpClass::kPut, rank, [&] {
+      c.put(rank, r0, r1, c0, c1, c_local.data());
+    });
   };
 
   std::vector<std::thread> threads;

@@ -1,0 +1,27 @@
+// analyze-fixture: determinism
+//
+// Positive fixture: hash-order iteration feeding a floating-point sum, and
+// unseeded entropy outside src/util/rng.*.
+#include <random>
+#include <unordered_map>
+
+struct WAccum {
+  std::unordered_map<int, double> blocks_;
+
+  double drain() {
+    double sum = 0.0;
+    for (const auto& kv : blocks_) {  // expect: determinism
+      sum += kv.second;
+    }
+    return sum;
+  }
+};
+
+int draw_seed() {
+  return rand();  // expect: determinism
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // expect: determinism
+  return rd();
+}

@@ -1,0 +1,35 @@
+// analyze-fixture: determinism
+//
+// Waived-negative fixture: a det-ok'd unordered loop whose accumulation
+// targets are disjoint, an integer accumulation over an unordered
+// container (must stay quiet — only floating-point sums reassociate), and
+// entropy inside src/util/rng.* where the seeded RNG layer owns it. Must
+// analyze clean.
+#include <cstdint>
+#include <unordered_map>
+
+struct WAccumOk {
+  std::unordered_map<std::uint64_t, double> blocks_;
+
+  double drain_disjoint() {
+    double sum = 0.0;
+    // det-ok(fixture: each block lands on a disjoint target, order free)
+    for (const auto& kv : blocks_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  std::size_t footprint() {
+    std::size_t n = 0;
+    for (const auto& kv : blocks_) {
+      n += 1;  // integer accumulation: hash order cannot change the result
+    }
+    return n;
+  }
+};
+
+// ===file: src/util/rng.h===
+inline unsigned seeded_entropy_shim() {
+  return rand();  // allowed: src/util/rng.* owns entropy
+}

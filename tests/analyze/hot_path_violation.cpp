@@ -1,0 +1,29 @@
+// analyze-fixture: hot-path-purity
+// analyze-entry: hot_entry
+//
+// Positive fixture: a compute-phase entry point reaches one function that
+// grows a container and one that takes a mutex, each through a call edge
+// the line-based linter cannot see. Both must be reported.
+#include <vector>
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct Scratch {
+  std::vector<double> buf;
+};
+
+void grow_buffer(Scratch& s, double v) {
+  s.buf.push_back(v);  // expect: hot-path-purity
+}
+
+double locked_read(Mutex& mu, const Scratch& s) {
+  MutexLock lock(mu);  // expect: hot-path-purity
+  return s.buf.empty() ? 0.0 : s.buf[0];
+}
+
+void hot_entry(Scratch& s, Mutex& mu) {
+  grow_buffer(s, 1.0);
+  locked_read(mu, s);
+}

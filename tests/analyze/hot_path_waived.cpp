@@ -1,0 +1,34 @@
+// analyze-fixture: hot-path-purity
+// analyze-entry: hot_entry
+//
+// Waived-negative fixture: the same shapes as hot_path_violation.cpp, each
+// suppressed by a different hot-ok placement — a function-level waiver, a
+// site-level waiver, and a call-site waiver that prunes the edge so the
+// callee never joins the hot set. Must analyze clean.
+#include <vector>
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+// hot-ok(fixture: warmup fill, capacity reused by every later call)
+void warm_scratch(Scratch& s, int n) {
+  s.buf.resize(n);
+  s.buf.push_back(0.0);
+}
+
+void amortized_grow(Scratch& s, int n) {
+  // hot-ok(fixture: high-water growth, steady state reuses capacity)
+  s.buf.resize(n);
+}
+
+void cold_log(Scratch& s) {
+  s.buf.push_back(2.0);  // unreachable: the call edge below is waived
+}
+
+void hot_entry(Scratch& s) {
+  warm_scratch(s, 8);
+  amortized_grow(s, 8);
+  // hot-ok(fixture: diagnostics-only branch, pruned from the hot graph)
+  cold_log(s);
+}

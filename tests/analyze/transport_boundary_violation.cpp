@@ -1,0 +1,25 @@
+// analyze-fixture: transport-boundary
+//
+// Positive fixture, two virtual files: a transport-internal helper that
+// touches raw storage, and an outside file that (a) reaches the raw call
+// through that helper without passing the recording shim — visible only to
+// the call graph, the names never appear outside src/ga/transport* — and
+// (b) calls the escape hatch directly.
+// ===file: src/ga/transport_fixture_backend.cpp===
+struct TransportArray {
+  double* block_at(int rank);
+};
+
+struct ThreadedBackend {
+  TransportArray arr_;
+  double* raw_helper(int rank) { return arr_.block_at(rank); }
+};
+
+// ===file: src/core/fixture_outside.cpp===
+double peek(ThreadedBackend& b) {
+  return b.raw_helper(0)[0];  // expect: transport-boundary
+}
+
+double* direct(TransportArray& a) {
+  return a.block_at(1);  // expect: transport-boundary
+}

@@ -1,0 +1,26 @@
+// analyze-fixture: transport-boundary
+//
+// Waived-negative fixture: outside code reaches raw storage only through
+// the sanctioned Transport shim entry (the caller ascent stops there), and
+// one audited direct access carries a transport-ok waiver. Must analyze
+// clean.
+// ===file: src/ga/transport_fixture.cpp===
+struct TransportArray {
+  double* block_at(int rank);
+};
+
+struct Transport {
+  TransportArray arr_;
+  double* get(int rank) { return do_get(rank); }
+  double* do_get(int rank) { return arr_.block_at(rank); }
+};
+
+// ===file: src/core/fixture_consumer.cpp===
+double use(Transport& t) {
+  return t.get(0)[0];  // sanctioned: flows through the recording shim
+}
+
+double* audited(TransportArray& a) {
+  // transport-ok(fixture: audited bootstrap access before the shim exists)
+  return a.block_at(0);
+}

@@ -1,0 +1,31 @@
+// analyze-fixture: unchecked-comm
+//
+// Positive fixture: CommError-throwing ops (GA get/acc, counter rmw)
+// called with no with_retry/try_with_retry anywhere on the call chain.
+// The helper case is the one the line-based bounded-retry rule cannot
+// prove: the op itself is in a helper, and at least one caller reaches it
+// outside any retry scope.
+struct GlobalArray {
+  void get(const char* caller, int r0, int r1, int c0, int c1, double* out);
+  void acc(const char* caller, int r0, int r1, int c0, int c1,
+           const double* v);
+};
+struct GlobalCounter {
+  long fetch_add(const char* caller, long delta);
+};
+
+void prefetch(GlobalArray& d, double* buf) {
+  d.get("prefetch", 0, 4, 0, 4, buf);  // expect: unchecked-comm
+}
+
+long claim(GlobalCounter& c) {
+  return c.fetch_add("claim", 1);  // expect: unchecked-comm
+}
+
+void helper_flush(GlobalArray& w, const double* v) {
+  w.acc("flush", 0, 4, 0, 4, v);  // expect: unchecked-comm
+}
+
+void mixed_caller(GlobalArray& w, const double* v) {
+  helper_flush(w, v);  // unprotected caller: taints the helper above
+}

@@ -1,0 +1,31 @@
+// analyze-fixture: unchecked-comm
+//
+// Waived-negative fixture: every throwing op is either lexically inside a
+// with_retry/try_with_retry argument, inside a helper whose every caller
+// wraps it in one (the transitive-protection fixpoint), or carries a
+// comm-ok waiver. Must analyze clean.
+struct GlobalArray {
+  void get(const char* caller, int r0, int r1, int c0, int c1, double* out);
+  void acc(const char* caller, int r0, int r1, int c0, int c1,
+           const double* v);
+};
+struct GlobalCounter {
+  long fetch_add(const char* caller, long delta);
+};
+
+void fetch_panel(GlobalArray& a, double* buf) {
+  with_retry(0, 0, [&] { a.get("panel", 0, 4, 0, 4, buf); });
+}
+
+void flush_block(GlobalArray& w, const double* v) {
+  w.acc("flush", 0, 4, 0, 4, v);  // protected: every caller retries
+}
+
+void retry_flush(GlobalArray& w, const double* v) {
+  try_with_retry(1, 0, [&] { flush_block(w, v); });
+}
+
+long bootstrap(GlobalCounter& c) {
+  // comm-ok(fixture: startup path runs before the retry budget is armed)
+  return c.fetch_add("bootstrap", 1);
+}

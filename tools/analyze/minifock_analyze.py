@@ -1,0 +1,1468 @@
+#!/usr/bin/env python3
+"""minifock semantic analyzer: call-graph-aware invariants over src/.
+
+Where tools/lint/minifock_lint.py matches text lines, this tool builds a
+translation-unit-wide model of every function defined under src/ — body
+extents, call sites, allocation/lock/RNG facts — plus a call graph over
+them, and enforces four check families the line-based linter cannot see:
+
+hot-path-purity     No heap allocation (operator new, make_unique/shared,
+                    std::vector::resize/push_back/..., std::string
+                    construction, map inserts) and no mf::Mutex acquisition
+                    in any function reachable from the compute-phase entry
+                    points of Algorithm 4 (`run_task_batched`,
+                    `EriEngine::compute_batch`, `small_gemm*`). The paper's
+                    per-rank timing breakdowns assume the compute phase
+                    touches only preallocated per-thread scratch; a stray
+                    allocation or lock in a callee three levels down is
+                    invisible to a regex but not to the call graph.
+                    Waiver: `hot-ok(<reason>)` on the site line (or up to 3
+                    lines above), which also prunes call edges on that line
+                    from reachability; or above a function definition to
+                    waive the whole body (scratch builders that grow to a
+                    high-water mark and then reuse capacity).
+
+unchecked-comm      Every call site of an operation that can throw
+                    fault::CommError — Transport::get/put/acc/rmw, the
+                    GlobalArray/GlobalCounter thin views, fault::inject —
+                    is lexically inside a with_retry/try_with_retry lambda,
+                    or inside a function reachable ONLY from such lambdas,
+                    or carries a `comm-ok(<reason>)` waiver. This closes the
+                    gap the line-based bounded-retry rule can't prove: that
+                    rule checks retry loops are bounded; this one checks the
+                    throwing ops are actually under one.
+
+transport-boundary  The raw-storage escape hatches of the ARMCI-style
+                    transport layer (TransportArray::block_at,
+                    TransportCounter::apply_delta) are unreachable from any
+                    function defined outside src/ga/transport* without
+                    passing through the recording shim (Transport::get/put/
+                    acc/rmw). The regex rule in tools/lint only proves the
+                    names are unspelled outside those files; this pass
+                    proves the *call graph* cannot route around the shim —
+                    a transport-file helper called from outside that touches
+                    raw storage is a finding here and invisible there.
+                    Waiver: `transport-ok(<reason>)`.
+
+determinism         (a) No iteration over std::unordered_{map,set,...} whose
+                    loop body feeds floating-point accumulation (+=/-= on a
+                    double, or a call into an accumulate op like
+                    GlobalArray::acc / apply_quartet_update /
+                    small_gemm_acc): hash-order iteration reorders FP sums
+                    and breaks the 1e-10 oracle agreement the chaos suite
+                    pins. (b) No unseeded randomness or wall-clock entropy —
+                    rand()/srand()/std::random_device/time() — outside the
+                    seeded RNG layer (src/util/rng.*). Waiver:
+                    `det-ok(<reason>)`.
+
+Backends
+--------
+  libclang   Parses every TU in compile_commands.json through clang.cindex:
+             exact qualified names and resolved call edges. Used by the
+             semantic-analysis CI lane (pip-installed, pinned).
+  textual    A dependency-free fallback: a scope-tracking function extractor
+             plus name/arity/receiver-type call resolution. Runs everywhere
+             (it is what the ctest uses on machines without libclang) and
+             is validated against the same fixture corpus.
+  auto       libclang when importable and loadable, else textual.
+
+Both backends fill the same model; every check, waiver, and fixture runs
+identically on either. Fact extraction (allocation/lock/RNG patterns) is
+shared regex-on-body-text in both backends so the corpus exercises the
+exact production code paths.
+
+Usage:
+  minifock_analyze.py --root <repo-root> [--compile-commands <path>]
+                      [--backend auto|libclang|textual] [-v]
+  minifock_analyze.py --self-test [--backend ...]
+  minifock_analyze.py --list-checks
+
+The compile-commands path is resolved automatically when omitted: the first
+of <root>/compile_commands.json and <root>/build*/compile_commands.json
+(newest first). Exit codes: 0 clean, 1 findings, 2 usage/infra error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import dataclasses
+import os
+import pathlib
+import re
+import sys
+from typing import Callable, Iterable, Optional
+
+# ---------------------------------------------------------------------------
+# Configuration: the project-specific names each check is anchored on.
+
+CHECKS = ("hot-path-purity", "unchecked-comm", "transport-boundary",
+          "determinism")
+
+# Compute-phase entry points (ISSUE 8 / Algorithm 4): exact unqualified
+# names, "Class::name" suffixes, or "prefix*" globs.
+HOT_ENTRIES = ("run_task_batched", "EriEngine::compute_batch", "small_gemm*")
+
+# Member/function names whose call implies heap allocation when they appear
+# on a container/smart-pointer path.
+ALLOC_MEMBER_NAMES = frozenset({
+    "resize", "push_back", "emplace_back", "emplace", "emplace_front",
+    "push_front", "assign", "reserve", "insert", "try_emplace",
+    "insert_or_assign", "shrink_to_fit",
+})
+ALLOC_FREE_NAMES = frozenset({"make_unique", "make_shared", "to_string"})
+# Member calls through a receiver of UNKNOWN type with one of these names
+# are taken to be std:: container/atomic operations: they contribute
+# allocation facts but no call-graph edge (otherwise `ket_p_.clear()` would
+# resolve to every project function named `clear`). Throwing transport ops
+# (get/put/acc/rmw/fetch_add) are deliberately not in this set.
+CONTAINER_METHOD_NAMES = ALLOC_MEMBER_NAMES | frozenset({
+    "clear", "size", "empty", "data", "begin", "end", "cbegin", "cend",
+    "front", "back", "erase", "swap", "pop_back", "pop_front", "load",
+    "store", "exchange", "compare_exchange_weak", "compare_exchange_strong",
+})
+# Lines that are assertion macros: their message formatting allocates only
+# on the (cold) failure path, so they are exempt from hot-path purity.
+ASSERT_MACRO_RE = re.compile(
+    r"\b(MF_CHECK|MF_CHECK_MSG|MF_THROW_IF|MF_LOG|MF_TRACE_SPAN|"
+    r"MF_TRACE_INSTANT|static_assert)\b")
+
+# Mutex acquisition patterns (the RAII wrapper and raw lock calls).
+LOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]|(?:\.|->)\s*lock\s*\(\s*\)")
+
+# Operations that can throw fault::CommError, matched as
+# (name, min_args, receiver classes or None for any).
+THROWING_OPS = (
+    ("get", 5, ("GlobalArray", "Transport", "ThreadedTransport",
+                "SimTransport")),
+    ("put", 5, ("GlobalArray", "Transport", "ThreadedTransport",
+                "SimTransport")),
+    ("acc", 5, ("GlobalArray", "Transport", "ThreadedTransport",
+                "SimTransport")),
+    ("rmw", 3, ("Transport", "ThreadedTransport", "SimTransport")),
+    ("fetch_add", 1, ("GlobalCounter",)),
+    ("inject", 2, None),
+)
+# Functions that ARE the definition of a throwing op (the thin views and the
+# recording shim): calls inside their bodies are the op, not a use of it.
+COMM_SHIM_BODIES = frozenset({
+    "GlobalArray::get", "GlobalArray::put", "GlobalArray::acc",
+    "GlobalCounter::fetch_add",
+    "Transport::get", "Transport::put", "Transport::acc", "Transport::rmw",
+})
+RETRY_WRAPPERS = ("with_retry", "try_with_retry")
+
+# Transport raw-storage escape hatches, the files allowed to call them, and
+# the shim entry points where the caller ascent stops (a path through the
+# shim is the sanctioned route).
+TRANSPORT_RAW_NAMES = frozenset({"block_at", "apply_delta"})
+TRANSPORT_FILE_RE = re.compile(r"(^|/)src/ga/transport[^/]*$")
+TRANSPORT_SANCTIONED = frozenset({
+    "Transport::get", "Transport::put", "Transport::acc", "Transport::rmw",
+    "Transport::create_array", "Transport::create_counter",
+})
+
+# Determinism: entropy calls and the files allowed to hold them.
+RNG_CALL_RE = re.compile(
+    r"(?<![\w.:>])(?:rand|srand)\s*\(|std::random_device\b|"
+    r"(?<![\w.:>])time\s*\(|(?<![\w.:>])clock\s*\(")
+RNG_ALLOWED_RE = re.compile(r"(^|/)src/util/rng\.(h|cpp)$")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+# Calls that accumulate floating point (order-sensitive) when issued from
+# inside an unordered-container loop.
+FP_ACC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*acc\s*\(|\bapply_quartet_update\s*\(|\bsmall_gemm_acc\s*\(")
+FP_DECL_TYPES = ("double", "float")
+
+WAIVER_KINDS = {
+    "hot-path-purity": "hot-ok",
+    "unchecked-comm": "comm-ok",
+    "transport-boundary": "transport-ok",
+    "determinism": "det-ok",
+}
+WAIVER_RES = {
+    kind: re.compile(re.escape(tag) + r"\(([^)\n]*)\)")
+    for kind, tag in WAIVER_KINDS.items()
+}
+WAIVER_LOOKBACK = 3  # a waiver covers its own line and the next 3 lines
+
+CPP_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "new",
+    "delete", "throw", "alignof", "decltype", "static_assert", "case",
+    "default", "else", "do", "constexpr", "const", "static", "inline",
+    "typename", "template", "using", "typedef", "namespace", "class",
+    "struct", "enum", "public", "private", "protected", "operator",
+    "noexcept", "override", "final", "assert", "defined",
+})
+
+# ---------------------------------------------------------------------------
+# Model
+
+@dataclasses.dataclass
+class Site:
+    file: str
+    line: int
+    detail: str
+
+
+@dataclasses.dataclass
+class CallSite:
+    file: str
+    line: int
+    name: str                      # unqualified callee name
+    qual: Optional[str] = None     # resolved qualified name (libclang)
+    nargs: int = -1                # -1 = unknown
+    recv_type: Optional[str] = None
+    in_retry: bool = False         # inside a with_retry/try_with_retry arg
+    first_arg_str: bool = False    # first argument is a string literal
+
+
+@dataclasses.dataclass
+class Function:
+    qual: str                      # e.g. "mf::EriEngine::compute_batch"
+    name: str                      # last component
+    cls: Optional[str]             # enclosing class name, if any
+    file: str
+    line: int
+    end_line: int
+    min_args: int = 0
+    max_args: int = 0
+    params: str = ""               # parameter list text (for receiver types)
+    body: str = ""                 # comment/string-stripped body text
+    body_line0: int = 0            # 1-based line of the opening brace
+    calls: list = dataclasses.field(default_factory=list)
+    allocs: list = dataclasses.field(default_factory=list)
+    locks: list = dataclasses.field(default_factory=list)
+    rng: list = dataclasses.field(default_factory=list)
+    unordered_fp: list = dataclasses.field(default_factory=list)
+
+    def key(self) -> str:
+        return f"{self.file}:{self.line}:{self.qual}"
+
+
+class Model:
+    """Functions + waiver map + call graph, backend-independent."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, Function] = {}
+        # file -> {line -> set of waiver kinds covering that line}
+        self.waivers: dict[str, dict[int, set]] = {}
+        self.by_name: dict[str, list] = {}
+        # filled by link(): function key -> [(callee_key, CallSite)]
+        self.edges: dict[str, list] = {}
+        self.redges: dict[str, list] = {}  # callee key -> [(caller_key, site)]
+        self.backend = "?"
+
+    def add_function(self, fn: Function) -> None:
+        key = fn.key()
+        if key in self.functions:  # header re-parsed by several TUs
+            return
+        self.functions[key] = fn
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+    def add_waivers(self, file: str, comment_lines: list) -> None:
+        cover = self.waivers.setdefault(file, {})
+        for i, text in enumerate(comment_lines):
+            if not text:
+                continue
+            for kind, rx in WAIVER_RES.items():
+                if rx.search(text):
+                    for l in range(i + 1, i + 2 + WAIVER_LOOKBACK):
+                        cover.setdefault(l, set()).add(kind)
+
+    def waived(self, kind: str, file: str, line: int) -> bool:
+        return kind in self.waivers.get(file, {}).get(line, set())
+
+    def fn_waived(self, kind: str, fn: Function) -> bool:
+        """Function-level waiver: the tag above the definition line."""
+        return self.waived(kind, fn.file, fn.line)
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve(self, site: CallSite) -> list:
+        """Candidate Functions a call site may target (over-approximate)."""
+        if site.qual:
+            hits = [f for f in self.by_name.get(site.name, ())
+                    if _qual_matches(f.qual, site.qual)]
+            if hits:
+                return hits
+        cands = self.by_name.get(site.name, ())
+        out = []
+        for f in cands:
+            if site.recv_type and f.cls and f.cls != site.recv_type:
+                continue
+            if site.recv_type and f.cls is None:
+                continue
+            if site.nargs >= 0 and not (f.min_args <= site.nargs
+                                        <= f.max_args):
+                continue
+            out.append(f)
+        return out
+
+    def link(self) -> None:
+        self.edges = {k: [] for k in self.functions}
+        self.redges = {k: [] for k in self.functions}
+        for key, fn in self.functions.items():
+            for site in fn.calls:
+                for callee in self.resolve(site):
+                    ck = callee.key()
+                    self.edges[key].append((ck, site))
+                    self.redges[ck].append((key, site))
+
+
+def _qual_matches(qual: str, pattern: str) -> bool:
+    """True when `pattern` ("a::b" or "b") names the '::'-suffix of qual."""
+    if qual == pattern or qual.endswith("::" + pattern):
+        return True
+    return False
+
+
+def _entry_matches(fn: Function, entries: Iterable[str]) -> bool:
+    for e in entries:
+        if e.endswith("*"):
+            stem = e[:-1]
+            if fn.name.startswith(stem) or fn.qual.startswith(stem):
+                return True
+        elif "::" in e:
+            if _qual_matches(fn.qual, e):
+                return True
+        elif fn.name == e:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Shared text utilities
+
+def strip_code(text: str) -> tuple[str, list]:
+    """Blanks comments and string/char literals, preserving layout.
+
+    Returns (code_text, comment_lines) where comment_lines[i] is the comment
+    text found on 0-based line i (for waiver scanning).
+    """
+    out = list(text)
+    n = len(text)
+    comments: dict[int, list] = {}
+    line = 0
+    i = 0
+
+    def blank(a: int, b: int) -> None:
+        for j in range(a, b):
+            if out[j] not in "\n":
+                out[j] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comments.setdefault(line, []).append(text[i + 2:j])
+            blank(i, j)
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            seg_line = line
+            for part in text[i:j].split("\n"):
+                comments.setdefault(seg_line, []).append(part)
+                seg_line += 1
+            line += text.count("\n", i, j)
+            blank(i, j)
+            i = j
+            continue
+        if c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    break  # unterminated; bail at EOL
+                j += 1
+            j = min(j + 1, n)
+            line += text.count("\n", i, j)
+            blank(i + 1, j - 1)
+            i = j
+            continue
+        i += 1
+
+    nlines = text.count("\n") + 1
+    comment_lines = ["" for _ in range(nlines)]
+    for l, parts in comments.items():
+        comment_lines[l] = " ".join(parts)
+    return "".join(out), comment_lines
+
+
+def line_of(text: str, pos: int, starts: list) -> int:
+    """1-based line of character position `pos` (starts = line start table)."""
+    return bisect.bisect_right(starts, pos)
+
+
+def line_starts(text: str) -> list:
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def match_paren(text: str, open_pos: int) -> int:
+    """Position just past the ')' matching the '(' at open_pos (or -1)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def split_args(argtext: str) -> list:
+    """Top-level comma split of an argument/parameter list."""
+    args = []
+    depth = 0
+    cur = []
+    for c in argtext:
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth = max(0, depth - 1)
+        if c == "," and depth == 0:
+            args.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    tail = "".join(cur).strip()
+    if tail or args:
+        args.append(tail)
+    return [a.strip() for a in args if a.strip() != ""] \
+        if (args and args[-1] == "") is False else args
+
+
+# ---------------------------------------------------------------------------
+# Textual backend: scope-tracking function extractor
+
+SIG_NAME_RE = re.compile(
+    r"(~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*|operator\s*(?:\(\)|\[\]|[^\s(]+))"
+    r"\s*(?:<[^;(){}]{0,80}>)?\s*\(")
+SIG_TRAILER_RE = re.compile(
+    r"^\s*(?:const|noexcept(?:\([^)]*\))?|override|final|mutable|"
+    r"->\s*[\w:<>,&*\s]+|MF_\w+(?:\([^)]*\))?|:\s*[^{;]*)*\s*$")
+SCOPE_OPEN_RE = re.compile(
+    r"(?:^|[;{}\s])(namespace|class|struct|union|enum)\b\s*"
+    r"(?:class\s+|struct\s+)?([A-Za-z_]\w*)?\s*(?:final\s*)?"
+    r"(?::[^{;]*)?$")
+CALL_RE = re.compile(
+    r"(?:(?P<recv>[A-Za-z_]\w*)\s*(?:\.|->)\s*|(?P<qual>(?:[A-Za-z_]\w*\s*::\s*)+))?"
+    r"(?P<name>~?[A-Za-z_]\w*)\s*(?:<[^;(){}=]{0,60}>)?\s*\(")
+DECL_TYPE_RE = re.compile(
+    r"\b(?:const\s+)?(?:mf::)?([A-Z]\w*)(?:<[^;(){}]{0,60}>)?\s*[&*]?\s+"
+    r"([a-z_]\w*)\s*[;,(={[]")
+
+
+def _extract_params(params: str) -> tuple[int, int]:
+    params = params.strip()
+    if params in ("", "void"):
+        return 0, 0
+    if "..." in params:
+        return 0, 99
+    plist = []
+    depth = 0
+    cur = []
+    for c in params:
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth = max(0, depth - 1)
+        if c == "," and depth == 0:
+            plist.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    plist.append("".join(cur))
+    maxa = len(plist)
+    mina = sum(1 for p in plist if "=" not in p)
+    return mina, maxa
+
+
+def parse_functions_textual(file: str, code: str) -> list:
+    """Extracts function definitions with qualified names and body extents."""
+    starts = line_starts(code)
+    fns = []
+    # Scope stack entries: (kind, name, brace_depth_when_opened)
+    stack: list = []
+    depth = 0
+    i = 0
+    n = len(code)
+    last_delim = 0  # position after the last ; { } at scanning scope
+
+    while i < n:
+        c = code[i]
+        if c in ";":
+            last_delim = i + 1
+            i += 1
+            continue
+        if c == "}":
+            depth -= 1
+            while stack and stack[-1][2] > depth:
+                stack.pop()
+            last_delim = i + 1
+            i += 1
+            continue
+        if c != "{":
+            i += 1
+            continue
+
+        # A '{' at namespace/class scope: namespace, type, function body, or
+        # a stray brace (member brace-init); decide from the signature text.
+        sig = code[last_delim:i]
+        m = SCOPE_OPEN_RE.search(sig.rstrip())
+        if m:
+            kind, name = m.group(1), m.group(2) or ""
+            depth += 1
+            stack.append((kind, name, depth))
+            last_delim = i + 1
+            i += 1
+            continue
+
+        fn = _match_function_sig(sig, last_delim, code, starts, file, stack)
+        if fn is None:
+            # Not a function: anonymous brace (e.g. brace-init at class
+            # scope, array initializer). Skip to its matching close.
+            i = _skip_braces(code, i)
+            last_delim = i
+            continue
+
+        body_open = i
+        body_close = _skip_braces(code, i)
+        fn.body = code[body_open:body_close]
+        fn.body_line0 = line_of(code, body_open, starts)
+        fn.end_line = line_of(code, body_close - 1, starts)
+        fns.append(fn)
+        i = body_close
+        last_delim = i
+    return fns
+
+
+def _skip_braces(code: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _match_function_sig(sig: str, sig_pos: int, code: str, starts: list,
+                        file: str, stack: list) -> Optional[Function]:
+    """Returns a Function when `sig` looks like a definition header."""
+    for m in SIG_NAME_RE.finditer(sig):
+        name = re.sub(r"\s+", "", m.group(1))
+        base = name.split("::")[-1]
+        if base in CPP_KEYWORDS or base.startswith("operator"):
+            continue
+        # A name preceded by '.'/'->' is a member call, not a definition.
+        pre = sig[:m.start(1)].rstrip()
+        if pre.endswith(".") or pre.endswith("->"):
+            continue
+        open_pos = sig.find("(", m.end(1) - 1 + (m.end() - m.end(1)) - 1)
+        open_pos = sig.find("(", m.start(1))
+        close = match_paren(sig, open_pos)
+        if close < 0:
+            continue
+        trailer = sig[close:]
+        if not SIG_TRAILER_RE.match(trailer):
+            continue
+        params = sig[open_pos + 1:close - 1]
+        mina, maxa = _extract_params(params)
+        # Qualified scope: explicit A::b beats the lexical class stack.
+        parts = name.split("::")
+        cls = parts[-2] if len(parts) > 1 else None
+        if cls is None:
+            for kind, sname, _ in reversed(stack):
+                if kind in ("class", "struct", "union") and sname:
+                    cls = sname
+                    break
+        ns = [sname for kind, sname, _ in stack
+              if kind == "namespace" and sname]
+        qual_parts = ns + ([cls] if cls and cls not in parts else []) + parts
+        qual = "::".join(qual_parts)
+        line = line_of(code, sig_pos + m.start(1), starts)
+        return Function(qual=qual, name=parts[-1], cls=cls, file=file,
+                        line=line, end_line=line, min_args=mina,
+                        max_args=maxa, params=params)
+    return None
+
+
+def _retry_extents(body: str) -> list:
+    """Character ranges of with_retry/try_with_retry argument lists."""
+    extents = []
+    for m in re.finditer(r"\b(?:try_)?with_retry\s*\(", body):
+        open_pos = m.end() - 1
+        close = match_paren(body, open_pos)
+        if close > 0:
+            extents.append((open_pos, close))
+    return extents
+
+
+def _in_extents(pos: int, extents: list) -> bool:
+    return any(a < pos < b for a, b in extents)
+
+
+def extract_facts(fn: Function, project_classes: frozenset) -> None:
+    """Fills calls/allocs/locks/rng/unordered_fp from fn.body (both
+    backends: shared, fixture-covered)."""
+    body = fn.body
+    starts = line_starts(body)
+    retry = _retry_extents(body)
+
+    # Receiver types from parameter/local declarations of project classes
+    # (the parameter list is scanned too: `KetBatcher& batcher` must make
+    # `batcher.clear()` resolve to KetBatcher::clear, not any `clear`).
+    recv_types: dict[str, str] = {}
+    for dm in DECL_TYPE_RE.finditer(fn.params + ","):
+        if dm.group(1) in project_classes:
+            recv_types[dm.group(2)] = dm.group(1)
+    for dm in DECL_TYPE_RE.finditer(body):
+        if dm.group(1) in project_classes:
+            recv_types[dm.group(2)] = dm.group(1)
+
+    def bline(pos: int) -> int:
+        return fn.body_line0 + line_of(body, pos, starts) - 1
+
+    body_lines = body.split("\n")
+
+    def line_text(pos: int) -> str:
+        return body_lines[line_of(body, pos, starts) - 1]
+
+    for m in CALL_RE.finditer(body):
+        name = m.group("name")
+        if name in CPP_KEYWORDS:
+            continue
+        pre = body[:m.start()].rstrip()
+        recv = m.group("recv")
+        qual = m.group("qual")
+        if recv is None and qual is None:
+            # `Type name(...)` is a declaration, not a call.
+            if re.search(r"[\w>&*\]]\s*$", pre) and \
+                    not re.search(r"(?:return|co_return|throw|=|,|\(|&&|\|\||!|\?|:|<<|>>|\+|-|\*|/)\s*$", pre):
+                continue
+        open_pos = m.end() - 1
+        close = match_paren(body, open_pos)
+        nargs = -1
+        argtext = ""
+        if close > 0:
+            argtext = body[open_pos + 1:close - 1]
+            nargs = len(split_args(argtext)) if argtext.strip() else 0
+        site = CallSite(
+            file=fn.file, line=bline(m.start("name")), name=name,
+            qual=(re.sub(r"\s+", "", qual) + name) if qual else None,
+            nargs=nargs,
+            recv_type=recv_types.get(recv) if recv else None,
+            in_retry=_in_extents(m.start(), retry),
+            first_arg_str=argtext.lstrip().startswith('"'))
+        # Allocation facts ride on member-call names.
+        lt = line_text(m.start())
+        if ASSERT_MACRO_RE.search(lt):
+            pass
+        elif (recv is not None and name in ALLOC_MEMBER_NAMES) or \
+                name in ALLOC_FREE_NAMES:
+            fn.allocs.append(Site(fn.file, site.line,
+                                  f"{name}() allocates (container growth "
+                                  "or owning handle)"))
+        elif name == "fetch_add" and "memory_order" in argtext:
+            # std::atomic fetch_add with an explicit ordering: not a
+            # GlobalCounter rmw. Drop the call edge entirely.
+            continue
+        if recv is not None and site.recv_type is None and \
+                name in CONTAINER_METHOD_NAMES:
+            continue
+        fn.calls.append(site)
+
+    for m in re.finditer(r"\bnew\s+[A-Za-z_(]", body):
+        lt = line_text(m.start())
+        if not ASSERT_MACRO_RE.search(lt):
+            fn.allocs.append(Site(fn.file, bline(m.start()),
+                                  "operator new"))
+    for m in re.finditer(r"\bstd::(?:string|vector|deque|map|set|list)\s*[<({]",
+                         body):
+        lt = line_text(m.start())
+        # Magic statics (lookup tables) initialize once, before the hot
+        # loop warms up — not a steady-state allocation. Reference and
+        # pointer declarations bind to existing storage, so skip
+        # `std::vector<T>& x = ...` / `std::vector<T>* p`.
+        end = m.end() - 1
+        if body[end] == "<":
+            depth = 0
+            while end < len(body):
+                if body[end] == "<":
+                    depth += 1
+                elif body[end] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        end += 1
+                        break
+                end += 1
+        tail = body[end:end + 8].lstrip()
+        if tail.startswith("&") or tail.startswith("*"):
+            continue
+        if not ASSERT_MACRO_RE.search(lt) and \
+                not re.search(r"\bstatic\b", lt):
+            fn.allocs.append(Site(fn.file, bline(m.start()),
+                                  "owning std:: container/string "
+                                  "constructed"))
+    for m in LOCK_RE.finditer(body):
+        fn.locks.append(Site(fn.file, bline(m.start()),
+                             "mutex acquisition"))
+    for m in RNG_CALL_RE.finditer(body):
+        fn.rng.append(Site(fn.file, bline(m.start()),
+                           f"entropy call `{body[m.start():m.end()].strip()}`"
+                           .replace("(", "(...)")))
+
+    _extract_unordered_fp(fn, body, starts, recv_types)
+
+
+def _extract_unordered_fp(fn: Function, body: str, starts: list,
+                          recv_types: dict) -> None:
+    # Names declared (here or at class scope, heuristically: same file) as
+    # unordered containers.
+    unordered_vars = set()
+    for m in re.finditer(
+            r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]{0,120}>\s*"
+            r"([A-Za-z_]\w*)\s*[;({=]", body):
+        unordered_vars.add(m.group(1))
+    unordered_vars |= getattr(fn, "_file_unordered", set())
+
+    for m in re.finditer(r"\bfor\s*\(", body):
+        close = match_paren(body, m.end() - 1)
+        if close < 0:
+            continue
+        header = body[m.end():close - 1]
+        rm = re.match(r".*:\s*([A-Za-z_]\w*)\s*$", header, re.S)
+        if not rm or rm.group(1) not in unordered_vars:
+            continue
+        # Loop body extent.
+        bpos = close
+        while bpos < len(body) and body[bpos] in " \t\n":
+            bpos += 1
+        if bpos >= len(body) or body[bpos] != "{":
+            end = body.find(";", bpos)
+            loop_body = body[bpos:end if end > 0 else len(body)]
+        else:
+            loop_body = body[bpos:_skip_braces(body, bpos)]
+        if _loop_accumulates_fp(body, loop_body):
+            fn.unordered_fp.append(Site(
+                fn.file, fn.body_line0 + line_of(body, m.start(), starts) - 1,
+                f"iteration over unordered container `{rm.group(1)}` feeds "
+                "floating-point accumulation (hash order => nondeterministic "
+                "FP sum)"))
+
+
+def _loop_accumulates_fp(fn_body: str, loop_body: str) -> bool:
+    if FP_ACC_CALL_RE.search(loop_body):
+        return True
+    for m in re.finditer(r"([A-Za-z_]\w*)\s*\[?[^=\n]*?[+\-]=", loop_body):
+        target = m.group(1)
+        dm = re.search(r"\b(?:const\s+)?([\w:]+)\s*[&*]?\s+" +
+                       re.escape(target) + r"\s*[;=({,]", fn_body)
+        if dm is None:
+            continue  # unknown target type: stay quiet (no false positives)
+        dtype = dm.group(1)
+        if any(t in dtype for t in FP_DECL_TYPES):
+            return True
+    return False
+
+
+def build_model_textual(files: list) -> Model:
+    """files: list of (virtual_path, text)."""
+    model = Model()
+    model.backend = "textual"
+    parsed = []
+    for path, text in files:
+        code, comments = strip_code(text)
+        model.add_waivers(path, comments)
+        fns = parse_functions_textual(path, code)
+        # File-level unordered member declarations (class fields) are
+        # visible to every function in the file.
+        file_unordered = set()
+        for m in re.finditer(
+                r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]{0,120}>\s*"
+                r"([A-Za-z_]\w*)\s*[;{=]", code):
+            file_unordered.add(m.group(1))
+        for fn in fns:
+            fn._file_unordered = file_unordered  # type: ignore[attr-defined]
+        parsed.extend(fns)
+
+    project_classes = frozenset(
+        f.cls for f in parsed if f.cls) | frozenset(
+        f.name for f in parsed if f.cls == f.name)
+    for fn in parsed:
+        extract_facts(fn, project_classes)
+        model.add_function(fn)
+    model.link()
+    return model
+
+
+# ---------------------------------------------------------------------------
+# libclang backend
+
+def _load_libclang():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None, "python 'clang' bindings not importable"
+    # CI pins the shared library explicitly (distro soname does not match
+    # the binding's default lookup name on ubuntu).
+    lib = os.environ.get("CLANG_LIBRARY_FILE")
+    if lib:
+        try:
+            cindex.Config.set_library_file(lib)
+        except Exception as e:
+            return None, f"CLANG_LIBRARY_FILE rejected: {e}"
+    try:
+        index = cindex.Index.create()
+    except Exception as e:  # library not found / version mismatch
+        return None, f"libclang shared library unavailable: {e}"
+    return (cindex, index), None
+
+
+_SAFE_ARG_RE = re.compile(r"^(-I.*|-D.*|-U.*|-std=.*|-isystem)$")
+
+
+def _sanitize_args(args: list) -> list:
+    out = []
+    take_next = False
+    for a in args:
+        if take_next:
+            out.append(a)
+            take_next = False
+            continue
+        if _SAFE_ARG_RE.match(a):
+            out.append(a)
+            if a == "-isystem":
+                take_next = True
+    if not any(a.startswith("-std=") for a in out):
+        out.append("-std=c++20")
+    return out
+
+
+def build_model_libclang(root: pathlib.Path, compile_commands: pathlib.Path,
+                         extra_files: Optional[list] = None) -> Model:
+    """AST-precise model: exact quals + resolved call edges; fact extraction
+    shares the textual regex layer on each function's body text."""
+    bundle, err = _load_libclang()
+    if bundle is None:
+        raise RuntimeError(err)
+    cindex, index = bundle
+    import json
+
+    model = Model()
+    model.backend = "libclang"
+    seen_files: set = set()
+    parsed_fns: list = []
+
+    def rel(path: str) -> Optional[str]:
+        try:
+            return pathlib.Path(path).resolve().relative_to(
+                root.resolve()).as_posix()
+        except ValueError:
+            return None
+
+    def qual_name(cursor) -> str:
+        parts = []
+        cur = cursor
+        while cur is not None and cur.kind != cindex.CursorKind.TRANSLATION_UNIT:
+            if cur.spelling:
+                parts.append(cur.spelling)
+            cur = cur.semantic_parent
+        return "::".join(reversed(parts))
+
+    fn_kinds = {
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    }
+
+    def visit(cursor, file_rel: str, text_cache: dict) -> None:
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None:
+                continue
+            crel = rel(loc.file.name)
+            if crel is None or not (crel.startswith("src/")
+                                    or crel in text_cache):
+                visit_skip = True
+            if crel is None:
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                _ingest_function(child, crel, text_cache)
+            else:
+                visit(child, file_rel, text_cache)
+
+    def _ingest_function(cursor, crel: str, text_cache: dict) -> None:
+        ext = cursor.extent
+        text = text_cache.get(crel)
+        if text is None:
+            try:
+                text = (root / crel).read_text(encoding="utf-8")
+            except OSError:
+                return
+            text_cache[crel] = text
+        q = qual_name(cursor)
+        parts = q.split("::")
+        sp = cursor.semantic_parent
+        cls = sp.spelling if sp is not None and sp.kind in (
+            cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+            cindex.CursorKind.CLASS_TEMPLATE) else None
+        nparams = len([c for c in cursor.get_children()
+                       if c.kind == cindex.CursorKind.PARM_DECL])
+        ndefault = 0
+        for c in cursor.get_children():
+            if c.kind == cindex.CursorKind.PARM_DECL:
+                if any(True for _ in c.get_children()):
+                    ndefault += 1
+        fn = Function(qual=q, name=parts[-1], cls=cls, file=crel,
+                      line=ext.start.line, end_line=ext.end.line,
+                      min_args=max(0, nparams - ndefault), max_args=nparams)
+        lines = text.split("\n")
+        body_text = "\n".join(lines[ext.start.line - 1:ext.end.line])
+        code, _ = strip_code(body_text)
+        fn.body = code
+        fn.body_line0 = ext.start.line
+        key = fn.key()
+        if key in {f.key() for f in parsed_fns}:
+            return
+        # Resolved call edges from the AST (more precise than regex).
+        resolved: dict[int, str] = {}
+        def walk_calls(c):
+            for ch in c.get_children():
+                if ch.kind == cindex.CursorKind.CALL_EXPR:
+                    ref = ch.referenced
+                    if ref is not None and ref.spelling:
+                        resolved.setdefault(ch.location.line,
+                                            qual_name(ref))
+                walk_calls(ch)
+        try:
+            walk_calls(cursor)
+        except Exception:
+            pass
+        fn._ast_resolved = resolved  # type: ignore[attr-defined]
+        parsed_fns.append(fn)
+
+    entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    text_cache: dict = {}
+    for entry in entries:
+        src = entry["file"]
+        srel = rel(src)
+        if srel is None or not srel.startswith("src/"):
+            continue
+        args = _sanitize_args(entry.get("arguments",
+                                        entry.get("command", "").split())[1:])
+        args += [f"-I{root}", f"-I{root}/src"]
+        try:
+            tu = index.parse(src, args=args)
+        except Exception as e:
+            raise RuntimeError(f"libclang failed to parse {srel}: {e}")
+        visit(tu.cursor, srel, text_cache)
+
+    for path, text in (extra_files or []):
+        code, comments = strip_code(text)
+        model.add_waivers(path, comments)
+    for crel, text in text_cache.items():
+        _, comments = strip_code(text)
+        model.add_waivers(crel, comments)
+
+    project_classes = frozenset(f.cls for f in parsed_fns if f.cls)
+    for fn in parsed_fns:
+        extract_facts(fn, project_classes)
+        # Upgrade regex call sites with AST-resolved qualified names.
+        resolved = getattr(fn, "_ast_resolved", {})
+        for site in fn.calls:
+            q = resolved.get(site.line)
+            if q and q.split("::")[-1] == site.name:
+                site.qual = q
+        model.add_function(fn)
+    model.link()
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Checks
+
+@dataclasses.dataclass
+class Finding:
+    file: str
+    line: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+
+def check_hot_path_purity(model: Model, entries=HOT_ENTRIES) -> list:
+    roots = [f for f in model.functions.values()
+             if _entry_matches(f, entries)]
+    # BFS with parent tracking for reachability paths; edges on hot-ok
+    # waived lines are pruned (the waiver's reason covers the subtree).
+    parent: dict[str, Optional[str]] = {}
+    queue = []
+    for f in roots:
+        parent.setdefault(f.key(), None)
+        queue.append(f.key())
+    while queue:
+        key = queue.pop(0)
+        for callee_key, site in model.edges.get(key, ()):
+            if model.waived("hot-path-purity", site.file, site.line):
+                continue
+            if callee_key not in parent:
+                parent[callee_key] = key
+                queue.append(callee_key)
+
+    def path_of(key: str) -> str:
+        chain = []
+        cur: Optional[str] = key
+        while cur is not None and len(chain) < 8:
+            chain.append(model.functions[cur].qual)
+            cur = parent.get(cur)
+        return " <- ".join(chain)
+
+    findings = []
+    for key in parent:
+        fn = model.functions[key]
+        if model.fn_waived("hot-path-purity", fn):
+            continue
+        for site in fn.allocs:
+            if model.waived("hot-path-purity", site.file, site.line):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "hot-path-purity",
+                f"{site.detail} in `{fn.qual}`, reachable from the compute "
+                f"phase ({path_of(key)}); hoist to per-thread scratch or "
+                "waive with `hot-ok(<reason>)`"))
+        for site in fn.locks:
+            if model.waived("hot-path-purity", site.file, site.line):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "hot-path-purity",
+                f"{site.detail} in `{fn.qual}`, reachable from the compute "
+                f"phase ({path_of(key)}); the compute phase must stay "
+                "lock-free — restructure or waive with `hot-ok(<reason>)`"))
+    return findings
+
+
+def _is_throwing_site(site: CallSite) -> bool:
+    for name, min_args, recv_classes in THROWING_OPS:
+        if site.name != name:
+            continue
+        if site.nargs >= 0 and site.nargs < min_args:
+            continue
+        if name == "fetch_add" and not (site.recv_type == "GlobalCounter"
+                                        or site.first_arg_str):
+            # std::atomic<>::fetch_add takes a numeric delta; the
+            # GlobalCounter op's first parameter is the caller tag string.
+            continue
+        if recv_classes is not None and site.recv_type is not None and \
+                site.recv_type not in recv_classes:
+            continue
+        if site.qual is not None and recv_classes is not None:
+            cls = site.qual.split("::")[-2] if "::" in site.qual else None
+            if cls is not None and cls not in recv_classes:
+                continue
+        return True
+    return False
+
+
+def check_unchecked_comm(model: Model) -> list:
+    # Fixpoint: a function is retry-protected when it has callers and every
+    # call site reaching it is inside a retry extent or a protected caller.
+    protected = {k for k, callers in model.redges.items() if callers}
+    changed = True
+    while changed:
+        changed = False
+        for key in list(protected):
+            for caller_key, site in model.redges.get(key, ()):
+                if site.in_retry or caller_key in protected:
+                    continue
+                protected.discard(key)
+                changed = True
+                break
+
+    findings = []
+    for key, fn in model.functions.items():
+        if any(_qual_matches(fn.qual, s) for s in COMM_SHIM_BODIES):
+            continue
+        if model.fn_waived("unchecked-comm", fn):
+            continue
+        for site in fn.calls:
+            if not _is_throwing_site(site):
+                continue
+            if site.in_retry or key in protected:
+                continue
+            if model.waived("unchecked-comm", site.file, site.line):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "unchecked-comm",
+                f"`{site.name}` can throw CommError but `{fn.qual}` calls it "
+                "outside any with_retry/try_with_retry scope (and is not "
+                "itself reachable only through one); wrap the op or waive "
+                "with `comm-ok(<reason>)`"))
+    return findings
+
+
+def check_transport_boundary(model: Model) -> list:
+    findings = []
+    raw_holders = []  # (key, site) of functions containing raw-storage calls
+    for key, fn in model.functions.items():
+        for site in fn.calls:
+            if site.name not in TRANSPORT_RAW_NAMES:
+                continue
+            if model.waived("transport-boundary", site.file, site.line) or \
+                    model.fn_waived("transport-boundary", fn):
+                continue
+            if not TRANSPORT_FILE_RE.search(fn.file):
+                findings.append(Finding(
+                    site.file, site.line, "transport-boundary",
+                    f"raw transport storage call `{site.name}` in "
+                    f"`{fn.qual}` ({fn.file}), outside src/ga/transport*; "
+                    "route through Transport::get/put/acc/rmw so the op "
+                    "passes the fault/obs/stats recording shim"))
+            else:
+                raw_holders.append((key, site))
+
+    # Caller ascent from in-boundary holders: any chain that escapes the
+    # transport files without passing a sanctioned shim entry is a leak.
+    seen = set()
+    work = [key for key, _ in raw_holders]
+    while work:
+        key = work.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        fn = model.functions[key]
+        if any(_qual_matches(fn.qual, s) for s in TRANSPORT_SANCTIONED):
+            continue  # sanctioned gateway: stop ascending
+        for caller_key, site in model.redges.get(key, ()):
+            caller = model.functions[caller_key]
+            if TRANSPORT_FILE_RE.search(caller.file):
+                work.append(caller_key)
+                continue
+            if model.waived("transport-boundary", site.file, site.line) or \
+                    model.fn_waived("transport-boundary", caller):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "transport-boundary",
+                f"`{caller.qual}` ({caller.file}) reaches raw transport "
+                f"storage through `{fn.qual}` without passing the recording "
+                "shim (Transport::get/put/acc/rmw); raw access must stay "
+                "unreachable from outside src/ga/transport*"))
+    return findings
+
+
+def check_determinism(model: Model) -> list:
+    findings = []
+    for fn in model.functions.values():
+        if model.fn_waived("determinism", fn):
+            continue
+        for site in fn.rng:
+            if RNG_ALLOWED_RE.search(fn.file):
+                continue
+            if model.waived("determinism", site.file, site.line):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "determinism",
+                f"{site.detail} in `{fn.qual}`: unseeded entropy outside "
+                "src/util/rng.*; route through the seeded RNG or waive with "
+                "`det-ok(<reason>)`"))
+        for site in fn.unordered_fp:
+            if model.waived("determinism", site.file, site.line):
+                continue
+            findings.append(Finding(
+                site.file, site.line, "determinism",
+                f"{site.detail} in `{fn.qual}`; iterate a sorted view or "
+                "waive with `det-ok(<reason>)` if the targets are disjoint"))
+    return findings
+
+
+CHECK_FUNCS: dict[str, Callable] = {
+    "hot-path-purity": check_hot_path_purity,
+    "unchecked-comm": check_unchecked_comm,
+    "transport-boundary": check_transport_boundary,
+    "determinism": check_determinism,
+}
+
+
+def run_checks(model: Model, checks: Iterable[str] = CHECKS,
+               entries=HOT_ENTRIES) -> list:
+    findings = []
+    for check in checks:
+        if check == "hot-path-purity":
+            findings.extend(check_hot_path_purity(model, entries))
+        else:
+            findings.extend(CHECK_FUNCS[check](model))
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Build-dir / compile-commands resolution (shared contract with tools/lint).
+
+def resolve_compile_commands(root: pathlib.Path,
+                             explicit: Optional[pathlib.Path]) -> Optional[pathlib.Path]:
+    if explicit is not None:
+        return explicit
+    candidates = [root / "compile_commands.json"]
+    candidates += sorted(root.glob("build*/compile_commands.json"),
+                         key=lambda p: p.stat().st_mtime, reverse=True)
+    for c in candidates:
+        if c.exists():
+            return c
+    return None
+
+
+def gather_src_files(root: pathlib.Path) -> list:
+    files = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        files.append((path.relative_to(root).as_posix(),
+                      path.read_text(encoding="utf-8")))
+    return files
+
+
+def build_model(root: pathlib.Path, backend: str,
+                compile_commands: Optional[pathlib.Path],
+                verbose: bool = False) -> Model:
+    if backend in ("libclang", "auto"):
+        cc = resolve_compile_commands(root, compile_commands)
+        if cc is not None:
+            try:
+                model = build_model_libclang(root, cc)
+                if verbose:
+                    print(f"backend: libclang ({cc})")
+                return model
+            except RuntimeError as e:
+                if backend == "libclang":
+                    raise
+                if verbose:
+                    print(f"backend: libclang unavailable ({e}); "
+                          "falling back to textual")
+        elif backend == "libclang":
+            raise RuntimeError("no compile_commands.json found; configure "
+                               "with cmake (CMAKE_EXPORT_COMPILE_COMMANDS "
+                               "is on by default)")
+    model = build_model_textual(gather_src_files(root))
+    if verbose:
+        print("backend: textual")
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Self-test: fixture corpus under tests/analyze/.
+#
+# Each fixture is one .cpp whose header declares the check families it
+# exercises and (for hot-path fixtures) the entry points:
+#
+#   // analyze-fixture: hot-path-purity
+#   // analyze-entry: hot_entry
+#
+# `// ===file: <virtual path>===` markers split one physical fixture into
+# several virtual files (needed by the file-scoped transport rules), and
+# `// expect: <check>` marks every line that must produce exactly that
+# finding. A fixture with no expects must analyze clean (the waived
+# negatives). Every check family must fire somewhere in the corpus and
+# every waiver tag must appear suppressing something, or the self-test
+# fails — a regression in the analyzer cannot silently disable a family.
+
+FIXTURE_DIR = "tests/analyze"
+FILE_MARK_RE = re.compile(r"//\s*===file:\s*(\S+)===")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w-]+)")
+DIRECTIVE_CHECK_RE = re.compile(r"//\s*analyze-fixture:\s*([\w\-, ]+)")
+DIRECTIVE_ENTRY_RE = re.compile(r"//\s*analyze-entry:\s*(\S+)")
+
+
+def split_virtual_files(stem: str, text: str) -> list:
+    """[(virtual_path, text_with_preserved_line_numbers)] per fixture."""
+    lines = text.split("\n")
+    cuts = [(0, f"src/fixture/{stem}.cpp")]
+    for i, line in enumerate(lines):
+        m = FILE_MARK_RE.search(line)
+        if m:
+            cuts.append((i, m.group(1)))
+    out = []
+    for idx, (start, vpath) in enumerate(cuts):
+        end = cuts[idx + 1][0] if idx + 1 < len(cuts) else len(lines)
+        if start == 0 and len(cuts) > 1 and \
+                all(not l.strip() or FILE_MARK_RE.search(l)
+                    for l in lines[:cuts[1][0]]):
+            continue  # no content before the first marker
+        # Preserve global line numbers by padding with blank lines.
+        vtext = "\n".join([""] * start + lines[start:end])
+        out.append((vpath, vtext))
+    return out
+
+
+def run_fixture(path: pathlib.Path, backend_model: Callable) -> list:
+    """Returns error strings for one fixture file."""
+    text = path.read_text(encoding="utf-8")
+    checks_m = DIRECTIVE_CHECK_RE.search(text)
+    if not checks_m:
+        return [f"{path.name}: missing `// analyze-fixture:` directive"]
+    checks = [c.strip() for c in checks_m.group(1).split(",") if c.strip()]
+    for c in checks:
+        if c not in CHECKS:
+            return [f"{path.name}: unknown check `{c}`"]
+    entries = tuple(m.group(1) for m in DIRECTIVE_ENTRY_RE.finditer(text)) \
+        or HOT_ENTRIES
+
+    vfiles = split_virtual_files(path.stem, text)
+    model = backend_model(vfiles)
+    findings = run_checks(model, checks, entries)
+
+    expected = {}  # line -> check
+    for i, line in enumerate(text.split("\n"), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            expected[i] = m.group(1)
+
+    errors = []
+    got = {(f.line, f.check) for f in findings}
+    for line, check in expected.items():
+        if (line, check) not in got:
+            errors.append(f"{path.name}:{line}: expected [{check}] finding "
+                          "did not fire")
+    for f in findings:
+        if expected.get(f.line) != f.check:
+            errors.append(f"{path.name}:{f.line}: unexpected finding "
+                          f"[{f.check}] {f.message}")
+    return errors
+
+
+def self_test(root: pathlib.Path, backend: str, verbose: bool) -> int:
+    fixture_dir = root / FIXTURE_DIR
+    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"self-test FAILED: no fixtures under {fixture_dir}")
+        return 1
+
+    backends: list = [("textual", build_model_textual)]
+    if backend in ("libclang", "auto"):
+        bundle, err = _load_libclang()
+        if bundle is not None:
+            # Fixtures are virtual-file corpora, not TUs in
+            # compile_commands; the libclang backend's shared layers
+            # (facts, waivers, graph, checks) are exactly the textual
+            # ones, so the corpus runs them through build_model_textual
+            # and the AST layer is validated on real TUs by the src/ scan.
+            if verbose:
+                print("self-test: libclang importable; corpus runs the "
+                      "shared check/fact layers via the textual frontend")
+        elif backend == "libclang":
+            print(f"self-test FAILED: libclang requested but {err}")
+            return 1
+
+    all_errors = []
+    fired = set()
+    for name, builder in backends:
+        for fx in fixtures:
+            errs = run_fixture(fx, builder)
+            all_errors.extend(f"[{name}] {e}" for e in errs)
+            text = fx.read_text(encoding="utf-8")
+            for m in EXPECT_RE.finditer(text):
+                fired.add(m.group(1))
+            if verbose and not errs:
+                print(f"[{name}] {fx.name}: ok")
+
+    missing = set(CHECKS) - fired
+    if missing:
+        all_errors.append("corpus gap: no positive fixture for "
+                          f"{sorted(missing)}")
+    # Every waiver tag must appear in some fixture (the waived negatives).
+    corpus_text = "\n".join(fx.read_text(encoding="utf-8")
+                            for fx in fixtures)
+    for kind, tag in WAIVER_KINDS.items():
+        if tag + "(" not in corpus_text:
+            all_errors.append(f"corpus gap: waiver `{tag}(...)` never "
+                              f"exercised for {kind}")
+
+    for e in all_errors:
+        print(e)
+    print("self-test OK" if not all_errors
+          else f"self-test had {len(all_errors)} failure(s)")
+    return 0 if not all_errors else 1
+
+
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="minifock call-graph-aware semantic analyzer")
+    ap.add_argument("--root", type=pathlib.Path,
+                    help="repository root (contains src/)")
+    ap.add_argument("--compile-commands", type=pathlib.Path,
+                    help="compile_commands.json (default: auto-resolve "
+                    "<root>/compile_commands.json, then newest "
+                    "<root>/build*/compile_commands.json)")
+    ap.add_argument("--backend", choices=("auto", "libclang", "textual"),
+                    default="auto")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture corpus and exit")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    root = args.root
+    if root is None:
+        # tools/analyze/minifock_analyze.py -> repo root two levels up.
+        root = pathlib.Path(__file__).resolve().parent.parent.parent
+    if args.self_test:
+        return self_test(root, args.backend, args.verbose)
+    if not (root / "src").is_dir():
+        ap.error(f"--root {root} does not contain src/")
+
+    try:
+        model = build_model(root, args.backend, args.compile_commands,
+                            args.verbose)
+    except RuntimeError as e:
+        print(f"minifock_analyze: {e}", file=sys.stderr)
+        return 2
+
+    if args.verbose:
+        nedges = sum(len(v) for v in model.edges.values())
+        print(f"model: {len(model.functions)} functions, {nedges} call "
+              f"edges ({model.backend} backend)")
+
+    findings = run_checks(model)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"minifock_analyze: {len(findings)} finding(s)")
+        return 1
+    print(f"minifock_analyze: clean ({model.backend} backend, "
+          f"{len(model.functions)} functions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

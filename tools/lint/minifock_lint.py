@@ -41,19 +41,29 @@ bounded-retry      Every `catch (... CommError ...)` retry site sits inside
                    failures would hang the chaos lane instead of exercising
                    the exhaustion/fallback path. Waivable per site with
                    `lint: bounded-retry(<reason>)`.
-transport-boundary No TransportArray::block_at / TransportCounter::apply_delta
-                   calls outside the transport implementations
-                   (src/ga/transport*). Those are the raw-storage escape
-                   hatches of the ARMCI-style transport layer; a caller
-                   using them bypasses the recording shim — fault
-                   injection, obs metrics, and per-rank CommStats — that
-                   every one-sided op must pass through.
+transport-boundary Fast textual pre-check: no literal TransportArray::
+                   block_at / TransportCounter::apply_delta tokens outside
+                   the transport implementations (src/ga/transport*).
+                   Those are the raw-storage escape hatches of the
+                   ARMCI-style transport layer; a caller using them
+                   bypasses the recording shim — fault injection, obs
+                   metrics, and per-rank CommStats — that every one-sided
+                   op must pass through. The authoritative, call-graph-
+                   aware version of this rule (which also catches raw
+                   access reached *indirectly* through transport-internal
+                   helpers) lives in tools/analyze/minifock_analyze.py;
+                   this regex pass only exists to fail fast on the
+                   obvious direct case.
 tu-coverage        Every .cpp under src/ appears in compile_commands.json:
                    a TU that is not compiled is a TU the clang-tidy and
                    thread-safety lanes silently skip.
 
 Usage:
   minifock_lint.py --root <repo-root> [--compile-commands <path>] [--self-test]
+
+When --compile-commands is omitted, the linter auto-resolves it the same way
+tools/analyze/minifock_analyze.py does: <root>/compile_commands.json first,
+then the newest <root>/build*/compile_commands.json.
 
 Exit codes: 0 clean, 1 findings, 2 usage error.
 """
@@ -171,7 +181,11 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                              "raw transport storage access (block_at/"
                              "apply_delta) outside src/ga/transport*; go "
                              "through Transport::get/put/acc/rmw so the op "
-                             "passes the fault/obs/stats recording shim"))
+                             "passes the fault/obs/stats recording shim "
+                             "(fast pre-check; the call-graph-aware pass in "
+                             "tools/analyze/minifock_analyze.py is "
+                             "authoritative and also catches indirect "
+                             "access)"))
         if COMM_ERROR_CATCH_RE.search(code):
             lo = max(0, i - 15)
             window = "\n".join(lines[lo:i + 1])
@@ -407,12 +421,31 @@ def self_test() -> int:
     return 0 if ok else 1
 
 
+def resolve_compile_commands(root: pathlib.Path,
+                             explicit: pathlib.Path | None
+                             ) -> pathlib.Path | None:
+    """Same resolution contract as tools/analyze/minifock_analyze.py:
+    explicit path wins; else <root>/compile_commands.json, else the newest
+    <root>/build*/compile_commands.json."""
+    if explicit is not None:
+        return explicit
+    candidates = [root / "compile_commands.json"]
+    candidates += sorted(root.glob("build*/compile_commands.json"),
+                         key=lambda p: p.stat().st_mtime, reverse=True)
+    for c in candidates:
+        if c.exists():
+            return c
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=pathlib.Path,
                     help="repository root (contains src/)")
     ap.add_argument("--compile-commands", type=pathlib.Path,
-                    help="compile_commands.json for TU-coverage checking")
+                    help="compile_commands.json for TU-coverage checking "
+                         "(default: auto-resolve <root>/compile_commands.json"
+                         " or the newest <root>/build*/compile_commands.json)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the linter's own rule tests and exit")
     args = ap.parse_args()
@@ -424,10 +457,14 @@ def main() -> int:
 
     findings = lint_tree(args.root)
     errors = [f"{f}:{line}: [{rule}] {msg}" for f, line, rule, msg in findings]
-    if args.compile_commands is not None:
+    cc = resolve_compile_commands(args.root, args.compile_commands)
+    if cc is not None:
         errors.extend(f"[tu-coverage] {e}"
-                      for e in check_tu_coverage(args.root,
-                                                 args.compile_commands))
+                      for e in check_tu_coverage(args.root, cc))
+    else:
+        print("minifock_lint: note: no compile_commands.json found under "
+              f"{args.root} or {args.root}/build*; skipping tu-coverage "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
     for e in errors:
         print(e)
     if errors:
