@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/analysis.h"
 
 int main(int argc, char** argv) {
   using namespace mf;
@@ -30,11 +31,18 @@ int main(int argc, char** argv) {
     std::printf("%-8s %12s %12s %14s %14s %12s\n", "Cores", "GT T_comp",
                 "GT T_ov", "NW T_comp", "NW T_ov", "ratio T_ov");
     for (const SweepRow& row : sweep) {
-      const double gt_ov = row.gtfock.avg_overhead();
-      const double nw_ov = row.nwchem.avg_overhead();
+      // All printed numbers come from the shared analyzer, not the
+      // simulator-specific accessors (which are thin wrappers over it).
+      const obs::DerivedMetrics gt =
+          obs::derive_metrics(row.gtfock.rank_samples());
+      const obs::DerivedMetrics nw =
+          obs::derive_metrics(row.nwchem.rank_samples());
       std::printf("%-8zu %12.3f %12.4f %14.3f %14.3f %11.1fx\n", row.cores,
-                  row.gtfock.avg_comp_time(), gt_ov, row.nwchem.avg_comp_time(),
-                  nw_ov, gt_ov > 0 ? nw_ov / gt_ov : 0.0);
+                  gt.avg_compute, gt.overhead_seconds, nw.avg_compute,
+                  nw.overhead_seconds,
+                  gt.overhead_seconds > 0
+                      ? nw.overhead_seconds / gt.overhead_seconds
+                      : 0.0);
     }
   }
   std::printf(

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/analysis.h"
 
 int main(int argc, char** argv) {
   using namespace mf;
@@ -43,8 +44,11 @@ int main(int argc, char** argv) {
       opts.work_stealing = false;
       const GtFockSimResult without =
           simulate_gtfock(pc.basis, *pc.screening, *pc.costs, opts);
-      std::printf(" | %9.4f %9.4f", with.load_balance(),
-                  without.load_balance());
+      // Printed through the shared analyzer (obs/analysis.h), the single
+      // implementation of l = T_fock,max / T_fock,avg.
+      std::printf(" | %9.4f %9.4f",
+                  obs::derive_metrics(with.rank_samples()).load_balance,
+                  obs::derive_metrics(without.rank_samples()).load_balance);
     }
     std::printf("\n");
   }

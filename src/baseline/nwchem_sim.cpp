@@ -141,12 +141,20 @@ double NwchemSimResult::avg_comp_time() const {
 
 double NwchemSimResult::avg_overhead() const {
   // Barrier semantics, as for GTFock: overhead includes end-of-phase idle.
-  return fock_time() - avg_comp_time();
+  return obs::derive_metrics(rank_samples()).overhead_seconds;
 }
 
 double NwchemSimResult::load_balance() const {
-  const double avg = avg_fock_time();
-  return avg > 0.0 ? fock_time() / avg : 1.0;
+  return obs::derive_metrics(rank_samples()).load_balance;
+}
+
+std::vector<obs::RankSample> NwchemSimResult::rank_samples() const {
+  std::vector<obs::RankSample> samples;
+  samples.reserve(ranks.size());
+  for (const auto& r : ranks) {
+    samples.push_back(obs::RankSample{r.fock_time, r.comp_time});
+  }
+  return samples;
 }
 
 double NwchemSimResult::avg_comm_megabytes() const {

@@ -22,6 +22,7 @@
 #include "chem/basis_set.h"
 #include "dsim/network.h"
 #include "eri/screening.h"
+#include "obs/analysis.h"
 
 namespace mf {
 
@@ -74,6 +75,9 @@ struct NwchemSimRankReport {
 struct NwchemSimResult {
   std::vector<NwchemSimRankReport> ranks;
   std::uint64_t scheduler_accesses = 0;
+
+  /// Per-rank {finish, compute} samples for obs::derive_metrics.
+  std::vector<obs::RankSample> rank_samples() const;
 
   double fock_time() const;
   double avg_fock_time() const;

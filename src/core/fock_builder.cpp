@@ -130,15 +130,23 @@ double GtFockResult::avg_compute_seconds() const {
   return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
 }
 
+std::vector<obs::RankSample> GtFockResult::rank_samples() const {
+  std::vector<obs::RankSample> samples;
+  samples.reserve(ranks.size());
+  for (const auto& r : ranks) {
+    samples.push_back(obs::RankSample{r.total_seconds, r.compute_seconds});
+  }
+  return samples;
+}
+
 double GtFockResult::avg_overhead_seconds() const {
   // Barrier semantics: the Fock phase ends collectively, so overhead
   // includes idle waiting for the slowest rank.
-  return max_total_seconds() - avg_compute_seconds();
+  return obs::derive_metrics(rank_samples()).overhead_seconds;
 }
 
 double GtFockResult::load_balance() const {
-  const double avg = avg_total_seconds();
-  return avg > 0.0 ? max_total_seconds() / avg : 1.0;
+  return obs::derive_metrics(rank_samples()).load_balance;
 }
 
 double GtFockResult::avg_steal_victims() const {

@@ -29,6 +29,7 @@
 #include "ga/process_grid.h"
 #include "ga/transport.h"
 #include "linalg/matrix.h"
+#include "obs/analysis.h"
 
 namespace mf {
 
@@ -74,6 +75,11 @@ struct GtFockRankStats {
 struct GtFockResult {
   Matrix fock;
   std::vector<GtFockRankStats> ranks;
+
+  /// Per-rank {finish, compute} samples for obs::derive_metrics — the
+  /// load-balance / overhead accessors below are thin wrappers over that
+  /// one implementation.
+  std::vector<obs::RankSample> rank_samples() const;
 
   /// Load balance ratio l = T_fock,max / T_fock,avg (Table VIII).
   double load_balance() const;

@@ -42,6 +42,15 @@ std::uint64_t pack(std::size_t m, std::size_t n) {
 
 }  // namespace
 
+std::vector<obs::RankSample> GtFockSimResult::rank_samples() const {
+  std::vector<obs::RankSample> samples;
+  samples.reserve(ranks.size());
+  for (const auto& r : ranks) {
+    samples.push_back(obs::RankSample{r.fock_time, r.comp_time});
+  }
+  return samples;
+}
+
 double GtFockSimResult::fock_time() const {
   double t = 0.0;
   for (const auto& r : ranks) t = std::max(t, r.fock_time);
@@ -64,12 +73,11 @@ double GtFockSimResult::avg_overhead() const {
   // The Fock phase ends collectively (the next SCF step needs the full F),
   // so per-process phase time is the barrier time: overhead includes idle
   // waiting from load imbalance, as in the paper's T_ov.
-  return fock_time() - avg_comp_time();
+  return obs::derive_metrics(rank_samples()).overhead_seconds;
 }
 
 double GtFockSimResult::load_balance() const {
-  const double avg = avg_fock_time();
-  return avg > 0.0 ? fock_time() / avg : 1.0;
+  return obs::derive_metrics(rank_samples()).load_balance;
 }
 
 double GtFockSimResult::avg_steal_victims() const {
@@ -137,6 +145,19 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
   std::vector<RankState> state(p);
   EventQueue events;
 
+  // Optional virtual-time timeline with causal-parent edges. last-holder
+  // tables identify the span whose completion frees a contended resource:
+  // when a later acquire had to wait, that holder — not the acquirer's own
+  // previous span — is the binding causal parent, which is exactly the
+  // cross-rank edge the critical-path walk needs.
+  obs::Timeline* tl = options.collect_timeline ? &result.timeline : nullptr;
+  if (tl != nullptr) {
+    tl->num_ranks = p;
+    tl->virtual_time = true;
+  }
+  std::vector<std::int64_t> queue_holder(p, -1);
+  std::vector<std::int64_t> link_holder(p, -1);
+
   // phase: prefetch — footprint transfers charged up front (Algorithm 4
   // lines 1-4); the rank becomes runnable when its prefetch completes.
   for (std::size_t r = 0; r < p; ++r) {
@@ -158,7 +179,12 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
                       static_cast<double>(st.prefetch_bytes) / net.bandwidth;
     result.ranks[r].comm_calls += st.prefetch_calls;
     result.ranks[r].comm_bytes += st.prefetch_bytes;
-    events.schedule(t, static_cast<std::uint32_t>(r));
+    std::int64_t span = -1;
+    if (tl != nullptr) {
+      span = tl->push(static_cast<std::int32_t>(r), obs::Phase::kPrefetch,
+                      0.0, t);
+    }
+    events.schedule(t, static_cast<std::uint32_t>(r), span);
   }
 
   // phase: flush — a local W buffer costs the same transfer pattern as the
@@ -185,22 +211,42 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
     RankState& st = state[r];
     SimRankReport& rep = result.ranks[r];
     SimTime now = ev.time;
+    // Causal parent for whatever this event does next: the span that
+    // scheduled it (intra-rank chain), replaced by a cross-rank holder
+    // span whenever a contended resource bound the start.
+    std::int64_t cause = ev.cause;
 
     switch (st.phase) {
       case RankState::Phase::kOwnTasks: {
         // phase: compute — pop from the own (node-local) queue, serialized
         // against thieves.
+        const SimTime arrive = now;
         now = st.queue_resource.acquire(now, net.local_rmw_service);
         ++rep.queue_atomic_ops;
+        if (tl != nullptr) {
+          // Waited iff the acquire started after arrival — then the last
+          // queue holder (usually a thief's probe) is the causal parent.
+          if (now - net.local_rmw_service > arrive && queue_holder[r] >= 0) {
+            cause = queue_holder[r];
+          }
+          cause = tl->push(static_cast<std::int32_t>(r),
+                           obs::Phase::kCommWait, arrive, now, cause);
+          queue_holder[r] = cause;
+        }
         if (st.queue.empty()) {
           if (options.work_stealing && p > 1) {
             st.phase = RankState::Phase::kStealScan;
             st.scan_index = 0;
             st.scans_without_work = 0;
-            events.schedule(now, ev.rank);
+            events.schedule(now, ev.rank, cause);
           } else {
+            const SimTime flush_start = now;
             now += flush_time(r, st);
             for (std::size_t o : st.owners_to_flush) now += flush_time(r, state[o]);
+            if (tl != nullptr) {
+              tl->push(static_cast<std::int32_t>(r), obs::Phase::kFlush,
+                       flush_start, now, cause);
+            }
             rep.fock_time = now;
             st.phase = RankState::Phase::kDone;
           }
@@ -217,7 +263,11 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
         } else {
           ++rep.tasks_stolen;
         }
-        events.schedule(now + seconds, ev.rank);
+        if (tl != nullptr) {
+          cause = tl->push(static_cast<std::int32_t>(r), obs::Phase::kCompute,
+                           now, now + seconds, cause);
+        }
+        events.schedule(now + seconds, ev.rank, cause);
         break;
       }
 
@@ -225,21 +275,26 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
         if (st.scan_index >= p) {
           // One full sweep found nothing anywhere: the phase is over.
           if (st.scans_without_work >= p - 1) {
+            const SimTime flush_start = now;
             now += flush_time(r, st);
             for (std::size_t o : st.owners_to_flush) now += flush_time(r, state[o]);
+            if (tl != nullptr) {
+              tl->push(static_cast<std::int32_t>(r), obs::Phase::kFlush,
+                       flush_start, now, cause);
+            }
             rep.fock_time = now;
             st.phase = RankState::Phase::kDone;
             break;
           }
           st.scan_index = 0;
           st.scans_without_work = 0;
-          events.schedule(now, ev.rank);
+          events.schedule(now, ev.rank, cause);
           break;
         }
         const std::size_t victim = victim_at(r, st.scan_index);
         ++st.scan_index;
         if (victim == r) {
-          events.schedule(now, ev.rank);
+          events.schedule(now, ev.rank, cause);
           break;
         }
         // Remote probe of the victim queue (a remote atomic on its node).
@@ -259,11 +314,25 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
             ++rep.rmw_backoffs;
           }
         }
+        const bool queue_waited =
+            state[victim].queue_resource.available_at() > arrival;
         now = state[victim].queue_resource.acquire(arrival, net.rmw_service);
+        if (tl != nullptr) {
+          // The whole probe (latency + backoffs + queue wait + service) is
+          // steal-phase time; a contended probe's parent is whoever held
+          // the victim's queue. The probe itself then becomes the victim
+          // queue's latest holder.
+          if (queue_waited && queue_holder[victim] >= 0) {
+            cause = queue_holder[victim];
+          }
+          cause = tl->push(static_cast<std::int32_t>(r), obs::Phase::kSteal,
+                           ev.time, now, cause);
+          queue_holder[victim] = cause;
+        }
         RankState& vs = state[victim];
         if (vs.queue.size() < min_steal) {
           ++st.scans_without_work;
-          events.schedule(now, ev.rank);
+          events.schedule(now, ev.rank, cause);
           break;
         }
         // Steal a block from the victim's tail into our own queue — stolen
@@ -287,10 +356,14 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
             ++rep.steal_victims;
             ++rep.comm_calls;
             rep.comm_bytes += state[owner].prefetch_bytes;
+            const SimTime copy_start = now;
+            bool link_waited = false;
             if (options.model_congestion) {
               // The copy occupies the owner's link for its serialization
               // slice: concurrent thieves of one hot owner queue up.
               const std::uint64_t bytes = state[owner].prefetch_bytes;
+              link_waited =
+                  state[owner].link_resource.available_at() > now;
               const SimTime start = std::max(
                   now, state[owner].link_resource.available_at());
               state[owner].link_resource.acquire(
@@ -299,10 +372,20 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
             } else {
               now += net.transfer_seconds(state[owner].prefetch_bytes);
             }
+            if (tl != nullptr) {
+              // D-copy: comm wait; if the owner's link was busy, the span
+              // occupying it is the causal parent.
+              if (link_waited && link_holder[owner] >= 0) {
+                cause = link_holder[owner];
+              }
+              cause = tl->push(static_cast<std::int32_t>(r),
+                               obs::Phase::kCommWait, copy_start, now, cause);
+              link_holder[owner] = cause;
+            }
           }
         }
         st.phase = RankState::Phase::kOwnTasks;
-        events.schedule(now, ev.rank);
+        events.schedule(now, ev.rank, cause);
         break;
       }
 

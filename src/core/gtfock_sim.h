@@ -27,6 +27,7 @@
 #include "dsim/network.h"
 #include "eri/screening.h"
 #include "ga/process_grid.h"
+#include "obs/analysis.h"
 
 namespace mf {
 
@@ -47,6 +48,11 @@ struct GtFockSimOptions {
   /// (capped) before queueing. Off by default so existing simulated results
   /// stay bit-identical.
   bool model_congestion = false;
+  /// Record a virtual-time obs::Timeline (result.timeline): one PhaseSpan
+  /// per prefetch / task / queue-wait / steal probe / D-copy / flush, with
+  /// causal-parent edges across ranks where a victim's queue or link bound
+  /// progress. Off by default — recording allocates per task.
+  bool collect_timeline = false;
 
   std::size_t num_processes() const {
     const std::size_t per = static_cast<std::size_t>(machine.cores_per_node);
@@ -71,6 +77,15 @@ struct SimRankReport {
 struct GtFockSimResult {
   std::vector<SimRankReport> ranks;
   std::uint64_t total_quartets = 0;
+  /// Populated when options.collect_timeline is set; feeds
+  /// obs::analyze_timeline. The per-rank flush spans end at fock_time and
+  /// compute spans sum to comp_time, so the analysis reproduces the scalar
+  /// methods below exactly.
+  obs::Timeline timeline;
+
+  /// Per-rank {finish, compute} samples for obs::derive_metrics — the
+  /// scalar methods below are thin wrappers over that one implementation.
+  std::vector<obs::RankSample> rank_samples() const;
 
   double fock_time() const;        // max over ranks (reported wall time)
   double avg_fock_time() const;

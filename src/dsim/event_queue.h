@@ -27,13 +27,19 @@ struct SimEvent {
   SimTime time = 0.0;
   std::uint64_t seq = 0;   // tie-break: earlier-scheduled first
   std::uint32_t rank = 0;
+  /// Causal parent: opaque tag (obs/analysis span index) identifying the
+  /// work whose completion scheduled this event, -1 = root. The simulators
+  /// thread it through their event chains so the critical-path walk in
+  /// obs/analysis can follow "what enabled this" edges across ranks; the
+  /// queue itself never interprets it.
+  std::int64_t cause = -1;
 };
 
 class EventQueue {
  public:
-  void schedule(SimTime time, std::uint32_t rank) {
+  void schedule(SimTime time, std::uint32_t rank, std::int64_t cause = -1) {
     owner_check_.check();
-    heap_.push(SimEvent{time, next_seq_++, rank});
+    heap_.push(SimEvent{time, next_seq_++, rank, cause});
   }
 
   bool empty() const { return heap_.empty(); }

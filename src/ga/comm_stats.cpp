@@ -41,6 +41,7 @@ CommStats& CommStats::operator+=(const CommStats& o) {
   acc_bytes += o.acc_bytes;
   remote_calls += o.remote_calls;
   remote_bytes += o.remote_bytes;
+  wait_ns += o.wait_ns;
   return *this;
 }
 
@@ -75,6 +76,13 @@ void StatsRecorder::record(std::size_t caller, char kind, std::uint64_t bytes,
   slot.stats.record(kind, bytes, remote);
 }
 
+void StatsRecorder::record_wait(std::size_t caller, std::uint64_t ns) {
+  MF_CHECK(caller < slots_.size());
+  Slot& slot = slots_[caller];
+  MutexLock lock(slot.mutex);
+  slot.stats.wait_ns += ns;
+}
+
 std::vector<CommStats> StatsRecorder::snapshot() const {
   std::vector<CommStats> out;
   out.reserve(slots_.size());
@@ -104,6 +112,7 @@ void record_to_metrics(const CommStats& stats, const std::string& prefix) {
   reg.counter(prefix + ".acc_bytes").add(stats.acc_bytes);
   reg.counter(prefix + ".remote_calls").add(stats.remote_calls);
   reg.counter(prefix + ".remote_bytes").add(stats.remote_bytes);
+  reg.counter(prefix + ".wait_ns").add(stats.wait_ns);
 }
 
 }  // namespace mf

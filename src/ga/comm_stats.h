@@ -23,6 +23,11 @@ struct CommStats {
   std::uint64_t acc_bytes = 0;
   std::uint64_t remote_calls = 0;  // subset of calls that cross ranks
   std::uint64_t remote_bytes = 0;
+  /// Wall ns this caller spent blocked inside one-sided ops (the transport
+  /// shim measures around fault injection + data movement). This is the
+  /// comm-wait attribution obs/analysis charges against a threaded run's
+  /// phases; virtual-time backends attribute waits in the timeline instead.
+  std::uint64_t wait_ns = 0;
 
   std::uint64_t total_calls() const {
     return get_calls + put_calls + acc_calls + rmw_calls;
@@ -59,6 +64,8 @@ class StatsRecorder {
   explicit StatsRecorder(std::size_t nranks);
 
   void record(std::size_t caller, char kind, std::uint64_t bytes, bool remote);
+  /// Accrue comm-wait time (see CommStats::wait_ns).
+  void record_wait(std::size_t caller, std::uint64_t ns);
 
   /// Per-rank snapshot (size() entries), each copied under its slot lock.
   std::vector<CommStats> snapshot() const;

@@ -4,10 +4,47 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mf {
 namespace {
+
+// Comm-wait attribution at the shim: one wall-clock measurement around
+// fault injection + data movement, surfaced two ways — per-caller
+// CommStats.wait_ns (metrics), and a "comm_wait" phase span nested inside
+// whatever phase the caller is in (tracing; obs/analysis flattens the
+// nesting so phase seconds never double count). Costs two relaxed atomic
+// loads when both metrics and tracing are off. The wait is recorded even
+// when the op throws (an injected CommError): the caller's wall time was
+// spent either way, and retries re-enter the scope.
+class CommWaitScope {
+ public:
+  CommWaitScope(StatsRecorder& recorder, std::size_t caller)
+      : span_("phase", "comm_wait"),
+        recorder_(recorder),
+        caller_(caller),
+        active_(obs::metrics_enabled()),
+        start_ns_(active_ ? obs::trace_now_ns() : 0) {}
+
+  ~CommWaitScope() {
+    if (active_) {
+      const std::int64_t ns = obs::trace_now_ns() - start_ns_;
+      recorder_.record_wait(caller_,
+                            ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+  CommWaitScope(const CommWaitScope&) = delete;
+  CommWaitScope& operator=(const CommWaitScope&) = delete;
+
+ private:
+  obs::SpanGuard span_;
+  StatsRecorder& recorder_;
+  std::size_t caller_;
+  bool active_;
+  std::int64_t start_ns_;
+};
 
 // Per-op byte distributions for the run report. Registry instruments have
 // stable addresses for the process lifetime, so the name lookup happens
@@ -183,23 +220,27 @@ std::unique_ptr<TransportCounter> Transport::create_counter(
 
 void Transport::get(TransportArray& a, std::size_t caller, const Rect& rect,
                     double* out) {
+  CommWaitScope wait(a.recorder(), caller);
   fault::inject(fault::OpClass::kGet, caller);
   do_get(a, caller, rect, out);
 }
 
 void Transport::put(TransportArray& a, std::size_t caller, const Rect& rect,
                     const double* in) {
+  CommWaitScope wait(a.recorder(), caller);
   fault::inject(fault::OpClass::kPut, caller);
   do_put(a, caller, rect, in);
 }
 
 void Transport::acc(TransportArray& a, std::size_t caller, const Rect& rect,
                     const double* in, double alpha) {
+  CommWaitScope wait(a.recorder(), caller);
   fault::inject(fault::OpClass::kAcc, caller);
   do_acc(a, caller, rect, in, alpha);
 }
 
 long Transport::rmw(TransportCounter& c, std::size_t caller, long delta) {
+  CommWaitScope wait(c.recorder(), caller);
   // Before the metrics record and the increment: an injected failure leaves
   // the counter untouched, so a retried NGA_Read_inc claims the same task
   // it would have claimed on the first attempt.

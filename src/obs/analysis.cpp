@@ -1,0 +1,351 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mf::obs {
+
+const char* phase_name(Phase p) {
+  const auto i = static_cast<std::size_t>(p);
+  return i < kNumPhases ? kCanonicalPhaseNames[i] : "unknown";
+}
+
+std::optional<Phase> phase_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (name == kCanonicalPhaseNames[i]) {
+      return static_cast<Phase>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t Timeline::push(std::int32_t rank, Phase phase, double t0,
+                            double t1, std::int64_t cause) {
+  if (!(t1 > t0)) {
+    return cause;  // zero-length: keep the causal chain tight
+  }
+  if (rank >= 0 && static_cast<std::size_t>(rank) < tails_.size()) {
+    const std::int64_t ti = tails_[static_cast<std::size_t>(rank)];
+    // Coalesce only when this span continues the rank's previous span:
+    // same phase, starts exactly at its end, and is causally chained to
+    // it. A cross-rank cause always starts a new span so the edge the
+    // critical-path walk needs is preserved.
+    if (ti >= 0 && cause == ti) {
+      PhaseSpan& last = spans[static_cast<std::size_t>(ti)];
+      if (last.phase == phase && last.t0 < t0 && last.t1 == t0) {
+        last.t1 = t1;
+        return ti;
+      }
+    }
+  }
+  const auto index = static_cast<std::int64_t>(spans.size());
+  spans.push_back(PhaseSpan{rank, phase, t0, t1, cause});
+  if (rank >= 0) {
+    if (static_cast<std::size_t>(rank) >= tails_.size()) {
+      tails_.resize(static_cast<std::size_t>(rank) + 1, -1);
+    }
+    tails_[static_cast<std::size_t>(rank)] = index;
+  }
+  return index;
+}
+
+std::int64_t Timeline::tail(std::int32_t rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= tails_.size()) {
+    return -1;
+  }
+  return tails_[static_cast<std::size_t>(rank)];
+}
+
+DerivedMetrics derive_metrics(const std::vector<RankSample>& ranks) {
+  DerivedMetrics m;
+  m.num_ranks = ranks.size();
+  if (ranks.empty()) {
+    return m;
+  }
+  double sum_finish = 0.0;
+  double sum_compute = 0.0;
+  for (const RankSample& r : ranks) {
+    m.t_fock = std::max(m.t_fock, r.finish);
+    sum_finish += r.finish;
+    sum_compute += r.compute;
+  }
+  const auto n = static_cast<double>(ranks.size());
+  m.avg_finish = sum_finish / n;
+  m.avg_compute = sum_compute / n;
+  m.overhead_seconds = m.t_fock - m.avg_compute;
+  if (m.avg_compute > 0.0) {
+    m.overhead_ratio = m.overhead_seconds / m.avg_compute;
+  }
+  if (m.avg_finish > 0.0) {
+    m.load_balance = m.t_fock / m.avg_finish;
+  }
+  return m;
+}
+
+RunAnalysis analyze_timeline(const Timeline& timeline) {
+  RunAnalysis a;
+  a.virtual_time = timeline.virtual_time;
+  a.dropped_events = timeline.dropped_events;
+  a.truncated = timeline.dropped_events > 0;
+
+  std::size_t num_ranks = timeline.num_ranks;
+  for (const PhaseSpan& s : timeline.spans) {
+    if (s.rank >= 0) {
+      num_ranks = std::max(num_ranks, static_cast<std::size_t>(s.rank) + 1);
+    }
+  }
+  a.num_ranks = num_ranks;
+  a.ranks.resize(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    a.ranks[r].rank = static_cast<std::int32_t>(r);
+  }
+
+  for (const PhaseSpan& s : timeline.spans) {
+    if (s.rank < 0 || static_cast<std::size_t>(s.rank) >= num_ranks) {
+      continue;
+    }
+    RankPhaseBreakdown& row = a.ranks[static_cast<std::size_t>(s.rank)];
+    const double dur = s.t1 - s.t0;
+    if (dur > 0.0) {
+      row.seconds[static_cast<std::size_t>(s.phase)] += dur;
+    }
+    row.finish = std::max(row.finish, s.t1);
+  }
+
+  std::vector<RankSample> samples;
+  samples.reserve(num_ranks);
+  for (const RankPhaseBreakdown& row : a.ranks) {
+    samples.push_back(RankSample{
+        row.finish, row.seconds[static_cast<std::size_t>(Phase::kCompute)]});
+  }
+  a.metrics = derive_metrics(samples);
+
+  // Idle = barrier wait + unattributed gaps: pad each rank to t_fock so
+  // every row sums to the build time exactly.
+  for (RankPhaseBreakdown& row : a.ranks) {
+    double busy = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      if (p != static_cast<std::size_t>(Phase::kIdle)) {
+        busy += row.seconds[p];
+      }
+    }
+    const double idle = a.metrics.t_fock - busy;
+    row.seconds[static_cast<std::size_t>(Phase::kIdle)] =
+        idle > 0.0 ? idle : 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      a.total_phase_seconds[p] += row.seconds[p];
+    }
+  }
+
+  // Critical path: start from the span finishing last and follow causal
+  // parents toward time zero. `upper` is the instant everything at or
+  // after it has already been attributed; each step accounts for
+  // [lo, upper] — the span's exclusive contribution plus any idle gap
+  // between it and its already-attributed child — so the attributions sum
+  // to the sink's finish time (== t_fock) by construction.
+  if (!timeline.spans.empty()) {
+    std::size_t sink = 0;
+    for (std::size_t i = 1; i < timeline.spans.size(); ++i) {
+      if (timeline.spans[i].t1 >= timeline.spans[sink].t1) {
+        sink = i;
+      }
+    }
+    a.critical_path_seconds = timeline.spans[sink].t1;
+    double upper = a.critical_path_seconds;
+    std::vector<char> visited(timeline.spans.size(), 0);
+    auto attribute = [&a](std::int64_t span, Phase phase, double seconds) {
+      if (seconds <= 0.0) {
+        return;
+      }
+      a.critical_path.push_back(CriticalPathStep{span, phase, seconds});
+      a.critical_path_phase_seconds[static_cast<std::size_t>(phase)] +=
+          seconds;
+    };
+    std::int64_t cur = static_cast<std::int64_t>(sink);
+    while (upper > 0.0) {
+      if (cur < 0 || static_cast<std::size_t>(cur) >= timeline.spans.size() ||
+          visited[static_cast<std::size_t>(cur)] != 0) {
+        attribute(-1, Phase::kIdle, upper);  // root reached (or a defensive
+        break;                               // stop on a malformed chain)
+      }
+      visited[static_cast<std::size_t>(cur)] = 1;
+      const PhaseSpan& s = timeline.spans[static_cast<std::size_t>(cur)];
+      const double hi = std::min(s.t1, upper);
+      attribute(-1, Phase::kIdle, upper - hi);  // gap child.start - cause.end
+      const double lo = std::min(std::max(s.t0, 0.0), hi);
+      attribute(cur, s.phase, hi - lo);
+      upper = lo;
+      cur = s.cause;
+    }
+  }
+  return a;
+}
+
+Timeline timeline_from_trace() {
+  Timeline tl;
+  tl.virtual_time = false;
+  tl.dropped_events = trace_dropped_count();
+
+  struct RawSpan {
+    std::int64_t t0 = 0;
+    std::int64_t t1 = 0;
+    Phase phase = Phase::kCompute;
+  };
+  std::vector<std::vector<RawSpan>> by_rank;
+  std::int64_t epoch = -1;
+  for (const TraceEvent& e : trace_snapshot()) {
+    if (e.rank < 0 || e.dur_ns < 0 ||
+        std::strcmp(e.category, "phase") != 0) {
+      continue;
+    }
+    const std::optional<Phase> phase = phase_from_name(e.name);
+    if (!phase.has_value()) {
+      continue;  // non-canonical names are lint errors, not analyzer input
+    }
+    if (static_cast<std::size_t>(e.rank) >= by_rank.size()) {
+      by_rank.resize(static_cast<std::size_t>(e.rank) + 1);
+    }
+    by_rank[static_cast<std::size_t>(e.rank)].push_back(
+        RawSpan{e.ts_ns, e.ts_ns + e.dur_ns, *phase});
+    epoch = epoch < 0 ? e.ts_ns : std::min(epoch, e.ts_ns);
+  }
+  tl.num_ranks = by_rank.size();
+  if (epoch < 0) {
+    return tl;
+  }
+
+  // Per rank: flatten nested spans into exclusive segments with a sweep —
+  // the innermost active span owns each instant. Phase spans on one rank
+  // are emitted by one thread's nested scopes, so they nest properly;
+  // children are clipped to their parent defensively.
+  for (std::size_t rank = 0; rank < by_rank.size(); ++rank) {
+    std::vector<RawSpan>& raw = by_rank[rank];
+    std::sort(raw.begin(), raw.end(), [](const RawSpan& a, const RawSpan& b) {
+      return a.t0 != b.t0 ? a.t0 < b.t0 : a.t1 > b.t1;
+    });
+    std::vector<RawSpan> stack;
+    std::int64_t cause = -1;
+    std::int64_t cursor = 0;
+    auto emit = [&](Phase phase, std::int64_t a, std::int64_t b) {
+      if (b > a) {
+        cause = tl.push(static_cast<std::int32_t>(rank), phase,
+                        static_cast<double>(a - epoch) * 1e-9,
+                        static_cast<double>(b - epoch) * 1e-9, cause);
+      }
+    };
+    for (const RawSpan& s : raw) {
+      while (!stack.empty() && stack.back().t1 <= s.t0) {
+        emit(stack.back().phase, std::max(cursor, stack.back().t0),
+             stack.back().t1);
+        cursor = std::max(cursor, stack.back().t1);
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        emit(stack.back().phase, std::max(cursor, stack.back().t0), s.t0);
+      }
+      cursor = std::max(cursor, s.t0);
+      RawSpan clipped = s;
+      if (!stack.empty() && clipped.t1 > stack.back().t1) {
+        clipped.t1 = stack.back().t1;
+      }
+      stack.push_back(clipped);
+    }
+    while (!stack.empty()) {
+      emit(stack.back().phase, std::max(cursor, stack.back().t0),
+           stack.back().t1);
+      cursor = std::max(cursor, stack.back().t1);
+      stack.pop_back();
+    }
+  }
+  return tl;
+}
+
+namespace {
+
+void append_format(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf, static_cast<std::size_t>(n) < sizeof(buf)
+                        ? static_cast<std::size_t>(n)
+                        : sizeof(buf) - 1);
+  }
+}
+
+void append_phase_object(std::string& out, const double seconds[kNumPhases],
+                         const char* indent) {
+  out += "{";
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    append_format(out, "%s%s\"%s\": %.9e", p == 0 ? "" : ",", indent,
+                  kCanonicalPhaseNames[p], seconds[p]);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string analysis_json(const RunAnalysis& a) {
+  std::string out;
+  out.reserve(1 << 12);
+  out += "{\n";
+  append_format(out, "    \"clock\": \"%s\",\n",
+                a.virtual_time ? "virtual" : "wall");
+  append_format(out, "    \"num_ranks\": %zu,\n", a.num_ranks);
+  append_format(out, "    \"truncated\": %s,\n",
+                a.truncated ? "true" : "false");
+  append_format(out, "    \"dropped_events\": %" PRIu64 ",\n",
+                a.dropped_events);
+  append_format(out, "    \"t_fock\": %.9e,\n", a.metrics.t_fock);
+  append_format(out, "    \"avg_finish\": %.9e,\n", a.metrics.avg_finish);
+  append_format(out, "    \"avg_compute\": %.9e,\n", a.metrics.avg_compute);
+  append_format(out, "    \"overhead_seconds\": %.9e,\n",
+                a.metrics.overhead_seconds);
+  append_format(out, "    \"overhead_ratio\": %.9e,\n",
+                a.metrics.overhead_ratio);
+  append_format(out, "    \"load_balance\": %.9e,\n", a.metrics.load_balance);
+  out += "    \"phase_totals\": ";
+  append_phase_object(out, a.total_phase_seconds, " ");
+  out += ",\n    \"ranks\": [";
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const RankPhaseBreakdown& row = a.ranks[r];
+    append_format(out, "%s\n      {\"rank\": %" PRId32 ", \"finish\": %.9e, ",
+                  r == 0 ? "" : ",", row.rank, row.finish);
+    out += "\"phases\": ";
+    append_phase_object(out, row.seconds, " ");
+    out += "}";
+  }
+  out += a.ranks.empty() ? "],\n" : "\n    ],\n";
+  out += "    \"critical_path\": {\n";
+  append_format(out, "      \"seconds\": %.9e,\n", a.critical_path_seconds);
+  append_format(out, "      \"steps\": %zu,\n", a.critical_path.size());
+  out += "      \"phases\": ";
+  append_phase_object(out, a.critical_path_phase_seconds, " ");
+  out += "\n    }\n  }";
+  return out;
+}
+
+void publish_analysis(const RunAnalysis& a) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.gauge("analysis.t_fock").set(a.metrics.t_fock);
+  reg.gauge("analysis.overhead_ratio").set(a.metrics.overhead_ratio);
+  reg.gauge("analysis.load_balance").set(a.metrics.load_balance);
+  reg.gauge("analysis.critical_path_seconds").set(a.critical_path_seconds);
+  reg.set_analysis(analysis_json(a));
+}
+
+}  // namespace mf::obs

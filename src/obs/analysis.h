@@ -1,0 +1,184 @@
+#pragma once
+// Run-report analytics: turns raw span timelines and per-rank timings into
+// the derived quantities the paper's evaluation is built on — the overhead
+// ratio L(p) (Section III-G, eq. 11), load balance T_max/T_avg (Table
+// VIII), per-rank phase decomposition (compute / comm-wait / steal / idle),
+// and a causal critical path ("what limits speedup at p ranks").
+//
+// Two timeline sources feed the same analyzer:
+//   * virtual time — the discrete-event simulators (core/gtfock_sim,
+//     SimTransport) record PhaseSpans directly in simulated seconds, with
+//     cross-rank causal edges at the points where one rank's progress was
+//     bound by another's resource (queue rmw service, link occupancy);
+//   * wall time — timeline_from_trace() rebuilds per-rank timelines from
+//     the MF_TRACE_SPAN("phase", ...) events in the trace buffers
+//     (obs/trace.h), flattening nested spans (e.g. comm_wait inside
+//     prefetch) into exclusive segments so phase seconds never double
+//     count.
+//
+// The analyzer is pure: no locks, no globals; it reads a Timeline and
+// returns a RunAnalysis. publish_analysis() funnels the result into the
+// metrics registry so the v2 run report carries the analysis block.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mf::obs {
+
+/// Canonical execution phases. kIdle is derived (barrier wait at the end of
+/// the build, gaps between spans), never recorded directly.
+enum class Phase : std::uint8_t {
+  kPrefetch = 0,
+  kCompute = 1,
+  kSteal = 2,
+  kFlush = 3,
+  kCommWait = 4,
+  kIdle = 5,
+};
+
+inline constexpr std::size_t kNumPhases = 6;
+
+// Canonical phase names — the single source of truth for every
+// MF_TRACE_SPAN("phase", <name>) site. tools/lint/minifock_lint.py parses
+// this initializer list, so a name added or renamed here is automatically
+// accepted by the lint and one used elsewhere without being listed here is
+// rejected (a renamed phase cannot silently vanish from the decomposition).
+inline constexpr const char* kCanonicalPhaseNames[kNumPhases] = {
+    "prefetch", "compute", "steal", "flush", "comm_wait", "idle",
+};
+
+const char* phase_name(Phase p);
+std::optional<Phase> phase_from_name(std::string_view name);
+
+/// One contiguous stretch of a rank's time attributed to a single phase.
+/// `cause` is the index of the span whose completion enabled this one
+/// (-1 = root): the previous span on the same rank when progress was
+/// rank-local, or a span on another rank when a shared resource (victim
+/// task queue, network link) bound the start — those cross edges are what
+/// the critical-path walk follows across ranks.
+struct PhaseSpan {
+  std::int32_t rank = 0;
+  Phase phase = Phase::kCompute;
+  double t0 = 0.0;  // seconds on the timeline's clock (virtual or wall)
+  double t1 = 0.0;
+  std::int64_t cause = -1;
+};
+
+/// Append-only span container. push() coalesces a span into the rank's
+/// previous span when it is the same phase, starts exactly where the
+/// previous one ended, and is causally chained to it — so a run of
+/// back-to-back tasks costs one span, not thousands.
+class Timeline {
+ public:
+  std::vector<PhaseSpan> spans;
+  std::size_t num_ranks = 0;
+  bool virtual_time = false;
+  /// Events lost to trace-buffer overflow; nonzero means every derived
+  /// number below is computed from a truncated record.
+  std::uint64_t dropped_events = 0;
+
+  /// Returns the index of the span now holding [t0, t1) (the coalesced
+  /// predecessor or a new span). Zero-length spans record nothing and
+  /// return `cause` unchanged so causal chains stay tight.
+  std::int64_t push(std::int32_t rank, Phase phase, double t0, double t1,
+                    std::int64_t cause = -1);
+
+  /// Index of the last span pushed for `rank`, -1 if none.
+  std::int64_t tail(std::int32_t rank) const;
+
+ private:
+  std::vector<std::int64_t> tails_;
+};
+
+/// Per-rank inputs for the paper's scalar metrics: `finish` is the rank's
+/// T_fock (when it completed its flush), `compute` its pure integral time.
+struct RankSample {
+  double finish = 0.0;
+  double compute = 0.0;
+};
+
+/// The paper's derived scalars. Definitions (all in timeline seconds):
+///   t_fock         = max_r finish_r            (the build's wall/virtual time)
+///   avg_compute    = avg_r compute_r           (T_comp in Fig. 2)
+///   overhead       = t_fock - avg_compute      (T_ov in Fig. 2)
+///   overhead_ratio = overhead / avg_compute    (L(p), Section III-G)
+///   load_balance   = t_fock / avg_r finish_r   (l = T_max/T_avg, Table VIII)
+struct DerivedMetrics {
+  std::size_t num_ranks = 0;
+  double t_fock = 0.0;
+  double avg_finish = 0.0;
+  double avg_compute = 0.0;
+  double overhead_seconds = 0.0;
+  double overhead_ratio = 0.0;
+  /// 1.0 (perfectly balanced) for degenerate inputs (no ranks, zero time),
+  /// matching the sim results' historical convention.
+  double load_balance = 1.0;
+};
+
+/// Single implementation of the scalar definitions above; the sim results
+/// (GtFockSimResult, NwchemSimResult) and the benches that used to
+/// recompute these ad hoc (bench_fig2_overhead, bench_table8_load_balance)
+/// all route through this.
+DerivedMetrics derive_metrics(const std::vector<RankSample>& ranks);
+
+struct RankPhaseBreakdown {
+  std::int32_t rank = 0;
+  double finish = 0.0;
+  /// Seconds per phase, indexed by Phase; kIdle holds t_fock - busy time
+  /// (end-of-build barrier wait plus unattributed gaps), so each rank's
+  /// row sums to t_fock exactly.
+  double seconds[kNumPhases] = {};
+};
+
+struct CriticalPathStep {
+  std::int64_t span = -1;  // index into Timeline::spans; -1 for idle gaps
+  Phase phase = Phase::kIdle;
+  double seconds = 0.0;  // this step's exclusive contribution
+};
+
+struct RunAnalysis {
+  std::size_t num_ranks = 0;
+  bool virtual_time = false;
+  std::uint64_t dropped_events = 0;
+  bool truncated = false;  // dropped_events > 0
+
+  DerivedMetrics metrics;
+  std::vector<RankPhaseBreakdown> ranks;
+  /// Sum over ranks of each phase's seconds (kIdle included).
+  double total_phase_seconds[kNumPhases] = {};
+
+  /// Causal chain from the span finishing last (the build's sink) back to
+  /// time zero, in sink-to-root order. Overlaps between a span and its
+  /// cause are clipped and gaps are attributed to kIdle, so the per-phase
+  /// attribution sums to critical_path_seconds == metrics.t_fock exactly:
+  /// the decomposition explains all of the build's elapsed time.
+  std::vector<CriticalPathStep> critical_path;
+  double critical_path_seconds = 0.0;
+  double critical_path_phase_seconds[kNumPhases] = {};
+};
+
+/// Pure analysis of one timeline (no locks, no globals).
+RunAnalysis analyze_timeline(const Timeline& timeline);
+
+/// Rebuild a wall-time Timeline from the trace buffers' "phase"-category
+/// spans (threaded builders). Nested phase spans are flattened to exclusive
+/// segments — a comm_wait span recorded inside prefetch subtracts from
+/// prefetch rather than double counting. Causal edges are the per-rank
+/// chains (the trace has no cross-rank edges). Timestamps are shifted so
+/// the earliest phase span starts at 0.
+Timeline timeline_from_trace();
+
+/// The report's "analysis" JSON object (no trailing newline).
+std::string analysis_json(const RunAnalysis& analysis);
+
+/// Funnel into the metrics registry: gauges analysis.overhead_ratio /
+/// analysis.load_balance / analysis.t_fock / analysis.critical_path_seconds
+/// and the v2 run report's "analysis" block. No-op when metrics are
+/// disabled.
+void publish_analysis(const RunAnalysis& analysis);
+
+}  // namespace mf::obs

@@ -1,8 +1,11 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+
+#include "obs/trace.h"
 
 namespace mf::obs {
 
@@ -62,6 +65,41 @@ void Histogram::record(std::uint64_t value) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  const auto lo_clamp = static_cast<double>(min());
+  const auto hi_clamp = static_cast<double>(max());
+  if (q <= 0.0) {
+    return lo_clamp;
+  }
+  if (q >= 1.0) {
+    return hi_clamp;
+  }
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    const auto c = static_cast<double>(bin_count(i));
+    if (c == 0.0) {
+      continue;
+    }
+    if (cum + c >= target) {
+      const auto lo = static_cast<double>(bin_lo(i));
+      // The open-ended top bin interpolates toward the observed max
+      // instead of 2^64.
+      const double hi =
+          std::min(static_cast<double>(bin_hi(i)), hi_clamp + 1.0);
+      const double frac = (target - cum) / c;
+      const double value = lo + frac * (hi - lo);
+      return std::min(std::max(value, lo_clamp), hi_clamp);
+    }
+    cum += c;
+  }
+  return hi_clamp;
+}
+
 void Histogram::reset() {
   for (auto& b : bins_) b.store(0);
   count_.store(0);
@@ -104,21 +142,41 @@ void MetricsRegistry::set_label(const std::string& key,
   labels_[key] = value;
 }
 
+void MetricsRegistry::set_analysis(const std::string& json_object) {
+  MutexLock lock(mutex_);
+  analysis_json_ = json_object;
+}
+
 void MetricsRegistry::reset() {
   MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
   labels_.clear();
+  analysis_json_.clear();
 }
 
 std::string MetricsRegistry::json() const {
+  // Trace totals read before taking mutex_ (the trace registry has its own
+  // lock; keep the two uncoupled).
+  const std::uint64_t trace_recorded = trace_event_count();
+  const std::uint64_t trace_dropped = trace_dropped_count();
+
   MutexLock lock(mutex_);
   std::string out;
   out.reserve(1 << 14);
-  char buf[160];
+  char buf[224];
 
-  out += "{\n  \"schema\": \"minifock-run-report/v1\",\n";
+  out += "{\n  \"schema\": \"minifock-run-report/v2\",\n";
+
+  // Ring-buffer status: downstream consumers (minifock_report.py) warn
+  // when analysis ran on a truncated trace instead of silently trusting it.
+  std::snprintf(buf, sizeof(buf),
+                "  \"trace\": {\"recorded_events\": %" PRIu64
+                ", \"dropped_events\": %" PRIu64 ", \"truncated\": %s},\n",
+                trace_recorded, trace_dropped,
+                trace_dropped > 0 ? "true" : "false");
+  out += buf;
 
   out += "  \"labels\": {";
   bool first = true;
@@ -162,8 +220,11 @@ std::string MetricsRegistry::json() const {
     append_json_escaped(out, name);
     std::snprintf(buf, sizeof(buf),
                   "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
-                  ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"bins\": [",
-                  h->count(), h->sum(), h->min(), h->max());
+                  ", \"min\": %" PRIu64 ", \"max\": %" PRIu64
+                  ", \"p50\": %.6e, \"p95\": %.6e, \"p99\": %.6e"
+                  ", \"bins\": [",
+                  h->count(), h->sum(), h->min(), h->max(), h->p50(),
+                  h->p95(), h->p99());
     out += buf;
     bool first_bin = true;
     for (std::size_t i = 0; i < Histogram::kBins; ++i) {
@@ -179,8 +240,12 @@ std::string MetricsRegistry::json() const {
     }
     out += "]}";
   }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
+  out += first ? "}" : "\n  }";
+  if (!analysis_json_.empty()) {
+    out += ",\n  \"analysis\": ";
+    out += analysis_json_;
+  }
+  out += "\n}\n";
   return out;
 }
 

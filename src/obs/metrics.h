@@ -1,7 +1,7 @@
 #pragma once
 // Metrics layer: a process-wide registry of named counters, gauges and
 // log-binned histograms, serialized as one schema'd machine-readable run
-// report ("minifock-run-report/v1") that every bench/example can emit.
+// report ("minifock-run-report/v2") that every bench/example can emit.
 //
 // The registry funnels everything the paper measures into one artifact:
 // CommStats (Tables VI/VII), GtFockRankStats (Table VIII load balance,
@@ -90,6 +90,18 @@ class Histogram {
   std::uint64_t bin_count(std::size_t i) const {
     return i < kBins ? bins_[i].load() : 0;
   }
+
+  /// Interpolated quantile, q in [0, 1]. The target rank q*count() is
+  /// located in the cumulative bin counts and the value interpolated
+  /// linearly inside the bin [lo, hi); the result is clamped to the
+  /// observed [min, max] so a single-valued histogram returns that value
+  /// for every q. A target landing exactly on a bin boundary returns the
+  /// lower edge of the next occupied bin. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
   void reset();
 
  private:
@@ -121,11 +133,18 @@ class MetricsRegistry {
   void set_label(const std::string& key, const std::string& value)
       MF_EXCLUDES(mutex_);
 
+  /// Pre-rendered JSON object from obs/analysis (publish_analysis), emitted
+  /// verbatim under "analysis" in the report; empty = block omitted.
+  void set_analysis(const std::string& json_object) MF_EXCLUDES(mutex_);
+
   /// Zeroes every instrument and drops labels; instrument objects (and any
   /// cached pointers to them) stay valid.
   void reset() MF_EXCLUDES(mutex_);
 
-  /// Snapshot as the "minifock-run-report/v1" JSON document.
+  /// Snapshot as the "minifock-run-report/v2" JSON document: labels,
+  /// counters, gauges, histograms (with p50/p95/p99), the trace-buffer
+  /// status (recorded/dropped events, truncated flag) and, when published,
+  /// the analysis block from obs/analysis.
   std::string json() const MF_EXCLUDES(mutex_);
   /// Write json() to `path`; false on I/O failure.
   bool write_json(const std::string& path) const MF_EXCLUDES(mutex_);
@@ -140,6 +159,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       MF_GUARDED_BY(mutex_);
   std::map<std::string, std::string> labels_ MF_GUARDED_BY(mutex_);
+  std::string analysis_json_ MF_GUARDED_BY(mutex_);
 };
 
 }  // namespace mf::obs

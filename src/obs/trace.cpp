@@ -58,6 +58,10 @@ Snapshot snapshot_events() {
 
 }  // namespace
 
+std::vector<TraceEvent> trace_snapshot() {
+  return snapshot_events().events;
+}
+
 std::uint64_t trace_event_count() {
   detail::TraceRegistry& reg = detail::TraceRegistry::instance();
   MutexLock lock(reg.mutex);

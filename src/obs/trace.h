@@ -209,6 +209,10 @@ inline void trace_instant(const char* category, const char* name) {
 std::uint64_t trace_event_count();
 std::uint64_t trace_dropped_count();
 
+/// Copy of every buffer's published prefix (the same consistent view the
+/// exporter serializes), for in-process consumers like obs/analysis.
+std::vector<TraceEvent> trace_snapshot();
+
 /// Serialize everything recorded so far as Chrome trace-event JSON
 /// (https://ui.perfetto.dev opens it directly): one Chrome "process" per
 /// simulated rank plus a "host" process for unranked threads, spans as

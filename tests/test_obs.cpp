@@ -356,7 +356,10 @@ TEST(Metrics, RegistryJsonParsesBack) {
   reg.set_label("molecule", "C2H6");
 
   const Json doc = parse_json_or_fail(reg.json());
-  EXPECT_EQ(doc.at("schema").string, "minifock-run-report/v1");
+  EXPECT_EQ(doc.at("schema").string, "minifock-run-report/v2");
+  // v2 always carries the trace accounting block.
+  EXPECT_GE(doc.at("trace").at("recorded_events").number, 0.0);
+  EXPECT_GE(doc.at("trace").at("dropped_events").number, 0.0);
   EXPECT_EQ(doc.at("labels").at("molecule").string, "C2H6");
   EXPECT_EQ(doc.at("counters").at("test.calls").number, 42.0);
   EXPECT_EQ(doc.at("gauges").at("test.ratio").number, 1.5);

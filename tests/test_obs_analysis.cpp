@@ -1,0 +1,505 @@
+// Tests for the run-report analytics layer (obs/analysis.h): the paper's
+// derived scalars over hand-built rank samples, timeline coalescing,
+// critical-path attribution (which must sum to t_fock exactly), the
+// wall-clock reconstruction from trace buffers, histogram percentile
+// interpolation, and a differential check that the timeline analysis of a
+// full discrete-event simulation agrees with the simulator's own scalar
+// accessors. The concurrent emission+analysis test is the TSan lane's
+// stress for trace_snapshot() racing live emitters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "chem/basis_set.h"
+#include "chem/molecule_builders.h"
+#include "core/gtfock_sim.h"
+#include "core/shell_reorder.h"
+#include "core/task_cost.h"
+#include "eri/screening.h"
+#include "obs/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_id.h"
+
+namespace mf {
+namespace {
+
+using obs::Phase;
+
+double phase_sum(const double (&seconds)[obs::kNumPhases]) {
+  double s = 0.0;
+  for (double v : seconds) s += v;
+  return s;
+}
+
+// ---- Phase names --------------------------------------------------------
+
+TEST(PhaseNames, RoundTrip) {
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    EXPECT_STREQ(obs::phase_name(p), obs::kCanonicalPhaseNames[i]);
+    const auto back = obs::phase_from_name(obs::kCanonicalPhaseNames[i]);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(obs::phase_from_name("warmup").has_value());
+  EXPECT_FALSE(obs::phase_from_name("").has_value());
+}
+
+// ---- derive_metrics -----------------------------------------------------
+
+TEST(DeriveMetrics, KnownAnswers) {
+  // finishes {10, 9, 8}, computes {8, 9, 7}:
+  //   t_fock = 10, avg_finish = 9, avg_compute = 8,
+  //   overhead = 2, L(p) = 0.25, l = 10/9.
+  const std::vector<obs::RankSample> samples = {
+      {10.0, 8.0}, {9.0, 9.0}, {8.0, 7.0}};
+  const obs::DerivedMetrics m = obs::derive_metrics(samples);
+  EXPECT_EQ(m.num_ranks, 3u);
+  EXPECT_DOUBLE_EQ(m.t_fock, 10.0);
+  EXPECT_DOUBLE_EQ(m.avg_finish, 9.0);
+  EXPECT_DOUBLE_EQ(m.avg_compute, 8.0);
+  EXPECT_DOUBLE_EQ(m.overhead_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(m.overhead_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(m.load_balance, 10.0 / 9.0);
+}
+
+TEST(DeriveMetrics, EmptyAndDegenerate) {
+  const obs::DerivedMetrics empty = obs::derive_metrics({});
+  EXPECT_EQ(empty.num_ranks, 0u);
+  EXPECT_DOUBLE_EQ(empty.t_fock, 0.0);
+  EXPECT_DOUBLE_EQ(empty.overhead_ratio, 0.0);
+  // Degenerate inputs report perfect balance (historical sim convention).
+  EXPECT_DOUBLE_EQ(empty.load_balance, 1.0);
+
+  const obs::DerivedMetrics zero = obs::derive_metrics({{0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(zero.load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(zero.overhead_ratio, 0.0);
+}
+
+TEST(DeriveMetrics, OneRank) {
+  const obs::DerivedMetrics m = obs::derive_metrics({{5.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.t_fock, 5.0);
+  EXPECT_DOUBLE_EQ(m.load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(m.overhead_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(m.overhead_ratio, 0.25);
+}
+
+// ---- Timeline::push -----------------------------------------------------
+
+TEST(Timeline, CoalescesChainedSamePhaseSpans) {
+  obs::Timeline tl;
+  const std::int64_t a = tl.push(0, Phase::kCompute, 0.0, 1.0);
+  const std::int64_t b = tl.push(0, Phase::kCompute, 1.0, 2.0, a);
+  EXPECT_EQ(a, b);  // merged into the same span
+  ASSERT_EQ(tl.spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(tl.spans[0].t1, 2.0);
+
+  // Zero-length spans record nothing and pass the cause through.
+  const std::int64_t c = tl.push(0, Phase::kCompute, 2.0, 2.0, b);
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(tl.spans.size(), 1u);
+
+  // A phase change breaks the run.
+  const std::int64_t d = tl.push(0, Phase::kFlush, 2.0, 3.0, b);
+  EXPECT_NE(d, b);
+  EXPECT_EQ(tl.spans.size(), 2u);
+
+  // Same phase but not causally chained to the tail: new span.
+  const std::int64_t e = tl.push(0, Phase::kFlush, 3.0, 4.0, /*cause=*/-1);
+  EXPECT_NE(e, d);
+  EXPECT_EQ(tl.spans.size(), 3u);
+  EXPECT_EQ(tl.tail(0), e);
+}
+
+TEST(Timeline, InterleavedRanksDoNotMerge) {
+  obs::Timeline tl;
+  const std::int64_t a0 = tl.push(0, Phase::kCompute, 0.0, 1.0);
+  const std::int64_t b0 = tl.push(1, Phase::kCompute, 0.0, 1.0);
+  const std::int64_t a1 = tl.push(0, Phase::kCompute, 1.0, 2.0, a0);
+  const std::int64_t b1 = tl.push(1, Phase::kCompute, 1.0, 2.0, b0);
+  EXPECT_EQ(a0, a1);  // rank 0's run coalesces despite rank 1 in between
+  EXPECT_EQ(b0, b1);
+  EXPECT_EQ(tl.spans.size(), 2u);
+}
+
+// ---- analyze_timeline: hand-built timelines with known answers ---------
+
+TEST(AnalyzeTimeline, CrossRankCriticalPath) {
+  // rank 0: compute [0,4], flush [4,4.5]
+  // rank 1: steals at t=4 (bound by rank 0's queue), computes [5,9].
+  // Sink is rank 1's compute end at t=9; the causal path walks
+  // compute(4s, rank1) -> steal(1s) -> compute(4s, rank0) = 9s total.
+  obs::Timeline tl;
+  tl.num_ranks = 2;
+  tl.virtual_time = true;
+  const std::int64_t a = tl.push(0, Phase::kCompute, 0.0, 4.0);
+  tl.push(0, Phase::kFlush, 4.0, 4.5, a);
+  const std::int64_t b = tl.push(1, Phase::kSteal, 4.0, 5.0, a);
+  tl.push(1, Phase::kCompute, 5.0, 9.0, b);
+
+  const obs::RunAnalysis an = obs::analyze_timeline(tl);
+  EXPECT_EQ(an.num_ranks, 2u);
+  EXPECT_TRUE(an.virtual_time);
+  EXPECT_FALSE(an.truncated);
+
+  EXPECT_DOUBLE_EQ(an.metrics.t_fock, 9.0);
+  EXPECT_DOUBLE_EQ(an.metrics.avg_finish, (4.5 + 9.0) / 2.0);
+  EXPECT_DOUBLE_EQ(an.metrics.avg_compute, 4.0);
+  EXPECT_DOUBLE_EQ(an.metrics.overhead_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(an.metrics.overhead_ratio, 1.25);
+  EXPECT_DOUBLE_EQ(an.metrics.load_balance, 9.0 / 6.75);
+
+  // The critical path explains every second of t_fock.
+  EXPECT_DOUBLE_EQ(an.critical_path_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(phase_sum(an.critical_path_phase_seconds), 9.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kCompute)], 8.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kSteal)], 1.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kIdle)], 0.0);
+  ASSERT_EQ(an.critical_path.size(), 3u);  // sink-to-root, no idle steps
+  EXPECT_EQ(an.critical_path[0].phase, Phase::kCompute);
+  EXPECT_EQ(an.critical_path[1].phase, Phase::kSteal);
+  EXPECT_EQ(an.critical_path[2].phase, Phase::kCompute);
+
+  // Each rank's phase row is padded with idle to exactly t_fock.
+  ASSERT_EQ(an.ranks.size(), 2u);
+  for (const obs::RankPhaseBreakdown& r : an.ranks) {
+    EXPECT_DOUBLE_EQ(phase_sum(r.seconds), 9.0) << "rank " << r.rank;
+  }
+  EXPECT_DOUBLE_EQ(an.ranks[0].seconds[static_cast<int>(Phase::kIdle)], 4.5);
+  EXPECT_DOUBLE_EQ(an.ranks[1].seconds[static_cast<int>(Phase::kIdle)], 4.0);
+}
+
+TEST(AnalyzeTimeline, IdleGapsAreAttributed) {
+  // A lone span starting at t=2 leaves a 2-second unexplained head, and a
+  // gap between a span and its cause becomes an idle step.
+  obs::Timeline tl;
+  tl.num_ranks = 1;
+  const std::int64_t a = tl.push(0, Phase::kCompute, 2.0, 5.0);
+  (void)a;
+  obs::RunAnalysis an = obs::analyze_timeline(tl);
+  EXPECT_DOUBLE_EQ(an.critical_path_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kCompute)], 3.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kIdle)], 2.0);
+
+  obs::Timeline gap;
+  gap.num_ranks = 1;
+  const std::int64_t b = gap.push(0, Phase::kCompute, 0.0, 2.0);
+  gap.push(0, Phase::kFlush, 3.0, 5.0, b);  // 1s hole between cause and span
+  an = obs::analyze_timeline(gap);
+  EXPECT_DOUBLE_EQ(an.critical_path_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kFlush)], 2.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kIdle)], 1.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kCompute)], 2.0);
+  EXPECT_DOUBLE_EQ(phase_sum(an.critical_path_phase_seconds), 5.0);
+}
+
+TEST(AnalyzeTimeline, EmptyTimeline) {
+  const obs::RunAnalysis an = obs::analyze_timeline(obs::Timeline{});
+  EXPECT_EQ(an.num_ranks, 0u);
+  EXPECT_DOUBLE_EQ(an.metrics.t_fock, 0.0);
+  EXPECT_DOUBLE_EQ(an.metrics.load_balance, 1.0);
+  EXPECT_DOUBLE_EQ(an.critical_path_seconds, 0.0);
+  EXPECT_TRUE(an.critical_path.empty());
+}
+
+TEST(AnalyzeTimeline, OverlappingCauseIsClipped) {
+  // The sink overlaps its cause: [0,6] caused compute, [4,9] flush. The
+  // walk must clip the cause's contribution at the flush's start so the
+  // attribution still sums to t_fock (no double counting).
+  obs::Timeline tl;
+  tl.num_ranks = 1;
+  const std::int64_t a = tl.push(0, Phase::kCompute, 0.0, 6.0);
+  tl.push(0, Phase::kFlush, 4.0, 9.0, a);
+  const obs::RunAnalysis an = obs::analyze_timeline(tl);
+  EXPECT_DOUBLE_EQ(an.critical_path_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kFlush)], 5.0);
+  EXPECT_DOUBLE_EQ(
+      an.critical_path_phase_seconds[static_cast<int>(Phase::kCompute)], 4.0);
+  EXPECT_DOUBLE_EQ(phase_sum(an.critical_path_phase_seconds), 9.0);
+}
+
+// ---- analysis_json ------------------------------------------------------
+
+TEST(AnalysisJson, CarriesTheHeadlineFields) {
+  obs::Timeline tl;
+  tl.num_ranks = 1;
+  tl.virtual_time = true;
+  tl.push(0, Phase::kCompute, 0.0, 2.0);
+  const std::string json = obs::analysis_json(obs::analyze_timeline(tl));
+  EXPECT_NE(json.find("\"clock\": \"virtual\""), std::string::npos);
+  EXPECT_NE(json.find("\"load_balance\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_totals\""), std::string::npos);
+  // Every canonical phase appears in the totals.
+  for (const char* name : obs::kCanonicalPhaseNames) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+}
+
+// ---- Histogram percentiles ---------------------------------------------
+
+TEST(HistogramQuantiles, EmptyAndSingle) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  h.record(4);  // alone in bin [4, 8)
+  // Interpolation target 4.5 clamps to the observed range [4, 4].
+  EXPECT_DOUBLE_EQ(h.p50(), 4.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(HistogramQuantiles, BinEdgeInterpolation) {
+  // Samples 0, 1, 5, 5: bins {0}:1, {1}:1, [4,8):2.
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  // target = 2 lands exactly on bin {1}'s upper edge -> 2.0.
+  EXPECT_DOUBLE_EQ(h.p50(), 2.0);
+  // target = 3.8: 0.9 into bin [4, 8) interpolated toward max+1=6, then
+  // clamped to the observed max 5.
+  EXPECT_DOUBLE_EQ(h.p95(), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(HistogramQuantiles, InterpolatesWithinABin) {
+  // 4, 5, 6, 7 all land in [4, 8): quartiles interpolate linearly across
+  // the bin's width.
+  obs::Histogram h;
+  for (std::uint64_t v = 4; v <= 7; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 7.0);
+  // Ordered within [min, max].
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), 7.0);
+}
+
+// ---- timeline_from_trace ------------------------------------------------
+
+void fresh_trace(std::size_t capacity = std::size_t{1} << 16) {
+  obs::set_tracing_enabled(false);
+  obs::set_trace_buffer_capacity(capacity);
+  obs::reset_trace();
+}
+
+void emit_phase_span(const char* name, std::int64_t ts_ns,
+                     std::int64_t dur_ns) {
+  obs::TraceEvent e;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.category = "phase";
+  e.name = name;
+  obs::trace_emit(e);
+}
+
+TEST(TimelineFromTrace, FlattensNestedSpansAndFilters) {
+  fresh_trace();
+  obs::set_tracing_enabled(true);
+  {
+    ThreadRankScope rank0(0);
+    // prefetch [1000, 3000] with a nested comm_wait [1500, 2500]: the
+    // flattened rank-0 timeline is prefetch 1000ns, comm_wait 1000ns.
+    emit_phase_span("prefetch", 1000, 2000);
+    emit_phase_span("comm_wait", 1500, 1000);
+    // Non-canonical names and non-"phase" categories are ignored.
+    emit_phase_span("warmup", 1000, 500);
+    obs::TraceEvent other;
+    other.ts_ns = 1000;
+    other.dur_ns = 500;
+    other.category = "task";
+    other.name = "compute";
+    obs::trace_emit(other);
+  }
+  {
+    ThreadRankScope rank1(1);
+    emit_phase_span("compute", 2000, 4000);  // [2000, 6000]
+  }
+  // Unranked (host) spans are excluded from the per-rank timelines.
+  emit_phase_span("compute", 0, 10000);
+  obs::set_tracing_enabled(false);
+
+  const obs::Timeline tl = obs::timeline_from_trace();
+  EXPECT_FALSE(tl.virtual_time);
+  EXPECT_EQ(tl.dropped_events, 0u);
+  EXPECT_EQ(tl.num_ranks, 2u);
+
+  const obs::RunAnalysis an = obs::analyze_timeline(tl);
+  // Epoch = earliest phase span (ts 1000): rank 0 finishes at 2000ns,
+  // rank 1 at 5000ns.
+  EXPECT_NEAR(an.metrics.t_fock, 5000e-9, 1e-15);
+  ASSERT_EQ(an.ranks.size(), 2u);
+  EXPECT_NEAR(an.ranks[0].seconds[static_cast<int>(Phase::kPrefetch)],
+              1000e-9, 1e-15);
+  EXPECT_NEAR(an.ranks[0].seconds[static_cast<int>(Phase::kCommWait)],
+              1000e-9, 1e-15);
+  EXPECT_NEAR(an.ranks[1].seconds[static_cast<int>(Phase::kCompute)],
+              4000e-9, 1e-15);
+  // Flattening is exclusive: rank 0's busy time is exactly the outer span.
+  const double rank0_busy =
+      phase_sum(an.ranks[0].seconds) -
+      an.ranks[0].seconds[static_cast<int>(Phase::kIdle)];
+  EXPECT_NEAR(rank0_busy, 2000e-9, 1e-15);
+  fresh_trace();
+}
+
+TEST(TimelineFromTrace, OverflowMarksTruncated) {
+  fresh_trace(/*capacity=*/4);
+  obs::set_tracing_enabled(true);
+  {
+    ThreadRankScope rank0(0);
+    for (int i = 0; i < 8; ++i) {
+      emit_phase_span("compute", 1000 * i, 500);
+    }
+  }
+  obs::set_tracing_enabled(false);
+  const obs::Timeline tl = obs::timeline_from_trace();
+  EXPECT_GT(tl.dropped_events, 0u);
+  const obs::RunAnalysis an = obs::analyze_timeline(tl);
+  EXPECT_TRUE(an.truncated);
+  EXPECT_NE(obs::analysis_json(an).find("\"truncated\": true"),
+            std::string::npos);
+  fresh_trace();
+}
+
+// ---- publish_analysis ---------------------------------------------------
+
+TEST(PublishAnalysis, FeedsTheV2Report) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::set_metrics_enabled(true);
+
+  obs::Timeline tl;
+  tl.num_ranks = 1;
+  tl.virtual_time = true;
+  tl.push(0, Phase::kCompute, 0.0, 2.0);
+  obs::publish_analysis(obs::analyze_timeline(tl));
+
+  const std::string report = reg.json();
+  EXPECT_NE(report.find("\"schema\": \"minifock-run-report/v2\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"analysis\""), std::string::npos);
+  EXPECT_NE(report.find("\"trace\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(reg.gauge("analysis.t_fock").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("analysis.load_balance").value(), 1.0);
+
+  obs::set_metrics_enabled(false);
+  reg.reset();
+  // After reset the analysis block is gone again.
+  EXPECT_EQ(reg.json().find("\"analysis\""), std::string::npos);
+}
+
+// ---- Differential: simulator accessors vs timeline analysis ------------
+
+TEST(Differential, SimTimelineAgreesWithScalarAccessors) {
+  const Basis basis = apply_reordering(
+      Basis(linear_alkane(6), BasisLibrary::builtin("sto-3g")),
+      {ReorderScheme::kCells, 5.0, 1});
+  const ScreeningData screening(basis, {1e-10, 1e-20, {}});
+  const TaskCostModel costs(basis, screening);
+
+  GtFockSimOptions opts;
+  opts.total_cores = 48;
+  opts.machine.t_int = 1.0e-6;
+  opts.collect_timeline = true;
+  const GtFockSimResult result =
+      simulate_gtfock(basis, screening, costs, opts);
+
+  ASSERT_FALSE(result.timeline.spans.empty());
+  EXPECT_TRUE(result.timeline.virtual_time);
+  const obs::RunAnalysis an = obs::analyze_timeline(result.timeline);
+  EXPECT_EQ(an.ranks.size(), result.ranks.size());
+
+  // Acceptance: the analyzer and the refactored accessors agree to within
+  // 1%. By construction they agree far tighter than that.
+  const double tol = 1e-9;
+  EXPECT_NEAR(an.metrics.t_fock, result.fock_time(),
+              tol * result.fock_time());
+  EXPECT_NEAR(an.metrics.avg_compute, result.avg_comp_time(),
+              tol * result.avg_comp_time());
+  EXPECT_NEAR(an.metrics.overhead_seconds, result.avg_overhead(),
+              tol * std::max(result.avg_overhead(), 1e-12));
+  EXPECT_NEAR(an.metrics.load_balance, result.load_balance(), tol);
+
+  // ...and the scalar accessors are themselves derive_metrics.
+  const obs::DerivedMetrics direct = obs::derive_metrics(result.rank_samples());
+  EXPECT_DOUBLE_EQ(direct.load_balance, result.load_balance());
+  EXPECT_DOUBLE_EQ(direct.overhead_seconds, result.avg_overhead());
+
+  // Critical path: attribution sums to the path length, which is t_fock.
+  EXPECT_NEAR(an.critical_path_seconds, an.metrics.t_fock,
+              tol * an.metrics.t_fock);
+  EXPECT_NEAR(phase_sum(an.critical_path_phase_seconds),
+              an.critical_path_seconds, tol * an.critical_path_seconds);
+  double step_sum = 0.0;
+  for (const obs::CriticalPathStep& s : an.critical_path) {
+    step_sum += s.seconds;
+  }
+  EXPECT_NEAR(step_sum, an.critical_path_seconds,
+              tol * an.critical_path_seconds);
+
+  // Every rank's phase decomposition pads to exactly t_fock.
+  for (const obs::RankPhaseBreakdown& r : an.ranks) {
+    EXPECT_NEAR(phase_sum(r.seconds), an.metrics.t_fock,
+                tol * an.metrics.t_fock)
+        << "rank " << r.rank;
+  }
+}
+
+// ---- Concurrent emission + analysis (TSan) ------------------------------
+
+TEST(Concurrency, AnalysisWhileEmitting) {
+  fresh_trace();
+  obs::set_tracing_enabled(true);
+
+  constexpr int kEmitters = 4;
+  constexpr int kSpansPerEmitter = 200;
+  std::vector<std::thread> emitters;
+  emitters.reserve(kEmitters);
+  for (int r = 0; r < kEmitters; ++r) {
+    emitters.emplace_back([r] {
+      ThreadRankScope rank(r);
+      for (int i = 0; i < kSpansPerEmitter; ++i) {
+        MF_TRACE_SPAN("phase", "compute");
+      }
+    });
+  }
+  // Analyze concurrently: trace_snapshot() must observe a consistent
+  // prefix of each buffer while the emitters are still writing.
+  for (int i = 0; i < 20; ++i) {
+    const obs::Timeline tl = obs::timeline_from_trace();
+    const obs::RunAnalysis an = obs::analyze_timeline(tl);
+    EXPECT_LE(an.num_ranks, static_cast<std::size_t>(kEmitters));
+    EXPECT_GE(an.critical_path_seconds, 0.0);
+  }
+  for (std::thread& t : emitters) t.join();
+  obs::set_tracing_enabled(false);
+
+  const obs::Timeline tl = obs::timeline_from_trace();
+  const obs::RunAnalysis an = obs::analyze_timeline(tl);
+  EXPECT_EQ(an.num_ranks, static_cast<std::size_t>(kEmitters));
+  EXPECT_FALSE(an.truncated);
+  fresh_trace();
+}
+
+}  // namespace
+}  // namespace mf

@@ -41,6 +41,13 @@ bounded-retry      Every `catch (... CommError ...)` retry site sits inside
                    failures would hang the chaos lane instead of exercising
                    the exhaustion/fallback path. Waivable per site with
                    `lint: bounded-retry(<reason>)`.
+canonical-phase    Every MF_TRACE_SPAN("phase", "<name>") span name must
+                   come from the analyzer's canonical phase list — the
+                   kCanonicalPhaseNames initializer in src/obs/analysis.h,
+                   parsed at lint time so the two can never drift. A phase
+                   span with an off-list name would be silently dropped by
+                   obs::timeline_from_trace, producing a run report whose
+                   analysis block under-counts that phase.
 transport-boundary Fast textual pre-check: no literal TransportArray::
                    block_at / TransportCounter::apply_delta tokens outside
                    the transport implementations (src/ga/transport*).
@@ -104,6 +111,23 @@ BOUNDED_RETRY_WAIVER_RE = re.compile(r"lint:\s*bounded-retry\(([^)]+)\)")
 # may legitimately call them: the transport interface + backends.
 TRANSPORT_FILE_RE = re.compile(r"^src/ga/transport[^/]*$")
 TRANSPORT_ACCESS_RE = re.compile(r"\b(?:block_at|apply_delta)\s*\(")
+# Single source of truth for the canonical phase list: the initializer of
+# kCanonicalPhaseNames in src/obs/analysis.h, parsed at lint time. The
+# fallback keeps --self-test hermetic (no repo checkout required).
+PHASE_LIST_HEADER = "src/obs/analysis.h"
+PHASE_LIST_RE = re.compile(
+    r"kCanonicalPhaseNames\s*\[[^\]]*\]\s*=\s*\{([^}]*)\}", re.DOTALL)
+FALLBACK_CANONICAL_PHASES = frozenset(
+    ("prefetch", "compute", "steal", "flush", "comm_wait", "idle"))
+
+
+def parse_canonical_phases(header_text: str) -> frozenset[str] | None:
+    """Extracts the phase names from the kCanonicalPhaseNames initializer."""
+    m = PHASE_LIST_RE.search(header_text)
+    if m is None:
+        return None
+    names = re.findall(r'"(\w+)"', m.group(1))
+    return frozenset(names) if names else None
 
 # Entry points that must carry phase markers. "ordered" demands the first
 # occurrences appear in the listed sequence (the threaded builder really is
@@ -143,7 +167,9 @@ def has_waiver(lines: list[str], i: int, lookback: int = 4) -> bool:
     return any(WAIVER_RE.search(lines[j]) for j in range(lo, i + 1))
 
 
-def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
+def lint_file(rel: str, text: str,
+              canonical_phases: frozenset[str] = FALLBACK_CANONICAL_PHASES
+              ) -> list[tuple[str, int, str, str]]:
     """Returns (file, 1-based line, rule, message) findings for one file."""
     findings = []
     if rel in ALLOWLIST:
@@ -151,6 +177,16 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
     lines = text.splitlines()
     for i, raw in enumerate(lines):
         code = strip_comment(raw)
+        m = PHASE_SPAN_RE.search(code)
+        if m and m.group(1) not in canonical_phases:
+            findings.append((rel, i + 1, "canonical-phase",
+                             f'phase span name "{m.group(1)}" is not in the '
+                             "canonical list "
+                             f"{sorted(canonical_phases)} "
+                             f"(kCanonicalPhaseNames, {PHASE_LIST_HEADER}); "
+                             "obs::timeline_from_trace drops off-list names, "
+                             "so the run-report analysis would under-count "
+                             "this phase"))
         if RAW_LOCK_RE.search(code):
             findings.append((rel, i + 1, "raw-lock",
                              "direct lock()/unlock() call; use mf::MutexLock "
@@ -234,11 +270,23 @@ def lint_file(rel: str, text: str) -> list[tuple[str, int, str, str]]:
 
 def lint_tree(root: pathlib.Path) -> list[tuple[str, int, str, str]]:
     findings = []
+    canonical = FALLBACK_CANONICAL_PHASES
+    header = root / PHASE_LIST_HEADER
+    if header.exists():
+        parsed = parse_canonical_phases(header.read_text(encoding="utf-8"))
+        if parsed is None:
+            findings.append((PHASE_LIST_HEADER, 1, "canonical-phase",
+                             "could not parse the kCanonicalPhaseNames "
+                             "initializer; the canonical-phase rule has no "
+                             "source of truth"))
+        else:
+            canonical = parsed
     for path in sorted((root / "src").rglob("*")):
         if path.suffix not in (".h", ".cpp"):
             continue
         rel = path.relative_to(root).as_posix()
-        findings.extend(lint_file(rel, path.read_text(encoding="utf-8")))
+        findings.extend(
+            lint_file(rel, path.read_text(encoding="utf-8"), canonical))
     return findings
 
 
@@ -406,6 +454,39 @@ def self_test() -> int:
     if any(f[2] == "transport-boundary" for f in inside):
         print("self-test FAILED: transport-boundary flagged a backend file: "
               f"{inside}")
+        ok = False
+    # canonical-phase: an off-list span name must be flagged; canonical
+    # names pass; the header parser must recover the list from the
+    # initializer shape used in src/obs/analysis.h.
+    rogue = 'MF_TRACE_SPAN("phase", "warmup");\n'
+    if not any(f[2] == "canonical-phase"
+               for f in lint_file("src/core/x.cpp", rogue)):
+        print("self-test FAILED: canonical-phase did not fire on an "
+              "off-list span name")
+        ok = False
+    fine = ('MF_TRACE_SPAN("phase", "comm_wait");\n'
+            'MF_TRACE_SPAN("phase", "steal");\n')
+    if any(f[2] == "canonical-phase"
+           for f in lint_file("src/core/x.cpp", fine)):
+        print("self-test FAILED: canonical-phase flagged canonical names")
+        ok = False
+    header = ("inline constexpr const char* kCanonicalPhaseNames[kNum] = {\n"
+              '    "alpha", "beta",\n'
+              "};\n")
+    parsed = parse_canonical_phases(header)
+    if parsed != frozenset(("alpha", "beta")):
+        print(f"self-test FAILED: phase-list parser returned {parsed}")
+        ok = False
+    if parse_canonical_phases("int x;\n") is not None:
+        print("self-test FAILED: phase-list parser accepted a header "
+              "without the initializer")
+        ok = False
+    if not any(f[2] == "canonical-phase"
+               for f in lint_file("src/core/x.cpp",
+                                  'MF_TRACE_SPAN("phase", "compute");\n',
+                                  frozenset(("alpha",)))):
+        print("self-test FAILED: canonical-phase ignored the injected "
+              "phase list")
         ok = False
     # tu-coverage: a compile_commands.json that misses a TU must be flagged.
     with tempfile.TemporaryDirectory() as tmp:

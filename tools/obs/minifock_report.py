@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Pretty-printer and regression differ for minifock run reports.
+
+Subcommands
+-----------
+
+  show FILE
+      Renders a "minifock-run-report/v2" JSON (written by --metrics-out) for
+      humans: labels, the trace accounting block, counters, gauges,
+      histogram summaries with p50/p95/p99, and — when present — the
+      analysis block as a per-rank phase-decomposition table plus the
+      critical path. Prints a WARNING banner when the trace ring overflowed
+      (dropped spans), because every downstream number derived from the
+      trace is then an undercount.
+
+  diff A B [--threshold PATTERN=REL ...] [--default-threshold REL]
+      Compares every numeric metric present in both reports (counters,
+      gauges, and the analysis scalars, flattened to dotted paths such as
+      "gauges.analysis.load_balance" or "analysis.critical_path.seconds")
+      and fails — nonzero exit — when the relative difference exceeds the
+      matching threshold. PATTERN is an fnmatch glob over the dotted path;
+      the first matching --threshold wins, else --default-threshold
+      (default 0.05 = 5%). A metric present in only one report is reported;
+      it is a failure only when an explicit --threshold pattern matches it.
+
+Stdlib only. Exit codes: 0 OK, 1 diff violations, 2 usage/load error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+PHASE_ORDER = ("prefetch", "compute", "steal", "flush", "comm_wait", "idle")
+
+
+def _is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _load(path: pathlib.Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"minifock_report: {path}: {e}", file=sys.stderr)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# show
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-3:
+        return f"{v:.4e}"
+    return f"{v:.4f}".rstrip("0").rstrip(".")
+
+
+def show(data, name: str) -> int:
+    print(f"== run report: {name} ==")
+    schema = data.get("schema")
+    print(f"schema: {schema}")
+
+    labels = data.get("labels") or {}
+    for k in sorted(labels):
+        print(f"  {k} = {labels[k]}")
+
+    trace = data.get("trace")
+    truncated = False
+    if isinstance(trace, dict):
+        truncated = bool(trace.get("truncated")) or \
+            (trace.get("dropped_events") or 0) > 0
+        print(f"\ntrace: {trace.get('recorded_events', '?')} span(s) "
+              f"recorded, {trace.get('dropped_events', '?')} dropped")
+    if truncated:
+        print("WARNING: the trace ring overflowed — spans were dropped, so "
+              "phase totals, the analysis block, and the critical path are "
+              "UNDERCOUNTS. Re-run with a larger MINIFOCK_TRACE_CAPACITY.")
+
+    counters = data.get("counters") or {}
+    if counters:
+        print("\ncounters:")
+        for k in sorted(counters):
+            print(f"  {k:<44} {counters[k]}")
+    gauges = data.get("gauges") or {}
+    if gauges:
+        print("\ngauges:")
+        for k in sorted(gauges):
+            print(f"  {k:<44} {_fmt(gauges[k])}")
+
+    hists = data.get("histograms") or {}
+    if hists:
+        print("\nhistograms:")
+        print(f"  {'name':<32} {'count':>8} {'min':>10} {'p50':>10} "
+              f"{'p95':>10} {'p99':>10} {'max':>10}")
+        for k in sorted(hists):
+            h = hists[k]
+            print(f"  {k:<32} {h.get('count', 0):>8} "
+                  f"{_fmt(h.get('min', 0)):>10} {_fmt(h.get('p50', 0)):>10} "
+                  f"{_fmt(h.get('p95', 0)):>10} {_fmt(h.get('p99', 0)):>10} "
+                  f"{_fmt(h.get('max', 0)):>10}")
+
+    a = data.get("analysis")
+    if isinstance(a, dict):
+        print(f"\nanalysis ({a.get('clock', '?')} clock, "
+              f"{a.get('num_ranks', '?')} rank(s)"
+              f"{', TRUNCATED' if a.get('truncated') else ''}):")
+        for field, label in (("t_fock", "T_fock"),
+                             ("avg_compute", "avg T_comp"),
+                             ("overhead_seconds", "overhead T_ov"),
+                             ("overhead_ratio", "L(p)"),
+                             ("load_balance", "load balance l")):
+            if _is_num(a.get(field)):
+                print(f"  {label:<16} {_fmt(a[field])}")
+        ranks = a.get("ranks") or []
+        if ranks:
+            print(f"\n  {'rank':>4} {'finish':>12} " +
+                  " ".join(f"{p:>12}" for p in PHASE_ORDER))
+            for r in ranks:
+                phases = r.get("phases") or {}
+                print(f"  {r.get('rank', '?'):>4} "
+                      f"{_fmt(r.get('finish', 0)):>12} " +
+                      " ".join(f"{_fmt(phases.get(p, 0)):>12}"
+                               for p in PHASE_ORDER))
+        cp = a.get("critical_path")
+        if isinstance(cp, dict):
+            print(f"\n  critical path: {_fmt(cp.get('seconds', 0))} s over "
+                  f"{cp.get('steps', '?')} step(s)")
+            phases = cp.get("phases") or {}
+            sec = cp.get("seconds") or 0
+            for p in PHASE_ORDER:
+                v = phases.get(p, 0)
+                share = f" ({100.0 * v / sec:5.1f}%)" if sec > 0 else ""
+                print(f"    {p:<12} {_fmt(v):>12}{share}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def flatten_metrics(data) -> dict[str, float]:
+    """Numeric leaves of the comparable sections, as dotted paths."""
+    out: dict[str, float] = {}
+
+    def walk(prefix: str, node) -> None:
+        if _is_num(node):
+            out[prefix] = float(node)
+        elif isinstance(node, dict):
+            for k, v in node.items():
+                walk(f"{prefix}.{k}", v)
+
+    walk("counters", data.get("counters") or {})
+    walk("gauges", data.get("gauges") or {})
+    a = data.get("analysis")
+    if isinstance(a, dict):
+        for field in ("t_fock", "avg_finish", "avg_compute",
+                      "overhead_seconds", "overhead_ratio", "load_balance"):
+            if _is_num(a.get(field)):
+                out[f"analysis.{field}"] = float(a[field])
+        walk("analysis.phase_totals", a.get("phase_totals") or {})
+        cp = a.get("critical_path")
+        if isinstance(cp, dict):
+            if _is_num(cp.get("seconds")):
+                out["analysis.critical_path.seconds"] = float(cp["seconds"])
+            walk("analysis.critical_path.phases", cp.get("phases") or {})
+    for name, h in (data.get("histograms") or {}).items():
+        for field in ("count", "p50", "p95", "p99"):
+            if isinstance(h, dict) and _is_num(h.get(field)):
+                out[f"histograms.{name}.{field}"] = float(h[field])
+    return out
+
+
+def parse_thresholds(specs: list[str]) -> list[tuple[str, float]]:
+    rules = []
+    for spec in specs:
+        pattern, eq, value = spec.rpartition("=")
+        if not eq:
+            raise ValueError(f"--threshold {spec!r}: expected PATTERN=REL")
+        rules.append((pattern, float(value)))
+    return rules
+
+
+def threshold_for(path: str, rules: list[tuple[str, float]],
+                  default: float) -> tuple[float, bool]:
+    """(threshold, explicit?) for a metric path; first matching rule wins."""
+    for pattern, value in rules:
+        if fnmatch.fnmatchcase(path, pattern):
+            return value, True
+    return default, False
+
+
+def diff(a, b, name_a: str, name_b: str, rules: list[tuple[str, float]],
+         default: float) -> int:
+    ma, mb = flatten_metrics(a), flatten_metrics(b)
+    violations = []
+    compared = 0
+    for path in sorted(set(ma) | set(mb)):
+        thr, explicit = threshold_for(path, rules, default)
+        if path not in ma or path not in mb:
+            side = name_b if path in ma else name_a
+            line = f"  {path}: missing in {side}"
+            if explicit:
+                violations.append(line)
+            else:
+                print(f"note:{line}")
+            continue
+        va, vb = ma[path], mb[path]
+        compared += 1
+        denom = max(abs(va), abs(vb))
+        rel = 0.0 if denom == 0 else abs(va - vb) / denom
+        if rel > thr:
+            violations.append(f"  {path}: {_fmt(va)} -> {_fmt(vb)} "
+                              f"(rel {rel:.3%} > threshold {thr:.3%})")
+    print(f"diff {name_a} vs {name_b}: {compared} metric(s) compared")
+    if violations:
+        print(f"{len(violations)} violation(s):")
+        for v in violations:
+            print(v)
+        return 1
+    print("OK: all within thresholds")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    ap_show = sub.add_parser("show", help="pretty-print a run report")
+    ap_show.add_argument("file", type=pathlib.Path)
+    ap_diff = sub.add_parser("diff",
+                             help="compare two run reports with thresholds")
+    ap_diff.add_argument("a", type=pathlib.Path)
+    ap_diff.add_argument("b", type=pathlib.Path)
+    ap_diff.add_argument("--threshold", action="append", default=[],
+                         metavar="PATTERN=REL",
+                         help="relative-difference budget for metric paths "
+                              "matching the fnmatch PATTERN (repeatable; "
+                              "first match wins)")
+    ap_diff.add_argument("--default-threshold", type=float, default=0.05,
+                         metavar="REL",
+                         help="budget for metrics no pattern matches "
+                              "(default 0.05)")
+    args = ap.parse_args()
+
+    if args.cmd == "show":
+        data = _load(args.file)
+        return 2 if data is None else show(data, args.file.name)
+
+    try:
+        rules = parse_thresholds(args.threshold)
+    except ValueError as e:
+        print(f"minifock_report: {e}", file=sys.stderr)
+        return 2
+    a, b = _load(args.a), _load(args.b)
+    if a is None or b is None:
+        return 2
+    return diff(a, b, args.a.name, args.b.name, rules,
+                args.default_threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,21 @@ Two artifact kinds:
                   carrying the dropped-event counter.
 
   --report FILE   Run report written by --metrics-out. Checked against the
-                  "minifock-run-report/v1" schema: counters are non-negative
+                  "minifock-run-report/v2" schema: counters are non-negative
                   integers, gauges are numbers, histograms are internally
                   consistent (bin counts sum to "count", bins are disjoint
-                  ascending ranges, min <= max when count > 0).
+                  ascending ranges, min <= max when count > 0, percentiles
+                  ordered within [min, max]), the "trace" block reports the
+                  recorded/dropped span counts, and the optional "analysis"
+                  block (bench_scale / obs::publish_analysis) carries
+                  consistent phase decompositions.
+
+  --scale FILE    Scale-sweep JSON written by bench_scale
+                  (BENCH_scale.json). Must carry >= 3 points at strictly
+                  ascending core counts, each with positive t_fock /
+                  avg_compute / speedup, load_balance >= 1, non-negative
+                  L(p) and comm figures, and a critical path whose by-phase
+                  attribution sums to its length.
 
   --tint FILE     t_int benchmark JSON written by bench_micro
                   (BENCH_tint.json). Must contain one result row per ERI
@@ -52,7 +63,12 @@ import pathlib
 import sys
 
 TRACE_PHASES = ("prefetch", "compute", "flush")
-REPORT_SCHEMA = "minifock-run-report/v1"
+REPORT_SCHEMA = "minifock-run-report/v2"
+# Canonical phase list; must match kCanonicalPhaseNames in src/obs/analysis.h
+# (tools/lint/minifock_lint.py checks the C++ side against the header).
+CANONICAL_PHASES = ("prefetch", "compute", "steal", "flush", "comm_wait",
+                    "idle")
+SCALE_SCHEMA = "minifock-bench-scale/v1"
 
 
 def _is_int(v) -> bool:
@@ -136,6 +152,21 @@ def validate_report(data, required_counters: list[str]) -> list[str]:
             errors.append(f'report: missing "{section}" object')
             return errors
 
+    trace = data.get("trace")
+    if not isinstance(trace, dict):
+        errors.append('report: missing "trace" object (v2 requirement)')
+    else:
+        for field in ("recorded_events", "dropped_events"):
+            if not _is_int(trace.get(field)) or trace[field] < 0:
+                errors.append(f'report: trace.{field} must be a non-negative '
+                              "integer")
+        if not isinstance(trace.get("truncated"), bool):
+            errors.append('report: trace.truncated must be a boolean')
+        elif _is_int(trace.get("dropped_events")) and \
+                trace["truncated"] != (trace["dropped_events"] > 0):
+            errors.append("report: trace.truncated inconsistent with "
+                          "trace.dropped_events")
+
     for k, v in data["labels"].items():
         if not isinstance(v, str):
             errors.append(f"report: label {k!r} must be a string")
@@ -178,10 +209,151 @@ def validate_report(data, required_counters: list[str]) -> list[str]:
                               f"count says {h['count']}")
         if h["count"] > 0 and h["min"] > h["max"]:
             errors.append(f"{where}: min > max with count > 0")
+        pcts = [h.get(p) for p in ("p50", "p95", "p99")]
+        if not all(_is_num(p) for p in pcts):
+            errors.append(f"{where}: needs numeric p50/p95/p99")
+        elif h["count"] > 0:
+            if not pcts[0] <= pcts[1] <= pcts[2]:
+                errors.append(f"{where}: percentiles must be ordered "
+                              "p50 <= p95 <= p99")
+            if pcts[0] < h["min"] or pcts[2] > h["max"]:
+                errors.append(f"{where}: percentiles must lie in [min, max]")
+
+    analysis = data.get("analysis")
+    if analysis is not None:
+        errors.extend(validate_analysis(analysis, "report: analysis"))
 
     for name in required_counters:
         if name not in data["counters"]:
             errors.append(f"report: required counter {name!r} missing")
+    return errors
+
+
+def _phase_map_ok(obj, where: str, errors: list[str]) -> bool:
+    """Checks a {phase: seconds} object over the canonical phase set."""
+    if not isinstance(obj, dict) or set(obj) != set(CANONICAL_PHASES):
+        errors.append(f"{where}: must map exactly the canonical phases "
+                      f"{list(CANONICAL_PHASES)}")
+        return False
+    ok = True
+    for k, v in obj.items():
+        if not _is_num(v) or v < -1e-12:
+            errors.append(f"{where}: phase {k!r} must be a non-negative "
+                          "number")
+            ok = False
+    return ok
+
+
+def validate_analysis(a, where: str) -> list[str]:
+    """Checks the "analysis" block of a v2 run report."""
+    errors: list[str] = []
+    if not isinstance(a, dict):
+        return [f"{where}: not an object"]
+    if a.get("clock") not in ("virtual", "wall"):
+        errors.append(f'{where}: clock must be "virtual" or "wall"')
+    if not _is_int(a.get("num_ranks")) or a.get("num_ranks", -1) < 0:
+        errors.append(f"{where}: num_ranks must be a non-negative integer")
+    if not isinstance(a.get("truncated"), bool):
+        errors.append(f"{where}: truncated must be a boolean")
+    for field in ("t_fock", "avg_finish", "avg_compute", "overhead_seconds",
+                  "overhead_ratio"):
+        if not _is_num(a.get(field)) or a[field] < -1e-12:
+            errors.append(f"{where}: {field} must be a non-negative number")
+    if not _is_num(a.get("load_balance")) or a["load_balance"] < 1.0 - 1e-9:
+        errors.append(f"{where}: load_balance must be >= 1")
+    _phase_map_ok(a.get("phase_totals"), f"{where}.phase_totals", errors)
+    ranks = a.get("ranks")
+    if not isinstance(ranks, list):
+        errors.append(f"{where}: missing ranks list")
+    else:
+        for i, r in enumerate(ranks):
+            if not isinstance(r, dict) or not _is_num(r.get("finish")):
+                errors.append(f"{where}.ranks[{i}]: needs numeric finish")
+                continue
+            _phase_map_ok(r.get("phases"), f"{where}.ranks[{i}].phases",
+                          errors)
+    cp = a.get("critical_path")
+    if not isinstance(cp, dict):
+        errors.append(f"{where}: missing critical_path object")
+    else:
+        errors.extend(validate_critical_path(cp, f"{where}.critical_path"))
+    return errors
+
+
+def validate_critical_path(cp, where: str) -> list[str]:
+    """Checks seconds, steps, and that the by-phase sum matches seconds."""
+    errors: list[str] = []
+    if not _is_num(cp.get("seconds")) or cp["seconds"] < -1e-12:
+        errors.append(f"{where}: seconds must be a non-negative number")
+        return errors
+    if not _is_int(cp.get("steps")) or cp["steps"] < 0:
+        errors.append(f"{where}: steps must be a non-negative integer")
+    if _phase_map_ok(cp.get("phases"), f"{where}.phases", errors):
+        total = sum(cp["phases"].values())
+        tol = 1e-9 * max(cp["seconds"], 1.0)
+        if abs(total - cp["seconds"]) > tol:
+            errors.append(f"{where}: phase attribution sums to {total!r} but "
+                          f"seconds is {cp['seconds']!r}")
+    return errors
+
+
+def validate_scale(data) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["scale: top level must be an object"]
+    if data.get("schema") != SCALE_SCHEMA:
+        errors.append(f'scale: schema != "{SCALE_SCHEMA}" '
+                      f"(got {data.get('schema')!r})")
+    if not isinstance(data.get("workload"), str):
+        errors.append('scale: missing string "workload"')
+    if data.get("clock") not in ("virtual", "wall"):
+        errors.append('scale: clock must be "virtual" or "wall"')
+    points = data.get("points")
+    if not isinstance(points, list):
+        return errors + ['scale: missing "points" list']
+    if len(points) < 3:
+        errors.append(f"scale: need >= 3 points, got {len(points)}")
+    prev_cores = 0
+    for i, pt in enumerate(points):
+        where = f"scale: points[{i}]"
+        if not isinstance(pt, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not _is_int(pt.get("cores")) or pt["cores"] <= prev_cores:
+            errors.append(f"{where}: cores must be a strictly ascending "
+                          "positive integer sequence")
+        else:
+            prev_cores = pt["cores"]
+        for field in ("t_fock", "avg_compute", "speedup"):
+            if not _is_num(pt.get(field)) or pt[field] <= 0.0:
+                errors.append(f'{where}: "{field}" must be a positive number')
+        for field in ("overhead_seconds", "overhead_ratio", "comm_megabytes",
+                      "comm_calls"):
+            if not _is_num(pt.get(field)) or pt[field] < 0.0:
+                errors.append(f'{where}: "{field}" must be a non-negative '
+                              "number")
+        if not _is_num(pt.get("load_balance")) or \
+                pt["load_balance"] < 1.0 - 1e-9:
+            errors.append(f'{where}: "load_balance" must be >= 1')
+        cp = pt.get("critical_path")
+        if not isinstance(cp, dict):
+            errors.append(f"{where}: missing critical_path object")
+            continue
+        cp_errors = []
+        if not _is_num(cp.get("seconds")) or cp["seconds"] < 0.0:
+            cp_errors.append(f"{where}.critical_path: seconds must be a "
+                             "non-negative number")
+        if _phase_map_ok(cp.get("phases"), f"{where}.critical_path.phases",
+                         cp_errors) and not cp_errors:
+            total = sum(cp["phases"].values())
+            tol = 1e-6 * max(cp["seconds"], 1.0)
+            if abs(total - cp["seconds"]) > tol:
+                cp_errors.append(f"{where}.critical_path: phases sum to "
+                                 f"{total!r}, seconds is {cp['seconds']!r}")
+            if _is_num(pt.get("t_fock")) and \
+                    cp["seconds"] > pt["t_fock"] * (1.0 + 1e-9):
+                cp_errors.append(f"{where}.critical_path: longer than t_fock")
+        errors.extend(cp_errors)
     return errors
 
 
@@ -317,6 +489,9 @@ def main() -> int:
                     help="t_int benchmark JSON (BENCH_tint.json)")
     ap.add_argument("--comm", type=pathlib.Path,
                     help="transport comm profile JSON (BENCH_comm.json)")
+    ap.add_argument("--scale", type=pathlib.Path,
+                    help="scale-sweep JSON from bench_scale "
+                         "(BENCH_scale.json)")
     ap.add_argument("--expect-ranks", type=int, default=None,
                     help="require phase spans for ranks 0..N-1 in the trace")
     ap.add_argument("--require-counter", action="append", default=[],
@@ -325,9 +500,9 @@ def main() -> int:
                     metavar="X", help="require tint speedup_batched >= X")
     args = ap.parse_args()
     if args.trace is None and args.report is None and args.tint is None \
-            and args.comm is None:
+            and args.comm is None and args.scale is None:
         ap.error("nothing to validate; pass --trace, --report, --tint, "
-                 "and/or --comm")
+                 "--comm, and/or --scale")
 
     errors: list[str] = []
     if args.trace is not None:
@@ -346,6 +521,10 @@ def main() -> int:
         data = _load(args.comm, errors)
         if data is not None:
             errors.extend(validate_comm(data))
+    if args.scale is not None:
+        data = _load(args.scale, errors)
+        if data is not None:
+            errors.extend(validate_scale(data))
 
     for e in errors:
         print(e)
