@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -196,9 +198,30 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
   MF_THROW_IF(nshells > 0xffffffffULL,
               "GtFock: shell count exceeds 32-bit task encoding");
 
+  // Rank-failure recovery (fault/recovery.h) is armed when the installed
+  // FaultPlan can kill ranks or spares are configured; otherwise every
+  // coordinator hook below is a null check and the build path is unchanged.
+  const bool recovery_active =
+      fault::plan_has_kills() || options_.spare_ranks > 0;
+  std::unique_ptr<fault::RecoveryCoordinator> coordinator;
+  if (recovery_active) {
+    coordinator =
+        std::make_unique<fault::RecoveryCoordinator>(p, options_.spare_ranks);
+    // Adoption re-maps ownership: the transport epoch bump publishes under
+    // the coordinator lock together with the logical alive flip, so a
+    // waiter released by await_remap never races a half-done re-map.
+    coordinator->set_on_revive(
+        [&transport](std::size_t r) { transport->revive_rank(r); });
+  }
+  const auto task_key = [](const Task& t) {
+    return (static_cast<fault::TaskKey>(t.m) << 32) |
+           static_cast<fault::TaskKey>(t.n);
+  };
+
   const std::vector<TaskBlock> blocks = static_partition(nshells, grid);
   std::vector<TaskQueue> queues(p);
   std::vector<LocalBuffers> buffers(p);
+  std::vector<fault::TaskKey> all_tasks;  // exactly-once audit universe
   for (std::size_t r = 0; r < p; ++r) {
     std::vector<Task> initial;
     for (std::size_t m = blocks[r].row_begin; m < blocks[r].row_end; ++m) {
@@ -211,6 +234,7 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
         if (!symmetry_check(m, n)) continue;
         initial.push_back({static_cast<std::uint32_t>(m),
                            static_cast<std::uint32_t>(n)});
+        if (recovery_active) all_tasks.push_back(task_key(initial.back()));
       }
     }
     queues[r].push_initial(std::move(initial));
@@ -218,6 +242,31 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
 
   GtFockResult result;
   result.ranks.resize(p);
+
+  // Issues one one-sided op with transient-fault retries; a permanent
+  // DeadRankError instead escalates to the recovery coordinator: wait for
+  // the dead rank's re-map and re-issue the whole op, or — when no parked
+  // spare can ever adopt it — fall through to the replica channel
+  // (fault::BypassGuard, the shadow-copy path on which distributed block
+  // storage survives rank death). Bounded: each successful wait consumes
+  // one revive, and a plan fires at most kMaxKillRules kills.
+  auto resilient = [&](fault::OpClass c, std::size_t rank, auto op) {
+    for (std::size_t remap = 0; remap <= fault::detail::kMaxKillRules;
+         ++remap) {
+      try {
+        fault::with_retry(c, rank, op);
+        return;
+      } catch (const fault::DeadRankError& e) {
+        if (coordinator != nullptr && e.rank() < p &&
+            coordinator->await_remap(e.rank())) {
+          continue;  // re-mapped: re-issue against the adopted rank
+        }
+        break;  // unrecoverable here: degrade to the replica channel
+      }
+    }
+    fault::BypassGuard replica;
+    op();
+  };
 
   // Fetch a footprint rectangle of D with one Get per run pair, and flush a
   // W rectangle with one Acc per run pair — these are the one-sided
@@ -238,10 +287,15 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
                                    ? basis_.shell_offset(crun.second)
                                    : basis_.num_functions();
         std::vector<double> buf((r1 - r0) * (c1 - c0));
+        // Kill points sit between gets, never inside one: a prefetch death
+        // loses only whole rectangles, and the adopter redoes the prefetch
+        // from scratch (the publication flag was never set).
+        fault::kill_point(fault::BuildPhase::kPrefetch, rank);
         // Injected transient get failures retry with capped backoff; an
         // exhausted budget re-issues the get fault-free (owner-direct
         // fallback) — faults perturb timing, never the fetched data.
-        fault::with_retry(fault::OpClass::kGet, rank, [&] {
+        // comm-ok(resilient = with_retry + dead-rank remap + replica)
+        resilient(fault::OpClass::kGet, rank, [&] {
           d_ga.get(rank, r0, r1, c0, c1, buf.data());
         });
         for (std::size_t r = 0; r < r1 - r0; ++r) {
@@ -279,8 +333,11 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
         }
         // Accumulates must not be dropped or doubled: injection happens
         // before the transfer touches the target block, so a retried acc
-        // applies exactly once.
-        fault::with_retry(fault::OpClass::kAcc, rank, [&] {
+        // applies exactly once. No kill point inside flush_w — a flush
+        // unit is atomic with respect to kills (all accs or none); the
+        // kFlush kill points sit just before each flush_w call site.
+        // comm-ok(resilient = with_retry + dead-rank remap + replica)
+        resilient(fault::OpClass::kAcc, rank, [&] {
           w_ga.acc(rank, r0, r1, c0, c1, buf.data());
         });
         col_off += c1 - c0;
@@ -289,7 +346,13 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     }
   };
 
-  auto rank_main = [&](std::size_t rank) {
+  // One logical rank's full life. `adopted` is null for a first-incarnation
+  // worker; a spare adopting a dead rank passes its Assignment, re-executes
+  // the lost flush units first (attributed to the "recovery" phase), then
+  // continues the rank's normal drain/steal/flush. The driver drain reuses
+  // the same body under fault::BypassGuard when the spare pool is exhausted
+  // — kill points and injection go quiet, the commit ledger still runs.
+  auto rank_body = [&](std::size_t rank, const fault::Assignment* adopted) {
     // Bind the simulated rank to this thread so trace events (and log
     // lines) carry it; the exporter renders each rank as its own process.
     ThreadRankScope rank_scope(static_cast<int>(rank));
@@ -307,19 +370,6 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
       task_hist = &mreg.histogram("gtfock.task.duration_ns");
       steal_hist = &mreg.histogram("gtfock.steal.latency_ns");
     }
-
-    // phase: prefetch — Algorithm 4 lines 3-4.
-    WallTimer prefetch_timer;
-    LocalBuffers& mine = buffers[rank];
-    {
-      MF_TRACE_SPAN("phase", "prefetch");
-      mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
-      fetch_d(rank, mine.footprint, mine.d_local);
-      mine.ready.store(true, std::memory_order_release);
-    }
-    std::vector<double> w_local(
-        mine.footprint.num_functions * mine.footprint.num_functions, 0.0);
-    stats.prefetch_seconds = prefetch_timer.seconds();
 
     EriEngine engine(options_.eri);
     // The pair list is immutable and shared read-only by every rank thread;
@@ -350,11 +400,98 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
           });
     };
 
+    LocalBuffers& mine = buffers[rank];
+    if (adopted == nullptr) {
+      // phase: prefetch — Algorithm 4 lines 3-4.
+      WallTimer prefetch_timer;
+      {
+        MF_TRACE_SPAN("phase", "prefetch");
+        mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
+        fetch_d(rank, mine.footprint, mine.d_local);
+        mine.ready.store(true, std::memory_order_release);
+      }
+      stats.prefetch_seconds += prefetch_timer.seconds();
+    } else {
+      // Adoption. The distributed D/W blocks survived the death (shadow
+      // copies, FT-ARMCI style); only rank-LOCAL state must be re-created.
+      // The dead incarnation's writes to `mine` happen-before this read:
+      // its report_death and our assignment both went through the
+      // coordinator mutex. Kill points stay armed under this rank identity,
+      // so chained rules can kill the spare too.
+      MF_TRACE_SPAN("phase", "recovery");
+      if (!mine.ready.load(std::memory_order_acquire)) {
+        // Died before publishing its prefetch: redo it whole.
+        WallTimer prefetch_timer;
+        mine.footprint = block_footprint(basis_, screening_, blocks[rank]);
+        fetch_d(rank, mine.footprint, mine.d_local);
+        mine.ready.store(true, std::memory_order_release);
+        stats.prefetch_seconds += prefetch_timer.seconds();
+      }
+      for (const fault::ReexecGroup& g : adopted->lost) {
+        // Re-create the home rank's footprint/D view: our own buffer for
+        // owned-queue losses, the victim's published buffer for losses from
+        // a raid the dead incarnation hadn't flushed (copied like a thief
+        // would), or a fresh fetch if the victim never published.
+        BlockFootprint fp_store;
+        const BlockFootprint* fp = nullptr;
+        std::vector<double> d_copy;
+        const double* d_ptr = nullptr;
+        if (g.home_rank == rank) {
+          fp = &mine.footprint;
+          d_ptr = mine.d_local.data();
+        } else {
+          LocalBuffers& hb = buffers[g.home_rank];
+          if (hb.ready.load(std::memory_order_acquire)) {
+            fp = &hb.footprint;
+            d_copy = hb.d_local;
+          } else {
+            fp_store =
+                block_footprint(basis_, screening_, blocks[g.home_rank]);
+            fp = &fp_store;
+            fetch_d(rank, *fp, d_copy);
+          }
+          d_ptr = d_copy.data();
+          stats.comm.record('g', d_copy.size() * sizeof(double), true);
+          transport->charge_transfer(rank, g.home_rank,
+                                     d_copy.size() * sizeof(double));
+        }
+        std::vector<double> w_re(fp->num_functions * fp->num_functions, 0.0);
+        const fault::RecoveryCoordinator::UnitId unit =
+            coordinator->open_unit(rank, g.home_rank);
+        coordinator->record_tasks(unit, g.tasks);
+        for (const fault::TaskKey key : g.tasks) {
+          fault::kill_point(fault::BuildPhase::kCompute, rank);
+          const Task t{static_cast<std::uint32_t>(key >> 32),
+                       static_cast<std::uint32_t>(key & 0xffffffffULL)};
+          WallTimer timer;
+          dotask(t, *fp, d_ptr, w_re.data());
+          stats.compute_seconds += timer.seconds();
+          ++stats.tasks_reexecuted;
+        }
+        fault::kill_point(fault::BuildPhase::kFlush, rank);
+        flush_w(rank, *fp, w_re);
+        coordinator->commit_unit(unit);
+      }
+    }
+
+    std::vector<double> w_local(
+        mine.footprint.num_functions * mine.footprint.num_functions, 0.0);
+    fault::RecoveryCoordinator::UnitId own_unit =
+        fault::RecoveryCoordinator::kNoUnit;
+    if (coordinator != nullptr) own_unit = coordinator->open_unit(rank, rank);
+
     // phase: compute — drain the local queue (Algorithm 4 lines 5-8).
     {
       MF_TRACE_SPAN("phase", "compute");
       Task task;
       while (queues[rank].pop_front(task)) {
+        // Ledger before kill point: a task that left the queue is either
+        // executed-and-committed or found in a lost unit at the executor's
+        // death — never silently dropped between pop and execution.
+        if (own_unit != fault::RecoveryCoordinator::kNoUnit) {
+          coordinator->record_task(own_unit, task_key(task));
+        }
+        fault::kill_point(fault::BuildPhase::kCompute, rank);
         // Per-task spans are sampled (1 in 16) so a full-size run cannot
         // blow the fixed trace buffers; the histogram sees every task.
         obs::SpanGuard task_span = (stats.tasks_owned % 16 == 0)
@@ -373,8 +510,13 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
 
     // Work stealing (Section III-F): scan the grid row-wise starting from
     // our own row; per victim, copy its D buffer once and keep a dedicated
-    // W buffer, flushed when we move on.
-    if (options_.work_stealing && p > 1) {
+    // W buffer, flushed when we move on. The driver's inline drain (bypass
+    // channel) must NOT steal: it revives every remaining dead rank up
+    // front and then runs their recoveries one at a time, so a victim can
+    // be alive with a full queue and no executor to ever publish its D
+    // buffer — the liveness spin below would hang. Each drained assignment
+    // pops its own queue, so skipping the scan loses no work.
+    if (options_.work_stealing && p > 1 && !fault::bypassed()) {
       MF_TRACE_SPAN("phase", "steal");
       const std::size_t my_row = grid.row_of(rank);
       bool found_work = true;
@@ -385,6 +527,10 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
           for (std::size_t j = 0; j < grid.cols() && !found_work; ++j) {
             const std::size_t victim = grid.rank_of(row, j);
             if (victim == rank) continue;
+            // Dead victims are not probed: their queue is drained by the
+            // adopting spare (or the driver), and an unpublished D buffer
+            // must never be spun on.
+            if (!transport->rank_alive(victim)) continue;
             ++stats.steal_probes;
             stats.comm.record('r', sizeof(long), true);
             // The probe is a modeled remote atomic on the victim's queue;
@@ -408,29 +554,69 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
                   static_cast<std::int64_t>(steal_timer.seconds() * 1e9));
             }
 
-            // Copy the victim's D buffer (it is immutable after prefetch).
+            // Copy the victim's D buffer (it is immutable after prefetch;
+            // once published, ready is never cleared, so no adopter writes
+            // race this read). The spin doubles as a liveness check: a
+            // victim that died before publishing will never set ready, so
+            // instead of waiting forever the thief rebuilds the victim's
+            // footprint itself and fetches D from the distributed array —
+            // which survives the death — and the raid proceeds as normal
+            // drain-and-redistribute.
             LocalBuffers& vb = buffers[victim];
+            bool victim_published = true;
             while (!vb.ready.load(std::memory_order_acquire)) {
+              if (!transport->rank_alive(victim)) {
+                victim_published = false;
+                break;
+              }
               std::this_thread::yield();
             }
-            // The copy IS the modeled one-sided Get of the victim's buffer.
-            // NOLINTNEXTLINE(performance-unnecessary-copy-initialization)
-            std::vector<double> d_copy = vb.d_local;
-            stats.comm.record('g', d_copy.size() * sizeof(double), true);
-            transport->charge_transfer(rank, victim,
-                                       d_copy.size() * sizeof(double));
-            std::vector<double> w_steal(d_copy.size(), 0.0);
+            BlockFootprint vfp_store;
+            const BlockFootprint* vfp = &vb.footprint;
+            std::vector<double> d_copy;
+            if (victim_published) {
+              // The copy IS the modeled one-sided Get of the victim's
+              // buffer.
+              d_copy = vb.d_local;
+              stats.comm.record('g', d_copy.size() * sizeof(double), true);
+              transport->charge_transfer(rank, victim,
+                                         d_copy.size() * sizeof(double));
+            } else {
+              vfp_store = block_footprint(basis_, screening_, blocks[victim]);
+              vfp = &vfp_store;
+              fetch_d(rank, *vfp, d_copy);
+            }
+            std::vector<double> w_steal(
+                vfp->num_functions * vfp->num_functions, 0.0);
+
+            // One flush unit per raid: every task stolen from this victim
+            // is recorded the moment it leaves the queue, and the unit
+            // commits right after the raid's single flush.
+            fault::RecoveryCoordinator::UnitId raid_unit =
+                fault::RecoveryCoordinator::kNoUnit;
+            if (coordinator != nullptr) {
+              raid_unit = coordinator->open_unit(rank, victim);
+            }
+            auto record_stolen = [&](const std::vector<Task>& batch) {
+              if (raid_unit == fault::RecoveryCoordinator::kNoUnit) return;
+              std::vector<fault::TaskKey> keys;
+              keys.reserve(batch.size());
+              for (const Task& t : batch) keys.push_back(task_key(t));
+              coordinator->record_tasks(raid_unit, keys);
+            };
+            record_stolen(stolen);
 
             // Execute the stolen block, then keep stealing from the same
             // victim while it still has work (amortizes the D copy).
             for (;;) {
               for (const Task& t : stolen) {
+                fault::kill_point(fault::BuildPhase::kCompute, rank);
                 obs::SpanGuard task_span =
                     (stats.tasks_stolen % 16 == 0)
                         ? obs::SpanGuard("task", "dotask_stolen")
                         : obs::SpanGuard();
                 WallTimer timer;
-                dotask(t, vb.footprint, d_copy.data(), w_steal.data());
+                dotask(t, *vfp, d_copy.data(), w_steal.data());
                 const double secs = timer.seconds();
                 stats.compute_seconds += secs;
                 ++stats.tasks_stolen;
@@ -450,16 +636,21 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
                 stolen = queues[victim].steal(options_.steal_fraction);
               });
               if (stolen.empty()) break;
+              record_stolen(stolen);
               MF_TRACE_INSTANT("steal", "steal");
               if (steal_hist != nullptr) {
                 steal_hist->record_ns(
                     static_cast<std::int64_t>(resteal_timer.seconds() * 1e9));
               }
             }
+            fault::kill_point(fault::BuildPhase::kFlush, rank);
             WallTimer flush_timer;
             {
               MF_TRACE_SPAN("victim_flush", "flush_stolen");
-              flush_w(rank, vb.footprint, w_steal);
+              flush_w(rank, *vfp, w_steal);
+            }
+            if (raid_unit != fault::RecoveryCoordinator::kNoUnit) {
+              coordinator->commit_unit(raid_unit);
             }
             stats.flush_seconds += flush_timer.seconds();
           }
@@ -468,22 +659,93 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     }
 
     // phase: flush — our own F buffer (Algorithm 4 line 9).
+    fault::kill_point(fault::BuildPhase::kFlush, rank);
     WallTimer flush_timer;
     {
       MF_TRACE_SPAN("phase", "flush");
       flush_w(rank, mine.footprint, w_local);
     }
+    if (own_unit != fault::RecoveryCoordinator::kNoUnit) {
+      coordinator->commit_unit(own_unit);
+    }
     stats.flush_seconds += flush_timer.seconds();
 
-    stats.quartets_computed = engine.shell_quartets_computed();
-    stats.integrals_computed = engine.integrals_computed();
-    stats.total_seconds = total_timer.seconds();
+    // Accumulate (not assign): an adopting spare's run merges into the
+    // stats of the dead incarnation it replaced.
+    stats.quartets_computed += engine.shell_quartets_computed();
+    stats.integrals_computed += engine.integrals_computed();
+    stats.total_seconds += total_timer.seconds();
   };
 
+  auto rank_main = [&](std::size_t rank) {
+    try {
+      rank_body(rank, nullptr);
+    } catch (const fault::RankKilledError& e) {
+      // Declare the death at the transport FIRST: an adopter's revive (and
+      // epoch bump) must come after the kill's bump, never be overwritten
+      // by it. Survivors now fail fast with DeadRankError instead of
+      // hanging on this rank.
+      transport->kill_rank(rank);
+      if (coordinator != nullptr) coordinator->report_death(rank, e.phase());
+      MF_TRACE_INSTANT("fault", "rank_dead");
+    }
+  };
+
+  // Spare executors (the GA exemplar's ga_set_spare_procs pool): park on
+  // the coordinator, adopt deaths as they come, exit when the build
+  // finishes. A spare killed mid-adoption burns its executor and
+  // re-orphans the rank for the next spare or the driver drain.
+  auto spare_main = [&] {
+    for (;;) {
+      std::optional<fault::Assignment> a = coordinator->wait_for_assignment();
+      if (!a.has_value()) return;
+      WallTimer timer;
+      try {
+        rank_body(a->rank, &*a);
+        coordinator->adoption_done(
+            *a, static_cast<std::uint64_t>(timer.seconds() * 1e9));
+      } catch (const fault::RankKilledError& e) {
+        transport->kill_rank(a->rank);
+        coordinator->spare_burned();
+        coordinator->report_death(a->rank, e.phase());
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> spares;
+  if (coordinator != nullptr) {
+    spares.reserve(options_.spare_ranks);
+    for (std::size_t s = 0; s < options_.spare_ranks; ++s) {
+      spares.emplace_back(spare_main);
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(p);
   for (std::size_t r = 0; r < p; ++r) threads.emplace_back(rank_main, r);
   for (auto& t : threads) t.join();
+
+  if (coordinator != nullptr) {
+    coordinator->finish();
+    for (auto& t : spares) t.join();
+    // Spare pool exhausted (or none configured): drain remaining deaths
+    // inline on the driver through the replica channel. Degraded but still
+    // exactly-once — the same rank_body ledger discipline runs, with kill
+    // points and injection suppressed by the bypass so the drain
+    // terminates.
+    for (const fault::Assignment& a : coordinator->drain_unrecovered()) {
+      WallTimer timer;
+      fault::BypassGuard replica;
+      rank_body(a.rank, &a);
+      coordinator->record_driver_recovery(
+          a, static_cast<std::uint64_t>(timer.seconds() * 1e9));
+    }
+    result.recovery = coordinator->report();
+    // Ledger audit: every canonical task committed exactly once across
+    // deaths, adoptions, and driver drains. Throws on violation — a wrong
+    // Fock matrix must not pass silently.
+    coordinator->verify_exactly_once(all_tasks);
+  }
 
   // Collect communication stats: GA transfers plus queue atomics. The rank
   // threads are joined, but every accessor still goes through its lock —
@@ -520,6 +782,21 @@ GtFockResult GtFockBuilder::build(const Matrix& density, const Matrix& h_core) {
     mreg.set_label("gtfock.transport", transport->name());
     mreg.set_label("gtfock.grid", std::to_string(grid.rows()) + "x" +
                                       std::to_string(grid.cols()));
+    // Recovery metrics only appear when a rank actually died, so their
+    // presence in a run report is itself the "kills fired" signal the
+    // chaos artifact validator checks for.
+    if (result.recovery.rank_failures > 0) {
+      mreg.counter("fault.rank_failures").add(result.recovery.rank_failures);
+      mreg.counter("fault.recovery_ns").add(result.recovery.recovery_ns);
+      mreg.counter("fault.units_lost").add(result.recovery.units_lost);
+      mreg.counter("fault.tasks_reexecuted")
+          .add(result.recovery.tasks_reexecuted);
+      mreg.counter("fault.spare_recoveries")
+          .add(result.recovery.spare_recoveries);
+      mreg.counter("fault.driver_recoveries")
+          .add(result.recovery.driver_recoveries);
+      mreg.counter("fault.spares_burned").add(result.recovery.spares_burned);
+    }
   }
 
   result.fock = finalize_fock(h_core, w_ga.to_matrix());

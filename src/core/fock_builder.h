@@ -25,6 +25,7 @@
 #include "core/fock_task.h"
 #include "eri/eri_engine.h"
 #include "eri/screening.h"
+#include "fault/recovery.h"
 #include "ga/comm_stats.h"
 #include "ga/process_grid.h"
 #include "ga/transport.h"
@@ -46,6 +47,11 @@ struct GtFockOptions {
   /// movement with dsim virtual time, so the result carries nonzero
   /// sim_comm_seconds while the Fock matrix stays numerically exact.
   TransportOptions transport;
+  /// Spare executors parked on the recovery coordinator (the GA exemplar's
+  /// ga_set_spare_procs): when an installed FaultPlan kills a rank, a spare
+  /// adopts its identity and work. With 0 spares, deaths are drained by the
+  /// build driver after the survivors finish (degraded but still correct).
+  std::size_t spare_ranks = 0;
 
   ProcessGrid resolved_grid() const {
     return grid.has_value() ? *grid : ProcessGrid::squarest(nprocs);
@@ -56,6 +62,7 @@ struct GtFockRankStats {
   TaskBlock initial_block;
   std::uint64_t tasks_owned = 0;           // executed from the own queue
   std::uint64_t tasks_stolen = 0;          // executed from victims
+  std::uint64_t tasks_reexecuted = 0;      // lost-unit tasks re-run here
   std::uint64_t steal_victims = 0;         // distinct victims (model's s)
   std::uint64_t steal_probes = 0;          // queue probes during scans
   std::uint64_t queue_atomic_ops = 0;      // atomic ops on THIS rank's queue
@@ -75,6 +82,11 @@ struct GtFockRankStats {
 struct GtFockResult {
   Matrix fock;
   std::vector<GtFockRankStats> ranks;
+
+  /// Rank-failure recovery outcome (all-zero when no FaultPlan kill fired):
+  /// failures, who recovered them (spare vs driver), re-executed task
+  /// counts, and per-failure recovery overhead in ns.
+  fault::RecoveryReport recovery;
 
   /// Per-rank {finish, compute} samples for obs::derive_metrics — the
   /// load-balance / overhead accessors below are thin wrappers over that

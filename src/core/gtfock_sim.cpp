@@ -30,6 +30,13 @@ struct RankState {
   // Steal scan state.
   std::size_t scan_index = 0;
   std::size_t scans_without_work = 0;
+
+  // Rank-failure bookkeeping: lifetime task count (kill-rule trigger) and
+  // work executed since the last commit point (what a death loses — the
+  // final flush, or the commit ending a previous recovery).
+  std::uint64_t tasks_done = 0;
+  std::uint64_t tasks_since_commit = 0;
+  SimTime comp_since_commit = 0.0;
 };
 
 std::uint64_t pack(std::size_t m, std::size_t n) {
@@ -205,6 +212,20 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
     return grid.rank_of(row, index % grid.cols());
   };
 
+  // Rank-failure machinery (options.kills): each rule fires once, at the
+  // first task boundary where the rank's lifetime task count reaches it.
+  std::vector<bool> kill_fired(options.kills.size(), false);
+  std::size_t spares_free = options.spare_ranks;
+  auto pending_kill = [&](std::size_t rank, std::uint64_t done) {
+    for (std::size_t i = 0; i < options.kills.size(); ++i) {
+      if (!kill_fired[i] && options.kills[i].rank == rank &&
+          done >= options.kills[i].after_tasks) {
+        return static_cast<std::int64_t>(i);
+      }
+    }
+    return static_cast<std::int64_t>(-1);
+  };
+
   while (!events.empty()) {
     const SimEvent ev = events.pop();
     const std::size_t r = ev.rank;
@@ -218,6 +239,43 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
 
     switch (st.phase) {
       case RankState::Phase::kOwnTasks: {
+        // Rank death fires at task boundaries only (mirroring the threaded
+        // builder's kill points): the slot loses its prefetched D and every
+        // task executed since its last commit, then resumes after paying
+        // detection latency, a full re-prefetch, and the lost compute — a
+        // spare adoption while the pool lasts, a serialized in-place
+        // restart (driver recovery) after.
+        const std::int64_t ki = pending_kill(r, st.tasks_done);
+        if (ki >= 0) {
+          kill_fired[static_cast<std::size_t>(ki)] = true;
+          ++result.rank_failures;
+          if (spares_free > 0) {
+            --spares_free;
+            ++result.spare_recoveries;
+          } else {
+            ++result.driver_recoveries;
+          }
+          SimTime rec = options.recovery_latency;
+          rec += static_cast<double>(st.prefetch_calls) * net.latency +
+                 static_cast<double>(st.prefetch_bytes) / net.bandwidth;
+          rec += st.comp_since_commit;  // re-execute the lost tasks
+          rep.comm_calls += st.prefetch_calls;
+          rep.comm_bytes += st.prefetch_bytes;
+          rep.comp_time += st.comp_since_commit;
+          result.tasks_reexecuted += st.tasks_since_commit;
+          result.recovery_time += rec;
+          // The recovery's re-executed work commits immediately (the
+          // builder's exactly-once ledger does the same): a chained kill
+          // later loses only work done after this point.
+          st.tasks_since_commit = 0;
+          st.comp_since_commit = 0.0;
+          if (tl != nullptr) {
+            cause = tl->push(static_cast<std::int32_t>(r),
+                             obs::Phase::kRecovery, now, now + rec, cause);
+          }
+          events.schedule(now + rec, ev.rank, cause);
+          break;
+        }
         // phase: compute — pop from the own (node-local) queue, serialized
         // against thieves.
         const SimTime arrive = now;
@@ -258,6 +316,9 @@ GtFockSimResult simulate_gtfock(const Basis& basis,
         const std::size_t n = static_cast<std::size_t>(t & 0xffffffffu);
         const double seconds = costs.task_integrals(m, n) * per_integral;
         rep.comp_time += seconds;
+        ++st.tasks_done;
+        ++st.tasks_since_commit;
+        st.comp_since_commit += seconds;
         if (owner_of(t) == r) {
           ++rep.tasks_owned;
         } else {

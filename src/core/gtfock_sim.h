@@ -54,6 +54,27 @@ struct GtFockSimOptions {
   /// progress. Off by default — recording allocates per task.
   bool collect_timeline = false;
 
+  /// Deterministic rank-failure injection, the DES analog of the threaded
+  /// builder's fault::KillRule: the rank dies at the task boundary after it
+  /// has executed `after_tasks` tasks (0 = right after prefetch). Recovery
+  /// is charged in virtual time — detection/failover latency, a full
+  /// re-prefetch, and re-execution of every task lost since the last
+  /// commit — and attributed to the "recovery" phase in the timeline.
+  struct SimKillRule {
+    std::size_t rank = 0;
+    std::uint64_t after_tasks = 0;
+  };
+  std::vector<SimKillRule> kills;
+  /// Spare process slots (ga_set_spare_procs): each recovery consumes one;
+  /// kills past the pool are modeled as serialized in-place restarts with
+  /// the same cost structure and counted as driver_recoveries — the DES
+  /// approximates the functional builder's driver drain, it does not model
+  /// its end-of-build ordering.
+  std::size_t spare_ranks = 0;
+  /// Fixed failure-detection + spare-wire-up latency per recovery, paid
+  /// before the re-prefetch (seconds of virtual time).
+  SimTime recovery_latency = 0.0;
+
   std::size_t num_processes() const {
     const std::size_t per = static_cast<std::size_t>(machine.cores_per_node);
     return std::max<std::size_t>(1, total_cores / per);
@@ -77,6 +98,14 @@ struct SimRankReport {
 struct GtFockSimResult {
   std::vector<SimRankReport> ranks;
   std::uint64_t total_quartets = 0;
+  /// Rank-failure recovery totals (all-zero when options.kills is empty):
+  /// who paid for each recovery and how much virtual time it cost. Mirrors
+  /// the threaded builder's fault::RecoveryReport shape.
+  std::uint64_t rank_failures = 0;
+  std::uint64_t spare_recoveries = 0;
+  std::uint64_t driver_recoveries = 0;
+  std::uint64_t tasks_reexecuted = 0;
+  SimTime recovery_time = 0.0;  // summed over recoveries
   /// Populated when options.collect_timeline is set; feeds
   /// obs::analyze_timeline. The per-rank flush spans end at fock_time and
   /// compute spans sum to comp_time, so the analysis reproduces the scalar

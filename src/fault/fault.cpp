@@ -22,6 +22,18 @@ const char* op_class_name(OpClass c) {
   return "unknown";
 }
 
+const char* build_phase_name(BuildPhase p) {
+  switch (p) {
+    case BuildPhase::kPrefetch:
+      return "prefetch";
+    case BuildPhase::kCompute:
+      return "compute";
+    case BuildPhase::kFlush:
+      return "flush";
+  }
+  return "unknown";
+}
+
 void install(const FaultPlan& plan) {
   detail::PlanState& st = detail::plan_state();
   // Quiescence is the caller's contract: no thread is inside an injection
@@ -58,6 +70,14 @@ void clear() {
   publish("retries", s.retries);
   publish("exhausted", s.exhausted);
   publish("fallbacks", s.fallbacks);
+  publish("permanent", s.permanent);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  for (std::size_t p = 0; p < kNumBuildPhases; ++p) {
+    if (s.kills[p] == 0) continue;  // kill-free runs stay fault.kill.*-free
+    reg.counter(std::string("fault.kill.") +
+                build_phase_name(static_cast<BuildPhase>(p)))
+        .add(s.kills[p]);
+  }
 }
 
 FaultStats stats() {
@@ -69,6 +89,10 @@ FaultStats stats() {
     s.retries[c] = st.retries[c].load();
     s.exhausted[c] = st.exhausted[c].load();
     s.fallbacks[c] = st.fallbacks[c].load();
+    s.permanent[c] = st.permanent[c].load();
+  }
+  for (std::size_t p = 0; p < kNumBuildPhases; ++p) {
+    s.kills[p] = st.kills[p].load();
   }
   return s;
 }

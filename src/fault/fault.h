@@ -15,6 +15,18 @@
 //     exponential backoff, falling back to a fault-free "owner-direct"
 //     re-issue of the operation when the budget is exhausted).
 //
+// Beyond transient faults, a plan can carry whole-rank KillRules: rank r
+// dies at its (after+1)-th kill point of a named build phase. Kill points
+// sit at operation boundaries in the builders (between one-sided ops /
+// tasks, never inside one), so a fired kill unwinds the rank via
+// RankKilledError with every completed operation fully applied and every
+// uncompleted one never started — the task-level idempotence the recovery
+// coordinator (fault/recovery.h) builds on. Operations that target a rank
+// declared dead at the transport fail fast with DeadRankError, a PERMANENT
+// CommError: with_retry/try_with_retry propagate it immediately instead of
+// burning the transient-retry budget (the recovery coordinator, not
+// backoff, is the correct response to a dead peer).
+//
 // Determinism contract
 // --------------------
 // The decision for the k-th consultation of operation class c by rank r is
@@ -43,6 +55,7 @@
 // and clearing after joining them. All mutable state is atomics with
 // documented protocols — no locks on the injection path.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -69,6 +82,18 @@ inline constexpr std::size_t kNumOpClasses = 6;
 
 const char* op_class_name(OpClass c);
 
+/// Build phases at which a seeded whole-rank kill can fire. These name the
+/// kill-point boundaries the builders expose, matching the phase spans the
+/// obs layer traces.
+enum class BuildPhase : int {
+  kPrefetch = 0,  // between the per-run D gets of the initial prefetch
+  kCompute,       // between task executions (own-queue and stolen)
+  kFlush,         // before a local W buffer's flush unit
+};
+inline constexpr std::size_t kNumBuildPhases = 3;
+
+const char* build_phase_name(BuildPhase p);
+
 /// Transient communication failure surfaced by an injection site. Callers
 /// retry with a bounded budget (enforced by tools/lint's bounded-retry
 /// rule) and degrade gracefully on exhaustion.
@@ -84,9 +109,55 @@ class CommError : public std::runtime_error {
   OpClass op() const { return op_; }
   std::size_t rank() const { return rank_; }
 
+ protected:
+  CommError(OpClass op, std::size_t rank, const std::string& what)
+      : std::runtime_error(what), op_(op), rank_(rank) {}
+
  private:
   OpClass op_;
   std::size_t rank_;
+};
+
+/// PERMANENT communication failure: the operation targeted a rank the
+/// transport has declared dead. Unlike the transient base class, retrying
+/// cannot succeed — with_retry/try_with_retry rethrow it immediately
+/// (budget untouched) and the caller escalates to the recovery coordinator
+/// or to the replica channel (BypassGuard). Carries the epoch the target
+/// was in when the op was issued so stale-handle failures are attributable.
+class DeadRankError : public CommError {
+ public:
+  DeadRankError(OpClass op, std::size_t dead_rank, std::uint64_t epoch)
+      : CommError(op, dead_rank,
+                  std::string("permanent failure: ") + op_class_name(op) +
+                      " targeting dead rank " + std::to_string(dead_rank) +
+                      " (epoch " + std::to_string(epoch) + ")"),
+        epoch_(epoch) {}
+
+  /// rank() (inherited) is the DEAD rank the op targeted, not the caller.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::uint64_t epoch_;
+};
+
+/// Thrown BY a dying rank at a fired kill point: unwinds the rank's
+/// executor so the recovery coordinator can hand its work to a spare. Not a
+/// CommError — nothing about it should be retried.
+class RankKilledError : public std::runtime_error {
+ public:
+  RankKilledError(std::size_t rank, BuildPhase phase)
+      : std::runtime_error(std::string("injected rank failure: rank ") +
+                           std::to_string(rank) + " killed in " +
+                           build_phase_name(phase) + " phase"),
+        rank_(rank),
+        phase_(phase) {}
+
+  std::size_t rank() const { return rank_; }
+  BuildPhase phase() const { return phase_; }
+
+ private:
+  std::size_t rank_;
+  BuildPhase phase_;
 };
 
 /// Per-operation-class rule. Probabilities are evaluated on independent
@@ -97,10 +168,25 @@ struct OpRule {
   std::uint64_t delay_ns = 0;  // busy-wait when the delay draw fires
 };
 
+/// One seeded whole-rank failure: `rank` dies when it reaches its
+/// (after+1)-th kill point of `phase`. Counter-triggered, not
+/// probabilistic, so a kill schedule replays exactly from the plan alone
+/// (per-rank kill-point counts are deterministic whenever the per-rank
+/// operation schedule is). Each rule fires at most once per install().
+struct KillRule {
+  std::size_t rank = 0;
+  BuildPhase phase = BuildPhase::kCompute;
+  std::uint64_t after = 0;
+};
+
 /// A complete seeded fault schedule. Value-semantic: installing copies it.
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::array<OpRule, kNumOpClasses> rules{};
+
+  /// Whole-rank failures (see KillRule). At most detail::kMaxKillRules
+  /// entries are consulted.
+  std::vector<KillRule> kills;
 
   /// Per-rank multiplier on injected delay_ns (empty = 1.0 for all ranks):
   /// the paper's "wildly different process speeds" knob. Ranks beyond the
@@ -133,10 +219,21 @@ struct FaultStats {
   std::array<std::uint64_t, kNumOpClasses> retries{};    // caught + retried
   std::array<std::uint64_t, kNumOpClasses> exhausted{};  // budgets spent
   std::array<std::uint64_t, kNumOpClasses> fallbacks{};  // owner-direct runs
+  /// DeadRankErrors classified permanent by with_retry/try_with_retry
+  /// (propagated without burning the retry budget), per op class.
+  std::array<std::uint64_t, kNumOpClasses> permanent{};
+  /// Fired KillRules per build phase.
+  std::array<std::uint64_t, kNumBuildPhases> kills{};
 
   std::uint64_t total_injected() const {
     std::uint64_t t = 0;
     for (std::uint64_t v : injected) t += v;
+    return t;
+  }
+
+  std::uint64_t total_kills() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : kills) t += v;
     return t;
   }
 };
@@ -146,6 +243,10 @@ namespace detail {
 /// Decision streams are per (rank, class); ranks at or beyond kMaxRanks
 /// share the last slot (simulated grids are far smaller).
 inline constexpr std::size_t kMaxRanks = 256;
+
+/// KillRules beyond this count are ignored (chaos schedules kill a handful
+/// of ranks, not dozens; the fixed array keeps PlanState allocation-free).
+inline constexpr std::size_t kMaxKillRules = 64;
 
 /// SplitMix64 finalizer: the stateless mix underlying every decision draw.
 inline std::uint64_t mix64(std::uint64_t z) {
@@ -178,17 +279,37 @@ struct PlanState {
   std::array<std::atomic<std::uint64_t>, kNumOpClasses> exhausted{};
   // lint: unguarded(independent monotone counters; read after quiescence)
   std::array<std::atomic<std::uint64_t>, kNumOpClasses> fallbacks{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> permanent{};
+
+  // Per-(rank, phase) kill-point counters: the positions kill rules trigger
+  // on. Same cursor discipline as seq.
+  // lint: unguarded(monotone stream cursors; fetch_add is the protocol)
+  std::array<std::array<std::atomic<std::uint64_t>, kNumBuildPhases>,
+             kMaxRanks>
+      kill_seq{};
+  // One fire-once latch per plan.kills entry.
+  // lint: unguarded(fire-once latch; exchange is the protocol)
+  std::array<std::atomic<bool>, kMaxKillRules> kill_fired{};
+  // lint: unguarded(independent monotone counters; read after quiescence)
+  std::array<std::atomic<std::uint64_t>, kNumBuildPhases> kills{};
 
   void reset_counters() {
     for (auto& per_rank : seq) {
       for (auto& c : per_rank) c.store(0);
     }
+    for (auto& per_rank : kill_seq) {
+      for (auto& c : per_rank) c.store(0);
+    }
+    for (auto& f : kill_fired) f.store(false);
+    for (auto& k : kills) k.store(0);
     for (std::size_t c = 0; c < kNumOpClasses; ++c) {
       injected[c].store(0);
       delays[c].store(0);
       retries[c].store(0);
       exhausted[c].store(0);
       fallbacks[c].store(0);
+      permanent[c].store(0);
     }
   }
 };
@@ -257,6 +378,11 @@ inline bool active() {
   return detail::g_fault_active.load(std::memory_order_acquire);
 }
 
+/// True while this thread holds a BypassGuard — the replica/recovery
+/// channel. Injection sites, kill points, and the transport's dead-rank
+/// checks are all suppressed under it.
+inline bool bypassed() { return detail::t_bypass_depth > 0; }
+
 /// Installs `plan` process-wide and zeroes the fault counters. Requires
 /// quiescence (no thread inside an injection site).
 void install(const FaultPlan& plan);
@@ -289,6 +415,38 @@ inline void dispatch_delay() {
   detail::consult(OpClass::kDispatch, 0, /*allow_fail=*/false);
 }
 
+/// True while the installed plan carries KillRules — the builders' gate for
+/// constructing recovery machinery (coordinator, commit ledger).
+inline bool plan_has_kills() {
+  return active() && !detail::plan_state().plan.kills.empty();
+}
+
+/// Consults the plan's KillRules at one named kill point reached by `rank`.
+/// Throws RankKilledError when a rule fires (at most once per rule per
+/// install). Kill points are placed at operation boundaries only, so a
+/// fired kill leaves no operation half-applied. No-op (one load + branch)
+/// without kill rules or under a BypassGuard (the recovery/replica channel
+/// must not die mid-recovery at its own kill point).
+inline void kill_point(BuildPhase phase, std::size_t rank) {
+  if (!active() || detail::t_bypass_depth > 0) return;
+  detail::PlanState& st = detail::plan_state();
+  if (st.plan.kills.empty()) return;
+  const std::size_t pi = static_cast<std::size_t>(phase);
+  const std::size_t slot =
+      rank < detail::kMaxRanks ? rank : detail::kMaxRanks - 1;
+  const std::uint64_t k = st.kill_seq[slot][pi].fetch_add(1);
+  const std::size_t nrules =
+      std::min(st.plan.kills.size(), detail::kMaxKillRules);
+  for (std::size_t i = 0; i < nrules; ++i) {
+    const KillRule& rule = st.plan.kills[i];
+    if (rule.rank != rank || rule.phase != phase || rule.after != k) continue;
+    if (st.kill_fired[i].exchange(true)) continue;  // fire once per install
+    st.kills[pi].fetch_add(1);
+    MF_TRACE_INSTANT("fault", "kill");
+    throw RankKilledError(rank, phase);
+  }
+}
+
 /// RAII suppression of injection on this thread: the recovery channel the
 /// fallback path uses to re-issue an exhausted operation fault-free (the
 /// "owner-direct" transfer a real runtime would fall back to).
@@ -300,11 +458,13 @@ class BypassGuard {
   BypassGuard& operator=(const BypassGuard&) = delete;
 };
 
-/// Runs `fn` with the plan's bounded retry budget: on CommError, backs off
-/// (exponential, from backoff_base_ns) and retries. Returns true when `fn`
-/// completed; false when the budget was exhausted (the caller degrades —
-/// e.g. a thief skips the victim this scan). Without a plan, runs `fn`
-/// once with zero overhead.
+/// Runs `fn` with the plan's bounded retry budget: on transient CommError,
+/// backs off (exponential, from backoff_base_ns) and retries. Returns true
+/// when `fn` completed; false when the budget was exhausted (the caller
+/// degrades — e.g. a thief skips the victim this scan). A DeadRankError is
+/// permanent and propagates immediately, budget untouched. Without a plan,
+/// runs `fn` once with zero overhead (a DeadRankError from a test-killed
+/// transport still propagates).
 template <typename Fn>
 bool try_with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
   if (!active()) {
@@ -321,6 +481,14 @@ bool try_with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
     try {
       fn();
       return true;
+    } catch (const DeadRankError&) {
+      // Permanent: the target rank is dead, so a retry can never succeed.
+      // Classify, leave the transient budget untouched, and propagate — the
+      // recovery coordinator (or the caller's replica fallback) owns this
+      // failure, not backoff.
+      st.permanent[ci].fetch_add(1);
+      MF_TRACE_INSTANT("fault", "permanent");
+      throw;
     } catch (const CommError&) {
       if (attempt == budget) break;
       st.retries[ci].fetch_add(1);
@@ -337,7 +505,9 @@ bool try_with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
 /// try_with_retry, then the graceful-degradation contract for data
 /// operations: an exhausted budget falls back to re-issuing `fn` once with
 /// injection bypassed (the owner-direct path), which always succeeds —
-/// faults perturb timing, never the result.
+/// faults perturb timing, never the result. A DeadRankError propagates out
+/// (permanent; the fallback is not attempted — escalation to the recovery
+/// coordinator is the caller's job).
 template <typename Fn>
 void with_retry(OpClass c, [[maybe_unused]] std::size_t rank, Fn&& fn) {
   if (try_with_retry(c, rank, fn)) return;

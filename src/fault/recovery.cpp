@@ -1,0 +1,224 @@
+#include "fault/recovery.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mf::fault {
+
+RecoveryCoordinator::RecoveryCoordinator(std::size_t nranks,
+                                         std::size_t nspares)
+    : state_(nranks, RankState::kAlive), free_spares_(nspares) {
+  MF_CHECK(nranks > 0);
+}
+
+void RecoveryCoordinator::set_on_revive(
+    std::function<void(std::size_t)> hook) {
+  MutexLock lock(mu_);
+  on_revive_ = std::move(hook);
+}
+
+RecoveryCoordinator::UnitId RecoveryCoordinator::open_unit(
+    std::size_t executor_rank, std::size_t home_rank) {
+  MutexLock lock(mu_);
+  Unit u;
+  u.executor_rank = executor_rank;
+  u.home_rank = home_rank;
+  units_.push_back(std::move(u));
+  return static_cast<UnitId>(units_.size());  // ids are 1-based; 0 = kNoUnit
+}
+
+void RecoveryCoordinator::record_task(UnitId unit, TaskKey task) {
+  MutexLock lock(mu_);
+  MF_CHECK(unit != kNoUnit && unit <= units_.size());
+  units_[unit - 1].tasks.push_back(task);
+}
+
+void RecoveryCoordinator::record_tasks(UnitId unit,
+                                       const std::vector<TaskKey>& tasks) {
+  MutexLock lock(mu_);
+  MF_CHECK(unit != kNoUnit && unit <= units_.size());
+  Unit& u = units_[unit - 1];
+  u.tasks.insert(u.tasks.end(), tasks.begin(), tasks.end());
+}
+
+void RecoveryCoordinator::commit_unit(UnitId unit) {
+  MutexLock lock(mu_);
+  MF_CHECK(unit != kNoUnit && unit <= units_.size());
+  Unit& u = units_[unit - 1];
+  MF_CHECK_MSG(!u.committed, "flush unit committed twice");
+  MF_CHECK_MSG(!u.lost, "lost unit committed by a dead executor");
+  u.committed = true;
+}
+
+void RecoveryCoordinator::report_death(std::size_t rank, BuildPhase phase) {
+  MutexLock lock(mu_);
+  MF_CHECK(rank < state_.size());
+  state_[rank] = RankState::kDeadPending;
+  // Everything this executor had in flight is lost: uncommitted units it
+  // opened. (Units a previous incarnation of `rank` lost are already
+  // marked; units it committed are durable in the distributed W.)
+  for (Unit& u : units_) {
+    if (u.executor_rank == rank && !u.committed && !u.lost) {
+      u.lost = true;
+      ++report_.units_lost;
+    }
+  }
+  ++report_.rank_failures;
+  pending_.push_back(PendingDeath{rank, phase});
+  cv_.notify_all();
+}
+
+Assignment RecoveryCoordinator::make_assignment(const PendingDeath& death) {
+  Assignment a;
+  a.rank = death.rank;
+  a.death_phase = death.phase;
+  // Group this rank's lost units by home rank: one re-created footprint and
+  // fresh flush unit per group. Units stay marked lost — the re-execution
+  // commits through NEW units, so the ledger keeps one committed record per
+  // task. Chained deaths make the lost set overlap across incarnations (a
+  // spare re-recorded the same tasks before dying itself), so collection
+  // dedupes and skips anything some incarnation already committed —
+  // otherwise a task would be handed out, and accumulated, twice.
+  std::unordered_set<TaskKey> excluded;
+  for (const Unit& u : units_) {
+    if (!u.committed) continue;
+    excluded.insert(u.tasks.begin(), u.tasks.end());
+  }
+  std::unordered_map<std::size_t, std::size_t> group_of;
+  for (const Unit& u : units_) {
+    if (!(u.executor_rank == death.rank && u.lost && !u.committed)) continue;
+    if (u.tasks.empty()) continue;
+    for (TaskKey t : u.tasks) {
+      if (!excluded.insert(t).second) continue;
+      auto [it, inserted] = group_of.emplace(u.home_rank, a.lost.size());
+      if (inserted) {
+        a.lost.push_back(ReexecGroup{u.home_rank, {}});
+      }
+      a.lost[it->second].tasks.push_back(t);
+    }
+  }
+  report_.tasks_reexecuted += a.lost_tasks();
+  state_[death.rank] = RankState::kDeadAdopted;
+  if (on_revive_) on_revive_(death.rank);
+  state_[death.rank] = RankState::kAlive;
+  cv_.notify_all();
+  return a;
+}
+
+std::optional<Assignment> RecoveryCoordinator::wait_for_assignment() {
+  MutexLock lock(mu_);
+  for (;;) {
+    if (!pending_.empty()) {
+      const PendingDeath death = pending_.front();
+      pending_.pop_front();
+      MF_CHECK(free_spares_ > 0);
+      --free_spares_;
+      cv_.notify_all();  // await_remap waiters re-check pool occupancy
+      return make_assignment(death);
+    }
+    if (finishing_) return std::nullopt;
+    cv_.wait(mu_);
+  }
+}
+
+void RecoveryCoordinator::adoption_done(const Assignment& a,
+                                        std::uint64_t ns) {
+  MutexLock lock(mu_);
+  ++free_spares_;
+  ++report_.spare_recoveries;
+  report_.recovery_ns += ns;
+  report_.failures.push_back(FailureRecord{a.rank, a.death_phase, ns, false});
+  cv_.notify_all();
+}
+
+void RecoveryCoordinator::spare_burned() {
+  MutexLock lock(mu_);
+  // The adoption's free_spares_ decrement is never paid back: the executor
+  // is gone. The re-orphaned rank re-enters pending_ via report_death.
+  ++report_.spares_burned;
+  cv_.notify_all();
+}
+
+bool RecoveryCoordinator::await_remap(std::size_t rank) {
+  MutexLock lock(mu_);
+  MF_CHECK(rank < state_.size());
+  for (;;) {
+    if (state_[rank] == RankState::kAlive) return true;
+    // No parked spare: nobody is guaranteed to ever adopt this death (busy
+    // spares may themselves be blocked on it). Degrade to the replica
+    // channel instead of waiting — this branch is the no-deadlock argument.
+    if (free_spares_ == 0) return false;
+    cv_.wait(mu_);
+  }
+}
+
+void RecoveryCoordinator::finish() {
+  MutexLock lock(mu_);
+  finishing_ = true;
+  cv_.notify_all();
+}
+
+std::vector<Assignment> RecoveryCoordinator::drain_unrecovered() {
+  MutexLock lock(mu_);
+  std::vector<Assignment> out;
+  while (!pending_.empty()) {
+    const PendingDeath death = pending_.front();
+    pending_.pop_front();
+    out.push_back(make_assignment(death));
+  }
+  return out;
+}
+
+void RecoveryCoordinator::record_driver_recovery(const Assignment& a,
+                                                 std::uint64_t ns) {
+  MutexLock lock(mu_);
+  ++report_.driver_recoveries;
+  report_.recovery_ns += ns;
+  report_.failures.push_back(FailureRecord{a.rank, a.death_phase, ns, true});
+}
+
+bool RecoveryCoordinator::rank_alive(std::size_t rank) const {
+  MutexLock lock(mu_);
+  MF_CHECK(rank < state_.size());
+  return state_[rank] == RankState::kAlive;
+}
+
+RecoveryReport RecoveryCoordinator::report() const {
+  MutexLock lock(mu_);
+  return report_;
+}
+
+std::unordered_map<TaskKey, std::uint64_t>
+RecoveryCoordinator::commit_counts() const {
+  MutexLock lock(mu_);
+  std::unordered_map<TaskKey, std::uint64_t> counts;
+  for (const Unit& u : units_) {
+    if (!u.committed) continue;
+    for (TaskKey t : u.tasks) ++counts[t];
+  }
+  return counts;
+}
+
+void RecoveryCoordinator::verify_exactly_once(
+    const std::vector<TaskKey>& expected) const {
+  const auto counts = commit_counts();
+  for (TaskKey t : expected) {
+    const auto it = counts.find(t);
+    const std::uint64_t n = it == counts.end() ? 0 : it->second;
+    if (n != 1) {
+      throw std::logic_error(
+          "exactly-once violation: task " + std::to_string(t) +
+          " committed " + std::to_string(n) + " times (expected 1)");
+    }
+  }
+  if (counts.size() != expected.size()) {
+    throw std::logic_error(
+        "exactly-once violation: " + std::to_string(counts.size()) +
+        " distinct tasks committed, expected " +
+        std::to_string(expected.size()));
+  }
+}
+
+}  // namespace mf::fault

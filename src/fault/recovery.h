@@ -1,0 +1,232 @@
+#pragma once
+// Spare-rank recovery coordinator for whole-rank failures (fault.h's
+// KillRules), modeled on the GA-era fault-tolerant SCF codes: the exemplar
+// calls ga_set_spare_procs(2), holds shadow copies of distributed blocks,
+// and re-executes a dead process's unfinished work on a spare. Here the
+// distributed D/W block data survives a rank death by construction (the
+// transport's storage is the shadow copy); what dies with a rank is its
+// *local* state — unexecuted queue tasks, prefetched D, and uncommitted
+// local W contributions. The coordinator makes that loss recoverable and
+// exactly-once:
+//
+//   Commit ledger   Every executor accumulates into local W through a flush
+//                   UNIT (one local buffer: the rank's own, or one
+//                   per-(thief, victim) steal buffer). A task is recorded
+//                   against its unit the moment it leaves a task queue;
+//                   commit_unit() marks the unit's accumulates applied to
+//                   the distributed W. Kill points sit only at operation
+//                   boundaries (fault.h), so a unit is either fully flushed
+//                   + committed or not flushed at all — never half.
+//
+//   Death protocol  A dying rank (RankKilledError) reports its death; every
+//                   uncommitted unit it was executing becomes a ReexecGroup
+//                   (tasks + the home rank whose footprint they update). A
+//                   parked spare adopts the dead rank's identity: the
+//                   on_revive hook re-maps ownership (transport epoch bump
+//                   — stale ops stop failing), then the spare re-executes
+//                   the lost groups into fresh units and continues the
+//                   rank's normal drain/steal life. Ranks that merely
+//                   *observed* the death (DeadRankError on a one-sided op)
+//                   call await_remap: block until adoption when a spare is
+//                   available, or fall back to the replica channel
+//                   (fault::BypassGuard — the shadow-copy read/write path)
+//                   when the pool is exhausted, which never deadlocks.
+//
+//   Driver drain    Deaths left pending after every spare is burned (spares
+//                   can die too — rules chain) are drained by the build
+//                   driver after joining all executors, inline under the
+//                   replica channel. Degraded but correct; counted
+//                   separately in the report.
+//
+// The exactly-once argument: a task's contribution reaches the distributed
+// W only via a unit commit; a unit is committed by exactly one executor
+// (its opener) and re-executed only if marked lost at its opener's death,
+// which is mutually exclusive with its commit because both happen at
+// operation boundaries of the same (single-threaded) executor. audit()
+// verifies the ledger end-to-end: every expected task committed exactly
+// once. Thread safety: one mutex + condvar guard all coordinator state
+// (control-plane traffic — task-grained, not element-grained).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mf::fault {
+
+/// Opaque task identity in the ledger: the builder packs its task-grid
+/// coordinates (e.g. (m << 32) | n).
+using TaskKey = std::uint64_t;
+
+/// Tasks lost in one uncommitted unit, plus the rank whose block footprint
+/// they update (the buffer/footprint to re-create for re-execution).
+struct ReexecGroup {
+  std::size_t home_rank = 0;
+  std::vector<TaskKey> tasks;
+};
+
+/// Everything one recovering executor (spare thread or driver) needs to
+/// take over a dead rank: its identity, where it died, and the lost work.
+/// The dead rank's still-queued tasks are NOT listed here — they never left
+/// the queue, so the adopter drains them through the normal queue path.
+struct Assignment {
+  std::size_t rank = 0;
+  BuildPhase death_phase = BuildPhase::kCompute;
+  std::vector<ReexecGroup> lost;
+
+  std::uint64_t lost_tasks() const {
+    std::uint64_t n = 0;
+    for (const ReexecGroup& g : lost) n += g.tasks.size();
+    return n;
+  }
+};
+
+/// One recovered failure, for the run report's per-failure overhead line.
+struct FailureRecord {
+  std::size_t rank = 0;
+  BuildPhase phase = BuildPhase::kCompute;
+  std::uint64_t recovery_ns = 0;
+  bool by_driver = false;
+};
+
+struct RecoveryReport {
+  std::uint64_t rank_failures = 0;     // deaths reported (incl. chained)
+  std::uint64_t spare_recoveries = 0;  // adoptions completed by spares
+  std::uint64_t driver_recoveries = 0;  // pool-exhausted driver drains
+  // Adoptions aborted because a chained rule killed the adopting spare
+  // itself; the interrupted work re-enters pending_ as a fresh death, so
+  // spare_recoveries + driver_recoveries + spares_burned == rank_failures.
+  std::uint64_t spares_burned = 0;
+  std::uint64_t units_lost = 0;
+  std::uint64_t tasks_reexecuted = 0;  // tasks in lost units handed back out
+  std::uint64_t recovery_ns = 0;       // sum over failures
+  std::vector<FailureRecord> failures;
+};
+
+/// Process-build-scoped coordinator; one per GtFockBuilder::build() when
+/// the installed plan has kills or spares are configured. All methods are
+/// thread-safe.
+class RecoveryCoordinator {
+ public:
+  using UnitId = std::uint64_t;
+  static constexpr UnitId kNoUnit = 0;
+
+  RecoveryCoordinator(std::size_t nranks, std::size_t nspares);
+
+  /// Ownership re-map hook, invoked (under the coordinator lock) when a
+  /// dead rank is adopted or driver-drained: the builder points this at
+  /// Transport::revive_rank so the epoch bump and the logical state flip
+  /// publish together. Set before any executor starts.
+  void set_on_revive(std::function<void(std::size_t rank)> hook);
+
+  // ---- Commit ledger -----------------------------------------------------
+
+  /// Opens a flush unit executed by logical rank `executor_rank` whose
+  /// contributions land on `home_rank`'s footprint.
+  UnitId open_unit(std::size_t executor_rank, std::size_t home_rank)
+      MF_EXCLUDES(mu_);
+  /// Records a task into its unit the moment it leaves a task queue (pop or
+  /// steal) — before execution, so a death at any later kill point finds it
+  /// in the ledger.
+  void record_task(UnitId unit, TaskKey task) MF_EXCLUDES(mu_);
+  void record_tasks(UnitId unit, const std::vector<TaskKey>& tasks)
+      MF_EXCLUDES(mu_);
+  /// Marks the unit's accumulates applied to the distributed W. Called
+  /// immediately after the unit's flush completes (no kill point between).
+  void commit_unit(UnitId unit) MF_EXCLUDES(mu_);
+
+  // ---- Death / adoption protocol ----------------------------------------
+
+  /// Reports that logical rank `rank` died at a `phase` kill point; marks
+  /// its open units lost and queues the death for adoption. Called by the
+  /// dying executor itself (worker or spare) after transport->kill_rank.
+  void report_death(std::size_t rank, BuildPhase phase) MF_EXCLUDES(mu_);
+
+  /// Parks a spare executor until a death needs adopting. Returns the
+  /// assignment (after invoking the on_revive re-map hook) or nullopt when
+  /// the build is finishing and no death is pending — the spare exits.
+  std::optional<Assignment> wait_for_assignment() MF_EXCLUDES(mu_);
+
+  /// A spare completed its assignment: `rank` is fully recovered and the
+  /// spare returns to the pool. `ns` is the wall time of the whole
+  /// adoption, booked as this failure's recovery overhead.
+  void adoption_done(const Assignment& a, std::uint64_t ns) MF_EXCLUDES(mu_);
+
+  /// The spare recovering `a` was itself killed: its executor is burned
+  /// (does not return to the pool). The caller also calls report_death for
+  /// the re-orphaned rank.
+  void spare_burned() MF_EXCLUDES(mu_);
+
+  /// A live rank's one-sided op hit dead rank `rank`. Blocks until the rank
+  /// is re-mapped (returns true: re-issue the op) or returns false when no
+  /// spare can ever adopt it (pool exhausted/busy: use the replica channel
+  /// instead — returning false rather than waiting on busy spares is what
+  /// makes spare-on-spare waits deadlock-free).
+  bool await_remap(std::size_t rank) MF_EXCLUDES(mu_);
+
+  /// Driver-side: no more worker threads are coming; wakes parked spares so
+  /// they drain remaining deaths and exit. Call after joining workers,
+  /// before joining spares.
+  void finish() MF_EXCLUDES(mu_);
+
+  /// Driver-side, after joining every executor: pops deaths nobody adopted
+  /// (all spares burned or none configured), re-mapping each. The driver
+  /// re-executes them inline under the replica channel and reports each
+  /// via record_driver_recovery.
+  std::vector<Assignment> drain_unrecovered() MF_EXCLUDES(mu_);
+  void record_driver_recovery(const Assignment& a, std::uint64_t ns)
+      MF_EXCLUDES(mu_);
+
+  // ---- Audit / report ----------------------------------------------------
+
+  /// True while `rank` is logically alive (never killed, or re-mapped).
+  bool rank_alive(std::size_t rank) const MF_EXCLUDES(mu_);
+
+  RecoveryReport report() const MF_EXCLUDES(mu_);
+
+  /// Commit multiplicity per task key (exactly-once property surface).
+  std::unordered_map<TaskKey, std::uint64_t> commit_counts() const
+      MF_EXCLUDES(mu_);
+
+  /// Throws std::logic_error unless every expected task was committed
+  /// exactly once and nothing unexpected was committed.
+  void verify_exactly_once(const std::vector<TaskKey>& expected) const
+      MF_EXCLUDES(mu_);
+
+ private:
+  enum class RankState { kAlive, kDeadPending, kDeadAdopted };
+
+  struct Unit {
+    std::size_t executor_rank = 0;
+    std::size_t home_rank = 0;
+    std::vector<TaskKey> tasks;
+    bool committed = false;
+    bool lost = false;
+  };
+
+  struct PendingDeath {
+    std::size_t rank = 0;
+    BuildPhase phase = BuildPhase::kCompute;
+  };
+
+  Assignment make_assignment(const PendingDeath& death) MF_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::function<void(std::size_t)> on_revive_ MF_GUARDED_BY(mu_);
+  std::vector<RankState> state_ MF_GUARDED_BY(mu_);
+  std::deque<PendingDeath> pending_ MF_GUARDED_BY(mu_);
+  std::vector<Unit> units_ MF_GUARDED_BY(mu_);
+  std::size_t free_spares_ MF_GUARDED_BY(mu_);
+  bool finishing_ MF_GUARDED_BY(mu_) = false;
+  RecoveryReport report_ MF_GUARDED_BY(mu_);
+};
+
+}  // namespace mf::fault

@@ -218,9 +218,81 @@ std::unique_ptr<TransportCounter> Transport::create_counter(
   return std::make_unique<TransportCounter>(owner_rank, nranks_, initial);
 }
 
+void Transport::check_rank(std::size_t rank, fault::OpClass op) const {
+  if (fault::bypassed()) return;  // the replica/recovery channel
+  const std::uint64_t word = life_[rank].load(std::memory_order_acquire);
+  if ((word & kAliveBit) == 0) {
+    throw fault::DeadRankError(op, rank, word >> 1);
+  }
+}
+
+void Transport::check_path(const TransportArray& a, std::size_t caller,
+                           const Rect& rect, fault::OpClass op) const {
+  if (!any_dead_.load(std::memory_order_acquire)) return;
+  if (fault::bypassed()) return;
+  // A dead caller is a stale executor re-issuing ops after its identity was
+  // re-mapped — those must fail, not race the adopter.
+  if (caller < nranks_) check_rank(caller, op);
+  const ProcessGrid& grid = a.distribution().grid();
+  a.for_each_intersection(
+      rect, [&](std::size_t pi, std::size_t pj, std::size_t, std::size_t,
+                std::size_t, std::size_t) {
+        check_rank(grid.rank_of(pi, pj), op);
+      });
+}
+
+void Transport::kill_rank(std::size_t rank) {
+  MF_CHECK(rank < nranks_);
+  MutexLock lock(liveness_mu_);
+  const std::uint64_t word = life_[rank].load(std::memory_order_acquire);
+  const std::uint64_t epoch = word >> 1;
+  // Dead incarnation: alive bit clear, epoch advanced past the live one.
+  life_[rank].store((epoch + 1) << 1, std::memory_order_release);
+  any_dead_.store(true, std::memory_order_release);
+}
+
+void Transport::revive_rank(std::size_t rank) {
+  MF_CHECK(rank < nranks_);
+  MutexLock lock(liveness_mu_);
+  const std::uint64_t word = life_[rank].load(std::memory_order_acquire);
+  const std::uint64_t epoch = word >> 1;
+  life_[rank].store(((epoch + 1) << 1) | kAliveBit,
+                    std::memory_order_release);
+  // Clear the fast gate only when no other rank is still dead; the rescan
+  // is race-free because every transition holds liveness_mu_.
+  bool dead = false;
+  for (const auto& w : life_) {
+    if ((w.load(std::memory_order_acquire) & kAliveBit) == 0) dead = true;
+  }
+  any_dead_.store(dead, std::memory_order_release);
+}
+
+bool Transport::rank_alive(std::size_t rank) const {
+  MF_CHECK(rank < nranks_);
+  return (life_[rank].load(std::memory_order_acquire) & kAliveBit) != 0;
+}
+
+std::uint64_t Transport::rank_epoch(std::size_t rank) const {
+  MF_CHECK(rank < nranks_);
+  return life_[rank].load(std::memory_order_acquire) >> 1;
+}
+
+void Transport::check_lease(const RankLease& l, fault::OpClass op) const {
+  MF_CHECK(l.rank < nranks_);
+  if (fault::bypassed()) return;
+  const std::uint64_t word = life_[l.rank].load(std::memory_order_acquire);
+  if ((word & kAliveBit) == 0 || (word >> 1) != l.epoch) {
+    throw fault::DeadRankError(op, l.rank, word >> 1);
+  }
+}
+
 void Transport::get(TransportArray& a, std::size_t caller, const Rect& rect,
                     double* out) {
   CommWaitScope wait(a.recorder(), caller);
+  // Liveness precedes injection precedes transfer: an op on a dead path
+  // fails permanently before it can fail transiently, and either failure
+  // means the one-sided op never happened.
+  check_path(a, caller, rect, fault::OpClass::kGet);
   fault::inject(fault::OpClass::kGet, caller);
   do_get(a, caller, rect, out);
 }
@@ -228,6 +300,7 @@ void Transport::get(TransportArray& a, std::size_t caller, const Rect& rect,
 void Transport::put(TransportArray& a, std::size_t caller, const Rect& rect,
                     const double* in) {
   CommWaitScope wait(a.recorder(), caller);
+  check_path(a, caller, rect, fault::OpClass::kPut);
   fault::inject(fault::OpClass::kPut, caller);
   do_put(a, caller, rect, in);
 }
@@ -235,12 +308,17 @@ void Transport::put(TransportArray& a, std::size_t caller, const Rect& rect,
 void Transport::acc(TransportArray& a, std::size_t caller, const Rect& rect,
                     const double* in, double alpha) {
   CommWaitScope wait(a.recorder(), caller);
+  check_path(a, caller, rect, fault::OpClass::kAcc);
   fault::inject(fault::OpClass::kAcc, caller);
   do_acc(a, caller, rect, in, alpha);
 }
 
 long Transport::rmw(TransportCounter& c, std::size_t caller, long delta) {
   CommWaitScope wait(c.recorder(), caller);
+  if (any_dead_.load(std::memory_order_acquire)) {
+    if (caller < nranks_) check_rank(caller, fault::OpClass::kRmw);
+    check_rank(c.owner(), fault::OpClass::kRmw);
+  }
   // Before the metrics record and the increment: an injected failure leaves
   // the counter untouched, so a retried NGA_Read_inc claims the same task
   // it would have claimed on the first attempt.

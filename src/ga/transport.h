@@ -30,12 +30,14 @@
 // src/ga/transport* so no caller can bypass the shim.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dsim/network.h"
+#include "fault/fault.h"
 #include "ga/comm_stats.h"
 #include "ga/distribution.h"
 #include "linalg/matrix.h"
@@ -199,6 +201,43 @@ class Transport {
   /// Atomic fetch-and-add; returns the pre-add value.
   long rmw(TransportCounter& c, std::size_t caller, long delta);
 
+  // ---- Rank liveness / ownership epochs (fault-tolerance surface) --------
+  //
+  // Modeled on the GA-era fault-tolerant runtimes (ga_set_spare_procs):
+  // a rank can be declared dead, after which any one-sided op issued BY it
+  // or TARGETING a block it owns fails fast with fault::DeadRankError —
+  // never hangs. revive_rank re-maps the identity onto an adopting spare
+  // and bumps the rank's epoch, so handles captured before the death
+  // (RankLease) observably go stale instead of silently resolving against
+  // the new incarnation. The distributed block storage itself survives a
+  // death (the runtime's shadow copy): the recovery/replica channel
+  // (fault::BypassGuard) skips the liveness checks to reach it. Liveness
+  // checks live in the non-virtual shim, so every backend inherits the
+  // fail-fast contract. Cost with no dead rank: one acquire load per op.
+
+  /// Declares `rank` dead, bumping its epoch. Idempotent-safe under the
+  /// transition lock (a double kill bumps twice; callers kill once).
+  void kill_rank(std::size_t rank) MF_EXCLUDES(liveness_mu_);
+  /// Re-maps `rank` onto its adopter: alive again in a fresh epoch.
+  void revive_rank(std::size_t rank) MF_EXCLUDES(liveness_mu_);
+  bool rank_alive(std::size_t rank) const;
+  /// Monotone incarnation counter: starts at 0, +1 per kill and +1 per
+  /// revive (dead and live incarnations are distinct epochs).
+  std::uint64_t rank_epoch(std::size_t rank) const;
+
+  /// A caller-held handle pinned to one incarnation of a rank.
+  struct RankLease {
+    std::size_t rank = 0;
+    std::uint64_t epoch = 0;
+  };
+  RankLease lease(std::size_t rank) const {
+    return RankLease{rank, rank_epoch(rank)};
+  }
+  /// Throws fault::DeadRankError unless the leased rank is alive in the
+  /// same incarnation the lease was taken in (stale handles fail fast even
+  /// after a revive).
+  void check_lease(const RankLease& l, fault::OpClass op) const;
+
   /// Virtual comm time accrued by `rank` (seconds). Zero for backends with
   /// no time model.
   virtual SimTime comm_time(std::size_t rank) const;
@@ -214,7 +253,9 @@ class Transport {
   virtual void charge_rmw(std::size_t caller, std::size_t owner);
 
  protected:
-  explicit Transport(std::size_t nranks) : nranks_(nranks) {}
+  explicit Transport(std::size_t nranks) : nranks_(nranks), life_(nranks) {
+    for (auto& w : life_) w.store(kAliveBit);  // every rank starts alive @ epoch 0
+  }
 
   // Backend data movement. The shim has already consulted the fault plan;
   // implementations must record one stats entry per owner block touched via
@@ -232,7 +273,27 @@ class Transport {
                               std::uint64_t bytes, bool remote);
 
  private:
+  static constexpr std::uint64_t kAliveBit = 1;  // bit 0; bits 1.. = epoch
+
+  /// Throws DeadRankError if `rank` is dead (no-op under BypassGuard).
+  void check_rank(std::size_t rank, fault::OpClass op) const;
+  /// Fail-fast pre-check for one-sided ops: caller liveness plus every
+  /// owner block `rect` touches. Gated on any_dead_, so the happy path
+  /// costs one acquire load.
+  void check_path(const TransportArray& a, std::size_t caller,
+                  const Rect& rect, fault::OpClass op) const;
+
   std::size_t nranks_;
+  /// Packed per-rank liveness word: bit 0 = alive, bits 1.. = epoch.
+  /// Transitions (kill/revive) serialize on liveness_mu_ and store with
+  /// release; the op-path checks are lock-free acquire loads.
+  /// lint: unguarded(reads are lock-free acquire; writes hold liveness_mu_)
+  std::vector<std::atomic<std::uint64_t>> life_;
+  /// Fast gate: true while at least one rank is dead. Maintained under
+  /// liveness_mu_ (revive rescans all words before clearing).
+  /// lint: unguarded(reads are lock-free acquire; writes hold liveness_mu_)
+  std::atomic<bool> any_dead_{false};
+  mutable Mutex liveness_mu_;
 };
 
 /// Today's in-process backend: every op serializes on the mutex of each

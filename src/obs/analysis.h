@@ -37,10 +37,11 @@ enum class Phase : std::uint8_t {
   kSteal = 2,
   kFlush = 3,
   kCommWait = 4,
-  kIdle = 5,
+  kRecovery = 5,  // spare-rank failure recovery (fault/recovery.h)
+  kIdle = 6,
 };
 
-inline constexpr std::size_t kNumPhases = 6;
+inline constexpr std::size_t kNumPhases = 7;
 
 // Canonical phase names — the single source of truth for every
 // MF_TRACE_SPAN("phase", <name>) site. tools/lint/minifock_lint.py parses
@@ -48,7 +49,7 @@ inline constexpr std::size_t kNumPhases = 6;
 // accepted by the lint and one used elsewhere without being listed here is
 // rejected (a renamed phase cannot silently vanish from the decomposition).
 inline constexpr const char* kCanonicalPhaseNames[kNumPhases] = {
-    "prefetch", "compute", "steal", "flush", "comm_wait", "idle",
+    "prefetch", "compute", "steal", "flush", "comm_wait", "recovery", "idle",
 };
 
 const char* phase_name(Phase p);

@@ -468,5 +468,314 @@ TEST(Chaos, CommErrorCarriesOpClassAndRank) {
   EXPECT_NE(std::string(err.what()).find("3"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Kill-k matrix: whole-rank failure with spare-rank recovery (fault/
+// recovery.h). Every schedule kills k ranks at a chosen build phase, layers
+// mild transient faults on top, and must still match the serial oracle to
+// 1e-10 with the expected number of kills fired and recoveries reported.
+// Every recovery-active build also runs the coordinator's exactly-once
+// ledger audit internally (build() throws on any double or dropped commit),
+// so each green schedule is an exactly-once proof, not just a numeric one.
+
+struct KillSchedule {
+  std::size_t k = 1;                 // ranks killed (rank 1, then rank 2)
+  fault::BuildPhase phase = fault::BuildPhase::kCompute;
+  std::size_t spares = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t after = 0;           // kill-point cursor the rule fires at
+};
+
+std::string kill_name(const KillSchedule& s) {
+  return std::string("kill k=") + std::to_string(s.k) + " phase=" +
+         fault::build_phase_name(s.phase) + " spares=" +
+         std::to_string(s.spares) + " seed=" + std::to_string(s.seed) +
+         " after=" + std::to_string(s.after);
+}
+
+std::vector<KillSchedule> kill_matrix() {
+  // Release: 2 (k) x 3 (phase) x 2 (spares) x 4 (seeds) = 48 schedules.
+  // TSan runs one seed per cell (12 schedules) so the recovery paths are
+  // race-hunted without blowing the lane budget. `after` stays small so
+  // every rule is guaranteed to fire (flush sees few kill points; compute
+  // and prefetch see one per task / per rectangle get).
+  std::vector<KillSchedule> out;
+  const std::size_t nseeds = MF_CHAOS_TSAN ? 1 : 4;
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}}) {
+    for (fault::BuildPhase phase :
+         {fault::BuildPhase::kPrefetch, fault::BuildPhase::kCompute,
+          fault::BuildPhase::kFlush}) {
+      for (std::size_t spares : {std::size_t{0}, std::size_t{2}}) {
+        for (std::size_t si = 0; si < nseeds; ++si) {
+          KillSchedule s;
+          s.k = k;
+          s.phase = phase;
+          s.spares = spares;
+          s.seed = 0x5c17eULL ^ (si * 7919);
+          s.after = phase == fault::BuildPhase::kCompute ? si % 3 : 0;
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Runs one kill schedule on a 2x2 grid and returns the build result.
+GtFockResult run_kill_schedule(const KillSchedule& s) {
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = s.seed;
+  // Mild transient faults ride along so DeadRankError (permanent) and
+  // CommError (transient) classification is exercised in the same run.
+  for (fault::OpClass c : {fault::OpClass::kGet, fault::OpClass::kAcc}) {
+    plan.rule(c) = {0.05, 0.05, 1000};
+  }
+  plan.retry_budget = 3;
+  plan.backoff_base_ns = 200;
+  for (std::size_t i = 0; i < s.k; ++i) {
+    plan.kills.push_back(fault::KillRule{1 + i, s.phase, s.after});
+  }
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  opts.spare_ranks = s.spares;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  GtFockResult res = builder.build(fx.d, fx.h);
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_EQ(stats.total_kills(), s.k) << kill_name(s);
+  return res;
+}
+
+TEST(ChaosKill, MatrixOfRankFailuresMatchesOracle) {
+  const Fixture& fx = fixture();
+  std::size_t schedules = 0;
+  for (const KillSchedule& s : kill_matrix()) {
+    const GtFockResult res = run_kill_schedule(s);
+    const std::string what = kill_name(s);
+    EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10) << what;
+    // Every kill was reported and recovered by someone, with a bounded,
+    // per-failure-attributed recovery overhead.
+    EXPECT_EQ(res.recovery.rank_failures, s.k) << what;
+    EXPECT_EQ(res.recovery.spare_recoveries + res.recovery.driver_recoveries,
+              s.k)
+        << what;
+    EXPECT_EQ(res.recovery.failures.size(), s.k) << what;
+    EXPECT_LT(res.recovery.recovery_ns, std::uint64_t{60} * 1000000000ULL)
+        << what;
+    if (s.spares == 0) {
+      EXPECT_EQ(res.recovery.spare_recoveries, 0u) << what;
+    } else {
+      // Two parked spares cover both deaths without a driver drain.
+      EXPECT_EQ(res.recovery.driver_recoveries, 0u) << what;
+    }
+    ++schedules;
+  }
+  if (!MF_CHAOS_TSAN) {
+    EXPECT_GE(schedules, 48u);
+  }
+}
+
+TEST(ChaosKill, ComputePhaseDeathLosesAndReexecutesUncommittedTasks) {
+  // A compute-phase death after `after` tasks has exactly those tasks in
+  // its lost (uncommitted) own unit; the adopter re-executes them.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 0xdeadULL;
+  plan.kills.push_back(fault::KillRule{1, fault::BuildPhase::kCompute, 3});
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  opts.spare_ranks = 1;
+  opts.work_stealing = false;  // keep the lost-task count exact
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult res = builder.build(fx.d, fx.h);
+  fault::clear();
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_EQ(res.recovery.rank_failures, 1u);
+  EXPECT_EQ(res.recovery.spare_recoveries, 1u);
+  EXPECT_EQ(res.recovery.units_lost, 1u);
+  // The rule fired at kill-point cursor 3, i.e. on the 4th pop: tasks 0..2
+  // executed and task 3 was recorded but never ran — all four are
+  // uncommitted in the lost unit and must be re-executed.
+  EXPECT_EQ(res.recovery.tasks_reexecuted, 4u);
+  EXPECT_EQ(res.ranks[1].tasks_reexecuted, 4u);
+}
+
+TEST(ChaosKill, ChainedDeathsBurnSparesAndStayExactlyOnce) {
+  // Two rules target rank 1: the second fires inside the adopting spare's
+  // re-execution (kill-point cursors survive adoption), burning it. The
+  // second spare completes the recovery; the ledger audit inside build()
+  // proves no task was committed twice across the three incarnations.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 0xc4a1ULL;
+  plan.kills.push_back(fault::KillRule{1, fault::BuildPhase::kCompute, 0});
+  plan.kills.push_back(fault::KillRule{1, fault::BuildPhase::kCompute, 2});
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  opts.spare_ranks = 2;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult res = builder.build(fx.d, fx.h);
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_EQ(stats.total_kills(), 2u);
+  EXPECT_EQ(res.recovery.rank_failures, 2u);
+  // Every death is terminally resolved exactly once: by a completed spare
+  // adoption, a driver drain, or — for the first death here — by collapsing
+  // into the chained death that burned its adopter.
+  EXPECT_EQ(res.recovery.spare_recoveries + res.recovery.driver_recoveries +
+                res.recovery.spares_burned,
+            2u);
+  EXPECT_GE(res.recovery.spare_recoveries + res.recovery.driver_recoveries,
+            1u);
+}
+
+TEST(ChaosKill, SingleRankReplayIsBitwiseDeterministic) {
+  // Replay contract for rank failure: on a 1x1 grid there is no cross-rank
+  // traffic to race the death window, so TWO runs of the same seeded kill
+  // schedule produce bitwise-equal fault stats (kills, injected, permanent
+  // — everything) and identical recovery ledgers.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 0x4e91ULL;
+  plan.kills.push_back(fault::KillRule{0, fault::BuildPhase::kCompute, 2});
+
+  auto one_run = [&] {
+    fault::install(plan);
+    GtFockOptions opts;
+    opts.grid = ProcessGrid(1, 1);
+    opts.spare_ranks = 1;
+    GtFockBuilder builder(fx.basis, fx.screening, opts);
+    const GtFockResult res = builder.build(fx.d, fx.h);
+    const fault::FaultStats stats = fault::stats();
+    fault::clear();
+    EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+    return std::make_pair(res.recovery, stats);
+  };
+
+  const auto [r1, s1] = one_run();
+  const auto [r2, s2] = one_run();
+  EXPECT_EQ(s1.total_kills(), 1u);
+  for (std::size_t ph = 0; ph < fault::kNumBuildPhases; ++ph) {
+    EXPECT_EQ(s1.kills[ph], s2.kills[ph]) << "phase " << ph;
+  }
+  for (std::size_t c = 0; c < fault::kNumOpClasses; ++c) {
+    EXPECT_EQ(s1.injected[c], s2.injected[c]) << "class " << c;
+    EXPECT_EQ(s1.permanent[c], s2.permanent[c]) << "class " << c;
+    EXPECT_EQ(s1.retries[c], s2.retries[c]) << "class " << c;
+  }
+  EXPECT_EQ(r1.rank_failures, r2.rank_failures);
+  EXPECT_EQ(r1.units_lost, r2.units_lost);
+  EXPECT_EQ(r1.tasks_reexecuted, r2.tasks_reexecuted);
+  EXPECT_EQ(r1.spare_recoveries, r2.spare_recoveries);
+  EXPECT_EQ(r1.driver_recoveries, r2.driver_recoveries);
+}
+
+TEST(ChaosKill, MultiRankReplayKillAndRecoveryCountersAreDeterministic) {
+  // On a 2x2 grid the *kill* counters and the recovery ledger are still
+  // deterministic under replay (rules are cursor-triggered per rank, and
+  // stealing is off so each rank's own-queue sequence is schedule-free);
+  // transient-observation counters (permanent[]) may differ because which
+  // survivor op lands inside the death window is scheduler-dependent.
+  const Fixture& fx = fixture();
+  fault::FaultPlan plan;
+  plan.seed = 0x22aaULL;
+  plan.kills.push_back(fault::KillRule{1, fault::BuildPhase::kCompute, 1});
+  plan.kills.push_back(fault::KillRule{2, fault::BuildPhase::kFlush, 0});
+
+  auto one_run = [&] {
+    fault::install(plan);
+    GtFockOptions opts;
+    opts.grid = ProcessGrid(2, 2);
+    opts.spare_ranks = 2;
+    opts.work_stealing = false;
+    GtFockBuilder builder(fx.basis, fx.screening, opts);
+    const GtFockResult res = builder.build(fx.d, fx.h);
+    const fault::FaultStats stats = fault::stats();
+    fault::clear();
+    EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+    return std::make_pair(res.recovery, stats);
+  };
+
+  const auto [r1, s1] = one_run();
+  const auto [r2, s2] = one_run();
+  EXPECT_EQ(s1.total_kills(), 2u);
+  for (std::size_t ph = 0; ph < fault::kNumBuildPhases; ++ph) {
+    EXPECT_EQ(s1.kills[ph], s2.kills[ph]) << "phase " << ph;
+  }
+  EXPECT_EQ(r1.rank_failures, r2.rank_failures);
+  EXPECT_EQ(r1.units_lost, r2.units_lost);
+  EXPECT_EQ(r1.tasks_reexecuted, r2.tasks_reexecuted);
+}
+
+TEST(ChaosKill, RecoveryMetricsReachTheRunReport) {
+  // Acceptance for the chaos artifact: a killed-rank run publishes
+  // fault.rank_failures and a bounded fault.recovery_ns to the metrics
+  // registry (validate_artifacts.py --chaos checks the exported report).
+  const Fixture& fx = fixture();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  obs::set_metrics_enabled(true);
+  fault::FaultPlan plan;
+  plan.seed = 0x0b55ULL;
+  plan.kills.push_back(fault::KillRule{1, fault::BuildPhase::kCompute, 1});
+  fault::install(plan);
+  GtFockOptions opts;
+  opts.grid = ProcessGrid(2, 2);
+  opts.spare_ranks = 1;
+  GtFockBuilder builder(fx.basis, fx.screening, opts);
+  const GtFockResult res = builder.build(fx.d, fx.h);
+  fault::clear();
+  obs::set_metrics_enabled(false);
+  EXPECT_LT(max_abs_diff(res.fock, fx.reference), 1e-10);
+  EXPECT_EQ(reg.counter("fault.rank_failures").value(), 1u);
+  EXPECT_EQ(reg.counter("fault.recovery_ns").value(), res.recovery.recovery_ns);
+  EXPECT_GT(reg.counter("fault.tasks_reexecuted").value(), 0u);
+  EXPECT_EQ(reg.counter("fault.kill.compute").value(), 1u);
+  reg.reset();
+}
+
+TEST(ChaosKill, DeadRankErrorIsPermanentAndSkipsRetryBudget) {
+  // fault::with_retry classification: a DeadRankError propagates on the
+  // first throw — no retry burned, no fallback — and is counted in
+  // stats().permanent for its op class.
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  plan.retry_budget = 5;
+  fault::install(plan);
+  std::size_t attempts = 0;
+  EXPECT_THROW(
+      fault::with_retry(fault::OpClass::kGet, 0,
+                        [&] {
+                          ++attempts;
+                          throw fault::DeadRankError(fault::OpClass::kGet, 3,
+                                                     7);
+                        }),
+      fault::DeadRankError);
+  const fault::FaultStats stats = fault::stats();
+  fault::clear();
+  EXPECT_EQ(attempts, 1u);
+  const std::size_t get = static_cast<std::size_t>(fault::OpClass::kGet);
+  EXPECT_EQ(stats.permanent[get], 1u);
+  EXPECT_EQ(stats.retries[get], 0u);
+  EXPECT_EQ(stats.fallbacks[get], 0u);
+}
+
+TEST(ChaosKill, KillRuleErrorsCarryRankPhaseAndEpoch) {
+  const fault::RankKilledError killed(4, fault::BuildPhase::kFlush);
+  EXPECT_EQ(killed.rank(), 4u);
+  EXPECT_EQ(killed.phase(), fault::BuildPhase::kFlush);
+  EXPECT_NE(std::string(killed.what()).find("flush"), std::string::npos);
+
+  const fault::DeadRankError dead(fault::OpClass::kAcc, 2, 9);
+  EXPECT_EQ(dead.rank(), 2u);
+  EXPECT_EQ(dead.epoch(), 9u);
+  EXPECT_NE(std::string(dead.what()).find("permanent"), std::string::npos);
+  EXPECT_NE(std::string(dead.what()).find("dead rank 2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mf

@@ -11,6 +11,7 @@
 #include "core/task_cost.h"
 #include "dsim/event_queue.h"
 #include "dsim/network.h"
+#include "obs/analysis.h"
 
 namespace mf {
 namespace {
@@ -162,6 +163,93 @@ TEST(GtFockSim, DeterministicAcrossRuns) {
   EXPECT_EQ(a.fock_time(), b.fock_time());
   EXPECT_EQ(a.avg_steal_victims(), b.avg_steal_victims());
   EXPECT_EQ(a.avg_comm_calls(), b.avg_comm_calls());
+}
+
+// ---- Rank-failure recovery in the DES (GtFockSimOptions::kills) --------
+
+TEST(GtFockSimRecovery, KillsAreChargedAndEveryTaskStillExecutes) {
+  Workload w(linear_alkane(10), "sto-3g");
+  GtFockSimOptions o = sim_opts(48);
+  o.kills = {{1, 5}, {2, 9}};
+  o.spare_ranks = 2;
+  o.recovery_latency = 1.0e-3;
+  const GtFockSimResult r = simulate_gtfock(w.basis, w.screening, w.costs, o);
+
+  EXPECT_EQ(r.rank_failures, 2u);
+  EXPECT_EQ(r.spare_recoveries, 2u);
+  EXPECT_EQ(r.driver_recoveries, 0u);
+  EXPECT_GT(r.tasks_reexecuted, 0u);
+  // Each recovery pays at least the detection latency.
+  EXPECT_GE(r.recovery_time, 2.0e-3);
+  // Recovery never loses work: the task census is still exhaustive.
+  std::uint64_t tasks = 0;
+  for (const auto& rank : r.ranks) tasks += rank.tasks_owned + rank.tasks_stolen;
+  EXPECT_EQ(tasks, live_task_count(w.basis.num_shells()));
+}
+
+TEST(GtFockSimRecovery, SparePoolOverflowFallsBackToDriverRecovery) {
+  Workload w(linear_alkane(10), "sto-3g");
+  GtFockSimOptions o = sim_opts(48);
+  o.kills = {{1, 3}, {2, 6}, {3, 6}};
+  o.spare_ranks = 1;  // third kill has no spare left
+  const GtFockSimResult r = simulate_gtfock(w.basis, w.screening, w.costs, o);
+  EXPECT_EQ(r.rank_failures, 3u);
+  EXPECT_EQ(r.spare_recoveries, 1u);
+  EXPECT_EQ(r.driver_recoveries, 2u);
+}
+
+TEST(GtFockSimRecovery, KillsSlowTheBuildByTheReportedRecoveryTime) {
+  Workload w(linear_alkane(10), "sto-3g");
+  GtFockSimOptions clean = sim_opts(48);
+  GtFockSimOptions faulty = clean;
+  faulty.kills = {{0, 7}};
+  faulty.spare_ranks = 1;
+  faulty.recovery_latency = 5.0e-3;
+  const double t0 =
+      simulate_gtfock(w.basis, w.screening, w.costs, clean).fock_time();
+  const GtFockSimResult rf = simulate_gtfock(w.basis, w.screening, w.costs, faulty);
+  EXPECT_GT(rf.fock_time(), t0);
+  // The overhead is bounded: one recovery can't cost more than the whole
+  // reported recovery budget plus ripple (stealing reshuffles a little).
+  EXPECT_LT(rf.fock_time() - t0, rf.recovery_time + 0.5 * t0);
+}
+
+TEST(GtFockSimRecovery, ReplayIsDeterministicAndCleanRunsStayZero) {
+  Workload w(linear_alkane(8), "sto-3g");
+  GtFockSimOptions o = sim_opts(60);
+  o.kills = {{2, 4}};
+  o.spare_ranks = 1;
+  const GtFockSimResult a = simulate_gtfock(w.basis, w.screening, w.costs, o);
+  const GtFockSimResult b = simulate_gtfock(w.basis, w.screening, w.costs, o);
+  EXPECT_EQ(a.fock_time(), b.fock_time());
+  EXPECT_EQ(a.recovery_time, b.recovery_time);
+  EXPECT_EQ(a.tasks_reexecuted, b.tasks_reexecuted);
+
+  const GtFockSimResult clean =
+      simulate_gtfock(w.basis, w.screening, w.costs, sim_opts(60));
+  EXPECT_EQ(clean.rank_failures, 0u);
+  EXPECT_EQ(clean.recovery_time, 0.0);
+}
+
+TEST(GtFockSimRecovery, TimelineCarriesRecoverySpans) {
+  Workload w(linear_alkane(8), "sto-3g");
+  GtFockSimOptions o = sim_opts(60);
+  o.kills = {{1, 2}};
+  o.spare_ranks = 1;
+  o.recovery_latency = 1.0e-3;
+  o.collect_timeline = true;
+  const GtFockSimResult r = simulate_gtfock(w.basis, w.screening, w.costs, o);
+  std::uint64_t recovery_spans = 0;
+  double recovery_span_time = 0.0;
+  for (const auto& s : r.timeline.spans) {
+    if (s.phase == obs::Phase::kRecovery) {
+      ++recovery_spans;
+      recovery_span_time += s.t1 - s.t0;
+      EXPECT_EQ(s.rank, 1);
+    }
+  }
+  EXPECT_EQ(recovery_spans, r.rank_failures);
+  EXPECT_NEAR(recovery_span_time, r.recovery_time, 1e-12);
 }
 
 struct NwchemWorkload {

@@ -1,0 +1,286 @@
+// Unit and property tests for the spare-rank recovery coordinator
+// (fault/recovery.h): the per-task commit ledger, the death/adoption
+// protocol, chained-death deduplication, and the exactly-once audit. The
+// end-to-end behavior (real builds with killed ranks matching the serial
+// oracle) lives in test_chaos.cpp; here the coordinator is driven directly
+// so every ledger transition is checked in isolation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/recovery.h"
+#include "util/rng.h"
+
+namespace mf::fault {
+namespace {
+
+using Unit = RecoveryCoordinator::UnitId;
+
+TEST(RecoveryLedger, CommitCountsEveryRecordedTaskOnce) {
+  RecoveryCoordinator rc(4, 0);
+  const Unit a = rc.open_unit(0, 0);
+  rc.record_task(a, 10);
+  rc.record_task(a, 11);
+  const Unit b = rc.open_unit(1, 1);
+  rc.record_tasks(b, {20, 21, 22});
+  rc.commit_unit(a);
+  rc.commit_unit(b);
+
+  const auto counts = rc.commit_counts();
+  EXPECT_EQ(counts.size(), 5u);
+  for (TaskKey t : {10, 11, 20, 21, 22}) EXPECT_EQ(counts.at(t), 1u);
+  rc.verify_exactly_once({10, 11, 20, 21, 22});
+}
+
+TEST(RecoveryLedger, UncommittedUnitsAreNotCounted) {
+  RecoveryCoordinator rc(2, 0);
+  const Unit a = rc.open_unit(0, 0);
+  rc.record_task(a, 1);
+  EXPECT_TRUE(rc.commit_counts().empty());
+  EXPECT_THROW(rc.verify_exactly_once({1}), std::logic_error);
+}
+
+TEST(RecoveryLedger, VerifyThrowsOnDoubleCommit) {
+  RecoveryCoordinator rc(2, 0);
+  const Unit a = rc.open_unit(0, 0);
+  const Unit b = rc.open_unit(1, 1);
+  rc.record_task(a, 7);
+  rc.record_task(b, 7);  // the same task committed via two units
+  rc.commit_unit(a);
+  rc.commit_unit(b);
+  EXPECT_THROW(rc.verify_exactly_once({7}), std::logic_error);
+}
+
+TEST(RecoveryLedger, VerifyThrowsOnUnexpectedCommit) {
+  RecoveryCoordinator rc(2, 0);
+  const Unit a = rc.open_unit(0, 0);
+  rc.record_tasks(a, {1, 2});
+  rc.commit_unit(a);
+  EXPECT_THROW(rc.verify_exactly_once({1}), std::logic_error);  // 2 is extra
+}
+
+TEST(RecoveryDeath, MarksOnlyTheDeadRanksUncommittedUnitsLost) {
+  RecoveryCoordinator rc(4, 0);
+  const Unit own = rc.open_unit(1, 1);       // dies uncommitted
+  const Unit raid = rc.open_unit(1, 3);      // dies uncommitted (stolen work)
+  const Unit done = rc.open_unit(1, 1);      // committed before the death
+  const Unit other = rc.open_unit(2, 2);     // different executor, untouched
+  rc.record_tasks(own, {1, 2});
+  rc.record_tasks(raid, {30, 31});
+  rc.record_task(done, 5);
+  rc.record_task(other, 9);
+  rc.commit_unit(done);
+
+  EXPECT_TRUE(rc.rank_alive(1));
+  rc.report_death(1, BuildPhase::kCompute);
+  EXPECT_FALSE(rc.rank_alive(1));
+  EXPECT_TRUE(rc.rank_alive(2));
+
+  const auto assignments = rc.drain_unrecovered();
+  ASSERT_EQ(assignments.size(), 1u);
+  const Assignment& a = assignments[0];
+  EXPECT_EQ(a.rank, 1u);
+  EXPECT_EQ(a.death_phase, BuildPhase::kCompute);
+  EXPECT_TRUE(rc.rank_alive(1));  // drain re-mapped it
+  // Two lost groups — home 1 (own) and home 3 (raid) — and the committed
+  // unit's task 5 is NOT handed back out.
+  ASSERT_EQ(a.lost.size(), 2u);
+  EXPECT_EQ(a.lost_tasks(), 4u);
+  for (const ReexecGroup& g : a.lost) {
+    for (TaskKey t : g.tasks) EXPECT_NE(t, 5u);
+  }
+  const RecoveryReport rep = rc.report();
+  EXPECT_EQ(rep.rank_failures, 1u);
+  EXPECT_EQ(rep.units_lost, 2u);
+  EXPECT_EQ(rep.tasks_reexecuted, 4u);
+}
+
+TEST(RecoveryDeath, ChainedDeathsDedupeAndExcludeCommittedWork) {
+  // Incarnation 1 of rank 0 loses {1,2}. The recovering incarnation
+  // re-records {1,2}, commits a unit covering {1} but dies before the unit
+  // holding {2} commits. The third incarnation must be assigned exactly
+  // {2}: 1 is committed (excluded), and 2 appears in TWO lost units
+  // (original + re-exec) but is collected once.
+  RecoveryCoordinator rc(2, 0);
+  const Unit first = rc.open_unit(0, 0);
+  rc.record_tasks(first, {1, 2});
+  rc.report_death(0, BuildPhase::kCompute);
+  auto drained = rc.drain_unrecovered();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].lost_tasks(), 2u);
+
+  const Unit redo_a = rc.open_unit(0, 0);
+  rc.record_task(redo_a, 1);
+  rc.commit_unit(redo_a);
+  const Unit redo_b = rc.open_unit(0, 0);
+  rc.record_task(redo_b, 2);
+  rc.report_death(0, BuildPhase::kFlush);  // dies before redo_b commits
+
+  drained = rc.drain_unrecovered();
+  ASSERT_EQ(drained.size(), 1u);
+  ASSERT_EQ(drained[0].lost.size(), 1u);
+  ASSERT_EQ(drained[0].lost[0].tasks.size(), 1u);
+  EXPECT_EQ(drained[0].lost[0].tasks[0], 2u);
+
+  const Unit redo_c = rc.open_unit(0, 0);
+  rc.record_task(redo_c, 2);
+  rc.commit_unit(redo_c);
+  rc.verify_exactly_once({1, 2});
+}
+
+TEST(RecoveryDeath, OnReviveHookFiresPerRecoveredRank) {
+  RecoveryCoordinator rc(4, 0);
+  std::vector<std::size_t> revived;
+  rc.set_on_revive([&revived](std::size_t r) { revived.push_back(r); });
+  rc.report_death(2, BuildPhase::kPrefetch);
+  rc.report_death(3, BuildPhase::kCompute);
+  const auto drained = rc.drain_unrecovered();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(revived, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(RecoveryDeath, AwaitRemapDegradesToReplicaWhenPoolIsEmpty) {
+  // No spare can ever adopt: await_remap must return false immediately
+  // (the caller falls back to the replica channel) instead of deadlocking.
+  RecoveryCoordinator rc(2, 0);
+  rc.report_death(1, BuildPhase::kCompute);
+  EXPECT_FALSE(rc.await_remap(1));
+}
+
+TEST(RecoveryDeath, AwaitRemapReturnsTrueForAliveRank) {
+  RecoveryCoordinator rc(2, 1);
+  EXPECT_TRUE(rc.await_remap(0));
+}
+
+TEST(RecoveryAdoption, SpareAdoptsAndAwaitRemapUnblocks) {
+  RecoveryCoordinator rc(2, 1);
+  std::optional<Assignment> got;
+  bool remapped = false;
+  std::thread spare([&] { got = rc.wait_for_assignment(); });
+  std::thread waiter([&] { remapped = rc.await_remap(1); });
+
+  const Unit u = rc.open_unit(1, 1);
+  rc.record_tasks(u, {4, 5});
+  rc.report_death(1, BuildPhase::kCompute);
+  spare.join();
+  waiter.join();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rank, 1u);
+  EXPECT_EQ(got->lost_tasks(), 2u);
+  EXPECT_TRUE(remapped);  // adoption revived the rank before assignment
+  EXPECT_TRUE(rc.rank_alive(1));
+
+  rc.adoption_done(*got, 1234);
+  const RecoveryReport rep = rc.report();
+  EXPECT_EQ(rep.spare_recoveries, 1u);
+  EXPECT_EQ(rep.recovery_ns, 1234u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].rank, 1u);
+  EXPECT_FALSE(rep.failures[0].by_driver);
+
+  rc.finish();
+  EXPECT_FALSE(rc.wait_for_assignment().has_value());
+}
+
+TEST(RecoveryAdoption, FinishReleasesParkedSpares) {
+  RecoveryCoordinator rc(2, 2);
+  std::optional<Assignment> a1, a2;
+  std::thread s1([&] { a1 = rc.wait_for_assignment(); });
+  std::thread s2([&] { a2 = rc.wait_for_assignment(); });
+  rc.finish();
+  s1.join();
+  s2.join();
+  EXPECT_FALSE(a1.has_value());
+  EXPECT_FALSE(a2.has_value());
+}
+
+TEST(RecoveryAdoption, DriverRecoveryIsReportedSeparately) {
+  RecoveryCoordinator rc(2, 0);
+  const Unit u = rc.open_unit(0, 0);
+  rc.record_task(u, 1);
+  rc.report_death(0, BuildPhase::kFlush);
+  const auto drained = rc.drain_unrecovered();
+  ASSERT_EQ(drained.size(), 1u);
+  rc.record_driver_recovery(drained[0], 555);
+  const RecoveryReport rep = rc.report();
+  EXPECT_EQ(rep.driver_recoveries, 1u);
+  EXPECT_EQ(rep.spare_recoveries, 0u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_TRUE(rep.failures[0].by_driver);
+  EXPECT_EQ(rep.failures[0].recovery_ns, 555u);
+}
+
+// Exactly-once property: a randomized executor model — units of varying
+// size, seeded deaths before commit, chained deaths during recovery — must
+// always end with every task committed exactly once. This is the ledger's
+// contract independent of any builder.
+TEST(RecoveryProperty, RandomizedDeathSchedulesStayExactlyOnce) {
+  constexpr std::size_t kRanks = 4;
+  constexpr std::size_t kTasks = 64;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng(0x9e3779b97f4a7c15ULL + seed);
+    RecoveryCoordinator rc(kRanks, 0);
+
+    std::vector<TaskKey> expected;
+    std::vector<std::vector<TaskKey>> queue(kRanks);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      expected.push_back(t);
+      queue[t % kRanks].push_back(t);
+    }
+
+    // Each rank drains its queue in units of 1-4 tasks; with probability
+    // 0.3 the executor dies right before a unit's commit, losing every
+    // uncommitted unit it opened so far.
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      std::size_t i = 0;
+      while (i < queue[r].size()) {
+        const std::size_t take =
+            std::min<std::size_t>(queue[r].size() - i,
+                                  1 + static_cast<std::size_t>(
+                                          rng.uniform(0.0, 3.999)));
+        const Unit u = rc.open_unit(r, r);
+        for (std::size_t k = 0; k < take; ++k) {
+          rc.record_task(u, queue[r][i + k]);
+        }
+        if (rng.uniform(0.0, 1.0) < 0.3) {
+          rc.report_death(r, BuildPhase::kCompute);
+          // Driver-style recovery, itself killable: re-execute the lost
+          // tasks in fresh units, dying again with probability 0.2.
+          auto drained = rc.drain_unrecovered();
+          while (!drained.empty()) {
+            for (const Assignment& a : drained) {
+              for (const ReexecGroup& g : a.lost) {
+                const Unit redo = rc.open_unit(a.rank, g.home_rank);
+                rc.record_tasks(redo, g.tasks);
+                if (rng.uniform(0.0, 1.0) < 0.2) {
+                  rc.report_death(a.rank, BuildPhase::kFlush);
+                } else {
+                  rc.commit_unit(redo);
+                }
+              }
+            }
+            drained = rc.drain_unrecovered();
+          }
+        } else {
+          rc.commit_unit(u);
+        }
+        i += take;
+      }
+    }
+    rc.verify_exactly_once(expected);
+    const RecoveryReport rep = rc.report();
+    if (rep.rank_failures > 0) {
+      EXPECT_GE(rep.units_lost, 1u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mf::fault

@@ -297,6 +297,114 @@ TEST_P(TransportConformance, CommTimeContract) {
   }
 }
 
+// ---- Dead-rank semantics (whole-rank failure, fault/recovery.h) --------
+// The liveness word lives in the non-virtual shim, so every backend
+// inherits identical semantics: ops touching a killed rank fail fast with
+// DeadRankError (never hang), ops between live ranks are untouched, revive
+// restores service under a new epoch, and stale leases are invalidated.
+
+TEST_P(TransportConformance, OpsTouchingDeadRankFailFastNeverHang) {
+  const std::size_t n = 8;  // 2x2 grid: rank 2 owns rows 4..8 x cols 0..4
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(1.0);
+  std::vector<double> buf(n * n, 0.0);
+
+  EXPECT_TRUE(t->rank_alive(2));
+  t->kill_rank(2);
+  EXPECT_FALSE(t->rank_alive(2));
+  EXPECT_TRUE(t->rank_alive(0));
+
+  // Any op whose path touches the dead rank throws — as the target owner,
+  // from any caller, and as the caller itself — and the error names the
+  // dead rank, not the caller.
+  try {
+    t->get(*a, 0, {4, 8, 0, 4}, buf.data());
+    FAIL() << "get targeting a dead owner must throw";
+  } catch (const fault::DeadRankError& e) {
+    EXPECT_EQ(e.rank(), 2u);
+  }
+  EXPECT_THROW(t->put(*a, 1, {4, 8, 0, 4}, buf.data()), fault::DeadRankError);
+  EXPECT_THROW(t->acc(*a, 3, {0, n, 0, n}, buf.data(), 1.0),
+               fault::DeadRankError);
+  EXPECT_THROW(t->get(*a, 2, {0, 4, 4, 8}, buf.data()),
+               fault::DeadRankError);  // dead caller
+
+  // A counter owned by the dead rank is equally unreachable.
+  auto c = t->create_counter(/*owner_rank=*/2, /*initial=*/0);
+  EXPECT_THROW(t->rmw(*c, 0, 1), fault::DeadRankError);
+
+  // Traffic strictly between live ranks is untouched.
+  t->get(*a, 0, {0, 4, 0, n}, buf.data());
+  for (std::size_t k = 0; k < 4 * n; ++k) EXPECT_EQ(buf[k], 1.0);
+  auto c0 = t->create_counter(0, 5);
+  EXPECT_EQ(t->rmw(*c0, 1, 1), 5l);
+}
+
+TEST_P(TransportConformance, ReviveRestoresServiceUnderANewEpoch) {
+  const std::size_t n = 8;
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(3.0);
+  std::vector<double> buf(n * n, 0.0);
+
+  const std::uint64_t epoch0 = t->rank_epoch(2);
+  t->kill_rank(2);
+  const std::uint64_t epoch_dead = t->rank_epoch(2);
+  EXPECT_GT(epoch_dead, epoch0);
+  t->revive_rank(2);
+  EXPECT_TRUE(t->rank_alive(2));
+  EXPECT_GT(t->rank_epoch(2), epoch_dead);  // every transition bumps
+
+  // Ops to the re-mapped rank succeed again, in both directions, and the
+  // distributed block data survived the death (shadow-copy model).
+  t->get(*a, 0, {4, 8, 0, 4}, buf.data());
+  for (std::size_t k = 0; k < 4 * 4; ++k) EXPECT_EQ(buf[k], 3.0);
+  t->put(*a, 2, {4, 8, 0, 4}, buf.data());
+}
+
+TEST_P(TransportConformance, EpochBumpInvalidatesStaleLeases) {
+  const auto t = make(4);
+  const Transport::RankLease lease = t->lease(1);
+  t->check_lease(lease, fault::OpClass::kGet);  // fresh lease passes
+
+  t->kill_rank(1);
+  EXPECT_THROW(t->check_lease(lease, fault::OpClass::kGet),
+               fault::DeadRankError);  // dead: no epoch even matches
+  t->revive_rank(1);
+  EXPECT_THROW(t->check_lease(lease, fault::OpClass::kGet),
+               fault::DeadRankError);  // alive again, but the epoch moved
+  const Transport::RankLease fresh = t->lease(1);
+  t->check_lease(fresh, fault::OpClass::kGet);
+  EXPECT_GT(fresh.epoch, lease.epoch);
+}
+
+TEST_P(TransportConformance, ReplicaChannelBypassesDeadRankChecks) {
+  // fault::BypassGuard is the recovery/replica path: block storage survives
+  // the death, so a bypassed op reads and writes the dead rank's shadow
+  // copy directly — this is what the builder's driver drain runs on.
+  const std::size_t n = 8;
+  const auto t = make(4);
+  auto a = t->create_array(even_dist(n, 2, 2));
+  a->fill(2.0);
+  std::vector<double> buf(4 * 4, 0.0);
+
+  t->kill_rank(2);
+  EXPECT_THROW(t->get(*a, 0, {4, 8, 0, 4}, buf.data()),
+               fault::DeadRankError);
+  {
+    fault::BypassGuard replica;
+    t->get(*a, 0, {4, 8, 0, 4}, buf.data());
+    for (double v : buf) EXPECT_EQ(v, 2.0);
+    t->acc(*a, 0, {4, 8, 0, 4}, buf.data(), 1.0);
+  }
+  EXPECT_THROW(t->get(*a, 0, {4, 8, 0, 4}, buf.data()),
+               fault::DeadRankError);  // checks resume outside the guard
+  t->revive_rank(2);
+  t->get(*a, 0, {4, 8, 0, 4}, buf.data());
+  for (double v : buf) EXPECT_EQ(v, 4.0);  // 2 + 2: the bypassed acc landed
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, TransportConformance,
     ::testing::ValuesIn(registered_transport_kinds()),

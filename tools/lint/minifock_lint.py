@@ -118,7 +118,8 @@ PHASE_LIST_HEADER = "src/obs/analysis.h"
 PHASE_LIST_RE = re.compile(
     r"kCanonicalPhaseNames\s*\[[^\]]*\]\s*=\s*\{([^}]*)\}", re.DOTALL)
 FALLBACK_CANONICAL_PHASES = frozenset(
-    ("prefetch", "compute", "steal", "flush", "comm_wait", "idle"))
+    ("prefetch", "compute", "steal", "flush", "comm_wait", "recovery",
+     "idle"))
 
 
 def parse_canonical_phases(header_text: str) -> frozenset[str] | None:

@@ -50,6 +50,15 @@ Optional cross-checks used by the CI smoke step:
   --min-batched-speedup X The tint file's "speedup_batched" must be >= X
                           (the perf regression gate on the batched ERI
                           kernels).
+  --chaos                 The report must be a kill-k chaos run: at least
+                          one "fault.rank_failures", a matching number of
+                          fired kill points, every failure resolved (spare
+                          or driver recoveries sum to the failure count
+                          minus counted burned adoptions), and a present,
+                          bounded "fault.recovery_ns" overhead.
+  --max-recovery-ns N     Ceiling for "fault.recovery_ns" under --chaos
+                          (default 60e9 — a CI smoke recovery that takes
+                          a minute is a hang, not a recovery).
 
 Stdlib only — no jsonschema dependency. Exits non-zero with a list of
 violations on failure.
@@ -67,7 +76,7 @@ REPORT_SCHEMA = "minifock-run-report/v2"
 # Canonical phase list; must match kCanonicalPhaseNames in src/obs/analysis.h
 # (tools/lint/minifock_lint.py checks the C++ side against the header).
 CANONICAL_PHASES = ("prefetch", "compute", "steal", "flush", "comm_wait",
-                    "idle")
+                    "recovery", "idle")
 SCALE_SCHEMA = "minifock-bench-scale/v1"
 
 
@@ -471,6 +480,58 @@ def validate_comm(data) -> list[str]:
     return errors
 
 
+def validate_chaos(data, max_recovery_ns: int) -> list[str]:
+    """Kill-k chaos contract on a run report (--chaos).
+
+    A chaos smoke that recovered nothing, lost kills silently, or booked an
+    unbounded recovery overhead must fail CI even when the report is
+    otherwise schema-clean.
+    """
+    errors = []
+    if not isinstance(data, dict) or not isinstance(data.get("counters"),
+                                                    dict):
+        return ["chaos: report has no counters object"]
+    counters = data["counters"]
+
+    failures = counters.get("fault.rank_failures")
+    if not _is_int(failures) or failures < 1:
+        errors.append('chaos: "fault.rank_failures" must be a counter >= 1 '
+                      f"(got {failures!r})")
+        return errors
+
+    kills = sum(v for k, v in counters.items()
+                if k.startswith("fault.kill.") and _is_int(v))
+    if kills != failures:
+        errors.append(f"chaos: {kills} fired kill points but "
+                      f"{failures} reported rank failures")
+
+    recovery_ns = counters.get("fault.recovery_ns")
+    if not _is_int(recovery_ns):
+        errors.append('chaos: "fault.recovery_ns" missing (recovery '
+                      "overhead must be reported per run)")
+    elif recovery_ns <= 0:
+        errors.append('chaos: "fault.recovery_ns" must be positive — a '
+                      "free recovery was not measured")
+    elif recovery_ns > max_recovery_ns:
+        errors.append(f'chaos: "fault.recovery_ns" {recovery_ns} exceeds '
+                      f"the {max_recovery_ns} ns bound")
+
+    # Every failure is terminally resolved exactly once: a completed spare
+    # adoption, a driver drain, or an adoption burned by a chained death.
+    resolved = sum(counters.get(k, 0)
+                   for k in ("fault.spare_recoveries",
+                             "fault.driver_recoveries",
+                             "fault.spares_burned")
+                   if _is_int(counters.get(k, 0)))
+    if resolved != failures:
+        errors.append(f"chaos: {failures} failures but {resolved} "
+                      "resolutions (spare + driver + burned) — a death "
+                      "was never recovered")
+    if not _is_int(counters.get("fault.tasks_reexecuted")):
+        errors.append('chaos: "fault.tasks_reexecuted" missing')
+    return errors
+
+
 def _load(path: pathlib.Path, errors: list[str]):
     try:
         return json.loads(path.read_text(encoding="utf-8"))
@@ -498,7 +559,14 @@ def main() -> int:
                     metavar="NAME", help="counter that must be in the report")
     ap.add_argument("--min-batched-speedup", type=float, default=None,
                     metavar="X", help="require tint speedup_batched >= X")
+    ap.add_argument("--chaos", action="store_true",
+                    help="require the report to be a kill-k chaos run with "
+                         "fault.rank_failures and bounded fault.recovery_ns")
+    ap.add_argument("--max-recovery-ns", type=int, default=60_000_000_000,
+                    metavar="N", help="fault.recovery_ns ceiling for --chaos")
     args = ap.parse_args()
+    if args.chaos and args.report is None:
+        ap.error("--chaos requires --report")
     if args.trace is None and args.report is None and args.tint is None \
             and args.comm is None and args.scale is None:
         ap.error("nothing to validate; pass --trace, --report, --tint, "
@@ -513,6 +581,8 @@ def main() -> int:
         data = _load(args.report, errors)
         if data is not None:
             errors.extend(validate_report(data, args.require_counter))
+            if args.chaos:
+                errors.extend(validate_chaos(data, args.max_recovery_ns))
     if args.tint is not None:
         data = _load(args.tint, errors)
         if data is not None:
